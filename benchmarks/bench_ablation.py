@@ -1,0 +1,156 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* **Buffering (b)** — the paper's memory-bounded IL processes S1 in blocks
+  of b and notes "the smaller b is, the faster the algorithm produces the
+  first SLCA": we measure time-to-first-answer as a function of b.
+* **Dewey codec** — level-table bit packing (the paper's scheme) vs the
+  order-preserving varint: index size on disk and query latency.
+* **Page size** — cold-cache page reads for a full-list scan across page
+  sizes (the B of Θ(|S|/B)).
+* **Internal-page pinning** — the paper's disk analysis assumes non-leaf
+  B+tree nodes are cached; unpinning them shows what the assumption buys.
+"""
+
+import time
+
+import pytest
+
+from repro.core.counters import OpCounters
+from repro.core.indexed_lookup import eager_slca, indexed_lookup_blocked
+from repro.index.builder import build_index
+from repro.index.inverted import DiskKeywordIndex
+from repro.workloads.datasets import PlantedCorpus, keyword_name
+
+SMALL, BIG = 1000, 10000
+QUERY = (keyword_name(SMALL, 0), keyword_name(BIG, 0))
+
+
+@pytest.fixture(scope="module")
+def ablation_corpus():
+    return PlantedCorpus.for_frequencies([(SMALL, 1), (BIG, 1)], seed=77)
+
+
+@pytest.fixture(scope="module")
+def ablation_index(ablation_corpus, tmp_path_factory):
+    target = tmp_path_factory.mktemp("ablation") / "idx"
+    build_index(ablation_corpus.lists, target, level_table=ablation_corpus.level_table())
+    with DiskKeywordIndex(target) as index:
+        yield index
+
+
+class TestBufferSize:
+    @pytest.mark.parametrize("block_size", (1, 10, 100, SMALL))
+    def test_time_to_first_answer(self, benchmark, ablation_index, block_size):
+        def first_block():
+            counters = OpCounters()
+            sources = ablation_index.sources_for(QUERY, "indexed", counters)
+            stream = indexed_lookup_blocked(sources, block_size, counters)
+            return next(stream, [])
+
+        first = benchmark.pedantic(first_block, rounds=5, iterations=1)
+        assert first, "expected at least one SLCA in the first block"
+
+    def test_all_block_sizes_agree(self, ablation_index):
+        answers = {}
+        for block_size in (1, 7, 100, SMALL):
+            sources = ablation_index.sources_for(QUERY, "indexed", OpCounters())
+            blocks = indexed_lookup_blocked(sources, block_size)
+            answers[block_size] = [n for blk in blocks for n in blk]
+        assert len({tuple(v) for v in answers.values()}) == 1
+
+
+class TestCodec:
+    @pytest.fixture(scope="class")
+    def both_indexes(self, ablation_corpus, tmp_path_factory):
+        root = tmp_path_factory.mktemp("codec")
+        sizes = {}
+        indexes = {}
+        for codec in ("packed", "varint"):
+            target = root / codec
+            report = build_index(
+                ablation_corpus.lists,
+                target,
+                codec=codec,
+                level_table=ablation_corpus.level_table(),
+            )
+            sizes[codec] = report.bytes_on_disk
+            indexes[codec] = DiskKeywordIndex(target)
+        yield indexes, sizes
+        for index in indexes.values():
+            index.close()
+
+    def test_packed_index_not_larger(self, both_indexes):
+        _, sizes = both_indexes
+        assert sizes["packed"] <= sizes["varint"]
+
+    @pytest.mark.parametrize("codec", ("packed", "varint"))
+    def test_query_latency_per_codec(self, benchmark, both_indexes, codec):
+        indexes, _ = both_indexes
+        index = indexes[codec]
+
+        def run():
+            counters = OpCounters()
+            return list(eager_slca(index.sources_for(QUERY, "indexed", counters), counters))
+
+        results = benchmark.pedantic(run, rounds=5, iterations=1)
+        assert results
+
+    def test_codecs_agree_on_answers(self, both_indexes):
+        indexes, _ = both_indexes
+        answers = {
+            codec: list(eager_slca(index.sources_for(QUERY, "indexed", OpCounters())))
+            for codec, index in indexes.items()
+        }
+        assert answers["packed"] == answers["varint"]
+
+
+class TestPageSize:
+    @pytest.mark.parametrize("page_size", (1024, 4096, 16384))
+    def test_cold_scan_reads_shrink_with_page_size(
+        self, benchmark, ablation_corpus, tmp_path_factory, page_size
+    ):
+        target = tmp_path_factory.mktemp(f"ps{page_size}") / "idx"
+        build_index(
+            ablation_corpus.lists,
+            target,
+            page_size=page_size,
+            level_table=ablation_corpus.level_table(),
+        )
+        with DiskKeywordIndex(target) as index:
+            def run():
+                index.make_cold()
+                before = index.io_snapshot()
+                counters = OpCounters()
+                list(eager_slca(index.sources_for(QUERY, "scan", counters), counters))
+                return index.pager.stats.delta(before)
+
+            delta = benchmark.pedantic(run, rounds=3, iterations=1)
+            # Θ(|S|/B): with ~5-byte postings the big list occupies about
+            # BIG * 6 / page_size leaf pages.
+            assert delta.reads <= (BIG * 10) // page_size + 12
+
+
+class TestPinning:
+    def test_unpinned_cold_lookups_pay_for_the_descent(
+        self, ablation_corpus, tmp_path_factory
+    ):
+        target = tmp_path_factory.mktemp("pin") / "idx"
+        build_index(
+            ablation_corpus.lists, target, level_table=ablation_corpus.level_table()
+        )
+
+        def cold_reads(pin_internal):
+            with DiskKeywordIndex(target, pin_internal=pin_internal) as index:
+                index.make_cold()
+                before = index.io_snapshot()
+                counters = OpCounters()
+                list(
+                    eager_slca(
+                        index.sources_for(QUERY, "indexed", counters), counters
+                    )
+                )
+                return index.pager.stats.delta(before).reads
+
+        pinned = cold_reads(True)
+        unpinned = cold_reads(False)
+        assert unpinned > pinned

@@ -1,0 +1,61 @@
+"""Section 5: the all-LCA extension (Algorithm 3).
+
+The paper extends IL to return every LCA with O(k·d·|slca|) extra match
+lookups on top of the SLCA computation — crucially *without* scanning the
+large keyword lists.  We measure all-LCA against plain SLCA on the skewed
+workload and assert both the containment relation and the cost bound.
+"""
+
+import pytest
+
+from conftest import LARGE
+from repro.core import find_all_lcas
+from repro.core.counters import OpCounters
+from repro.core.indexed_lookup import eager_slca
+from repro.workloads.datasets import keyword_name
+from repro.workloads.queries import QueryPoint
+from repro.workloads.runner import Measurement
+
+PANELS = (10, 1000)
+
+
+def _sources(runner, small, counters):
+    keywords = (keyword_name(small, 0), keyword_name(LARGE, 0))
+    return runner._disk_index.sources_for(keywords, "indexed", counters)
+
+
+@pytest.mark.parametrize("small", PANELS)
+def test_all_lca_over_disk_index(benchmark, runner, point_store, small):
+    runner._ensure_disk()
+
+    def run():
+        counters = OpCounters()
+        results = list(find_all_lcas(_sources(runner, small, counters), counters))
+        return results, counters
+
+    (lcas, counters) = benchmark.pedantic(run, rounds=3, iterations=1)
+    slca_counters = OpCounters()
+    slcas = list(eager_slca(_sources(runner, small, slca_counters), slca_counters))
+    assert set(slcas) <= set(lcas)
+    assert len(lcas) == len(set(lcas))
+    # Cost bound: the extra lookups beyond the SLCA pass are at most
+    # 2·k per checked ancestor, and at most d ancestors exist per SLCA.
+    k, depth = 2, 6
+    extra = counters.match_ops - slca_counters.match_ops
+    assert extra <= 2 * k * depth * max(1, len(slcas))
+    point_store.record(
+        "alllca",
+        small,
+        small,
+        "il",
+        Measurement("il", "memory", wall_ms=0.0, n_results=len(lcas), counters=counters),
+    )
+
+
+@pytest.mark.parametrize("small", PANELS)
+def test_all_lca_avoids_scanning_large_list(runner, small):
+    """Algorithm 3 must not degenerate into a scan of the 100k list."""
+    counters = OpCounters()
+    list(find_all_lcas(_sources(runner, small, counters), counters))
+    assert counters.cursor_advances == 0
+    assert counters.match_ops < 40 * small + 200

@@ -1,0 +1,24 @@
+"""Figure 8 (hot cache): two keywords, small list fixed, large list swept.
+
+Paper shape: Indexed Lookup Eager's response time is nearly flat in the
+large list's size (it performs O(|S1|) logarithmic lookups), while Scan
+Eager and Stack grow linearly — at |S2|/|S1| = 10^4 the gap is orders of
+magnitude.  Panels (b)-(d) of the figure fix |S1| at 10, 100 and 1000.
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, FIG8_PANELS, LADDER, figure_points
+
+
+@pytest.mark.parametrize("panel", FIG8_PANELS)
+@pytest.mark.parametrize("x", LADDER)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig08_hot(benchmark, runner, point_store, panel, x, algorithm):
+    point = next(p for p in figure_points("fig08", panel) if p.x == x)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_point(point, algorithm, mode="disk-hot"),
+        rounds=3,
+        iterations=1,
+    )
+    point_store.record("fig08", panel, x, algorithm, measurement)

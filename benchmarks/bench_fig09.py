@@ -1,0 +1,24 @@
+"""Figure 9 (hot cache): number of keywords swept, frequencies constant.
+
+Each query has one small list (the panel's |S1|) plus (k-1) lists of the
+largest frequency.  Paper shape: IL grows mildly with k (2·(k-1) lookups
+per S1 node), Scan Eager and Stack pay for every node of every large list,
+so their time ≈ (k-1) × large-list cost; IL's win shrinks as |S1| grows.
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, FIG9_PANELS, KEYWORD_COUNTS, figure_points
+
+
+@pytest.mark.parametrize("panel", FIG9_PANELS)
+@pytest.mark.parametrize("x", KEYWORD_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig09_hot(benchmark, runner, point_store, panel, x, algorithm):
+    point = next(p for p in figure_points("fig09", panel) if p.x == x)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_point(point, algorithm, mode="disk-hot"),
+        rounds=1,
+        iterations=1,
+    )
+    point_store.record("fig09", panel, x, algorithm, measurement)

@@ -1,0 +1,24 @@
+"""Figure 10 (hot cache): number of keywords swept, all lists equal-sized.
+
+The regime where the paper recommends Scan Eager: with no frequency skew,
+IL's per-lookup log factor buys nothing, and the cursor-based Scan Eager
+"loses only by a small margin" is inverted — here Scan Eager is the best
+variant and IL trails slightly; Stack pays its per-node stack maintenance.
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, FIG10_PANELS, KEYWORD_COUNTS, figure_points
+
+
+@pytest.mark.parametrize("panel", FIG10_PANELS)
+@pytest.mark.parametrize("x", KEYWORD_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig10_hot(benchmark, runner, point_store, panel, x, algorithm):
+    point = next(p for p in figure_points("fig10", panel) if p.x == x)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_point(point, algorithm, mode="disk-hot"),
+        rounds=3,
+        iterations=1,
+    )
+    point_store.record("fig10", panel, x, algorithm, measurement)

@@ -1,0 +1,25 @@
+"""Figure 11 (cold cache): the Figure 8 sweep with an empty buffer pool.
+
+Reported time = measured CPU + modeled I/O (counted page misses charged by
+the 2005-disk cost model).  Paper shape: IL's page accesses stay O(k·|S1|)
+— flat in |S2| — while Scan/Stack read the large list's Θ(|S2|/B) leaf
+blocks, so the curves diverge exactly as in the hot case but with the
+crossover shifted (at similar sizes, sequential scans win cold).
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, FIG8_PANELS, LADDER, figure_points
+
+
+@pytest.mark.parametrize("panel", FIG8_PANELS)
+@pytest.mark.parametrize("x", LADDER)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig11_cold(benchmark, runner, point_store, panel, x, algorithm):
+    point = next(p for p in figure_points("fig11", panel) if p.x == x)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_point(point, algorithm, mode="disk-cold"),
+        rounds=3,
+        iterations=1,
+    )
+    point_store.record("fig11", panel, x, algorithm, measurement)

@@ -1,0 +1,23 @@
+"""Figure 12 (cold cache): the Figure 9 sweep with an empty buffer pool.
+
+One small list plus (k-1) large lists, k swept.  Cold, Scan and Stack must
+physically read every large list — (k-1)·Θ(|S|/B) page misses — while IL
+pays O(k·|S1|) lookups against pinned-internal B+trees.
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, FIG9_PANELS, KEYWORD_COUNTS, figure_points
+
+
+@pytest.mark.parametrize("panel", FIG9_PANELS)
+@pytest.mark.parametrize("x", KEYWORD_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig12_cold(benchmark, runner, point_store, panel, x, algorithm):
+    point = next(p for p in figure_points("fig12", panel) if p.x == x)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_point(point, algorithm, mode="disk-cold"),
+        rounds=1,
+        iterations=1,
+    )
+    point_store.record("fig12", panel, x, algorithm, measurement)

@@ -1,0 +1,24 @@
+"""Figure 13 (cold cache): the Figure 10 sweep with an empty buffer pool.
+
+All lists equal-sized.  Cold and skew-free, every algorithm must read the
+same postings; Scan Eager's purely sequential block reads make it the best
+variant, with IL paying extra random lookups — the paper's stated
+trade-off for similar frequencies.
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, FIG10_PANELS, KEYWORD_COUNTS, figure_points
+
+
+@pytest.mark.parametrize("panel", FIG10_PANELS)
+@pytest.mark.parametrize("x", KEYWORD_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig13_cold(benchmark, runner, point_store, panel, x, algorithm):
+    point = next(p for p in figure_points("fig13", panel) if p.x == x)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_point(point, algorithm, mode="disk-cold"),
+        rounds=3,
+        iterations=1,
+    )
+    point_store.record("fig13", panel, x, algorithm, measurement)

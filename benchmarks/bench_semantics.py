@@ -1,0 +1,68 @@
+"""Semantics comparison: SLCA vs ELCA vs all-LCA on the same workload.
+
+Positions the paper's SLCA semantics between its two neighbours: XRANK's
+Exclusive LCA (computed by the sort-merge stack, extension module) and the
+paper's Section 5 all-LCA (computed by Algorithm 3 over IL).  The cost
+profiles differ fundamentally —
+
+* SLCA (IL):       O(k·|S1|·d·log|S|), independent of Σ|Si|;
+* all-LCA (Alg 3): SLCA + O(k·d·|slca|) extra lookups — still skew-proof;
+* ELCA (stack):    Θ(Σ|Si|) — it must merge every posting.
+
+The assertions pin the containment chain SLCA ⊆ ELCA ⊆ LCA at scale.
+"""
+
+import pytest
+
+from conftest import LARGE
+from repro.core import find_all_lcas, stack_elca
+from repro.core.counters import OpCounters
+from repro.core.indexed_lookup import eager_slca
+from repro.workloads.datasets import keyword_name
+
+PANELS = (10, 1000)
+
+
+def _keywords(small):
+    return (keyword_name(small, 0), keyword_name(LARGE, 0))
+
+
+def _sources(runner, small, counters):
+    return runner._disk_index.sources_for(_keywords(small), "indexed", counters)
+
+
+@pytest.mark.parametrize("small", PANELS)
+@pytest.mark.parametrize("semantics", ("slca", "elca", "all-lca"))
+def test_semantics_cost(benchmark, runner, small, semantics):
+    runner._ensure_disk()
+
+    def run_slca():
+        counters = OpCounters()
+        return set(eager_slca(_sources(runner, small, counters), counters))
+
+    def run_elca():
+        counters = OpCounters()
+        lists = [runner._disk_index.scan(kw) for kw in _keywords(small)]
+        return set(stack_elca(lists, counters))
+
+    def run_all_lca():
+        counters = OpCounters()
+        return set(find_all_lcas(_sources(runner, small, counters), counters))
+
+    runs = {"slca": run_slca, "elca": run_elca, "all-lca": run_all_lca}
+    result = benchmark.pedantic(runs[semantics], rounds=2, iterations=1)
+    assert result or small > LARGE  # planted workloads always intersect
+
+
+@pytest.mark.parametrize("small", PANELS)
+def test_semantics_containment_at_scale(runner, small):
+    runner._ensure_disk()
+    counters = OpCounters()
+    slcas = set(eager_slca(_sources(runner, small, counters), counters))
+    lists = [runner._disk_index.scan(kw) for kw in _keywords(small)]
+    elcas = set(stack_elca(lists, OpCounters()))
+    lcas = set(find_all_lcas(_sources(runner, small, OpCounters()), OpCounters()))
+    assert slcas <= elcas <= lcas
+    # The huge list never dominates the answer count: answers are driven by
+    # the small list's size.
+    assert len(slcas) <= small

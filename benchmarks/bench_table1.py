@@ -1,0 +1,81 @@
+"""Table 1: complexity summary — measured operation counts vs the analytic
+formulas.
+
+The paper's Table 1 gives, per algorithm, the main-memory complexity, the
+number of disk accesses and the number of match operations.  We regenerate
+its *evidence*: for a sweep of |S1| against a fixed large list, the
+measured counters must scale exactly as the formulas predict —
+
+* IL:    match ops ≤ 2·(k-1)·|S1|,  independent of |S2|;
+* Scan:  cursor advances ≤ Σ|Si|  (every cursor is forward-only);
+* Stack: nodes merged = Σ|Si|     (the sort-merge touches everything).
+
+The assertions make the bound part of the test; the recorded measurements
+feed the ops table printed at session end.
+"""
+
+import pytest
+
+from conftest import ALGORITHMS, LARGE
+from repro.workloads.queries import QueryPoint
+from repro.workloads.datasets import keyword_name
+
+PANELS = (10, 100, 1000)
+
+
+def _point(small: int) -> QueryPoint:
+    query = (keyword_name(small, 0), keyword_name(LARGE, 0))
+    return QueryPoint(x=small, queries=(query,))
+
+
+@pytest.mark.parametrize("small", PANELS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table1_operation_counts(benchmark, runner, point_store, small, algorithm):
+    point = _point(small)
+    measurement = benchmark.pedantic(
+        lambda: runner.run_point(point, algorithm, mode="memory"),
+        rounds=3,
+        iterations=1,
+    )
+    counters = measurement.counters
+    k = 2
+    total = small + LARGE
+    if algorithm == "il":
+        assert counters.match_ops <= 2 * (k - 1) * small
+        assert counters.nodes_merged == 0
+    elif algorithm == "scan":
+        assert counters.match_ops <= 2 * (k - 1) * small
+        assert counters.cursor_advances <= total
+    else:
+        # Nodes hosting both keywords merge into one masked entry, so the
+        # count is Σ|Si| minus the (small) co-occurrence overlap.
+        assert total - small <= counters.nodes_merged <= total
+    point_store.record("table1", small, point.x, algorithm, measurement)
+
+
+@pytest.mark.parametrize("algorithm", ("il", "scan"))
+def test_table1_il_ops_independent_of_large_list(runner, algorithm):
+    """IL's match-op count must not change when |S2| grows 100×."""
+    from repro.workloads.runner import Measurement
+
+    small_kw = keyword_name(10, 0)
+    counts = []
+    for large in (1000, LARGE):
+        point = QueryPoint(x=large, queries=((small_kw, keyword_name(large, 0)),))
+        m = runner.run_point(point, algorithm, mode="memory")
+        counts.append(m.counters.match_ops)
+    assert counts[0] == counts[1]
+
+
+def test_table1_disk_access_scaling(runner):
+    """Disk accesses: IL O(k·|S1|) vs Scan/Stack Θ(Σ|Si|/B) (conclusions)."""
+    point = _point(10)
+    il = runner.run_point(point, "il", mode="disk-cold")
+    scan = runner.run_point(point, "scan", mode="disk-cold")
+    stack = runner.run_point(point, "stack", mode="disk-cold")
+    k, s1 = 2, 10
+    assert il.page_reads <= 2 * k * s1 + 4
+    # The big list dominates the scans: they must read many more pages
+    # than IL at this skew.
+    assert scan.page_reads > 2 * il.page_reads
+    assert stack.page_reads >= scan.page_reads

@@ -1,0 +1,146 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+One planted corpus and one disk index are built per session, sized for the
+union of every figure's keyword needs (frequencies 10 … 100 000, the
+paper's ladder).  Each benchmark measures one (panel, x, algorithm) point
+and records its :class:`Measurement`; at session end the recorded points
+are assembled into the paper's per-panel tables and printed in the
+terminal summary, so ``pytest benchmarks/ --benchmark-only`` emits both
+pytest-benchmark timings and the figure series.
+
+Scale control: set ``XK_BENCH_SCALE=quick`` to cap the ladder at 10 000
+(roughly 10× faster; same shapes, smaller spread).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.workloads.datasets import PlantedCorpus
+from repro.workloads.queries import (
+    FREQUENCY_LADDER,
+    fig8_points,
+    fig9_points,
+    fig10_points,
+    needed_frequencies,
+)
+from repro.workloads.report import io_table, ops_table, sweep_table
+from repro.workloads.runner import ExperimentRunner, Measurement
+
+QUICK = os.environ.get("XK_BENCH_SCALE", "full") == "quick"
+
+#: The swept frequency ladder (paper: 10 … 100 000).
+LADDER: Tuple[int, ...] = FREQUENCY_LADDER[:4] if QUICK else FREQUENCY_LADDER
+#: The largest list size, used by Figures 9/12 as the "large" frequency.
+LARGE: int = LADDER[-1]
+#: Small-list panels of Figures 8/11.
+FIG8_PANELS: Tuple[int, ...] = (10, 100, 1000)
+#: Small-list panels of Figures 9/12 and equal-size panels of Figures 10/13.
+FIG9_PANELS: Tuple[int, ...] = (10, 1000)
+FIG10_PANELS: Tuple[int, ...] = (10, 1000, 10000)
+KEYWORD_COUNTS: Tuple[int, ...] = (2, 3, 4, 5)
+
+ALGORITHMS = ("il", "scan", "stack")
+
+
+def figure_points(figure: str, panel: int):
+    """The query points of one figure panel (hot/cold share points)."""
+    if figure in ("fig08", "fig11"):
+        return fig8_points(panel, large_frequencies=LADDER, variants=1)
+    if figure in ("fig09", "fig12"):
+        return fig9_points(panel, large_frequency=LARGE, keyword_counts=KEYWORD_COUNTS, variants=1)
+    if figure in ("fig10", "fig13"):
+        return fig10_points(panel, keyword_counts=KEYWORD_COUNTS, variants=1)
+    raise ValueError(figure)
+
+
+def _all_points():
+    points = []
+    for panel in FIG8_PANELS:
+        points.extend(figure_points("fig08", panel))
+    for panel in FIG9_PANELS:
+        points.extend(figure_points("fig09", panel))
+    for panel in FIG10_PANELS:
+        points.extend(figure_points("fig10", panel))
+    return points
+
+
+@pytest.fixture(scope="session")
+def corpus() -> PlantedCorpus:
+    needed = needed_frequencies(_all_points())
+    return PlantedCorpus.for_frequencies(needed, seed=2005)
+
+
+@pytest.fixture(scope="session")
+def runner(corpus):
+    with ExperimentRunner(corpus) as r:
+        r._ensure_disk()  # build the index once, up front
+        yield r
+
+
+class PointStore:
+    """Collects per-point measurements for the end-of-run figure tables."""
+
+    def __init__(self):
+        self._data: Dict[Tuple[str, int], Dict[int, Dict[str, Measurement]]] = (
+            defaultdict(lambda: defaultdict(dict))
+        )
+
+    def record(self, figure: str, panel: int, x: int, algorithm: str, m: Measurement):
+        self._data[(figure, panel)][x][algorithm] = m
+
+    def tables(self) -> List[str]:
+        titles = {
+            "fig08": "Figure 8 (hot cache): k=2, small |S1|={panel}, large |S2| swept",
+            "fig09": "Figure 9 (hot cache): |S1|={panel} plus (k-1) lists of "
+                     f"{LARGE}, k swept",
+            "fig10": "Figure 10 (hot cache): k lists, all of size {panel}, k swept",
+            "fig11": "Figure 11 (cold cache): k=2, small |S1|={panel}, large |S2| swept",
+            "fig12": "Figure 12 (cold cache): |S1|={panel} plus (k-1) lists of "
+                     f"{LARGE}, k swept",
+            "fig13": "Figure 13 (cold cache): k lists, all of size {panel}, k swept",
+            "table1": "Table 1 evidence: operation counts, |S1|={panel}",
+            "alllca": "Section 5: all-LCA vs SLCA, |S1|={panel}",
+        }
+        out: List[str] = []
+        for (figure, panel), sweep in sorted(self._data.items()):
+            title = titles.get(figure, figure).format(panel=panel)
+            x_label = "#keywords" if figure in ("fig09", "fig10", "fig12", "fig13") else "large |S|"
+            algorithms = [a for a in ALGORITHMS if all(a in v for v in sweep.values())]
+            if not algorithms:
+                algorithms = sorted({a for v in sweep.values() for a in v})
+            out.append(sweep_table(title, x_label, sweep, algorithms))
+            if figure in ("fig11", "fig12", "fig13"):
+                out.append(io_table(f"{title} — page accesses", x_label, sweep, algorithms))
+            if figure == "table1":
+                out.append(ops_table(f"{title} — breakdown", x_label, sweep, algorithms))
+        return out
+
+
+@pytest.fixture(scope="session")
+def point_store():
+    return PointStore()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _publish_store(point_store, request):
+    yield
+    request.config._xk_point_store = point_store
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    store = getattr(config, "_xk_point_store", None)
+    if store is None:
+        return
+    tables = store.tables()
+    if not tables:
+        return
+    terminalreporter.section("XKSearch figure reproduction (paper series)")
+    for table in tables:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment figure of the paper as plain-text tables.
+
+Standalone companion to the pytest benchmarks: runs the complete sweeps of
+Figures 8-13 (all panels, hot and cold cache) plus the Table 1 operation
+evidence, and prints one table per panel in the same series layout the
+paper plots.  Absolute times are CPython on the synthetic corpus — the
+*shape* (who wins, by what factor, where the crossovers fall) is the
+reproduction target.
+
+Usage:
+    python benchmarks/run_figures.py                  # everything
+    python benchmarks/run_figures.py --figure 8 11    # only Figs 8 and 11
+    python benchmarks/run_figures.py --variants 5     # more queries/point
+    python benchmarks/run_figures.py --max-frequency 10000   # quick mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Sequence
+
+from repro.workloads.datasets import PlantedCorpus
+from repro.workloads.queries import (
+    FREQUENCY_LADDER,
+    fig8_points,
+    fig9_points,
+    fig10_points,
+    needed_frequencies,
+)
+from repro.workloads.report import io_table, ops_table, sweep_csv, sweep_table
+from repro.workloads.runner import ExperimentRunner
+
+ALGORITHMS = ("il", "scan", "stack")
+
+FIG8_PANELS = (10, 100, 1000)
+FIG9_PANELS = (10, 100, 1000, 10000)
+FIG10_PANELS = (10, 100, 1000, 10000)
+KEYWORD_COUNTS = (2, 3, 4, 5)
+
+
+def build_plan(args) -> List[tuple]:
+    """(figure label, panel, points, mode) for every requested table."""
+    ladder = tuple(f for f in FREQUENCY_LADDER if f <= args.max_frequency)
+    large = ladder[-1]
+    fig9_panels = tuple(p for p in FIG9_PANELS if p <= large)
+    fig10_panels = tuple(p for p in FIG10_PANELS if p <= large)
+    plan = []
+    for panel in FIG8_PANELS:
+        points = fig8_points(panel, large_frequencies=ladder, variants=args.variants)
+        plan.append(("8", panel, points, "disk-hot"))
+        plan.append(("11", panel, points, "disk-cold"))
+    for panel in fig9_panels:
+        points = fig9_points(
+            panel, large_frequency=large, keyword_counts=KEYWORD_COUNTS,
+            variants=args.variants,
+        )
+        plan.append(("9", panel, points, "disk-hot"))
+        plan.append(("12", panel, points, "disk-cold"))
+    for panel in fig10_panels:
+        points = fig10_points(panel, keyword_counts=KEYWORD_COUNTS, variants=args.variants)
+        plan.append(("10", panel, points, "disk-hot"))
+        plan.append(("13", panel, points, "disk-cold"))
+    if args.figures:
+        wanted = set(args.figures)
+        plan = [entry for entry in plan if entry[0] in wanted]
+    return plan
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--figure", dest="figures", nargs="*", default=None,
+        help="figure numbers to run (default: all of 8-13)",
+    )
+    parser.add_argument(
+        "--variants", type=int, default=2,
+        help="independent queries per point to average (paper used 40)",
+    )
+    parser.add_argument(
+        "--max-frequency", type=int, default=100000,
+        help="cap the frequency ladder (10000 gives a fast dry run)",
+    )
+    parser.add_argument(
+        "--csv", default=None, metavar="DIR",
+        help="also write one CSV per panel into DIR (for plotting)",
+    )
+    parser.add_argument("--seed", type=int, default=2005)
+    args = parser.parse_args(argv)
+
+    plan = build_plan(args)
+    if not plan:
+        print("nothing to run — check --figure values (8..13)", file=sys.stderr)
+        return 1
+
+    all_points = [point for _, _, points, _ in plan for point in points]
+    needed = needed_frequencies(all_points)
+    print(f"planting corpus for frequencies {dict(needed)} (seed {args.seed}) ...")
+    started = time.perf_counter()
+    corpus = PlantedCorpus.for_frequencies(needed, seed=args.seed)
+    print(
+        f"  {corpus.total_postings} postings over {corpus.shape.slots} slots "
+        f"in {time.perf_counter() - started:.1f}s"
+    )
+
+    with ExperimentRunner(corpus) as runner:
+        started = time.perf_counter()
+        runner._ensure_disk()
+        print(
+            f"disk index built in {time.perf_counter() - started:.1f}s "
+            f"({runner._disk_index.pager.num_pages} pages)\n"
+        )
+        for figure, panel, points, mode in plan:
+            x_label = "#keywords" if figure in ("9", "10", "12", "13") else "large |S|"
+            cache = "hot cache" if mode == "disk-hot" else "cold cache"
+            title = f"Figure {figure} ({cache}), panel |S|={panel}"
+            started = time.perf_counter()
+            sweep = runner.run_points(points, ALGORITHMS, mode=mode)
+            elapsed = time.perf_counter() - started
+            print(sweep_table(title, x_label, sweep))
+            if args.csv:
+                import os
+
+                os.makedirs(args.csv, exist_ok=True)
+                cache = "hot" if mode == "disk-hot" else "cold"
+                csv_name = f"fig{figure}_panel{panel}_{cache}.csv"
+                with open(os.path.join(args.csv, csv_name), "w", encoding="utf-8") as fh:
+                    fh.write(sweep_csv(x_label, sweep))
+            if mode == "disk-cold":
+                print()
+                print(io_table(f"{title} — page accesses", x_label, sweep))
+            print()
+            print(ops_table(f"{title} — operation counts", x_label, sweep))
+            print(f"[swept in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""SLCA vs all-LCA semantics (Section 5 of the paper).
+
+The SLCA result is the set of *smallest* trees containing every keyword;
+the all-LCA result additionally returns every ancestor that is the exact
+meeting point of some witness combination.  Algorithm 3 computes the
+latter by checking each ancestor of each SLCA with at most two extra
+indexed lookups per keyword — without ever scanning the big keyword lists.
+
+This demo contrasts the two result sets on the School example and on a
+synthetic corpus, and shows the lookup counts staying small.
+
+Run:  python examples/all_lca_demo.py
+"""
+
+from repro import XKSearch
+from repro.core import OpCounters, find_all_lcas, indexed_lookup_eager
+from repro.core.sources import SortedListSource
+from repro.xmltree.generate import dblp_like_tree, plant_keywords, school_tree
+
+
+def show_school() -> None:
+    school = school_tree()
+    system = XKSearch.from_tree(school)
+    query = "John Ben"
+    slcas = [r for r in system.search(query)]
+    lcas = [r for r in system.search_all_lcas(query)]
+    print(f"School.xml, query {query!r}:")
+    print(f"  SLCAs   : {[str(r.id) for r in slcas]}")
+    print(f"  all LCAs: {[str(r.id) for r in lcas]}")
+    extra = {r.dewey for r in lcas} - {r.dewey for r in slcas}
+    print(f"  extra LCA nodes: {sorted(extra)} — the School root is the LCA")
+    print("  of cross-class combinations (John of CS2A with Ben of CS3A),")
+    print("  but is not smallest, so SLCA semantics exclude it.\n")
+
+
+def show_costs() -> None:
+    tree = dblp_like_tree(seed=7, venues=6, years_per_venue=5, papers_per_year=30)
+    plant_keywords(tree, {"needle": 4, "haystack": 600}, seed=1)
+    lists = tree.keyword_lists()
+    ordered = sorted([lists["needle"], lists["haystack"]], key=len)
+
+    slca_counters = OpCounters()
+    slca_sources = [SortedListSource(lst, slca_counters) for lst in ordered]
+    slcas = list(indexed_lookup_eager(slca_sources, slca_counters))
+
+    lca_counters = OpCounters()
+    lca_sources = [SortedListSource(lst, lca_counters) for lst in ordered]
+    lcas = list(find_all_lcas(lca_sources, lca_counters))
+
+    print("synthetic corpus, query 'needle haystack' (|S1|=4, |S2|=600):")
+    print(f"  SLCAs: {len(slcas)} nodes, {slca_counters.match_ops} match ops")
+    print(f"  LCAs : {len(lcas)} nodes, {lca_counters.match_ops} match ops")
+    print(
+        f"  Algorithm 3 paid {lca_counters.match_ops - slca_counters.match_ops} "
+        "extra lookups for the ancestor checks —"
+    )
+    print("  far less than scanning the 600-node list.")
+    assert set(slcas) <= set(lcas)
+
+
+def main() -> None:
+    show_school()
+    show_costs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs (which require ``bdist_wheel``) fail; this shim lets
+``pip install -e .`` use the legacy ``setup.py develop`` path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

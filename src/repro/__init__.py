@@ -1,0 +1,33 @@
+"""XKSearch — efficient keyword search for smallest LCAs in XML databases.
+
+A faithful, from-scratch Python reproduction of Xu & Papakonstantinou,
+SIGMOD 2005.  The top-level namespace re-exports the public API:
+
+* :class:`XKSearch` — the end-to-end system (build/open an index, search);
+* :func:`slca` / :func:`all_lca` — the algorithms over raw keyword lists;
+* :func:`parse` / :class:`XMLTree` / :class:`Dewey` — the XML substrate.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core import ALGORITHMS, OpCounters, all_lca, elca, slca
+from repro.xksearch import SearchResult, XKSearch, XMLCollection
+from repro.xmltree import Dewey, XMLTree, parse, parse_file
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "Dewey",
+    "OpCounters",
+    "SearchResult",
+    "XKSearch",
+    "XMLTree",
+    "XMLCollection",
+    "all_lca",
+    "elca",
+    "parse",
+    "parse_file",
+    "slca",
+    "__version__",
+]

@@ -1,0 +1,96 @@
+"""The paper's algorithms: Indexed Lookup Eager, Scan Eager, Stack and
+Algorithm 3 (all-LCA), plus the brute-force oracles and operation counters.
+
+Quick use over in-memory keyword lists::
+
+    from repro.core import slca
+    answers = slca([list_john, list_ben])            # Indexed Lookup Eager
+    answers = slca(lists, algorithm="scan")          # Scan Eager
+    answers = slca(lists, algorithm="stack")         # Stack baseline
+"""
+
+from typing import List, Optional, Sequence
+
+from repro.core.all_lca import all_lca, check_lca, find_all_lcas
+from repro.core.brute import (
+    all_lca_by_containment,
+    brute_lca_set,
+    brute_slca,
+    remove_ancestors,
+    slca_by_containment,
+)
+from repro.core.counters import OpCounters
+from repro.core.elca import elca, elca_by_containment, stack_elca
+from repro.core.indexed_lookup import (
+    eager_slca,
+    indexed_lookup_blocked,
+    indexed_lookup_eager,
+    indexed_lookup_slca,
+    slca_candidate,
+)
+from repro.core.scan_eager import scan_eager, scan_eager_slca
+from repro.core.sources import (
+    CursorListSource,
+    MatchSource,
+    SortedListSource,
+    memory_sources,
+)
+from repro.core.stack import stack_slca
+from repro.core.trace import SLCATrace, format_trace, traced_slca
+from repro.errors import QueryError
+from repro.xmltree.dewey import DeweyTuple
+
+ALGORITHMS = ("il", "scan", "stack")
+
+
+def slca(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+    algorithm: str = "il",
+    counters: Optional[OpCounters] = None,
+) -> List[DeweyTuple]:
+    """Smallest LCAs of the keyword lists, by any of the three algorithms.
+
+    ``algorithm`` is one of ``"il"`` (Indexed Lookup Eager), ``"scan"``
+    (Scan Eager) or ``"stack"``.  Results are in document order and
+    identical across algorithms; only the cost profile differs.
+    """
+    if algorithm == "il":
+        return indexed_lookup_slca(keyword_lists, counters)
+    if algorithm == "scan":
+        return scan_eager_slca(keyword_lists, counters)
+    if algorithm == "stack":
+        return list(stack_slca(keyword_lists, counters))
+    raise QueryError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+
+
+__all__ = [
+    "ALGORITHMS",
+    "CursorListSource",
+    "MatchSource",
+    "OpCounters",
+    "SortedListSource",
+    "all_lca",
+    "all_lca_by_containment",
+    "brute_lca_set",
+    "brute_slca",
+    "check_lca",
+    "eager_slca",
+    "elca",
+    "elca_by_containment",
+    "stack_elca",
+    "find_all_lcas",
+    "indexed_lookup_blocked",
+    "indexed_lookup_eager",
+    "indexed_lookup_slca",
+    "memory_sources",
+    "remove_ancestors",
+    "scan_eager",
+    "scan_eager_slca",
+    "slca",
+    "slca_by_containment",
+    "slca_candidate",
+    "SLCATrace",
+    "format_trace",
+    "stack_slca",
+    "traced_slca",
+]

@@ -1,0 +1,110 @@
+"""Algorithm 3: computing *all* LCAs (Section 5).
+
+The all-LCA problem returns every node that is the LCA of some combination
+``(n1, …, nk)``, ``ni ∈ Si`` — not only the smallest ones.  The paper's key
+observations:
+
+* every LCA is an ancestor-or-self of some SLCA, so the SLCA stream from
+  Indexed Lookup Eager enumerates exactly the right paths to inspect;
+* whether an ancestor ``u`` of an SLCA ``s`` is an LCA can be decided with
+  at most two indexed lookups per keyword (:func:`check_lca`): ``u`` is an
+  LCA iff some keyword list has a node inside ``u``'s subtree but outside
+  the subtree of ``c``, the child of ``u`` on the path to ``s``.  The nodes
+  under ``u`` but outside ``c`` split into a *left part* (document order in
+  ``[u, c)`` — probed with ``rm(u)``) and a *right part* (at or after the
+  *uncle* of ``s`` under ``u``, the Dewey successor of ``c`` among its
+  siblings — probed with ``rm(uncle)``);
+* walking each SLCA's ancestor path only up to ``lca(current, next)``
+  visits every ancestor of every SLCA exactly once, because an ancestor
+  shared with the next SLCA sits at or above that boundary and will be
+  visited later.
+
+The result is pipelined: each SLCA is followed immediately by those of its
+exclusive ancestors that qualify.  Disk accesses: ``O(k·d·|slca|)`` lookups
+on top of IL's ``O(k·|S1|)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.counters import OpCounters
+from repro.core.indexed_lookup import eager_slca
+from repro.core.sources import MatchSource, SortedListSource
+from repro.xmltree.dewey import (
+    DeweyTuple,
+    ancestors,
+    child_toward,
+    is_ancestor_or_self,
+    lca,
+    uncle,
+)
+
+
+def check_lca(
+    u: DeweyTuple,
+    s: DeweyTuple,
+    sources: Sequence[MatchSource],
+    counters: OpCounters,
+) -> bool:
+    """Is the proper ancestor *u* of the SLCA *s* an LCA of the lists?
+
+    True iff some list has a node in ``u``'s subtree outside the child
+    subtree leading to *s* (then that node, combined with witnesses inside
+    ``s``, meets exactly at ``u``).
+    """
+    c = child_toward(u, s)
+    unc = uncle(u, s)
+    for source in sources:
+        left_hit = source.rm(u)
+        if left_hit is not None and left_hit < c:
+            return True
+        right_hit = source.rm(unc)
+        if right_hit is not None and is_ancestor_or_self(u, right_hit):
+            return True
+    return False
+
+
+def find_all_lcas(
+    sources: Sequence[MatchSource],
+    counters: Optional[OpCounters] = None,
+) -> Iterator[DeweyTuple]:
+    """All LCAs of the keyword lists, pipelined (Algorithm 3).
+
+    Yields each SLCA (every SLCA is an LCA) followed by its qualifying
+    exclusive ancestors, bottom-up.  The overall output is therefore *not*
+    in document order; callers needing order should sort.  Requires sources
+    supporting ``rm`` (indexed lookups), with the smallest list first.
+    """
+    counters = counters if counters is not None else OpCounters()
+    if len(sources) == 1:
+        # Each node is the LCA of the combination consisting of itself, so
+        # the answer is the whole list — no ancestor checks apply.
+        yield from sources[0].scan()
+        return
+    slcas = eager_slca(sources, counters)
+    current = next(slcas, None)
+    if current is None:
+        return
+    for nxt in slcas:
+        yield current
+        boundary = lca(current, nxt)
+        for ancestor in ancestors(current, stop=boundary):
+            if check_lca(ancestor, current, sources, counters):
+                yield ancestor
+        current = nxt
+    yield current
+    for ancestor in ancestors(current):
+        if check_lca(ancestor, current, sources, counters):
+            yield ancestor
+
+
+def all_lca(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+    counters: Optional[OpCounters] = None,
+) -> List[DeweyTuple]:
+    """Convenience wrapper over in-memory lists; returns document order."""
+    counters = counters if counters is not None else OpCounters()
+    ordered = sorted(keyword_lists, key=len)
+    sources = [SortedListSource(lst, counters) for lst in ordered]
+    return sorted(find_all_lcas(sources, counters))

@@ -1,0 +1,144 @@
+"""Brute-force oracles for SLCA and all-LCA.
+
+Two *independent* reference implementations of each semantics back the
+property-based tests: the paper's definitional brute force (enumerate every
+node combination, ``O(d·Π|Si|)``, usable only on tiny inputs) and a
+linear-time characterization working directly on ancestor sets.  All three
+production algorithms must agree with both on randomized inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Set
+
+from repro.xmltree.dewey import DeweyTuple, lca_many
+
+#: Safety valve for the combinatorial oracle.
+MAX_COMBINATIONS = 200_000
+
+
+def _check_lists(keyword_lists: Sequence[Sequence[DeweyTuple]]) -> None:
+    if not keyword_lists:
+        raise ValueError("at least one keyword list is required")
+
+
+def brute_lca_set(keyword_lists: Sequence[Sequence[DeweyTuple]]) -> Set[DeweyTuple]:
+    """Every LCA of the keyword lists, by definition.
+
+    ``lca(S1, …, Sk)`` — the set of nodes that are the LCA of at least one
+    combination ``(n1, …, nk)`` with ``ni ∈ Si``.  Exponential; guarded by
+    :data:`MAX_COMBINATIONS`.
+    """
+    _check_lists(keyword_lists)
+    combos = 1
+    for lst in keyword_lists:
+        combos *= len(lst)
+        if combos == 0:
+            return set()
+    if combos > MAX_COMBINATIONS:
+        raise ValueError(f"{combos} combinations exceed the brute-force cap")
+    return {lca_many(combo) for combo in itertools.product(*keyword_lists)}
+
+
+def remove_ancestors(nodes: Set[DeweyTuple]) -> Set[DeweyTuple]:
+    """Drop every node that is a proper ancestor of another node in the set.
+
+    This is the paper's ``removeAncestor``: applied to the LCA set it yields
+    the SLCA set.  Implemented by one pass over the nodes in document order:
+    a node has a proper descendant in the set iff its immediate successor in
+    sorted order extends it (descendants sort directly after their ancestor).
+    """
+    ordered = sorted(nodes)
+    kept = set()
+    for i, node in enumerate(ordered):
+        has_descendant = (
+            i + 1 < len(ordered)
+            and len(ordered[i + 1]) > len(node)
+            and ordered[i + 1][: len(node)] == node
+        )
+        if not has_descendant:
+            kept.add(node)
+    return kept
+
+
+def brute_slca(keyword_lists: Sequence[Sequence[DeweyTuple]]) -> Set[DeweyTuple]:
+    """The paper's definitional SLCA: ``removeAncestor(lca(S1, …, Sk))``."""
+    return remove_ancestors(brute_lca_set(keyword_lists))
+
+
+def _satisfaction_masks(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+) -> Dict[DeweyTuple, int]:
+    """For every ancestor-or-self of any listed node: bitmask of the keyword
+    lists with a node inside its subtree."""
+    masks: Dict[DeweyTuple, int] = {}
+    for i, lst in enumerate(keyword_lists):
+        bit = 1 << i
+        for node in lst:
+            for depth in range(1, len(node) + 1):
+                prefix = node[:depth]
+                masks[prefix] = masks.get(prefix, 0) | bit
+    return masks
+
+
+def slca_by_containment(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+) -> Set[DeweyTuple]:
+    """SLCA via the smallest-answer-subtree definition (the second oracle).
+
+    A node is *satisfied* when its subtree contains at least one node from
+    every list; the SLCAs are the satisfied nodes without a satisfied proper
+    descendant.  Linear in total list size times depth — no combination
+    enumeration, hence structurally unrelated to :func:`brute_slca`.
+    """
+    _check_lists(keyword_lists)
+    full = (1 << len(keyword_lists)) - 1
+    masks = _satisfaction_masks(keyword_lists)
+    satisfied = {node for node, mask in masks.items() if mask == full}
+    return remove_ancestors(satisfied)
+
+
+def all_lca_by_containment(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+) -> Set[DeweyTuple]:
+    """All-LCA via a structural characterization (oracle for Algorithm 3).
+
+    A satisfied node ``u`` is an LCA of the lists iff some combination's LCA
+    is exactly ``u``, which holds iff ``u``'s own label matches one of the
+    keywords, or the witnesses cannot all be confined to one child subtree —
+    i.e. it is *not* the case that every keyword's nodes under ``u`` live
+    under one common child.
+    """
+    _check_lists(keyword_lists)
+    k = len(keyword_lists)
+    if k == 1:
+        # A single-list combination is a single node, its own LCA.
+        return set(keyword_lists[0])
+    full = (1 << k) - 1
+    masks = _satisfaction_masks(keyword_lists)
+    listed: List[Set[DeweyTuple]] = [set(lst) for lst in keyword_lists]
+
+    result: Set[DeweyTuple] = set()
+    for node, mask in masks.items():
+        if mask != full:
+            continue
+        if any(node in s for s in listed):
+            result.add(node)
+            continue
+        # Which children of `node` serve each keyword?  If a single child
+        # can serve all of them, every keyword must ALSO be servable outside
+        # that child for `node` to be an exact LCA.
+        child_sets: List[Set[DeweyTuple]] = []
+        for lst in keyword_lists:
+            children = {
+                n[: len(node) + 1]
+                for n in lst
+                if len(n) > len(node) and n[: len(node)] == node
+            }
+            child_sets.append(children)
+        union = set().union(*child_sets)
+        confined = any(all(cs == {c} for cs in child_sets) for c in union)
+        if not confined:
+            result.add(node)
+    return result

@@ -1,0 +1,56 @@
+"""Operation counters for the Table 1 reproduction.
+
+The paper analyzes three cost dimensions: main-memory operation counts,
+number of ``lm``/``rm`` match operations, and disk accesses.  Physical I/O
+is counted by the pager; this module counts the algorithm-level operations:
+
+* ``lm_ops`` / ``rm_ops`` — match operations (IL performs ``O(k·|S1|)``,
+  each costing a ``log`` lookup; Scan Eager performs the same number but
+  implemented by cursor advances),
+* ``cursor_advances`` — individual list steps taken by scan cursors
+  (``O(Σ|Si|)`` total for Scan Eager),
+* ``cursor_reseeks`` — the rare bounded binary searches a scan cursor falls
+  back to when a probe regresses (see DESIGN.md §5.3),
+* ``lca_ops`` — lowest-common-ancestor computations (each ``O(d)``),
+* ``nodes_merged`` — nodes consumed by the Stack algorithm's sort-merge
+  (``Σ|Si|``),
+* ``candidates`` / ``results`` — SLCA candidates produced and survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class OpCounters:
+    """Mutable operation counters shared across one query execution."""
+
+    lm_ops: int = 0
+    rm_ops: int = 0
+    cursor_advances: int = 0
+    cursor_reseeks: int = 0
+    lca_ops: int = 0
+    nodes_merged: int = 0
+    candidates: int = 0
+    results: int = 0
+
+    @property
+    def match_ops(self) -> int:
+        """Total match operations (lm + rm)."""
+        return self.lm_ops + self.rm_ops
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "OpCounters":
+        return OpCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __add__(self, other: "OpCounters") -> "OpCounters":
+        return OpCounters(
+            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
+        )

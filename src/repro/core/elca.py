@@ -1,0 +1,158 @@
+"""ELCA semantics — the XRANK baseline's original answer set.
+
+The Stack algorithm of Section 3.3 is the paper's modification of XRANK's
+DIL, which originally computed **Exclusive LCAs**: a node ``v`` is an ELCA
+iff it has a witness occurrence of *every* keyword that is not swallowed
+by a satisfied descendant — i.e. for each keyword some node under ``v``
+that is not under any proper descendant of ``v`` whose subtree already
+contains all keywords.  ELCA is sandwiched between the paper's two
+semantics::
+
+    SLCA  ⊆  ELCA  ⊆  LCA
+
+(every smallest answer is exclusive; every exclusive answer is the LCA of
+one of its witness combinations).  Implementing it completes the XRANK
+comparison: the same sort-merge stack computes ELCAs by *not* folding a
+satisfied entry's occurrences into its parent, so ancestors only qualify
+through their own unswallowed occurrences.
+
+This module provides the stack-based :func:`stack_elca` and the
+brute-force :func:`elca_by_containment` oracle the property tests compare
+it against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.core.counters import OpCounters
+from repro.core.stack import _merge_with_masks
+from repro.xmltree.dewey import DeweyTuple
+
+
+def stack_elca(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+    counters: Optional[OpCounters] = None,
+) -> Iterator[DeweyTuple]:
+    """ELCAs of the keyword lists via the XRANK sort-merge stack.
+
+    Identical merge structure to :func:`repro.core.stack.stack_slca`, but
+    each stack entry carries *two* masks: the raw containment mask (which
+    keywords occur anywhere in the entry's subtree) and the exclusive mask
+    (which keywords have an occurrence not claimed by a satisfied
+    descendant).  On pop, the raw mask always folds into the parent, while
+    the exclusive mask folds only if the entry is unsatisfied — a satisfied
+    subtree swallows its occurrences whether or not it is itself an ELCA.
+    An entry is reported iff both masks are complete.
+
+    Unlike the SLCA result, ELCAs are not an antichain: an ancestor pops
+    (and is emitted) only after its descendants, so the stream is in
+    bottom-up pop order, not global document order — use :func:`elca` for
+    a sorted answer.
+    """
+    counters = counters if counters is not None else OpCounters()
+    if not keyword_lists:
+        raise ValueError("at least one keyword list is required")
+    lists: List[Iterator[DeweyTuple]] = []
+    for lst in keyword_lists:
+        iterator = iter(lst)
+        head = next(iterator, None)
+        if head is None:
+            return
+        lists.append(itertools.chain((head,), iterator))
+    full = (1 << len(lists)) - 1
+
+    path: List[int] = []
+    raw_masks: List[int] = []
+    excl_masks: List[int] = []
+    emitted: List[DeweyTuple] = []
+
+    def pop() -> None:
+        node = tuple(path)
+        path.pop()
+        raw = raw_masks.pop()
+        exclusive = excl_masks.pop()
+        if raw == full and exclusive == full:
+            counters.results += 1
+            emitted.append(node)
+        if raw_masks:
+            raw_masks[-1] |= raw
+            if raw != full:
+                excl_masks[-1] |= exclusive
+
+    for dewey, mask in _merge_with_masks(lists):
+        counters.nodes_merged += 1
+        counters.lca_ops += 1
+        keep = 0
+        limit = min(len(path), len(dewey))
+        while keep < limit and path[keep] == dewey[keep]:
+            keep += 1
+        while len(path) > keep:
+            pop()
+        for component in dewey[len(path):]:
+            path.append(component)
+            raw_masks.append(0)
+            excl_masks.append(0)
+        raw_masks[-1] |= mask
+        excl_masks[-1] |= mask
+        if emitted:
+            yield from emitted
+            emitted.clear()
+    while path:
+        pop()
+    yield from emitted
+
+
+def elca(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+    counters: Optional[OpCounters] = None,
+) -> List[DeweyTuple]:
+    """ELCAs of the keyword lists, in document order."""
+    return sorted(stack_elca(keyword_lists, counters))
+
+
+def elca_by_containment(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+) -> Set[DeweyTuple]:
+    """Brute-force ELCA oracle, straight from the definition.
+
+    For each satisfied node ``v``, keyword ``i`` has an *exclusive witness*
+    iff some ``x ∈ Si`` lies under-or-at ``v`` with no satisfied node
+    strictly between ``v`` and ``x`` (inclusive of ``x``); ``v`` is an ELCA
+    iff every keyword has one.  Quadratic in the ancestor set — fine for
+    the randomized test sizes.
+    """
+    if not keyword_lists:
+        raise ValueError("at least one keyword list is required")
+    k = len(keyword_lists)
+    full = (1 << k) - 1
+    masks = {}
+    for i, lst in enumerate(keyword_lists):
+        bit = 1 << i
+        for node in lst:
+            for depth in range(1, len(node) + 1):
+                prefix = node[:depth]
+                masks[prefix] = masks.get(prefix, 0) | bit
+    satisfied = {node for node, mask in masks.items() if mask == full}
+
+    result: Set[DeweyTuple] = set()
+    for v in satisfied:
+        is_elca = True
+        for lst in keyword_lists:
+            has_exclusive_witness = False
+            for x in lst:
+                if x[: len(v)] != v:
+                    continue
+                swallowed = any(
+                    x[:depth] in satisfied for depth in range(len(v) + 1, len(x) + 1)
+                )
+                if not swallowed:
+                    has_exclusive_witness = True
+                    break
+            if not has_exclusive_witness:
+                is_elca = False
+                break
+        if is_elca:
+            result.add(v)
+    return result

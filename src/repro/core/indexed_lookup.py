@@ -1,0 +1,166 @@
+"""The Indexed Lookup Eager algorithm (the paper's core contribution).
+
+For every node ``v`` of the smallest keyword list ``S1``, the *candidate*
+``slca({v}, S2, …, Sk)`` is computed with two match lookups per remaining
+list (Property 1, applied recursively per Property 2):
+
+    x ← v
+    for each further list S:
+        x ← deeper( lca(x, lm(x, S)),  lca(x, rm(x, S)) )
+
+The candidate is the root of the smallest subtree containing ``v`` plus at
+least one node of every other list.  Candidates for ascending ``v`` are then
+filtered on the fly:
+
+* **Lemma 1** — a candidate that does not advance in document order is an
+  ancestor-or-self of the currently held candidate: discard it.
+* **Lemma 2** — when a candidate advances past the held candidate without
+  being its descendant, the held candidate can never be an ancestor of any
+  later candidate: it is confirmed as an SLCA and emitted immediately.
+
+The generator therefore *pipelines* SLCAs (the paper's "eagerness"): the
+first answers appear long before ``S1`` is exhausted, with only O(1) state.
+
+Main-memory complexity ``O(k·d·|S1|·log|S|)`` where ``d`` is the maximum
+depth and ``|S|`` the largest list; the same control flow over cursor-based
+sources is the Scan Eager algorithm (:mod:`repro.core.scan_eager`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.counters import OpCounters
+from repro.core.sources import MatchSource, SortedListSource
+from repro.xmltree.dewey import DeweyTuple, lca
+
+
+def slca_candidate(
+    v: DeweyTuple,
+    others: Sequence[MatchSource],
+    counters: OpCounters,
+) -> DeweyTuple:
+    """``slca({v}, S2, …, Sk)`` — the smallest subtree root covering *v*
+    and one node from each source (Properties 1 and 2).
+
+    Every source must be non-empty (the caller short-circuits otherwise).
+    """
+    x = v
+    for source in others:
+        left = source.lm(x)
+        right = source.rm(x)
+        # lca(x, match) is a prefix of x, so the two LCAs are comparable
+        # and `deeper` = the longer prefix; inline for the hot path.
+        best: Optional[DeweyTuple] = None
+        if left is not None:
+            best = lca(x, left)
+            counters.lca_ops += 1
+        if right is not None:
+            candidate = lca(x, right)
+            counters.lca_ops += 1
+            if best is None or len(candidate) > len(best):
+                best = candidate
+        x = best
+    return x
+
+
+def eager_slca(
+    sources: Sequence[MatchSource],
+    counters: Optional[OpCounters] = None,
+) -> Iterator[DeweyTuple]:
+    """Shared eager SLCA pipeline over any kind of match source.
+
+    ``sources[0]`` plays the role of ``S1``; the query engine passes the
+    smallest list first (the algorithm is correct for any order, only the
+    cost changes).  Yields SLCAs in document order, as soon as confirmed.
+    """
+    counters = counters if counters is not None else OpCounters()
+    if not sources:
+        raise ValueError("at least one keyword list is required")
+    if any(len(source) == 0 for source in sources):
+        return
+    others = sources[1:]
+    held: Optional[DeweyTuple] = None
+    for v in sources[0].scan():
+        x = slca_candidate(v, others, counters)
+        counters.candidates += 1
+        if held is None:
+            held = x
+            continue
+        if x > held:
+            if held != x[: len(held)]:  # Lemma 2: held is not an ancestor of x
+                counters.results += 1
+                yield held
+            held = x
+        # else x <= held: Lemma 1 — x is an ancestor-or-self of held; drop x.
+    if held is not None:
+        counters.results += 1
+        yield held
+
+
+def indexed_lookup_eager(
+    sources: Sequence[MatchSource],
+    counters: Optional[OpCounters] = None,
+) -> Iterator[DeweyTuple]:
+    """Indexed Lookup Eager over prepared match sources (Algorithm IL)."""
+    return eager_slca(sources, counters)
+
+
+def indexed_lookup_slca(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+    counters: Optional[OpCounters] = None,
+) -> List[DeweyTuple]:
+    """Convenience wrapper: run IL over in-memory keyword lists.
+
+    Orders the lists by size (smallest first) as the paper prescribes, then
+    materializes the full answer.
+    """
+    counters = counters if counters is not None else OpCounters()
+    ordered = sorted(keyword_lists, key=len)
+    sources = [SortedListSource(lst, counters) for lst in ordered]
+    return list(eager_slca(sources, counters))
+
+
+def indexed_lookup_blocked(
+    sources: Sequence[MatchSource],
+    block_size: int,
+    counters: Optional[OpCounters] = None,
+) -> Iterator[List[DeweyTuple]]:
+    """The paper's memory-bounded variant: process ``S1`` in blocks of *b*.
+
+    Computes ``slca(B1, S2, …, Sk)``, then ``slca({last result} ∪ B2, …)``
+    and so on; every block's confirmed SLCAs are emitted together while the
+    block's final candidate is carried into the next block.  Semantically
+    identical to :func:`indexed_lookup_eager` (the generator already holds
+    only the current candidate); this variant exists to measure
+    time-to-first-answer as a function of *b* in the buffering ablation.
+    """
+    if block_size < 1:
+        raise ValueError("block size must be positive")
+    counters = counters if counters is not None else OpCounters()
+    if any(len(source) == 0 for source in sources):
+        return
+    others = sources[1:]
+    held: Optional[DeweyTuple] = None
+    block: List[DeweyTuple] = []
+    seen_any = False
+    for v in sources[0].scan():
+        seen_any = True
+        x = slca_candidate(v, others, counters)
+        counters.candidates += 1
+        if held is not None:
+            if x > held:
+                if held != x[: len(held)]:
+                    counters.results += 1
+                    block.append(held)
+                held = x
+        else:
+            held = x
+        if len(block) >= block_size:
+            yield block
+            block = []
+    if seen_any and held is not None:
+        counters.results += 1
+        block.append(held)
+    if block:
+        yield block

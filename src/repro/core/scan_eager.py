@@ -1,0 +1,58 @@
+"""The Scan Eager algorithm (Section 3.2).
+
+"The Scan Eager algorithm is exactly the same as the Indexed Lookup Eager
+algorithm except that its lm and rm implementations scan keyword lists to
+find matches by maintaining a cursor for each keyword list."  We implement
+it literally that way: the eager pipeline of
+:mod:`repro.core.indexed_lookup` runs unchanged over
+:class:`~repro.core.sources.CursorListSource` match sources.
+
+When keyword frequencies are similar, the total cursor movement
+(``O(Σ|Si|)`` with tiny constants) beats IL's ``O(k·|S1|·log|S|)`` lookup
+cost — this is the regime where the paper recommends Scan Eager.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.counters import OpCounters
+from repro.core.indexed_lookup import eager_slca
+from repro.core.sources import CursorListSource, MatchSource
+from repro.xmltree.dewey import DeweyTuple
+
+
+def scan_eager(
+    sources: Sequence[MatchSource],
+    counters: Optional[OpCounters] = None,
+) -> Iterator[DeweyTuple]:
+    """Scan Eager over prepared (cursor-based) match sources.
+
+    The caller chooses the source kind; passing indexed sources here would
+    silently run IL instead, so prefer :func:`scan_eager_slca` unless you
+    are wiring disk sources yourself.
+    """
+    return eager_slca(sources, counters)
+
+
+def scan_eager_slca(
+    keyword_lists: Sequence[Sequence[DeweyTuple]],
+    counters: Optional[OpCounters] = None,
+) -> List[DeweyTuple]:
+    """Run Scan Eager over in-memory keyword lists (smallest list first)."""
+    counters = counters if counters is not None else OpCounters()
+    ordered = sorted(keyword_lists, key=len)
+    sources = [
+        SortedCursorHead(ordered[0], counters),
+        *(CursorListSource(lst, counters) for lst in ordered[1:]),
+    ]
+    return list(eager_slca(sources, counters))
+
+
+class SortedCursorHead(CursorListSource):
+    """``S1`` under Scan Eager: it is only ever scanned, never matched.
+
+    A plain cursor source works, but this subclass documents (and asserts in
+    tests) that the head list receives no ``lm``/``rm`` probes — the eager
+    pipeline drives it purely through :meth:`scan`.
+    """

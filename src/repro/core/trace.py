@@ -1,0 +1,141 @@
+"""Execution tracing for Indexed Lookup Eager — the paper's example, live.
+
+Section 3.1 walks through the algorithm on the School.xml example: each
+node ``v`` of the smallest list generates a candidate via left/right
+matches, and Lemmas 1/2 decide the candidate's fate.  :func:`traced_slca`
+replays exactly that narrative for any input, recording every match
+lookup, LCA computation and lemma decision; :func:`format_trace` renders
+it as the step-by-step table the paper prints.  Useful for teaching,
+debugging, and as an executable specification (the trace's outcome is
+asserted to equal the production algorithm's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.sources import SortedListSource
+from repro.core.counters import OpCounters
+from repro.xmltree.dewey import DeweyTuple, lca
+
+
+def _dotted(dewey: Optional[DeweyTuple]) -> str:
+    if dewey is None:
+        return "-"
+    return ".".join(map(str, dewey))
+
+
+@dataclass
+class MatchStep:
+    """One list probed during a candidate computation."""
+
+    list_index: int              # 1-based index of the probed list (S2…Sk)
+    probe: DeweyTuple            # the x the list was probed with
+    left_match: Optional[DeweyTuple]
+    right_match: Optional[DeweyTuple]
+    left_lca: Optional[DeweyTuple]
+    right_lca: Optional[DeweyTuple]
+    chosen: DeweyTuple           # deeper(left_lca, right_lca)
+
+
+@dataclass
+class CandidateStep:
+    """Everything that happened for one node of S1."""
+
+    v: DeweyTuple
+    matches: List[MatchStep]
+    candidate: DeweyTuple
+    decision: str                # "hold" | "emit+hold" | "replace" | "discard"
+    emitted: Optional[DeweyTuple] = None
+    rule: str = ""               # which lemma justified the decision
+
+
+@dataclass
+class SLCATrace:
+    """A full run: steps plus the final answer."""
+
+    steps: List[CandidateStep] = field(default_factory=list)
+    results: List[DeweyTuple] = field(default_factory=list)
+
+
+def traced_slca(keyword_lists: Sequence[Sequence[DeweyTuple]]) -> SLCATrace:
+    """Run Indexed Lookup Eager, recording every step.
+
+    Lists are ordered smallest-first, as the engine would.  The recorded
+    outcome is bit-identical to :func:`repro.core.indexed_lookup_slca`.
+    """
+    trace = SLCATrace()
+    if not keyword_lists or any(not lst for lst in keyword_lists):
+        return trace
+    ordered = sorted(keyword_lists, key=len)
+    counters = OpCounters()
+    others = [SortedListSource(lst, counters) for lst in ordered[1:]]
+
+    held: Optional[DeweyTuple] = None
+    for v in ordered[0]:
+        matches: List[MatchStep] = []
+        x = v
+        for i, source in enumerate(others, start=2):
+            left = source.lm(x)
+            right = source.rm(x)
+            left_lca = lca(x, left) if left is not None else None
+            right_lca = lca(x, right) if right is not None else None
+            if left_lca is None:
+                chosen = right_lca
+            elif right_lca is None or len(left_lca) >= len(right_lca):
+                chosen = left_lca
+            else:
+                chosen = right_lca
+            matches.append(
+                MatchStep(i, x, left, right, left_lca, right_lca, chosen)
+            )
+            x = chosen
+        step = CandidateStep(v=v, matches=matches, candidate=x, decision="")
+        if held is None:
+            step.decision = "hold"
+            step.rule = "first candidate"
+            held = x
+        elif x > held:
+            if held != x[: len(held)]:
+                step.decision = "emit+hold"
+                step.rule = "Lemma 2: held candidate cannot be an ancestor of later ones"
+                step.emitted = held
+                trace.results.append(held)
+            else:
+                step.decision = "replace"
+                step.rule = "held candidate is an ancestor of the new one"
+            held = x
+        else:
+            step.decision = "discard"
+            step.rule = "Lemma 1: out-of-order candidate is an ancestor-or-self"
+        trace.steps.append(step)
+    if held is not None:
+        trace.results.append(held)
+    return trace
+
+
+def format_trace(trace: SLCATrace, show_matches: bool = True) -> str:
+    """Render a trace the way the paper narrates its running example."""
+    lines: List[str] = []
+    for number, step in enumerate(trace.steps, start=1):
+        lines.append(f"step {number}: v = {_dotted(step.v)}")
+        if show_matches:
+            for match in step.matches:
+                lines.append(
+                    f"  S{match.list_index}: lm({_dotted(match.probe)}) = "
+                    f"{_dotted(match.left_match)}, rm = {_dotted(match.right_match)}"
+                    f" -> lca {_dotted(match.left_lca)} / {_dotted(match.right_lca)}"
+                    f", deeper = {_dotted(match.chosen)}"
+                )
+        lines.append(f"  candidate = {_dotted(step.candidate)}  [{step.decision}]")
+        if step.emitted is not None:
+            lines.append(f"  => SLCA confirmed: {_dotted(step.emitted)}")
+        lines.append(f"     ({step.rule})")
+    if trace.results:
+        final = trace.results[-1]
+        lines.append(f"end of S1: held candidate {_dotted(final)} is an SLCA")
+        lines.append("answer: [" + ", ".join(_dotted(r) for r in trace.results) + "]")
+    else:
+        lines.append("answer: []")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the XKSearch reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses partition the errors by
+subsystem: parsing, storage, indexing and querying.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class XMLSyntaxError(ReproError):
+    """The input document is not well-formed XML.
+
+    Carries the 1-based line and column of the offending character so that
+    error messages can point at the exact spot in the source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DeweyError(ReproError):
+    """An operation received a malformed Dewey number."""
+
+
+class StorageError(ReproError):
+    """Base class for disk-layer failures (pager, buffer pool, B+tree)."""
+
+
+class PageError(StorageError):
+    """A page id was out of range or a page image was corrupt."""
+
+
+class TreeCorruptError(StorageError):
+    """A B+tree invariant was violated while reading an index file."""
+
+
+class IndexError_(ReproError):
+    """Base class for inverted-index failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class IndexNotFoundError(IndexError_):
+    """The requested index directory does not exist or is incomplete."""
+
+
+class IndexFormatError(IndexError_):
+    """An index file has an unexpected magic number or version."""
+
+
+class QueryError(ReproError):
+    """The keyword query was malformed (e.g. empty keyword list)."""

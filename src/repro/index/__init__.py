@@ -1,0 +1,29 @@
+"""Index layer: builders, the frequency table, disk and memory indexes."""
+
+from repro.index.builder import (
+    CODECS,
+    IndexBuildReport,
+    build_index,
+    load_manifest,
+    make_codec,
+)
+from repro.index.frequency import FrequencyTable
+from repro.index.inverted import DiskIndexedSource, DiskKeywordIndex
+from repro.index.memory import MemoryKeywordIndex
+from repro.index.updates import IndexUpdater
+from repro.index.verify import VerifyReport, verify_index
+
+__all__ = [
+    "CODECS",
+    "DiskIndexedSource",
+    "DiskKeywordIndex",
+    "FrequencyTable",
+    "IndexBuildReport",
+    "IndexUpdater",
+    "MemoryKeywordIndex",
+    "VerifyReport",
+    "build_index",
+    "load_manifest",
+    "make_codec",
+    "verify_index",
+]

@@ -1,0 +1,224 @@
+"""Index builder: document → on-disk XKSearch index.
+
+Mirrors the architecture of Figure 6 in the paper: the *LevelTableBuilder*
+derives the level table from the document, the *inverted index builder*
+emits one keyword list per keyword into the B+tree structures, and a
+*frequency table* records list sizes for query planning.
+
+Two B+trees are bulk-loaded into one pager file:
+
+* ``il`` — one entry per posting, keyed ``keyword ⊕ packed-dewey``
+  (Figure 5); this is what Indexed Lookup Eager's match lookups descend;
+* ``scan`` — per-keyword runs of *blocks*, each block one B+tree value
+  packing many compressed Dewey numbers (Figure 4); this is what Scan
+  Eager and Stack read sequentially.
+
+The builder accepts either a parsed :class:`XMLTree` or raw keyword lists
+(the virtual workloads of the experiment harness build lists directly,
+skipping tree materialization at the 100 000-posting scale).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import IndexFormatError
+from repro.index.frequency import FrequencyTable
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+from repro.storage.records import block_key, pack_tagged_block, posting_key
+from repro.xmltree.codec import DeweyCodec, PackedDeweyCodec, VarintDeweyCodec
+from repro.xmltree.dewey import DeweyTuple
+from repro.xmltree.level_table import LevelTable
+from repro.xmltree.serialize import serialize
+from repro.xmltree.tree import XMLTree
+
+MANIFEST_NAME = "manifest.json"
+LEVEL_TABLE_NAME = "level_table.json"
+FREQUENCY_NAME = "frequency.json"
+TAGS_NAME = "tags.json"
+INDEX_FILE_NAME = "index.db"
+DOCUMENT_NAME = "document.xml"
+FORMAT_VERSION = 1
+
+#: Tag id reserved for postings without a known context tag (e.g. indexes
+#: built from raw keyword lists).
+UNTAGGED = 0
+
+CODECS = ("packed", "varint")
+
+
+def make_codec(name: str, level_table: LevelTable) -> DeweyCodec:
+    """Instantiate the Dewey codec recorded in a manifest."""
+    if name == "packed":
+        return PackedDeweyCodec(level_table)
+    if name == "varint":
+        return VarintDeweyCodec()
+    raise IndexFormatError(f"unknown Dewey codec {name!r}; expected one of {CODECS}")
+
+
+@dataclass
+class IndexBuildReport:
+    """Summary statistics returned by :func:`build_index`."""
+
+    keywords: int
+    postings: int
+    pages: int
+    page_size: int
+    il_height: int
+    scan_height: int
+    codec: str
+
+    @property
+    def bytes_on_disk(self) -> int:
+        return self.pages * self.page_size
+
+
+def build_index(
+    source: Union[XMLTree, Mapping[str, Sequence[DeweyTuple]]],
+    index_dir: Union[str, os.PathLike],
+    page_size: int = DEFAULT_PAGE_SIZE,
+    codec: str = "packed",
+    level_table: Optional[LevelTable] = None,
+    keep_document: bool = True,
+    scan_block_budget: Optional[int] = None,
+) -> IndexBuildReport:
+    """Build a complete XKSearch index directory.
+
+    ``source`` is a parsed document or a keyword-list mapping.  The level
+    table is derived from the document (or from the Dewey numbers
+    themselves) unless given explicitly.  With ``keep_document`` and a tree
+    source, the document text is stored alongside the index so search
+    results can be rendered as XML snippets.
+    """
+    index_dir = os.fspath(index_dir)
+    os.makedirs(index_dir, exist_ok=True)
+
+    # Normalize the source into tagged postings: kw -> [(dewey, tag id)],
+    # plus the tag dictionary (id 0 = untagged).
+    tag_ids: Dict[str, int] = {"": UNTAGGED}
+    tagged: Dict[str, List[Tuple[DeweyTuple, int]]] = {}
+    if isinstance(source, XMLTree):
+        for keyword, plist in source.keyword_postings().items():
+            tagged[keyword] = [
+                (dewey, tag_ids.setdefault(tag, len(tag_ids))) for dewey, tag in plist
+            ]
+        if level_table is None:
+            level_table = LevelTable.from_tree(source)
+        document_text: Optional[str] = serialize(source.root) if keep_document else None
+    else:
+        for keyword, lst in source.items():
+            tagged[keyword] = [(dewey, UNTAGGED) for dewey in lst]
+        if level_table is None:
+            level_table = LevelTable.from_deweys(
+                dewey for plist in tagged.values() for dewey, _ in plist
+            )
+        document_text = None
+
+    dewey_codec = make_codec(codec, level_table)
+    frequency = FrequencyTable.from_lists(tagged)
+
+    index_path = os.path.join(index_dir, INDEX_FILE_NAME)
+    with Pager(index_path, page_size=page_size, create=True) as pager:
+        pool = BufferPool(pager, capacity=4096)
+        il_tree = BPlusTree(pool, "il")
+        postings = il_tree.bulk_load(_iter_posting_entries(tagged, dewey_codec))
+        scan_tree = BPlusTree(pool, "scan")
+        budget = scan_block_budget or _default_block_budget(page_size)
+        scan_tree.bulk_load(_iter_block_entries(tagged, dewey_codec, budget))
+        report = IndexBuildReport(
+            keywords=len(frequency),
+            postings=postings,
+            pages=pager.num_pages,
+            page_size=page_size,
+            il_height=il_tree.height,
+            scan_height=scan_tree.height,
+            codec=codec,
+        )
+        pager.sync()
+
+    with open(os.path.join(index_dir, LEVEL_TABLE_NAME), "w", encoding="utf-8") as fh:
+        fh.write(level_table.to_json())
+    frequency.save(os.path.join(index_dir, FREQUENCY_NAME))
+    tag_list = [tag for tag, _ in sorted(tag_ids.items(), key=lambda kv: kv[1])]
+    with open(os.path.join(index_dir, TAGS_NAME), "w", encoding="utf-8") as fh:
+        json.dump(tag_list, fh)
+    manifest = {
+        "version": FORMAT_VERSION,
+        "codec": codec,
+        "page_size": page_size,
+        "keywords": report.keywords,
+        "postings": report.postings,
+        "has_document": document_text is not None,
+    }
+    with open(os.path.join(index_dir, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh)
+    if document_text is not None:
+        with open(os.path.join(index_dir, DOCUMENT_NAME), "w", encoding="utf-8") as fh:
+            fh.write(document_text)
+    return report
+
+
+def _default_block_budget(page_size: int) -> int:
+    """Byte budget for one scan block: most of a page, leaving room for the
+    leaf header, the composite key and the entry framing."""
+    return max(64, page_size - 160)
+
+
+def _iter_posting_entries(
+    tagged: Mapping[str, Sequence[Tuple[DeweyTuple, int]]],
+    codec: DeweyCodec,
+) -> Iterator[Tuple[bytes, bytes]]:
+    for keyword in sorted(tagged, key=lambda kw: kw.encode("utf-8")):
+        previous: Optional[DeweyTuple] = None
+        for dewey, tag_id in tagged[keyword]:
+            if previous is not None and dewey <= previous:
+                raise IndexFormatError(
+                    f"keyword list for {keyword!r} is not strictly sorted"
+                )
+            previous = dewey
+            yield posting_key(keyword, codec.encode(dewey)), tag_id.to_bytes(2, "big")
+
+
+def _iter_block_entries(
+    tagged: Mapping[str, Sequence[Tuple[DeweyTuple, int]]],
+    codec: DeweyCodec,
+    budget: int,
+) -> Iterator[Tuple[bytes, bytes]]:
+    for keyword in sorted(tagged, key=lambda kw: kw.encode("utf-8")):
+        seq = 0
+        block: List[Tuple[bytes, int]] = []
+        block_bytes = 0
+        for dewey, tag_id in tagged[keyword]:
+            encoded = codec.encode(dewey)
+            entry_bytes = len(encoded) + 3  # length prefix + 2 tag bytes
+            if block and block_bytes + entry_bytes > budget:
+                yield block_key(keyword, seq), pack_tagged_block(block)
+                seq += 1
+                block = []
+                block_bytes = 0
+            block.append((encoded, tag_id))
+            block_bytes += entry_bytes
+        if block:
+            yield block_key(keyword, seq), pack_tagged_block(block)
+
+
+def load_manifest(index_dir: Union[str, os.PathLike]) -> Dict:
+    """Read and validate an index directory's manifest."""
+    path = os.path.join(os.fspath(index_dir), MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        from repro.errors import IndexNotFoundError
+
+        raise IndexNotFoundError(f"no index manifest at {path}") from None
+    if manifest.get("version") != FORMAT_VERSION:
+        raise IndexFormatError(
+            f"index format version {manifest.get('version')} is not supported"
+        )
+    return manifest

@@ -1,0 +1,232 @@
+"""Disk-backed keyword index and its match sources.
+
+:class:`DiskKeywordIndex` opens an index directory produced by
+:func:`repro.index.builder.build_index` and exposes the paper's access
+primitives over the B+trees:
+
+* ``lm`` / ``rm`` — descend the ``il`` tree (keyword ⊕ dewey composite
+  keys) with ``floor_entry`` / ``ceiling_entry`` clamped to the keyword's
+  key range;
+* ``scan`` — stream a keyword's Dewey numbers from the ``scan`` tree's
+  packed blocks (sequential leaf I/O);
+* cache-temperature control — ``make_cold()`` empties the buffer pool so
+  the next query pays physical reads; by default the B+trees' internal
+  pages are pinned, realizing the "non-leaf nodes are cached" assumption of
+  the paper's disk-access analysis (Table 1).
+
+``sources_for`` wires keyword lists into the algorithm layer: indexed
+sources for IL, lazy cursor sources for Scan Eager, plain scans for Stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.counters import OpCounters
+from repro.core.sources import LazyCursorSource
+from repro.errors import IndexNotFoundError
+from repro.index.builder import (
+    DOCUMENT_NAME,
+    FREQUENCY_NAME,
+    INDEX_FILE_NAME,
+    LEVEL_TABLE_NAME,
+    TAGS_NAME,
+    load_manifest,
+    make_codec,
+)
+from repro.index.frequency import FrequencyTable
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.records import keyword_range, posting_key, unpack_tagged_block
+from repro.xmltree.dewey import DeweyTuple
+from repro.xmltree.level_table import LevelTable
+
+
+class DiskIndexedSource:
+    """IL's disk match source: B+tree lookups within one keyword's range."""
+
+    def __init__(self, index: "DiskKeywordIndex", keyword: str, counters: OpCounters):
+        self._index = index
+        self._keyword = keyword
+        self._lo, self._hi = keyword_range(keyword)
+        self._length = index.frequency(keyword)
+        self.counters = counters
+
+    def lm(self, v: DeweyTuple) -> Optional[DeweyTuple]:
+        self.counters.lm_ops += 1
+        probe = posting_key(self._keyword, self._index.codec.encode(v))
+        entry = self._index.il_tree.floor_entry(probe)
+        if entry is None or entry[0] < self._lo:
+            return None
+        return self._index.codec.decode(entry[0][len(self._lo):])
+
+    def rm(self, v: DeweyTuple) -> Optional[DeweyTuple]:
+        self.counters.rm_ops += 1
+        probe = posting_key(self._keyword, self._index.codec.encode(v))
+        entry = self._index.il_tree.ceiling_entry(probe)
+        if entry is None or entry[0] >= self._hi:
+            return None
+        return self._index.codec.decode(entry[0][len(self._lo):])
+
+    def scan(self) -> Iterator[DeweyTuple]:
+        decode = self._index.codec.decode
+        prefix_len = len(self._lo)
+        for key, _ in self._index.il_tree.scan(self._lo, self._hi):
+            yield decode(key[prefix_len:])
+
+    def __len__(self) -> int:
+        return self._length
+
+
+class DiskKeywordIndex:
+    """An opened XKSearch index directory."""
+
+    def __init__(
+        self,
+        index_dir: Union[str, os.PathLike],
+        pool_capacity: int = 4096,
+        pin_internal: bool = True,
+    ):
+        self.index_dir = os.fspath(index_dir)
+        self.manifest = load_manifest(self.index_dir)
+        level_path = os.path.join(self.index_dir, LEVEL_TABLE_NAME)
+        if not os.path.exists(level_path):
+            raise IndexNotFoundError(f"missing level table at {level_path}")
+        with open(level_path, "r", encoding="utf-8") as fh:
+            self.level_table = LevelTable.from_json(fh.read())
+        self.codec = make_codec(self.manifest["codec"], self.level_table)
+        self.frequency_table = FrequencyTable.load(
+            os.path.join(self.index_dir, FREQUENCY_NAME)
+        )
+        tags_path = os.path.join(self.index_dir, TAGS_NAME)
+        if os.path.exists(tags_path):
+            with open(tags_path, "r", encoding="utf-8") as fh:
+                self.tags: List[str] = json.load(fh)
+        else:
+            self.tags = [""]
+        self._tag_ids = {tag: i for i, tag in enumerate(self.tags)}
+        index_file = os.path.join(self.index_dir, INDEX_FILE_NAME)
+        if not os.path.exists(index_file):
+            # The pager would silently create an empty file, turning a
+            # damaged installation into silently-empty search results.
+            raise IndexNotFoundError(f"missing index file at {index_file}")
+        self.pager = Pager(index_file)
+        self.pool = BufferPool(self.pager, capacity=pool_capacity)
+        self.il_tree = BPlusTree(self.pool, "il")
+        self.scan_tree = BPlusTree(self.pool, "scan")
+        if pin_internal:
+            self.pool.pin_many(self.il_tree.internal_page_ids())
+            self.pool.pin_many(self.scan_tree.internal_page_ids())
+            self.pager.stats.reset()
+
+    # -- catalogue -----------------------------------------------------------
+
+    def frequency(self, keyword: str) -> int:
+        return self.frequency_table.frequency(keyword)
+
+    def keywords(self) -> List[str]:
+        return sorted(self.frequency_table.keywords())
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword.lower() in self.frequency_table
+
+    # -- access primitives ------------------------------------------------------
+
+    def lm(self, keyword: str, v: DeweyTuple) -> Optional[DeweyTuple]:
+        """One-off left match (prefer sources for repeated use)."""
+        return DiskIndexedSource(self, keyword.lower(), OpCounters()).lm(v)
+
+    def rm(self, keyword: str, v: DeweyTuple) -> Optional[DeweyTuple]:
+        """One-off right match."""
+        return DiskIndexedSource(self, keyword.lower(), OpCounters()).rm(v)
+
+    def scan(self, keyword: str) -> Iterator[DeweyTuple]:
+        """All Dewey numbers of *keyword* via the block (scan) tree."""
+        for dewey, _ in self.scan_tagged(keyword):
+            yield dewey
+
+    def scan_tagged(self, keyword: str) -> Iterator[Tuple[DeweyTuple, str]]:
+        """(Dewey, context tag) pairs of *keyword*, in document order."""
+        lo, hi = keyword_range(keyword.lower())
+        tags = self.tags
+        for _, value in self.scan_tree.scan(lo, hi):
+            for encoded, tag_id in unpack_tagged_block(value):
+                tag = tags[tag_id] if tag_id < len(tags) else ""
+                yield self.codec.decode(encoded), tag
+
+    def keyword_list(
+        self, keyword: str, tag: Optional[str] = None
+    ) -> List[DeweyTuple]:
+        """Materialized keyword list, optionally restricted to occurrences
+        whose context element is *tag* (the ``tag:word`` query atom)."""
+        if tag is None:
+            return list(self.scan(keyword.lower()))
+        wanted = tag.lower()
+        return [
+            dewey
+            for dewey, context in self.scan_tagged(keyword)
+            if context == wanted
+        ]
+
+    def sources_for(
+        self,
+        keywords: Sequence[str],
+        mode: str = "indexed",
+        counters: Optional[OpCounters] = None,
+    ) -> List:
+        """Match sources for a query, one per keyword.
+
+        ``mode="indexed"`` returns B+tree lookup sources (IL); ``"scan"``
+        returns lazy cursor sources over sequential block reads (Scan
+        Eager).  For IL, the *head* list (first keyword) is also read
+        through the scan tree — IL only ever iterates ``S1``, never probes
+        it — so mixed mode is handled by the engine, not here.
+        """
+        counters = counters if counters is not None else OpCounters()
+        sources: List = []
+        for keyword in keywords:
+            kw = keyword.lower()
+            if mode == "indexed":
+                sources.append(DiskIndexedSource(self, kw, counters))
+            elif mode == "scan":
+                sources.append(
+                    LazyCursorSource(self.scan(kw), self.frequency(kw), counters)
+                )
+            else:
+                raise ValueError(f"unknown source mode {mode!r}")
+        return sources
+
+    # -- cache temperature ---------------------------------------------------------
+
+    def make_cold(self) -> None:
+        """Empty the buffer pool (pinned internal pages survive) and reset
+        the physical-read sequence, so the next query runs cold."""
+        self.pool.clear()
+
+    def make_fully_cold(self) -> None:
+        """Cold including internal pages (for the unpinned ablation)."""
+        self.pool.clear(keep_pinned=False)
+        self.pool.unpin_all()
+
+    def io_snapshot(self):
+        return self.pager.stats.snapshot()
+
+    # -- documents -----------------------------------------------------------------
+
+    def document_path(self) -> Optional[str]:
+        path = os.path.join(self.index_dir, DOCUMENT_NAME)
+        return path if os.path.exists(path) else None
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.pager.close()
+
+    def __enter__(self) -> "DiskKeywordIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

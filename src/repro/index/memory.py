@@ -1,0 +1,108 @@
+"""In-memory keyword index.
+
+The disk-free counterpart of :class:`~repro.index.inverted.DiskKeywordIndex`
+with the same query-facing surface: keyword lists held as sorted arrays,
+matches by binary search or cursor.  This is what library users get when
+they search a parsed tree directly without building an index directory, and
+what the main-memory complexity experiments (Table 1's first column) run
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.counters import OpCounters
+from repro.core.sources import CursorListSource, SortedListSource
+from repro.index.frequency import FrequencyTable
+from repro.xmltree.dewey import DeweyTuple
+from repro.xmltree.tree import XMLTree
+
+
+class MemoryKeywordIndex:
+    """Keyword lists in memory behind the index interface.
+
+    Accepts plain Dewey lists, or ``(dewey, context-tag)`` posting lists
+    (what :meth:`from_tree` builds); with tags present, tag-qualified
+    lookups (``keyword_list(kw, tag=...)``) become available.
+    """
+
+    def __init__(self, keyword_lists: Dict[str, Sequence]):
+        self._lists: Dict[str, List[DeweyTuple]] = {}
+        self._tags: Dict[str, List[str]] = {}
+        for kw, lst in keyword_lists.items():
+            key = kw.lower()
+            deweys: List[DeweyTuple] = []
+            tags: List[str] = []
+            tagged = False
+            for item in lst:
+                if item and isinstance(item[0], tuple):
+                    dewey, tag = item
+                    tagged = True
+                else:
+                    dewey, tag = item, ""
+                deweys.append(dewey)
+                tags.append(tag.lower())
+            self._lists[key] = deweys
+            if tagged:
+                self._tags[key] = tags
+        for kw, lst in self._lists.items():
+            if any(lst[i] >= lst[i + 1] for i in range(len(lst) - 1)):
+                raise ValueError(f"keyword list for {kw!r} is not strictly sorted")
+        self.frequency_table = FrequencyTable.from_lists(self._lists)
+
+    @classmethod
+    def from_tree(cls, tree: XMLTree) -> "MemoryKeywordIndex":
+        return cls(tree.keyword_postings())
+
+    # -- catalogue ------------------------------------------------------------
+
+    def frequency(self, keyword: str) -> int:
+        return self.frequency_table.frequency(keyword)
+
+    def keywords(self) -> List[str]:
+        return sorted(self._lists)
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword.lower() in self._lists
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    # -- access primitives -------------------------------------------------------
+
+    def keyword_list(
+        self, keyword: str, tag: Optional[str] = None
+    ) -> List[DeweyTuple]:
+        """Keyword list, optionally restricted to a context tag."""
+        key = keyword.lower()
+        deweys = self._lists.get(key, [])
+        if tag is None:
+            return list(deweys)
+        tags = self._tags.get(key)
+        if tags is None:
+            return []  # untagged index: a tag filter can never match
+        wanted = tag.lower()
+        return [d for d, t in zip(deweys, tags) if t == wanted]
+
+    def scan(self, keyword: str) -> Iterator[DeweyTuple]:
+        return iter(self._lists.get(keyword.lower(), []))
+
+    def sources_for(
+        self,
+        keywords: Sequence[str],
+        mode: str = "indexed",
+        counters: Optional[OpCounters] = None,
+    ) -> List:
+        """Match sources for a query (indexed = bisect, scan = cursor)."""
+        counters = counters if counters is not None else OpCounters()
+        sources: List = []
+        for keyword in keywords:
+            lst = self._lists.get(keyword.lower(), [])
+            if mode == "indexed":
+                sources.append(SortedListSource(lst, counters))
+            elif mode == "scan":
+                sources.append(CursorListSource(lst, counters))
+            else:
+                raise ValueError(f"unknown source mode {mode!r}")
+        return sources

@@ -1,0 +1,170 @@
+"""Index integrity verification — ``xksearch verify``.
+
+Walks an index directory end to end and cross-checks every redundant
+structure against the others:
+
+* both B+trees satisfy their structural invariants (key order, subtree
+  bounds, leaf-chain consistency);
+* every IL posting parses — valid composite key, decodable Dewey number
+  that fits the level table, in-range tag id — and keys ascend globally;
+* the scan tree's blocks, decoded, reproduce *exactly* the IL tree's
+  postings per keyword (same Dewey numbers, same tags, same order);
+* the frequency table matches the actual list lengths, with no phantom or
+  missing keywords.
+
+Returns a :class:`VerifyReport`; a non-empty ``errors`` list means the
+index should be rebuilt from the source document.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import ReproError
+from repro.index.builder import load_manifest
+from repro.index.inverted import DiskKeywordIndex
+from repro.storage.records import split_posting_key
+from repro.xmltree.dewey import DeweyTuple
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one verification run."""
+
+    checks: int = 0
+    postings: int = 0
+    keywords: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def _fail(self, message: str) -> None:
+        if len(self.errors) < 50:  # cap noise on badly damaged indexes
+            self.errors.append(message)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"FAILED ({len(self.errors)} error(s))"
+        lines = [
+            f"verification {status}: {self.checks} checks over "
+            f"{self.postings} postings / {self.keywords} keywords"
+        ]
+        lines.extend(f"  - {error}" for error in self.errors)
+        return "\n".join(lines)
+
+
+def verify_index(index_dir: Union[str, os.PathLike]) -> VerifyReport:
+    """Run all integrity checks over an index directory."""
+    report = VerifyReport()
+    try:
+        load_manifest(index_dir)
+    except ReproError as exc:
+        report._fail(f"manifest: {exc}")
+        return report
+    try:
+        index = DiskKeywordIndex(index_dir)
+    except ReproError as exc:
+        report._fail(f"open: {exc}")
+        return report
+    with index:
+        _check_btree_structure(index, report)
+        il_postings = _check_il_postings(index, report)
+        _check_scan_blocks(index, report, il_postings)
+        _check_frequencies(index, report, il_postings)
+    return report
+
+
+def _check_btree_structure(index: DiskKeywordIndex, report: VerifyReport) -> None:
+    for name, tree in (("il", index.il_tree), ("scan", index.scan_tree)):
+        try:
+            problems = tree.check_invariants()
+        except ReproError as exc:
+            report._fail(f"{name} tree unreadable: {exc}")
+            continue
+        report.checks += 1
+        for problem in problems:
+            report._fail(f"{name} tree: {problem}")
+
+
+def _check_il_postings(
+    index: DiskKeywordIndex, report: VerifyReport
+) -> Dict[str, List[Tuple[DeweyTuple, int]]]:
+    """Validate and collect every IL posting, grouped by keyword."""
+    postings: Dict[str, List[Tuple[DeweyTuple, int]]] = {}
+    previous_key = None
+    try:
+        for key, value in index.il_tree.scan():
+            report.postings += 1
+            if previous_key is not None and key <= previous_key:
+                report._fail(f"il tree: keys not strictly ascending at {key!r}")
+            previous_key = key
+            try:
+                keyword, encoded = split_posting_key(key)
+                dewey = index.codec.decode(encoded)
+                index.level_table.check_fits(dewey)
+            except ReproError as exc:
+                report._fail(f"il posting {key!r}: {exc}")
+                continue
+            if len(value) != 2:
+                report._fail(f"il posting {keyword}/{dewey}: bad tag payload")
+                continue
+            tag_id = int.from_bytes(value, "big")
+            if tag_id >= len(index.tags):
+                report._fail(
+                    f"il posting {keyword}/{dewey}: tag id {tag_id} out of range"
+                )
+            postings.setdefault(keyword, []).append((dewey, tag_id))
+    except ReproError as exc:
+        report._fail(f"il tree scan aborted: {exc}")
+    report.checks += 1
+    report.keywords = len(postings)
+    return postings
+
+
+def _check_scan_blocks(
+    index: DiskKeywordIndex,
+    report: VerifyReport,
+    il_postings: Dict[str, List[Tuple[DeweyTuple, int]]],
+) -> None:
+    """The scan tree must reproduce the IL tree's contents exactly."""
+    seen_keywords = set()
+    for keyword in il_postings:
+        seen_keywords.add(keyword)
+        try:
+            scanned = [
+                (dewey, index._tag_ids.get(tag, -1))
+                for dewey, tag in index.scan_tagged(keyword)
+            ]
+        except ReproError as exc:
+            report._fail(f"scan blocks for {keyword!r} unreadable: {exc}")
+            continue
+        report.checks += 1
+        if scanned != il_postings[keyword]:
+            report._fail(
+                f"scan/il divergence for {keyword!r}: "
+                f"{len(scanned)} vs {len(il_postings[keyword])} postings"
+            )
+        deweys = [dewey for dewey, _ in scanned]
+        if deweys != sorted(set(deweys)):
+            report._fail(f"scan blocks for {keyword!r} not strictly sorted")
+
+
+def _check_frequencies(
+    index: DiskKeywordIndex,
+    report: VerifyReport,
+    il_postings: Dict[str, List[Tuple[DeweyTuple, int]]],
+) -> None:
+    table = dict(index.frequency_table.items())
+    report.checks += 1
+    for keyword, plist in il_postings.items():
+        recorded = table.pop(keyword, None)
+        if recorded != len(plist):
+            report._fail(
+                f"frequency table says {recorded} for {keyword!r}, "
+                f"index holds {len(plist)}"
+            )
+    for keyword, recorded in table.items():
+        report._fail(f"frequency table lists absent keyword {keyword!r} ({recorded})")

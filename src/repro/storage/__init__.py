@@ -1,0 +1,20 @@
+"""Disk substrate: pager, LRU buffer pool and a disk B+tree.
+
+Stands in for the BerkeleyDB B-trees of the paper's implementation; its
+physical-I/O counters drive the disk-access analysis (Table 1) and the
+cold-cache experiments (Figures 11-13).
+"""
+
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer_pool import BufferPool, PoolStats
+from repro.storage.pager import CostModel, DEFAULT_PAGE_SIZE, IOStats, Pager
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "CostModel",
+    "DEFAULT_PAGE_SIZE",
+    "IOStats",
+    "Pager",
+    "PoolStats",
+]

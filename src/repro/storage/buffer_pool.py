@@ -1,0 +1,140 @@
+"""LRU buffer pool over a pager.
+
+The buffer pool is what makes the paper's hot-cache / cold-cache experiment
+split reproducible: a *hot* run touches only cached pages (no physical I/O),
+while a *cold* run starts from an empty pool and every first touch of a page
+becomes a counted physical read.
+
+Pages may be *pinned*: pinned pages are never evicted.  The XKSearch disk
+analysis assumes the B+tree's non-leaf pages stay cached; the index layer
+pins them to realize that assumption explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+from repro.storage.pager import Pager
+
+
+@dataclass
+class PoolStats:
+    """Cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class BufferPool:
+    """Write-through LRU page cache with pinning.
+
+    ``capacity`` counts unpinned cacheable pages; pinned pages live outside
+    the LRU budget (they model the "non-leaf nodes cached in main memory"
+    assumption of the paper's disk analysis and are typically few).
+    """
+
+    def __init__(self, pager: Pager, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be at least 1")
+        self.pager = pager
+        self.capacity = capacity
+        self.stats = PoolStats()
+        self._lru: "OrderedDict[int, bytes]" = OrderedDict()
+        self._pinned: dict = {}
+
+    def get_page(self, pid: int) -> bytes:
+        """Page contents, from cache when possible."""
+        if pid in self._pinned:
+            self.stats.hits += 1
+            return self._pinned[pid]
+        if pid in self._lru:
+            self.stats.hits += 1
+            self._lru.move_to_end(pid)
+            return self._lru[pid]
+        self.stats.misses += 1
+        data = self.pager.read_page(pid)
+        self._insert(pid, data)
+        return data
+
+    def put_page(self, pid: int, data: bytes) -> None:
+        """Write-through: update the pager and the cached copy."""
+        self.pager.write_page(pid, data)
+        if pid in self._pinned:
+            self._pinned[pid] = data
+            return
+        if pid in self._lru:
+            self._lru[pid] = data
+            self._lru.move_to_end(pid)
+        else:
+            self._insert(pid, data)
+
+    def _insert(self, pid: int, data: bytes) -> None:
+        self._lru[pid] = data
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, pid: int) -> None:
+        """Keep *pid* cached permanently (read now if not cached)."""
+        if pid in self._pinned:
+            return
+        if pid in self._lru:
+            self._pinned[pid] = self._lru.pop(pid)
+        else:
+            self._pinned[pid] = self.pager.read_page(pid)
+
+    def pin_many(self, pids: Iterable[int]) -> None:
+        for pid in pids:
+            self.pin(pid)
+
+    def unpin_all(self) -> None:
+        """Demote every pinned page out of the cache entirely."""
+        self._pinned.clear()
+
+    @property
+    def pinned_pages(self) -> Set[int]:
+        return set(self._pinned)
+
+    # -- cache temperature ----------------------------------------------------
+
+    def clear(self, keep_pinned: bool = True) -> None:
+        """Cold cache: drop cached pages (pinned pages survive by default)."""
+        self._lru.clear()
+        if not keep_pinned:
+            self._pinned.clear()
+        self.pager.reset_read_sequence()
+
+    def warm(self, pids: Iterable[int]) -> None:
+        """Hot cache: pre-load the given pages without counting stats."""
+        saved = (self.stats.hits, self.stats.misses)
+        reads_before = self.pager.stats.snapshot()
+        for pid in pids:
+            self.get_page(pid)
+        self.stats.hits, self.stats.misses = saved
+        # Warm-up I/O is setup cost, not query cost: roll it back.
+        self.pager.stats.reads = reads_before.reads
+        self.pager.stats.sequential_reads = reads_before.sequential_reads
+        self.pager.stats.random_reads = reads_before.random_reads
+        self.pager.reset_read_sequence()
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._lru) + len(self._pinned)

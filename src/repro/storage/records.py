@@ -1,0 +1,98 @@
+"""Order-preserving record encodings for the index B+trees.
+
+The IL index keys every posting with ``keyword ⊕ dewey`` (the paper's
+Figure 5: keywords are the primary key, Dewey numbers the secondary key);
+the scan index keys blocks with ``keyword ⊕ block-sequence-number``
+(Figure 4).  Both composites must compare bytewise in (keyword, suffix)
+order, which holds because keywords are NUL-free and the separator is a
+single NUL byte: no keyword is a prefix of another *plus separator*, and
+within one keyword the suffix (an order-preserving Dewey encoding or a
+fixed-width big-endian counter) decides.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import IndexFormatError
+
+_SEP = b"\x00"
+
+
+def encode_keyword(keyword: str) -> bytes:
+    """Keyword → key-prefix bytes (validates NUL-freedom)."""
+    raw = keyword.encode("utf-8")
+    if b"\x00" in raw:
+        raise IndexFormatError(f"keyword may not contain NUL bytes: {keyword!r}")
+    if not raw:
+        raise IndexFormatError("keyword may not be empty")
+    return raw
+
+
+def posting_key(keyword: str, dewey_bytes: bytes) -> bytes:
+    """Composite key for one posting in the IL tree."""
+    return encode_keyword(keyword) + _SEP + dewey_bytes
+
+
+def split_posting_key(key: bytes) -> Tuple[str, bytes]:
+    """Inverse of :func:`posting_key`."""
+    sep = key.find(_SEP)
+    if sep < 0:
+        raise IndexFormatError(f"malformed posting key: {key!r}")
+    return key[:sep].decode("utf-8"), key[sep + 1:]
+
+
+def keyword_range(keyword: str) -> Tuple[bytes, bytes]:
+    """Half-open key interval [lo, hi) covering all postings of *keyword*."""
+    prefix = encode_keyword(keyword)
+    return prefix + _SEP, prefix + b"\x01"
+
+
+def block_key(keyword: str, seq: int) -> bytes:
+    """Composite key for one block of the scan tree."""
+    return encode_keyword(keyword) + _SEP + seq.to_bytes(4, "big")
+
+
+def pack_tagged_block(entries: list) -> bytes:
+    """Pack (dewey encoding, tag id) pairs into one block value.
+
+    Each record is length-prefixed; the last two bytes of a record are the
+    big-endian context-tag id, the rest the Dewey encoding.
+    """
+    return pack_block([enc + tag_id.to_bytes(2, "big") for enc, tag_id in entries])
+
+
+def unpack_tagged_block(data: bytes) -> list:
+    """Inverse of :func:`pack_tagged_block`: list of (encoding, tag id)."""
+    out = []
+    for record in unpack_block(data):
+        if len(record) < 2:
+            raise IndexFormatError("tagged block record too short")
+        out.append((record[:-2], int.from_bytes(record[-2:], "big")))
+    return out
+
+
+def pack_block(dewey_encodings: list) -> bytes:
+    """Concatenate Dewey encodings with one-byte length prefixes."""
+    parts = []
+    for enc in dewey_encodings:
+        if len(enc) > 255:
+            raise IndexFormatError(f"Dewey encoding too long for a block: {len(enc)} bytes")
+        parts.append(bytes([len(enc)]))
+        parts.append(enc)
+    return b"".join(parts)
+
+
+def unpack_block(data: bytes) -> list:
+    """Inverse of :func:`pack_block`."""
+    out = []
+    i = 0
+    n = len(data)
+    while i < n:
+        length = data[i]
+        i += 1
+        if i + length > n:
+            raise IndexFormatError("truncated Dewey block")
+        out.append(data[i:i + length])
+        i += length
+    return out

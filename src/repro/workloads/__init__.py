@@ -1,0 +1,46 @@
+"""Experiment workloads: planted corpora, per-figure query sets, the
+runner and plain-text reporting."""
+
+from repro.workloads.datasets import (
+    CorpusShape,
+    PlantedCorpus,
+    keyword_name,
+    plant_virtual_lists,
+)
+from repro.workloads.queries import (
+    FREQUENCY_LADDER,
+    KEYWORD_COUNTS,
+    QueryPoint,
+    fig8_points,
+    fig9_points,
+    fig10_points,
+    needed_frequencies,
+)
+from repro.workloads.report import format_table, io_table, ops_table, sweep_csv, sweep_table
+from repro.workloads.runner import (
+    ExperimentRunner,
+    Measurement,
+    average_measurements,
+)
+
+__all__ = [
+    "CorpusShape",
+    "ExperimentRunner",
+    "FREQUENCY_LADDER",
+    "KEYWORD_COUNTS",
+    "Measurement",
+    "PlantedCorpus",
+    "QueryPoint",
+    "average_measurements",
+    "fig10_points",
+    "fig8_points",
+    "fig9_points",
+    "format_table",
+    "io_table",
+    "keyword_name",
+    "needed_frequencies",
+    "ops_table",
+    "sweep_csv",
+    "plant_virtual_lists",
+    "sweep_table",
+]

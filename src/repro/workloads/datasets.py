@@ -1,0 +1,146 @@
+"""Experiment corpora: planted keyword lists over a virtual DBLP shape.
+
+The paper's experiments run forty random queries per point against an 83 MB
+grouped DBLP document, choosing keywords by their *frequency* (list size):
+the sweeps of Figures 8–13 are entirely parameterized by ``|Si|``.  We
+reproduce that control exactly by *planting*: each experiment keyword
+``xk<freq>_<i>`` is assigned ``freq`` distinct, uniformly random text slots
+of a DBLP-shaped document.
+
+For the large scales (lists of 100 000 postings) materializing the tree is
+pointless — the algorithms consume keyword lists, and the index builder
+accepts lists directly — so :class:`CorpusShape` maps slot numbers to the
+Dewey numbers a grouped DBLP document would produce
+(``dblp / venue / year / paper / title / text``, depth 6) without ever
+building nodes.  The smaller correctness tests use the materialized
+generator in :mod:`repro.xmltree.generate` instead; both yield the same
+Dewey geometry.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.xmltree.dewey import DeweyTuple
+from repro.xmltree.level_table import LevelTable
+
+
+@dataclass(frozen=True)
+class CorpusShape:
+    """Geometry of the virtual grouped-DBLP document.
+
+    ``venues × years × papers`` text slots; slot *s* lives at Dewey number
+    ``(0, v, 1 + y, 1 + p, 0, 0)`` — venue child *v* of the root, year child
+    ``1 + y`` of the venue (child 0 is the venue name), paper child
+    ``1 + p`` of the year (child 0 is the year text), the paper's title
+    field, the title's text node.
+    """
+
+    venues: int = 20
+    years: int = 10
+    papers: int = 1000
+
+    @property
+    def slots(self) -> int:
+        return self.venues * self.years * self.papers
+
+    def slot_dewey(self, slot: int) -> DeweyTuple:
+        """Dewey number of text slot *slot* (0-based, document order)."""
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.slots})")
+        venue, rest = divmod(slot, self.years * self.papers)
+        year, paper = divmod(rest, self.papers)
+        return (0, venue, 1 + year, 1 + paper, 0, 0)
+
+    def level_table(self) -> LevelTable:
+        """The level table a document of this shape would produce."""
+        # Fanouts per level: root→venues, venue→(name + years),
+        # year→(text + papers), paper→fields, field→text.
+        return LevelTable([self.venues, 1 + self.years, 1 + self.papers, 4, 1])
+
+    @classmethod
+    def sized_for(cls, max_frequency: int, headroom: float = 2.0) -> "CorpusShape":
+        """A shape with at least ``headroom × max_frequency`` slots."""
+        needed = max(1, math.ceil(max_frequency * headroom))
+        venues, years = 20, 10
+        papers = max(1, math.ceil(needed / (venues * years)))
+        return cls(venues=venues, years=years, papers=papers)
+
+
+def keyword_name(frequency: int, variant: int = 0) -> str:
+    """Canonical name of a planted keyword: ``xk<frequency>_<variant>``."""
+    return f"xk{frequency}_{variant}"
+
+
+def plant_virtual_lists(
+    frequencies: Mapping[str, int],
+    seed: int = 0,
+    shape: CorpusShape = None,
+) -> Tuple[Dict[str, List[DeweyTuple]], CorpusShape]:
+    """Planted keyword lists at exact frequencies over a virtual corpus.
+
+    Each keyword independently samples ``frequency`` distinct slots, so the
+    resulting list has exactly that many entries (one posting per node) and
+    different keywords co-occur at slots by chance — the same collision
+    statistics random DBLP keywords of those frequencies would have.
+    """
+    if shape is None:
+        shape = CorpusShape.sized_for(max(frequencies.values(), default=1))
+    largest = max(frequencies.values(), default=0)
+    if largest > shape.slots:
+        raise ValueError(
+            f"largest frequency {largest} exceeds the corpus's {shape.slots} slots"
+        )
+    rng = random.Random(seed)
+    lists: Dict[str, List[DeweyTuple]] = {}
+    for keyword in sorted(frequencies):
+        count = frequencies[keyword]
+        slots = rng.sample(range(shape.slots), count)
+        slots.sort()
+        lists[keyword] = [shape.slot_dewey(s) for s in slots]
+    return lists, shape
+
+
+@dataclass
+class PlantedCorpus:
+    """Planted lists plus the geometry they came from — one experiment's
+    data, ready for either in-memory execution or index building."""
+
+    lists: Dict[str, List[DeweyTuple]]
+    shape: CorpusShape
+    seed: int
+
+    @classmethod
+    def for_frequencies(
+        cls,
+        needed: Iterable[Tuple[int, int]],
+        seed: int = 0,
+        shape: CorpusShape = None,
+    ) -> "PlantedCorpus":
+        """Corpus containing ``variants`` keywords at each frequency.
+
+        ``needed`` is an iterable of ``(frequency, variants)`` pairs; the
+        planted keywords are named by :func:`keyword_name`.
+        """
+        spec: Dict[str, int] = {}
+        for frequency, variants in needed:
+            for variant in range(variants):
+                spec[keyword_name(frequency, variant)] = frequency
+        lists, shape = plant_virtual_lists(spec, seed=seed, shape=shape)
+        return cls(lists=lists, shape=shape, seed=seed)
+
+    def keyword(self, frequency: int, variant: int = 0) -> str:
+        name = keyword_name(frequency, variant)
+        if name not in self.lists:
+            raise KeyError(f"corpus has no planted keyword {name}")
+        return name
+
+    @property
+    def total_postings(self) -> int:
+        return sum(len(lst) for lst in self.lists.values())
+
+    def level_table(self) -> LevelTable:
+        return self.shape.level_table()

@@ -1,0 +1,108 @@
+"""Query-set generators, one per experiment figure.
+
+Each generator returns :class:`QueryPoint` objects: the x-axis value of the
+figure plus the concrete keyword queries (lists of planted-keyword names)
+to run at that point.  ``variants`` emulates the paper's "forty randomly
+chosen queries per experiment": with ``variants = v``, each point runs the
+query over ``v`` independent plantings of every frequency and the harness
+averages the measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from repro.workloads.datasets import keyword_name
+
+#: Frequency ladder used throughout the paper's figures.
+FREQUENCY_LADDER = (10, 100, 1000, 10000, 100000)
+
+#: Keyword-count sweep of Figures 9/10/12/13.
+KEYWORD_COUNTS = (2, 3, 4, 5)
+
+
+@dataclass(frozen=True)
+class QueryPoint:
+    """One x-axis point of a figure panel."""
+
+    x: int                      # the swept value (frequency or #keywords)
+    queries: Tuple[Tuple[str, ...], ...]  # keyword tuples to run and average
+
+    def frequencies_used(self) -> Set[Tuple[int, int]]:
+        """(frequency, variants) pairs this point needs planted."""
+        needed: Set[Tuple[int, int]] = set()
+        for query in self.queries:
+            for name in query:
+                # keyword_name format: xk<freq>_<variant>
+                freq_part, variant_part = name[2:].split("_")
+                needed.add((int(freq_part), int(variant_part) + 1))
+        return needed
+
+
+def _merge_needed(points: Iterable[QueryPoint]) -> List[Tuple[int, int]]:
+    """Collapse per-point needs into max-variant per frequency."""
+    best = {}
+    for point in points:
+        for frequency, variants in point.frequencies_used():
+            best[frequency] = max(best.get(frequency, 0), variants)
+    return sorted(best.items())
+
+
+def fig8_points(
+    small_frequency: int,
+    large_frequencies: Iterable[int] = FREQUENCY_LADDER,
+    variants: int = 2,
+) -> List[QueryPoint]:
+    """Figure 8/11: two keywords; small list fixed, large list swept."""
+    points = []
+    for large in large_frequencies:
+        queries = []
+        for v in range(variants):
+            small_kw = keyword_name(small_frequency, v)
+            # Use a different variant stream for the large keyword so the
+            # two lists are independent plantings even at equal frequency.
+            large_kw = keyword_name(large, v if large != small_frequency else v + variants)
+            queries.append((small_kw, large_kw))
+        points.append(QueryPoint(x=large, queries=tuple(queries)))
+    return points
+
+
+def fig9_points(
+    small_frequency: int,
+    large_frequency: int = 100000,
+    keyword_counts: Iterable[int] = KEYWORD_COUNTS,
+    variants: int = 2,
+) -> List[QueryPoint]:
+    """Figure 9/12: one small list plus (k-1) large lists; k swept."""
+    points = []
+    for k in keyword_counts:
+        queries = []
+        for v in range(variants):
+            query = [keyword_name(small_frequency, v)]
+            for j in range(k - 1):
+                query.append(keyword_name(large_frequency, v * (max(keyword_counts) - 1) + j))
+            queries.append(tuple(query))
+        points.append(QueryPoint(x=k, queries=tuple(queries)))
+    return points
+
+
+def fig10_points(
+    frequency: int,
+    keyword_counts: Iterable[int] = KEYWORD_COUNTS,
+    variants: int = 2,
+) -> List[QueryPoint]:
+    """Figure 10/13: k keyword lists, all of the same size; k swept."""
+    points = []
+    for k in keyword_counts:
+        queries = []
+        for v in range(variants):
+            base = v * max(keyword_counts)
+            queries.append(tuple(keyword_name(frequency, base + j) for j in range(k)))
+        points.append(QueryPoint(x=k, queries=tuple(queries)))
+    return points
+
+
+def needed_frequencies(points: Iterable[QueryPoint]) -> List[Tuple[int, int]]:
+    """All (frequency, variants) plantings a set of points requires."""
+    return _merge_needed(points)

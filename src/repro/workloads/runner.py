@@ -1,0 +1,229 @@
+"""Experiment runner: execute query points and collect measurements.
+
+A :class:`Measurement` captures everything one query execution cost — wall
+time, operation counters, physical page reads split into sequential and
+random, and the modeled I/O time the cost model charges for them.  The
+:class:`ExperimentRunner` owns one planted corpus plus (lazily) a disk
+index over it, and runs queries in three modes:
+
+* ``memory`` — in-memory keyword lists; pure CPU, the main-memory cost
+  model of Section 3 (used for the hot-cache figures and Table 1);
+* ``disk-hot`` — disk index, buffer pool pre-warmed by an unmeasured run of
+  the same query (the paper's hot-cache protocol: response time of repeated
+  queries);
+* ``disk-cold`` — disk index, buffer pool emptied before the measured run;
+  reported time = CPU + modeled I/O (page misses × seek/stream cost).
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.counters import OpCounters
+from repro.index.builder import build_index
+from repro.index.inverted import DiskKeywordIndex
+from repro.index.memory import MemoryKeywordIndex
+from repro.storage.pager import CostModel, DEFAULT_PAGE_SIZE
+from repro.workloads.datasets import PlantedCorpus
+from repro.workloads.queries import QueryPoint
+from repro.xksearch.engine import ExecutionStats, QueryEngine
+
+MODES = ("memory", "disk-hot", "disk-cold")
+
+
+@dataclass
+class Measurement:
+    """Cost profile of one (or the average of several) query execution."""
+
+    algorithm: str
+    mode: str
+    wall_ms: float
+    modeled_io_ms: float = 0.0
+    page_reads: int = 0
+    sequential_reads: int = 0
+    random_reads: int = 0
+    n_results: int = 0
+    counters: OpCounters = field(default_factory=OpCounters)
+
+    @property
+    def total_ms(self) -> float:
+        """Wall time plus modeled I/O — the headline response time."""
+        return self.wall_ms + self.modeled_io_ms
+
+
+def average_measurements(measurements: Sequence[Measurement]) -> Measurement:
+    """Mean of several runs of the same configuration."""
+    if not measurements:
+        raise ValueError("cannot average zero measurements")
+    first = measurements[0]
+    counters = OpCounters()
+    for m in measurements:
+        counters = counters + m.counters
+    n = len(measurements)
+    summed = counters.as_dict()
+    averaged = OpCounters(**{k: v // n for k, v in summed.items()})
+    return Measurement(
+        algorithm=first.algorithm,
+        mode=first.mode,
+        wall_ms=statistics.fmean(m.wall_ms for m in measurements),
+        modeled_io_ms=statistics.fmean(m.modeled_io_ms for m in measurements),
+        page_reads=round(statistics.fmean(m.page_reads for m in measurements)),
+        sequential_reads=round(statistics.fmean(m.sequential_reads for m in measurements)),
+        random_reads=round(statistics.fmean(m.random_reads for m in measurements)),
+        n_results=round(statistics.fmean(m.n_results for m in measurements)),
+        counters=averaged,
+    )
+
+
+class ExperimentRunner:
+    """Runs query points against one planted corpus."""
+
+    def __init__(
+        self,
+        corpus: PlantedCorpus,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cost_model: Optional[CostModel] = None,
+        index_dir: Optional[str] = None,
+        pool_capacity: int = 16384,
+    ):
+        self.corpus = corpus
+        self.page_size = page_size
+        self.cost_model = cost_model or CostModel()
+        self.pool_capacity = pool_capacity
+        self._memory_index = MemoryKeywordIndex(corpus.lists)
+        self._memory_engine = QueryEngine(self._memory_index)
+        self._index_dir = index_dir
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        self._disk_index: Optional[DiskKeywordIndex] = None
+        self._disk_engine: Optional[QueryEngine] = None
+
+    # -- disk index lifecycle ---------------------------------------------------
+
+    def _ensure_disk(self) -> QueryEngine:
+        if self._disk_engine is not None:
+            return self._disk_engine
+        if self._index_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="xksearch-bench-")
+            self._index_dir = self._tempdir.name
+        manifest_path = os.path.join(self._index_dir, "manifest.json")
+        if not os.path.exists(manifest_path):
+            build_index(
+                self.corpus.lists,
+                self._index_dir,
+                page_size=self.page_size,
+                level_table=self.corpus.level_table(),
+            )
+        self._disk_index = DiskKeywordIndex(
+            self._index_dir, pool_capacity=self.pool_capacity
+        )
+        self._disk_engine = QueryEngine(self._disk_index)
+        return self._disk_engine
+
+    def close(self) -> None:
+        if self._disk_index is not None:
+            self._disk_index.close()
+            self._disk_index = None
+            self._disk_engine = None
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- single-query execution ----------------------------------------------------
+
+    def run_query(
+        self,
+        keywords: Sequence[str],
+        algorithm: str,
+        mode: str = "memory",
+    ) -> Measurement:
+        """Execute one query in the given mode and measure it."""
+        if mode == "memory":
+            return self._run_memory(keywords, algorithm)
+        if mode in ("disk-hot", "disk-cold"):
+            return self._run_disk(keywords, algorithm, cold=(mode == "disk-cold"))
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+
+    def _run_memory(self, keywords: Sequence[str], algorithm: str) -> Measurement:
+        stats = ExecutionStats()
+        started = time.perf_counter()
+        results = list(self._memory_engine.execute(keywords, algorithm, stats))
+        wall_ms = (time.perf_counter() - started) * 1000
+        return Measurement(
+            algorithm=algorithm,
+            mode="memory",
+            wall_ms=wall_ms,
+            n_results=len(results),
+            counters=stats.counters,
+        )
+
+    def _run_disk(
+        self, keywords: Sequence[str], algorithm: str, cold: bool
+    ) -> Measurement:
+        engine = self._ensure_disk()
+        index = self._disk_index
+        if cold:
+            index.make_cold()
+        else:
+            # Hot protocol: one unmeasured pass loads every page the query
+            # touches into the pool.
+            list(engine.execute(keywords, algorithm, ExecutionStats()))
+        before = index.io_snapshot()
+        stats = ExecutionStats()
+        started = time.perf_counter()
+        results = list(engine.execute(keywords, algorithm, stats))
+        wall_ms = (time.perf_counter() - started) * 1000
+        delta = index.pager.stats.delta(before)
+        return Measurement(
+            algorithm=algorithm,
+            mode="disk-cold" if cold else "disk-hot",
+            wall_ms=wall_ms,
+            modeled_io_ms=self.cost_model.charge(delta),
+            page_reads=delta.reads,
+            sequential_reads=delta.sequential_reads,
+            random_reads=delta.random_reads,
+            n_results=len(results),
+            counters=stats.counters,
+        )
+
+    # -- point execution ---------------------------------------------------------------
+
+    def run_point(
+        self,
+        point: QueryPoint,
+        algorithm: str,
+        mode: str = "memory",
+        repeats: int = 1,
+    ) -> Measurement:
+        """Average measurement over the point's query variants × repeats."""
+        runs: List[Measurement] = []
+        for query in point.queries:
+            for _ in range(max(1, repeats)):
+                runs.append(self.run_query(query, algorithm, mode))
+        return average_measurements(runs)
+
+    def run_points(
+        self,
+        points: Sequence[QueryPoint],
+        algorithms: Sequence[str],
+        mode: str = "memory",
+        repeats: int = 1,
+    ) -> Dict[int, Dict[str, Measurement]]:
+        """Full sweep: {x value: {algorithm: averaged measurement}}."""
+        sweep: Dict[int, Dict[str, Measurement]] = {}
+        for point in points:
+            sweep[point.x] = {
+                algorithm: self.run_point(point, algorithm, mode, repeats)
+                for algorithm in algorithms
+            }
+        return sweep

@@ -1,0 +1,208 @@
+"""Command-line interface: ``xksearch build|search|stats``.
+
+Examples::
+
+    xksearch build school.xml school.index
+    xksearch search school.index "John Ben"
+    xksearch search school.index --algorithm stack --lca "John Ben"
+    xksearch stats school.index
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.index.builder import build_index, load_manifest
+from repro.xksearch.engine import ExecutionStats
+from repro.xksearch.system import XKSearch
+from repro.xmltree.parser import parse_file
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    tree = parse_file(args.document)
+    report = build_index(
+        tree,
+        args.index_dir,
+        page_size=args.page_size,
+        codec=args.codec,
+        keep_document=not args.no_document,
+    )
+    elapsed = time.perf_counter() - started
+    print(f"indexed {report.postings} postings for {report.keywords} keywords")
+    print(
+        f"{report.pages} pages of {report.page_size} B "
+        f"({report.bytes_on_disk / 1024:.1f} KiB), codec={report.codec}, "
+        f"B+tree heights il={report.il_height} scan={report.scan_height}"
+    )
+    print(f"build time: {elapsed:.2f}s")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    with XKSearch.open(args.index_dir, load_document=not args.ids_only) as system:
+        plan = system.explain(args.query, algorithm=args.algorithm)
+        stats = ExecutionStats()
+        started = time.perf_counter()
+        if args.lca:
+            results = system.search_all_lcas(args.query, stats=stats)
+            kind = "LCA"
+        elif args.elca:
+            results = system.search_elcas(args.query, stats=stats)
+            kind = "ELCA"
+        else:
+            results = system.search(args.query, algorithm=args.algorithm, limit=args.limit)
+            kind = "SLCA"
+        elapsed = (time.perf_counter() - started) * 1000
+        print(
+            f"plan: algorithm={plan.algorithm} keywords={plan.keywords} "
+            f"frequencies={plan.frequencies}"
+        )
+        print(f"{len(results)} {kind} answer(s) in {elapsed:.2f} ms")
+        for result in results:
+            print(f"--- {result}")
+            if result.snippet and not args.ids_only:
+                print(result.snippet.rstrip())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    manifest = load_manifest(args.index_dir)
+    print(f"index format version: {manifest['version']}")
+    print(f"codec: {manifest['codec']}, page size: {manifest['page_size']} B")
+    print(f"keywords: {manifest['keywords']}, postings: {manifest['postings']}")
+    print(f"document stored: {'yes' if manifest.get('has_document') else 'no'}")
+    if args.top:
+        with XKSearch.open(args.index_dir, load_document=False) as system:
+            pairs = sorted(
+                system.index.frequency_table.items(), key=lambda kv: -kv[1]
+            )[: args.top]
+            print(f"top {len(pairs)} keywords by frequency:")
+            for keyword, freq in pairs:
+                print(f"  {keyword:24s} {freq}")
+    return 0
+
+
+def _cmd_group(args: argparse.Namespace) -> int:
+    from repro.xmltree.dblp import group_by_venue_year
+    from repro.xmltree.serialize import serialize
+
+    flat = parse_file(args.document)
+    grouped = group_by_venue_year(flat)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(serialize(grouped.root))
+    venues = len(grouped.root.children)
+    print(
+        f"grouped {len(flat)}-node flat file into {len(grouped)} nodes "
+        f"({venues} venues, depth {grouped.depth}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.index.verify import verify_index
+
+    report = verify_index(args.index_dir)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.xmltree.docstats import analyze, format_stats
+
+    tree = parse_file(args.document)
+    print(format_stats(analyze(tree, top=args.top)))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.xksearch.server import serve
+
+    serve(args.index_dir, host=args.host, port=args.port)
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xksearch",
+        description="Keyword search for smallest LCAs in XML documents (SIGMOD 2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="index an XML document")
+    p_build.add_argument("document", help="path to the XML document")
+    p_build.add_argument("index_dir", help="directory to create the index in")
+    p_build.add_argument("--page-size", type=int, default=4096)
+    p_build.add_argument("--codec", choices=("packed", "varint"), default="packed")
+    p_build.add_argument(
+        "--no-document",
+        action="store_true",
+        help="do not store the document (results will be bare Dewey ids)",
+    )
+    p_build.set_defaults(func=_cmd_build)
+
+    p_search = sub.add_parser("search", help="run a keyword query")
+    p_search.add_argument("index_dir")
+    p_search.add_argument("query", help="keywords, e.g. \"John Ben\"")
+    p_search.add_argument(
+        "--algorithm", choices=("auto", "il", "scan", "stack"), default="auto"
+    )
+    p_search.add_argument("--limit", type=int, default=None)
+    p_search.add_argument(
+        "--lca", action="store_true", help="return all LCAs instead of SLCAs"
+    )
+    p_search.add_argument(
+        "--elca",
+        action="store_true",
+        help="return Exclusive LCAs (XRANK semantics) instead of SLCAs",
+    )
+    p_search.add_argument(
+        "--ids-only", action="store_true", help="print Dewey ids without snippets"
+    )
+    p_search.set_defaults(func=_cmd_search)
+
+    p_stats = sub.add_parser("stats", help="show index statistics")
+    p_stats.add_argument("index_dir")
+    p_stats.add_argument("--top", type=int, default=0, help="show N most frequent keywords")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_group = sub.add_parser(
+        "group", help="apply the paper's DBLP preprocessing to a flat file"
+    )
+    p_group.add_argument("document", help="flat DBLP-style XML input")
+    p_group.add_argument("output", help="path for the grouped document")
+    p_group.set_defaults(func=_cmd_group)
+
+    p_verify = sub.add_parser("verify", help="check an index's integrity")
+    p_verify.add_argument("index_dir")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_analyze = sub.add_parser("analyze", help="profile a document before indexing")
+    p_analyze.add_argument("document", help="path to the XML document")
+    p_analyze.add_argument("--top", type=int, default=10, help="top keywords to list")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_serve = sub.add_parser("serve", help="run the web demo over an index")
+    p_serve.add_argument("index_dir")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.set_defaults(func=_cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Query engine: planning and execution.
+
+The paper's engine "accepts a keyword search, uses the frequency hash table
+to locate the smallest keyword list, executes the Indexed Lookup Eager,
+Scan Eager [or] Stack algorithms and returns all SLCAs."  Planning decides
+
+* the list order — smallest list first (it becomes ``S1``; all complexity
+  bounds are driven by ``|S1|``), and
+* the algorithm — under ``"auto"``, Indexed Lookup Eager when the largest
+  and smallest list sizes differ by at least ``skew_threshold`` (the regime
+  where the paper shows IL winning by orders of magnitude), Scan Eager when
+  the frequencies are similar (where scanning beats ``log``-factor
+  lookups).  The Stack baseline is available on request.
+
+Any keyword absent from the document short-circuits to an empty result, as
+an empty keyword list admits no answer subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.core import eager_slca, find_all_lcas, stack_elca, stack_slca
+from repro.core.counters import OpCounters
+from repro.errors import QueryError
+from repro.index.inverted import DiskKeywordIndex
+from repro.index.memory import MemoryKeywordIndex
+from repro.xmltree.dewey import DeweyTuple
+from repro.xmltree.tree import extract_keywords
+
+AnyIndex = Union[DiskKeywordIndex, MemoryKeywordIndex]
+
+ALGORITHMS = ("auto", "il", "scan", "stack")
+
+#: Default largest/smallest frequency ratio above which auto planning
+#: prefers Indexed Lookup Eager.
+DEFAULT_SKEW_THRESHOLD = 10.0
+
+
+@dataclass(frozen=True)
+class QueryAtom:
+    """One query term: a keyword, optionally restricted to a context tag.
+
+    ``title:query`` matches the word ``query`` only at nodes whose context
+    element (the node itself, or a text node's parent) is ``<title>``.
+    """
+
+    keyword: str
+    tag: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        return f"{self.tag}:{self.keyword}" if self.tag else self.keyword
+
+    def __str__(self) -> str:
+        return self.display
+
+
+def parse_query(query: Union[str, Sequence[str]]) -> List[QueryAtom]:
+    """Query text or token sequence → query atoms.
+
+    Plain words become unqualified atoms; ``tag:word`` tokens become
+    tag-qualified atoms.  Words are lowercased/tokenized exactly like
+    document labels; duplicate atoms collapse.
+    """
+    raw_tokens = query.split() if isinstance(query, str) else list(query)
+    atoms: List[QueryAtom] = []
+    for raw in raw_tokens:
+        tag: Optional[str] = None
+        body = raw
+        if ":" in raw:
+            tag_part, body = raw.split(":", 1)
+            tag_words = extract_keywords(tag_part)
+            if len(tag_words) == 1:
+                tag = tag_words[0]
+            else:
+                body = raw  # not a clean qualifier; treat whole token as words
+        for word in extract_keywords(body):
+            atom = QueryAtom(word, tag)
+            if atom not in atoms:
+                atoms.append(atom)
+    if not atoms:
+        raise QueryError("query contains no searchable keywords")
+    return atoms
+
+
+def normalize_query(query: Union[str, Sequence[str]]) -> List[str]:
+    """Query → unique keyword/atom display strings (see :func:`parse_query`)."""
+    return [atom.display for atom in parse_query(query)]
+
+
+@dataclass
+class QueryPlan:
+    """The engine's decision for one query."""
+
+    keywords: List[str]          # atom displays, rarest first
+    algorithm: str               # resolved: "il", "scan" or "stack"
+    frequencies: List[int]       # aligned with `keywords`
+    empty: bool                  # some keyword does not occur at all
+    atoms: List[QueryAtom] = field(default_factory=list)
+    # Tag-filtered lists materialized at planning time, keyed by atom —
+    # execution reuses them instead of rescanning.
+    filtered: Dict[QueryAtom, List[DeweyTuple]] = field(default_factory=dict)
+
+    @property
+    def skew(self) -> float:
+        """Largest/smallest frequency ratio (inf when a list is empty)."""
+        if not self.frequencies or min(self.frequencies) == 0:
+            return float("inf")
+        return max(self.frequencies) / min(self.frequencies)
+
+
+@dataclass
+class ExecutionStats:
+    """What one execution cost."""
+
+    counters: OpCounters = field(default_factory=OpCounters)
+    page_reads: int = 0
+    sequential_reads: int = 0
+    random_reads: int = 0
+
+
+class QueryEngine:
+    """Plans and executes keyword queries against an index."""
+
+    def __init__(
+        self,
+        index: AnyIndex,
+        skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
+    ):
+        self.index = index
+        self.skew_threshold = skew_threshold
+
+    def plan(
+        self,
+        query: Union[str, Sequence[str]],
+        algorithm: str = "auto",
+    ) -> QueryPlan:
+        """Resolve keyword order and algorithm without executing."""
+        if algorithm not in ALGORITHMS:
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        atoms = parse_query(query)
+        filtered: Dict[QueryAtom, List[DeweyTuple]] = {}
+        frequencies_by_atom: Dict[QueryAtom, int] = {}
+        for atom in atoms:
+            if atom.tag is None:
+                frequencies_by_atom[atom] = self.index.frequency(atom.keyword)
+            else:
+                # Tag filters need the actual postings; materialize once and
+                # carry the list into execution.
+                lst = self.index.keyword_list(atom.keyword, atom.tag)
+                filtered[atom] = lst
+                frequencies_by_atom[atom] = len(lst)
+        ordered = sorted(atoms, key=lambda a: frequencies_by_atom[a])
+        frequencies = [frequencies_by_atom[a] for a in ordered]
+        empty = any(f == 0 for f in frequencies)
+        if algorithm == "auto":
+            skew = (
+                max(frequencies) / min(frequencies)
+                if frequencies and min(frequencies) > 0
+                else float("inf")
+            )
+            algorithm = "il" if skew >= self.skew_threshold else "scan"
+        return QueryPlan(
+            [a.display for a in ordered],
+            algorithm,
+            frequencies,
+            empty,
+            atoms=ordered,
+            filtered=filtered,
+        )
+
+    def execute(
+        self,
+        query: Union[str, Sequence[str]],
+        algorithm: str = "auto",
+        stats: Optional[ExecutionStats] = None,
+    ) -> Iterator[DeweyTuple]:
+        """SLCAs of the query, streamed in document order."""
+        plan = self.plan(query, algorithm)
+        return self.execute_plan(plan, stats)
+
+    def execute_plan(
+        self,
+        plan: QueryPlan,
+        stats: Optional[ExecutionStats] = None,
+    ) -> Iterator[DeweyTuple]:
+        """Run a previously computed plan."""
+        stats = stats if stats is not None else ExecutionStats()
+        if plan.empty:
+            return iter(())
+        counters = stats.counters
+        if plan.algorithm in ("il", "scan"):
+            mode = "indexed" if plan.algorithm == "il" else "scan"
+            sources = [self._atom_source(plan, atom, mode, counters) for atom in plan.atoms]
+            return eager_slca(sources, counters)
+        if plan.algorithm == "stack":
+            lists = [self._atom_scan(plan, atom) for atom in plan.atoms]
+            return stack_slca(lists, counters)
+        raise QueryError(f"unknown algorithm {plan.algorithm!r}")
+
+    def _atom_source(
+        self, plan: QueryPlan, atom: QueryAtom, mode: str, counters: OpCounters
+    ):
+        """One match source per atom; tag-qualified atoms use their
+        pre-filtered lists, plain atoms the index's native sources."""
+        if atom.tag is None:
+            return self.index.sources_for([atom.keyword], mode, counters)[0]
+        from repro.core.sources import CursorListSource, SortedListSource
+
+        lst = plan.filtered[atom]
+        cls = SortedListSource if mode == "indexed" else CursorListSource
+        return cls(lst, counters)
+
+    def _atom_scan(self, plan: QueryPlan, atom: QueryAtom):
+        if atom.tag is None:
+            return self.index.scan(atom.keyword)
+        return plan.filtered[atom]
+
+    def execute_all_lca(
+        self,
+        query: Union[str, Sequence[str]],
+        stats: Optional[ExecutionStats] = None,
+    ) -> Iterator[DeweyTuple]:
+        """All LCAs (Section 5), pipelined via Algorithm 3 over IL."""
+        plan = self.plan(query, algorithm="il")
+        stats = stats if stats is not None else ExecutionStats()
+        if plan.empty:
+            return iter(())
+        sources = [
+            self._atom_source(plan, atom, "indexed", stats.counters)
+            for atom in plan.atoms
+        ]
+        return find_all_lcas(sources, stats.counters)
+
+    def execute_elca(
+        self,
+        query: Union[str, Sequence[str]],
+        stats: Optional[ExecutionStats] = None,
+    ) -> Iterator[DeweyTuple]:
+        """Exclusive LCAs — XRANK's original semantics, via the sort-merge
+        stack over sequential list scans.  SLCA ⊆ ELCA ⊆ LCA.  Yields in
+        bottom-up pop order (sort for document order)."""
+        plan = self.plan(query, algorithm="stack")
+        stats = stats if stats is not None else ExecutionStats()
+        if plan.empty:
+            return iter(())
+        lists = [self._atom_scan(plan, atom) for atom in plan.atoms]
+        return stack_elca(lists, stats.counters)

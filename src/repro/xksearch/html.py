@@ -1,0 +1,122 @@
+"""HTML rendering of search results — the demo's presentation layer.
+
+The paper's XKSearch demo "runs as a Java Servlet ... the Xalan engine is
+used to translate XML results to HTML".  This module is that translation
+step in Python: one self-contained HTML page per query, with the plan
+summary, each SLCA's path and Dewey id, and the answer subtree rendered as
+escaped XML with the query keywords highlighted.
+
+Everything is escaped before interpolation; the only markup injected into
+user-derived content is the ``<mark>`` highlighting, applied token-wise
+after escaping.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from typing import Iterable, List, Optional, Sequence
+
+from repro.xksearch.engine import QueryPlan
+from repro.xksearch.results import SearchResult
+from repro.xmltree.dewey import Dewey
+
+_PAGE_CSS = """
+body { font-family: Georgia, serif; margin: 2rem auto; max-width: 52rem;
+       color: #222; }
+h1 { font-size: 1.4rem; }
+form input[type=text] { width: 24rem; font-size: 1rem; padding: .3rem; }
+.plan { color: #555; font-size: .9rem; margin: .5rem 0 1.5rem; }
+.result { border: 1px solid #ccc; border-radius: 6px; padding: .8rem 1rem;
+          margin-bottom: 1rem; }
+.result h2 { font-size: 1rem; margin: 0 0 .5rem; }
+.result .id { color: #888; font-weight: normal; }
+pre.snippet { background: #f7f7f2; padding: .6rem; overflow-x: auto;
+              font-size: .85rem; line-height: 1.35; }
+mark { background: #ffe08a; padding: 0 .1rem; }
+.empty { color: #777; font-style: italic; }
+footer { margin-top: 2rem; color: #999; font-size: .8rem; }
+"""
+
+_WORD_RE = re.compile(r"[A-Za-z0-9_]+")
+
+
+def highlight(text: str, keywords: Iterable[str]) -> str:
+    """HTML-escape *text* and wrap whole-word keyword matches in <mark>.
+
+    Matching is case-insensitive on alphanumeric tokens — the same
+    tokenization the index uses, so exactly the indexed occurrences light
+    up.
+    """
+    wanted = {kw.lower() for kw in keywords}
+    out: List[str] = []
+    last = 0
+    for match in _WORD_RE.finditer(text):
+        out.append(html.escape(text[last:match.start()]))
+        token = match.group(0)
+        if token.lower() in wanted:
+            out.append(f"<mark>{html.escape(token)}</mark>")
+        else:
+            out.append(html.escape(token))
+        last = match.end()
+    out.append(html.escape(text[last:]))
+    return "".join(out)
+
+
+def render_result(result: SearchResult, keywords: Sequence[str]) -> str:
+    """One answer card."""
+    title = html.escape(result.path or "answer")
+    dewey = html.escape(str(Dewey(result.dewey)))
+    parts = [f'<div class="result"><h2>{title} <span class="id">({dewey})</span></h2>']
+    if result.snippet:
+        parts.append(
+            f'<pre class="snippet">{highlight(result.snippet.rstrip(), keywords)}</pre>'
+        )
+    if result.witnesses:
+        summary = ", ".join(
+            f"{html.escape(kw)}: {len(hits)}" for kw, hits in result.witnesses.items()
+        )
+        parts.append(f'<div class="plan">matches — {summary}</div>')
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def render_page(
+    query: str,
+    results: Sequence[SearchResult],
+    plan: Optional[QueryPlan] = None,
+    elapsed_ms: Optional[float] = None,
+    title: str = "XKSearch",
+) -> str:
+    """A complete results page (also the empty-query landing page)."""
+    safe_query = html.escape(query, quote=True)
+    keywords: List[str] = []
+    if plan is not None:
+        keywords = [kw.split(":", 1)[-1] for kw in plan.keywords]
+    body: List[str] = [
+        f"<h1>{html.escape(title)} — keyword search for smallest LCAs</h1>",
+        '<form method="get" action="/search">',
+        f'<input type="text" name="q" value="{safe_query}" autofocus/> ',
+        '<input type="submit" value="Search"/></form>',
+    ]
+    if plan is not None:
+        timing = f" in {elapsed_ms:.2f} ms" if elapsed_ms is not None else ""
+        body.append(
+            '<div class="plan">'
+            f"algorithm <b>{html.escape(plan.algorithm)}</b>, keyword order "
+            f"{html.escape(', '.join(plan.keywords))} "
+            f"(frequencies {html.escape(', '.join(map(str, plan.frequencies)))})"
+            f" — {len(results)} answer(s){timing}</div>"
+        )
+    if query and not results:
+        body.append('<p class="empty">No subtree contains all the keywords.</p>')
+    for result in results:
+        body.append(render_result(result, keywords))
+    body.append(
+        "<footer>Xu &amp; Papakonstantinou, SIGMOD 2005 — Python reproduction</footer>"
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'/>"
+        f"<title>{html.escape(title)}</title><style>{_PAGE_CSS}</style></head>"
+        f"<body>{''.join(body)}</body></html>"
+    )

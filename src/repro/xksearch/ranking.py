@@ -1,0 +1,114 @@
+"""Result ranking: ordering SLCAs by how specific and compact they are.
+
+The paper returns SLCAs in document order; its Section 7 points at
+XRANK/XSEarch-style systems that additionally *rank* answers.  This module
+provides a simple, deterministic specificity ranking built only from
+information the search already has — the answer's Dewey number and the
+keyword witnesses inside it:
+
+* **depth** — a deeper SLCA is a more specific context (a ``<paper>``
+  beats a ``<year>`` beats the whole ``<dblp>``);
+* **compactness** — the closer the witnesses sit to the answer root, the
+  tighter the relationship (sum over keywords of the *minimum* witness
+  distance from the SLCA);
+* **witness support** — more matching occurrences inside the answer break
+  remaining ties upward.
+
+Scores are in (0, 1]; ties finally break by document order so ranking is
+total and stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.xksearch.results import SearchResult
+from repro.xmltree.dewey import DeweyTuple
+
+
+@dataclass
+class RankedResult:
+    """A search result with its ranking score and feature breakdown."""
+
+    result: SearchResult
+    score: float
+    depth: int
+    mean_witness_distance: float
+    witness_count: int
+
+    @property
+    def dewey(self) -> DeweyTuple:
+        return self.result.dewey
+
+    def __str__(self) -> str:
+        return f"{self.result} [score={self.score:.3f}]"
+
+
+def score_result(
+    result: SearchResult,
+    max_depth: int,
+    depth_weight: float = 0.5,
+    proximity_weight: float = 0.4,
+    support_weight: float = 0.1,
+) -> RankedResult:
+    """Score one result; weights must sum to 1 (validated)."""
+    total = depth_weight + proximity_weight + support_weight
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"ranking weights must sum to 1, got {total}")
+    depth = len(result.dewey)
+    depth_score = depth / max(max_depth, depth)
+
+    distances: List[int] = []
+    witness_count = 0
+    for hits in result.witnesses.values():
+        if not hits:
+            continue
+        witness_count += len(hits)
+        distances.append(min(len(hit) - depth for hit in hits))
+    mean_distance = sum(distances) / len(distances) if distances else 0.0
+    proximity_score = 1.0 / (1.0 + mean_distance)
+    support_score = 1.0 - 1.0 / (1.0 + witness_count)
+
+    score = (
+        depth_weight * depth_score
+        + proximity_weight * proximity_score
+        + support_weight * support_score
+    )
+    return RankedResult(
+        result=result,
+        score=score,
+        depth=depth,
+        mean_witness_distance=mean_distance,
+        witness_count=witness_count,
+    )
+
+
+def rank_results(
+    results: Sequence[SearchResult],
+    max_depth: Optional[int] = None,
+    depth_weight: float = 0.5,
+    proximity_weight: float = 0.4,
+    support_weight: float = 0.1,
+) -> List[RankedResult]:
+    """Rank results best-first (score desc, then document order).
+
+    ``max_depth`` normalizes the depth feature; when omitted, the deepest
+    answer in the batch is used (a within-query normalization).
+    """
+    if not results:
+        return []
+    if max_depth is None:
+        max_depth = max(len(r.dewey) for r in results)
+    ranked = [
+        score_result(
+            r,
+            max_depth,
+            depth_weight=depth_weight,
+            proximity_weight=proximity_weight,
+            support_weight=support_weight,
+        )
+        for r in results
+    ]
+    ranked.sort(key=lambda rr: (-rr.score, rr.dewey))
+    return ranked

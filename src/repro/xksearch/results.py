@@ -1,0 +1,75 @@
+"""Search results: SLCA nodes rendered for presentation.
+
+The demo of the paper rendered each SLCA's subtree as HTML; here a
+:class:`SearchResult` carries the Dewey number, and — when the document is
+available in memory — the element path from the root, an XML snippet of the
+answer subtree, and the per-keyword witness nodes (which node under the
+SLCA matched each query keyword), the kind of explanation XSEarch-style
+systems attach to answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.xmltree.dewey import Dewey, DeweyTuple, is_ancestor_or_self
+from repro.xmltree.serialize import serialize
+from repro.xmltree.tree import XMLTree
+
+
+@dataclass
+class SearchResult:
+    """One SLCA answer."""
+
+    dewey: DeweyTuple
+    path: Optional[str] = None           # e.g. "School/Class" (tags root→SLCA)
+    snippet: Optional[str] = None        # XML of the answer subtree
+    witnesses: Dict[str, List[DeweyTuple]] = field(default_factory=dict)
+
+    @property
+    def id(self) -> Dewey:
+        """The Dewey number as a public-API object."""
+        return Dewey(self.dewey)
+
+    def __str__(self) -> str:
+        label = str(Dewey(self.dewey))
+        return f"{label} ({self.path})" if self.path else label
+
+
+def decorate_result(
+    dewey: DeweyTuple,
+    tree: Optional[XMLTree],
+    keywords: Optional[List[str]] = None,
+    keyword_lists: Optional[Dict[str, List[DeweyTuple]]] = None,
+    snippet_limit: int = 2000,
+) -> SearchResult:
+    """Attach presentation data to a raw SLCA Dewey number.
+
+    Without a tree the result is bare.  ``keyword_lists`` (when given along
+    with ``keywords``) is used to collect each keyword's witness nodes
+    inside the answer subtree.
+    """
+    result = SearchResult(dewey)
+    if tree is not None:
+        node = tree.node(dewey)
+        tags: List[str] = []
+        walk = node
+        while walk is not None:
+            if not walk.is_text:
+                tags.append(walk.tag)
+            walk = walk.parent
+        result.path = "/".join(reversed(tags))
+        snippet = serialize(node)
+        if len(snippet) > snippet_limit:
+            snippet = snippet[:snippet_limit] + "…"
+        result.snippet = snippet
+    if keywords and keyword_lists:
+        for keyword in keywords:
+            hits = [
+                d
+                for d in keyword_lists.get(keyword, [])
+                if is_ancestor_or_self(dewey, d)
+            ]
+            result.witnesses[keyword] = hits
+    return result

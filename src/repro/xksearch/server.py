@@ -1,0 +1,102 @@
+"""A small demo web server — the paper's servlet, in stdlib Python.
+
+The original XKSearch demo ran as a Java Servlet under Tomcat; this is the
+equivalent zero-dependency demo: ``xksearch serve <index_dir>`` starts an
+HTTP server whose ``/search?q=…`` endpoint runs the engine and renders the
+results page from :mod:`repro.xksearch.html`.
+
+Endpoints:
+
+* ``GET /`` — search form;
+* ``GET /search?q=<keywords>[&algorithm=auto|il|scan|stack]`` — results;
+* ``GET /healthz`` — liveness (plain text).
+
+The server is single-purpose demo infrastructure: synchronous,
+single-threaded handler (the underlying index is not thread-safe by
+design), bound to localhost by default.
+"""
+
+from __future__ import annotations
+
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ReproError
+from repro.xksearch.html import render_page
+from repro.xksearch.system import XKSearch
+
+
+class _Handler(BaseHTTPRequestHandler):
+    system: XKSearch = None  # injected by make_server
+    quiet: bool = True
+
+    def log_message(self, fmt, *args):  # noqa: N802 (stdlib naming)
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def do_GET(self):  # noqa: N802 (stdlib naming)
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            self._send(200, "ok", content_type="text/plain; charset=utf-8")
+            return
+        if url.path == "/":
+            self._send(200, render_page("", []))
+            return
+        if url.path == "/search":
+            self._handle_search(url)
+            return
+        self._send(404, render_page("", []), status_only_body="not found")
+
+    def _handle_search(self, url):
+        params = parse_qs(url.query)
+        query = (params.get("q") or [""])[0].strip()
+        algorithm = (params.get("algorithm") or ["auto"])[0]
+        if not query:
+            self._send(200, render_page("", []))
+            return
+        try:
+            plan = self.system.explain(query, algorithm=algorithm)
+            started = time.perf_counter()
+            results = self.system.search(query, algorithm=algorithm, limit=50)
+            elapsed_ms = (time.perf_counter() - started) * 1000
+        except ReproError as exc:
+            self._send(400, render_page(query, [], title=f"error: {exc}"))
+            return
+        self._send(200, render_page(query, results, plan=plan, elapsed_ms=elapsed_ms))
+
+    def _send(self, status: int, body: str, content_type: str = "text/html; charset=utf-8", status_only_body: Optional[str] = None):
+        payload = (status_only_body or body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+def make_server(
+    system: XKSearch,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> HTTPServer:
+    """An HTTP server bound to *host:port* (port 0 = ephemeral), serving
+    queries against *system*.  Caller owns the lifecycle
+    (``serve_forever`` / ``shutdown`` / ``server_close``)."""
+    handler = type("XKSearchHandler", (_Handler,), {"system": system, "quiet": quiet})
+    return HTTPServer((host, port), handler)
+
+
+def serve(index_dir: str, host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Blocking entry point used by ``xksearch serve``."""
+    with XKSearch.open(index_dir) as system:
+        server = make_server(system, host=host, port=port, quiet=False)
+        actual_port = server.server_address[1]
+        print(f"XKSearch demo at http://{host}:{actual_port}/  (Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()

@@ -1,0 +1,196 @@
+"""The XKSearch facade — the system of Section 4, end to end.
+
+Typical library use::
+
+    from repro.xksearch import XKSearch
+
+    system = XKSearch.build("school.xml", "school.index")   # build once
+    system = XKSearch.open("school.index")                  # reopen later
+    for result in system.search("John Ben"):
+        print(result.id, result.path)
+        print(result.snippet)
+
+``search`` accepts free query text (tokenized exactly like document
+labels), plans with the frequency table, runs one of the three algorithms
+and returns decorated results.  ``search_in_tree`` is the no-disk variant
+working over a parsed tree held in memory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.index.builder import build_index
+from repro.index.inverted import DiskKeywordIndex
+from repro.index.memory import MemoryKeywordIndex
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.xksearch.engine import ExecutionStats, QueryEngine, QueryPlan
+from repro.xksearch.results import SearchResult, decorate_result
+from repro.xmltree.dewey import DeweyTuple
+from repro.xmltree.parser import parse_file
+from repro.xmltree.tree import XMLTree
+
+
+class XKSearch:
+    """Keyword search for smallest LCAs over one XML document."""
+
+    def __init__(
+        self,
+        index: Union[DiskKeywordIndex, MemoryKeywordIndex],
+        tree: Optional[XMLTree] = None,
+        skew_threshold: float = 10.0,
+    ):
+        self.index = index
+        self.tree = tree
+        self.engine = QueryEngine(index, skew_threshold=skew_threshold)
+        self._keyword_postings = (
+            tree.keyword_postings() if tree is not None else None
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        document: Union[str, os.PathLike, XMLTree],
+        index_dir: Union[str, os.PathLike],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        codec: str = "packed",
+        keep_document: bool = True,
+    ) -> "XKSearch":
+        """Parse (if needed) and index a document, then open the system."""
+        tree = document if isinstance(document, XMLTree) else parse_file(document)
+        build_index(
+            tree,
+            index_dir,
+            page_size=page_size,
+            codec=codec,
+            keep_document=keep_document,
+        )
+        return cls(DiskKeywordIndex(index_dir), tree=tree)
+
+    @classmethod
+    def open(
+        cls,
+        index_dir: Union[str, os.PathLike],
+        load_document: bool = True,
+        pool_capacity: int = 4096,
+    ) -> "XKSearch":
+        """Open an existing index directory.
+
+        With ``load_document`` (and a stored document) results carry paths
+        and snippets; otherwise they are bare Dewey numbers.
+        """
+        index = DiskKeywordIndex(index_dir, pool_capacity=pool_capacity)
+        tree = None
+        if load_document:
+            path = index.document_path()
+            if path is not None:
+                tree = parse_file(path)
+        return cls(index, tree=tree)
+
+    @classmethod
+    def from_tree(cls, tree: XMLTree) -> "XKSearch":
+        """Disk-free system over a parsed tree (in-memory index)."""
+        return cls(MemoryKeywordIndex.from_tree(tree), tree=tree)
+
+    # -- queries ----------------------------------------------------------------
+
+    def search(
+        self,
+        query: Union[str, Sequence[str]],
+        algorithm: str = "auto",
+        limit: Optional[int] = None,
+    ) -> List[SearchResult]:
+        """SLCAs of the query as decorated results (document order)."""
+        results: List[SearchResult] = []
+        for dewey in self.search_ids(query, algorithm=algorithm):
+            results.append(self._decorate(dewey, query))
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+    def search_ids(
+        self,
+        query: Union[str, Sequence[str]],
+        algorithm: str = "auto",
+        stats: Optional[ExecutionStats] = None,
+    ) -> Iterator[DeweyTuple]:
+        """SLCAs as raw Dewey tuples, streamed (the pipelined answer)."""
+        return self.engine.execute(query, algorithm=algorithm, stats=stats)
+
+    def search_all_lcas(
+        self,
+        query: Union[str, Sequence[str]],
+        stats: Optional[ExecutionStats] = None,
+    ) -> List[SearchResult]:
+        """Every LCA (Section 5), sorted in document order."""
+        ids = sorted(self.engine.execute_all_lca(query, stats=stats))
+        return [self._decorate(dewey, query) for dewey in ids]
+
+    def search_ranked(
+        self,
+        query: Union[str, Sequence[str]],
+        algorithm: str = "auto",
+        limit: Optional[int] = None,
+    ) -> List["RankedResult"]:
+        """SLCAs ordered best-first by the specificity ranking.
+
+        Requires the document to be loaded (witness features need it);
+        falls back to depth-only ranking otherwise.
+        """
+        from repro.xksearch.ranking import rank_results
+
+        results = self.search(query, algorithm=algorithm)
+        ranked = rank_results(results)
+        return ranked[:limit] if limit is not None else ranked
+
+    def search_elcas(
+        self,
+        query: Union[str, Sequence[str]],
+        stats: Optional[ExecutionStats] = None,
+    ) -> List[SearchResult]:
+        """Exclusive LCAs (XRANK semantics), sorted in document order.
+
+        SLCA ⊆ ELCA ⊆ LCA: an ELCA additionally keeps ancestors that have
+        their own keyword occurrences not swallowed by a satisfied
+        descendant.
+        """
+        ids = sorted(self.engine.execute_elca(query, stats=stats))
+        return [self._decorate(dewey, query) for dewey in ids]
+
+    def explain(self, query: Union[str, Sequence[str]], algorithm: str = "auto") -> QueryPlan:
+        """The engine's plan for a query, without executing it."""
+        return self.engine.plan(query, algorithm=algorithm)
+
+    def _decorate(self, dewey: DeweyTuple, query: Union[str, Sequence[str]]) -> SearchResult:
+        from repro.xksearch.engine import parse_query
+
+        atoms = parse_query(query)
+        witness_lists = None
+        if self._keyword_postings is not None:
+            witness_lists = {}
+            for atom in atoms:
+                postings = self._keyword_postings.get(atom.keyword, [])
+                witness_lists[atom.display] = [
+                    d for d, tag in postings if atom.tag is None or tag == atom.tag
+                ]
+        return decorate_result(
+            dewey,
+            self.tree,
+            keywords=[atom.display for atom in atoms],
+            keyword_lists=witness_lists,
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        if isinstance(self.index, DiskKeywordIndex):
+            self.index.close()
+
+    def __enter__(self) -> "XKSearch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

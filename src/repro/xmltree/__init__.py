@@ -1,0 +1,35 @@
+"""XML substrate: parser, labeled ordered tree model, Dewey numbering.
+
+This subpackage replaces the Xerces parser the paper's Java implementation
+used.  Everything downstream (indexing, the SLCA algorithms) consumes only
+the :class:`XMLTree`/:class:`Node` model and raw Dewey tuples.
+"""
+
+from repro.xmltree.codec import DeweyCodec, PackedDeweyCodec, VarintDeweyCodec
+from repro.xmltree.dblp import flat_dblp_tree, group_by_venue_year
+from repro.xmltree.dewey import Dewey, DeweyTuple
+from repro.xmltree.level_table import LevelTable
+from repro.xmltree.parser import parse, parse_file
+from repro.xmltree.paths import PathSyntaxError, select, select_deweys
+from repro.xmltree.serialize import serialize
+from repro.xmltree.tree import Node, TEXT_TAG, XMLTree
+
+__all__ = [
+    "Dewey",
+    "DeweyTuple",
+    "DeweyCodec",
+    "LevelTable",
+    "Node",
+    "PackedDeweyCodec",
+    "TEXT_TAG",
+    "VarintDeweyCodec",
+    "XMLTree",
+    "flat_dblp_tree",
+    "group_by_venue_year",
+    "PathSyntaxError",
+    "parse",
+    "parse_file",
+    "select",
+    "select_deweys",
+    "serialize",
+]

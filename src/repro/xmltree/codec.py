@@ -1,0 +1,137 @@
+"""Order-preserving Dewey-number codecs.
+
+The disk index stores Dewey numbers as byte strings whose bytewise order
+must equal document order, and in which an ancestor's encoding must never
+collide with a descendant's.  Two codecs are provided:
+
+* :class:`PackedDeweyCodec` — the paper's scheme: fixed bit width per level
+  from the :class:`~repro.xmltree.level_table.LevelTable`, components packed
+  big-endian and the tail padded with zero bits to a byte boundary.  Each
+  component is stored as ``ordinal + 1`` so a stored component is never the
+  all-zero pattern; that makes the zero padding unambiguous, which gives both
+  injectivity (parent vs. first child) and self-delimiting decode.
+* :class:`VarintDeweyCodec` — a level-table-free alternative used for the
+  codec ablation: each component is an order-preserving, prefix-free varint
+  (single byte below 240, else a length-tagged big-endian integer).
+
+Both satisfy, for all Dewey numbers ``a``, ``b``:
+``encode(a) < encode(b)  iff  a < b`` (document order), and
+``encode(a)`` is a prefix of ``encode(b)`` only if ``a`` is an
+ancestor-or-self of ``b``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import DeweyError
+from repro.xmltree.dewey import DeweyTuple
+from repro.xmltree.level_table import LevelTable
+
+
+class DeweyCodec:
+    """Interface shared by the codecs."""
+
+    name = "abstract"
+
+    def encode(self, dewey: DeweyTuple) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes) -> DeweyTuple:
+        raise NotImplementedError
+
+
+class PackedDeweyCodec(DeweyCodec):
+    """Level-table bit packing (paper Section 4)."""
+
+    name = "packed"
+
+    def __init__(self, table: LevelTable):
+        self.table = table
+
+    def encode(self, dewey: DeweyTuple) -> bytes:
+        if not dewey or dewey[0] != 0:
+            raise DeweyError(f"Dewey number must start with the root 0: {dewey!r}")
+        self.table.check_fits(dewey)
+        widths = self.table.widths
+        acc = 0
+        nbits = 0
+        for level, component in enumerate(dewey[1:]):
+            w = widths[level]
+            acc = (acc << w) | (component + 1)
+            nbits += w
+        pad = (-nbits) % 8
+        acc <<= pad
+        nbits += pad
+        return acc.to_bytes(nbits // 8, "big")
+
+    def decode(self, data: bytes) -> DeweyTuple:
+        widths = self.table.widths
+        total_bits = len(data) * 8
+        acc = int.from_bytes(data, "big")
+        components: List[int] = [0]
+        consumed = 0
+        for w in widths:
+            if total_bits - consumed < w:
+                break
+            shift = total_bits - consumed - w
+            value = (acc >> shift) & ((1 << w) - 1)
+            if value == 0:
+                break  # zero padding: no further components
+            components.append(value - 1)
+            consumed += w
+        # Whatever remains must be zero padding shorter than a byte would
+        # have allowed; a nonzero remainder means corruption.
+        if consumed < total_bits:
+            remainder = acc & ((1 << (total_bits - consumed)) - 1)
+            if remainder != 0:
+                raise DeweyError(f"corrupt packed Dewey encoding: {data.hex()}")
+        return tuple(components)
+
+
+_VARINT_SINGLE_MAX = 239
+_VARINT_MARKER_BASE = 240
+
+
+class VarintDeweyCodec(DeweyCodec):
+    """Order-preserving prefix-free varints, one per component.
+
+    Components below 240 take a single byte; larger components take
+    ``1 + blen`` bytes where the first byte ``240 + (blen - 1)`` encodes the
+    big-endian byte length.  Ordering holds because every multi-byte marker
+    exceeds every single-byte value and markers grow with magnitude.
+    """
+
+    name = "varint"
+
+    def encode(self, dewey: DeweyTuple) -> bytes:
+        if not dewey or dewey[0] != 0:
+            raise DeweyError(f"Dewey number must start with the root 0: {dewey!r}")
+        out = bytearray()
+        for component in dewey[1:]:
+            if component < 0:
+                raise DeweyError(f"negative Dewey component in {dewey!r}")
+            if component <= _VARINT_SINGLE_MAX:
+                out.append(component)
+            else:
+                blen = (component.bit_length() + 7) // 8
+                out.append(_VARINT_MARKER_BASE + blen - 1)
+                out.extend(component.to_bytes(blen, "big"))
+        return bytes(out)
+
+    def decode(self, data: bytes) -> DeweyTuple:
+        components: List[int] = [0]
+        i = 0
+        n = len(data)
+        while i < n:
+            first = data[i]
+            i += 1
+            if first <= _VARINT_SINGLE_MAX:
+                components.append(first)
+                continue
+            blen = first - _VARINT_MARKER_BASE + 1
+            if i + blen > n:
+                raise DeweyError(f"truncated varint Dewey encoding: {data.hex()}")
+            components.append(int.from_bytes(data[i:i + blen], "big"))
+            i += blen
+        return tuple(components)

@@ -1,0 +1,174 @@
+"""The paper's DBLP preprocessing: filtering and venue/year grouping.
+
+Section 6: "We filter out citation and other information only related to
+the DBLP website and group first by journal/conference names, then by
+years."  Real DBLP is a flat file — millions of ``<article>`` /
+``<inproceedings>`` records directly under the root — which gives terrible
+keyword-search answers (every SLCA collapses to the root or to one flat
+record).  The grouping turns it into the deep document XKSearch queries:
+
+    dblp → venue → year → publication records
+
+This module implements that transformation for DBLP-shaped input
+(:func:`group_by_venue_year`), the filter list
+(:data:`WEBSITE_ONLY_TAGS`), and a generator of flat DBLP-style input for
+tests and demos (:func:`flat_dblp_tree`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.xmltree.tree import Node, TEXT_TAG, XMLTree, copy_subtree, renumber_subtree
+
+#: DBLP record elements that carry publications.
+PUBLICATION_TAGS = frozenset(
+    {
+        "article",
+        "inproceedings",
+        "proceedings",
+        "book",
+        "incollection",
+        "phdthesis",
+        "mastersthesis",
+    }
+)
+
+#: Child elements the paper filters out — citation links and fields that
+#: only matter to the DBLP website itself.
+WEBSITE_ONLY_TAGS = frozenset({"cite", "url", "ee", "crossref", "cdrom", "note"})
+
+#: Fields that locate a record's venue, in priority order.
+_VENUE_TAGS = ("journal", "booktitle")
+
+_UNKNOWN_VENUE = "unknown-venue"
+_UNKNOWN_YEAR = "unknown-year"
+
+
+def _direct_text(record: Node, tag: str) -> Optional[str]:
+    """Concatenated text of the first direct child element named *tag*."""
+    for child in record.children:
+        if child.tag == tag:
+            parts = [n.text for n in child.iter_subtree() if n.is_text and n.text]
+            if parts:
+                return " ".join(parts).strip()
+    return None
+
+
+def record_venue(record: Node) -> str:
+    """A record's venue: its journal or booktitle, else a placeholder."""
+    for tag in _VENUE_TAGS:
+        value = _direct_text(record, tag)
+        if value:
+            return value
+    return _UNKNOWN_VENUE
+
+
+def record_year(record: Node) -> str:
+    """A record's year text, else a placeholder."""
+    return _direct_text(record, "year") or _UNKNOWN_YEAR
+
+
+def _filtered_record(record: Node) -> Node:
+    """Copy of *record* without the website-only children."""
+    clone = copy_subtree(record)
+    clone.children = [
+        child for child in clone.children if child.tag not in WEBSITE_ONLY_TAGS
+    ]
+    return clone
+
+
+def group_by_venue_year(tree: XMLTree, root_tag: str = "dblp") -> XMLTree:
+    """The paper's preprocessing: flat DBLP → venue/year-grouped document.
+
+    Publication records found anywhere directly under the input root are
+    regrouped as ``root → venue(name) → year(value) → record``; venue
+    groups appear in first-seen order, years ascending within each venue,
+    records in document order within each year.  Website-only children are
+    dropped from the records; non-publication children of the input root
+    are ignored.  The input tree is not modified.
+    """
+    # venue -> year -> records, preserving discovery/document order.
+    groups: Dict[str, Dict[str, List[Node]]] = {}
+    for child in tree.root.children:
+        if child.tag not in PUBLICATION_TAGS:
+            continue
+        venue = record_venue(child)
+        year = record_year(child)
+        groups.setdefault(venue, {}).setdefault(year, []).append(
+            _filtered_record(child)
+        )
+
+    root = Node(root_tag)
+    root.dewey = (0,)
+    for venue, years in groups.items():
+        venue_node = root.add_child(Node("venue", attrs={"name": venue}))
+        name_node = venue_node.add_child(Node("name"))
+        name_node.add_child(Node(TEXT_TAG, text=venue))
+        for year in sorted(years):
+            year_node = venue_node.add_child(Node("year", attrs={"value": year}))
+            year_node.add_child(Node(TEXT_TAG, text=year))
+            for record in years[year]:
+                year_node.children.append(record)
+                record.parent = year_node
+                renumber_subtree(
+                    record, year_node.dewey + (len(year_node.children) - 1,)
+                )
+    return XMLTree(root)
+
+
+_FLAT_VENUES = ("sigmod", "vldb", "icde", "tods", "edbt", "pods")
+_FLAT_WORDS = (
+    "query", "optimization", "index", "stream", "xml", "keyword",
+    "search", "join", "view", "cache", "mining", "graph",
+)
+_FLAT_AUTHORS = (
+    "alice zhang", "bob meyer", "carol ito", "dan fox", "eve lindgren",
+    "frank osei", "grace kim", "henry adebayo",
+)
+
+
+def flat_dblp_tree(
+    seed: int,
+    records: int = 50,
+    with_website_fields: bool = True,
+) -> XMLTree:
+    """A flat DBLP-style document: publication records under one root.
+
+    Mimics the real file's shape — ``<article>`` and ``<inproceedings>``
+    children carrying ``author``/``title``/``journal|booktitle``/``year``
+    fields plus (optionally) the website-only fields the paper filters.
+    """
+    rng = random.Random(seed)
+    root = Node("dblp")
+    root.dewey = (0,)
+    for i in range(records):
+        is_article = rng.random() < 0.5
+        record = root.add_child(
+            Node(
+                "article" if is_article else "inproceedings",
+                attrs={"key": f"rec/{seed}/{i}", "mdate": "2004-05-17"},
+            )
+        )
+        for _ in range(rng.randint(1, 3)):
+            author = record.add_child(Node("author"))
+            author.add_child(Node(TEXT_TAG, text=rng.choice(_FLAT_AUTHORS)))
+        title = record.add_child(Node("title"))
+        title.add_child(
+            Node(TEXT_TAG, text=" ".join(rng.sample(_FLAT_WORDS, rng.randint(2, 4))))
+        )
+        venue_tag = "journal" if is_article else "booktitle"
+        venue = record.add_child(Node(venue_tag))
+        venue.add_child(Node(TEXT_TAG, text=rng.choice(_FLAT_VENUES)))
+        year = record.add_child(Node("year"))
+        year.add_child(Node(TEXT_TAG, text=str(rng.randint(1995, 2004))))
+        if with_website_fields:
+            ee = record.add_child(Node("ee"))
+            ee.add_child(Node(TEXT_TAG, text=f"db/rec/{i}.html"))
+            url = record.add_child(Node("url"))
+            url.add_child(Node(TEXT_TAG, text=f"https://dblp.example/rec/{i}"))
+            if rng.random() < 0.4:
+                cite = record.add_child(Node("cite"))
+                cite.add_child(Node(TEXT_TAG, text=f"rec/{seed}/{rng.randrange(records)}"))
+    return XMLTree(root)

@@ -1,0 +1,230 @@
+"""Dewey-number algebra.
+
+XKSearch identifies every node of the XML tree by its *Dewey number*: the
+root is ``(0,)`` and the j-th child (0-based) of the node with Dewey number
+``d`` is ``d + (j,)``.  Dewey numbers have two properties that the paper's
+algorithms rely on:
+
+* Lexicographic comparison of Dewey numbers is exactly document order
+  (preorder): an ancestor's Dewey number is a strict prefix of each of its
+  descendants' and therefore sorts first, and siblings sort by ordinal.
+  Python tuple comparison implements this directly, so throughout the hot
+  paths of the library a Dewey number *is* a ``tuple`` of non-negative ints.
+* The lowest common ancestor of two nodes is the node whose Dewey number is
+  the longest common prefix of theirs, computable in ``O(d)`` where ``d`` is
+  the tree depth (the paper's ``lca`` cost).
+
+This module collects the pure functions on raw tuples used by the
+algorithms, plus a small :class:`Dewey` convenience wrapper for the public
+API (parsing/formatting ``"0.1.2"`` strings).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import DeweyError
+
+#: Type alias used across the library for raw Dewey numbers.
+DeweyTuple = Tuple[int, ...]
+
+ROOT: DeweyTuple = (0,)
+
+
+def validate(dewey: DeweyTuple) -> DeweyTuple:
+    """Return *dewey* unchanged if it is a well-formed Dewey number.
+
+    Raises :class:`DeweyError` for empty tuples or negative components.
+    """
+    if not isinstance(dewey, tuple) or not dewey:
+        raise DeweyError(f"Dewey number must be a non-empty tuple, got {dewey!r}")
+    for component in dewey:
+        if not isinstance(component, int) or component < 0:
+            raise DeweyError(f"Dewey components must be non-negative ints, got {dewey!r}")
+    return dewey
+
+
+def lca(a: DeweyTuple, b: DeweyTuple) -> DeweyTuple:
+    """Lowest common ancestor of two nodes: the longest common prefix.
+
+    Both arguments must belong to the same tree (share the root component);
+    for nodes of one document this always holds because every Dewey number
+    starts with the root's ``0``.
+    """
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    if i == 0:
+        raise DeweyError(f"nodes {a!r} and {b!r} share no common ancestor")
+    return a[:i]
+
+
+def lca_many(deweys: Iterable[DeweyTuple]) -> DeweyTuple:
+    """LCA of one or more nodes (fold of :func:`lca`)."""
+    it = iter(deweys)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise DeweyError("lca_many() requires at least one node") from None
+    for d in it:
+        acc = lca(acc, d)
+    return acc
+
+
+def is_ancestor(a: DeweyTuple, b: DeweyTuple) -> bool:
+    """True iff *a* is a proper ancestor of *b* (a strict prefix)."""
+    return len(a) < len(b) and b[: len(a)] == a
+
+
+def is_ancestor_or_self(a: DeweyTuple, b: DeweyTuple) -> bool:
+    """True iff *a* equals *b* or is an ancestor of *b* (a prefix)."""
+    return len(a) <= len(b) and b[: len(a)] == a
+
+
+def deeper(a: Optional[DeweyTuple], b: Optional[DeweyTuple]) -> Optional[DeweyTuple]:
+    """The deeper of two nodes; ``None`` arguments are ignored.
+
+    This is the paper's ``deeper`` function used by Property 1: when one of
+    the two candidate LCAs is an ancestor of the other, the descendant (the
+    deeper node, i.e. the longer Dewey number) is the smaller subtree.  When
+    both arguments are ``None`` the result is ``None``.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if len(a) >= len(b) else b
+
+
+def parent(dewey: DeweyTuple) -> Optional[DeweyTuple]:
+    """Dewey number of the parent, or ``None`` for the root."""
+    if len(dewey) <= 1:
+        return None
+    return dewey[:-1]
+
+
+def ancestors(dewey: DeweyTuple, stop: Optional[DeweyTuple] = None):
+    """Yield proper ancestors of *dewey* from the parent upwards.
+
+    When *stop* is given, iteration halts *before* yielding *stop* (the
+    exclusive upper bound used by Algorithm 3's path walk); *stop* must be an
+    ancestor-or-self of *dewey*.  Without *stop*, iteration runs to the root
+    inclusive.
+    """
+    if stop is not None and not is_ancestor_or_self(stop, dewey):
+        raise DeweyError(f"stop node {stop!r} is not an ancestor of {dewey!r}")
+    limit = len(stop) if stop is not None else 0
+    for depth in range(len(dewey) - 1, limit, -1):
+        yield dewey[:depth]
+
+
+def child_toward(ancestor: DeweyTuple, descendant: DeweyTuple) -> DeweyTuple:
+    """The child of *ancestor* on the path to *descendant*.
+
+    Used by ``checkLCA``: the subtree of this child is what separates the
+    "left part" from the "right part" of *ancestor*'s subtree.
+    """
+    if not is_ancestor(ancestor, descendant):
+        raise DeweyError(f"{ancestor!r} is not a proper ancestor of {descendant!r}")
+    return descendant[: len(ancestor) + 1]
+
+
+def uncle(ancestor: DeweyTuple, descendant: DeweyTuple) -> DeweyTuple:
+    """The paper's *uncle node* of *descendant* under *ancestor*.
+
+    If ``c`` is the child of *ancestor* on the path to *descendant* and its
+    Dewey number is ``p.o``, the uncle is ``p.(o+1)`` — the Dewey number of
+    ``c``'s immediate next sibling.  The uncle need not exist as an actual
+    node; it is used only as a probe value: every node with id >= uncle that
+    is still under *ancestor* lies strictly to the right of ``c``'s subtree.
+    """
+    c = child_toward(ancestor, descendant)
+    return c[:-1] + (c[-1] + 1,)
+
+
+def depth(dewey: DeweyTuple) -> int:
+    """Depth of the node; the root has depth 1 (one component)."""
+    return len(dewey)
+
+
+def common_prefix_len(a: DeweyTuple, b: DeweyTuple) -> int:
+    """Number of leading components *a* and *b* share."""
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class Dewey:
+    """Immutable public-API wrapper around a raw Dewey tuple.
+
+    Supports parsing and formatting the conventional dotted notation used
+    throughout the paper (``"0.1.2"``), total ordering (document order) and
+    the ancestor tests.  Internally the library always works on raw tuples;
+    this class exists so that users never need to manipulate tuples by hand.
+    """
+
+    __slots__ = ("_t",)
+
+    def __init__(self, components: Iterable[int]):
+        self._t = validate(tuple(components))
+
+    @classmethod
+    def parse(cls, text: str) -> "Dewey":
+        """Parse dotted notation: ``Dewey.parse("0.1.2")``."""
+        try:
+            return cls(int(part) for part in text.split("."))
+        except ValueError as exc:
+            raise DeweyError(f"cannot parse Dewey number from {text!r}") from exc
+
+    @property
+    def tuple(self) -> DeweyTuple:
+        """The underlying raw tuple."""
+        return self._t
+
+    def lca(self, other: "Dewey") -> "Dewey":
+        return Dewey(lca(self._t, other._t))
+
+    def is_ancestor_of(self, other: "Dewey") -> bool:
+        return is_ancestor(self._t, other._t)
+
+    def is_ancestor_or_self_of(self, other: "Dewey") -> bool:
+        return is_ancestor_or_self(self._t, other._t)
+
+    @property
+    def parent(self) -> Optional["Dewey"]:
+        p = parent(self._t)
+        return None if p is None else Dewey(p)
+
+    @property
+    def depth(self) -> int:
+        return len(self._t)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Dewey) and self._t == other._t
+
+    def __lt__(self, other: "Dewey") -> bool:
+        return self._t < other._t
+
+    def __le__(self, other: "Dewey") -> bool:
+        return self._t <= other._t
+
+    def __gt__(self, other: "Dewey") -> bool:
+        return self._t > other._t
+
+    def __ge__(self, other: "Dewey") -> bool:
+        return self._t >= other._t
+
+    def __hash__(self) -> int:
+        return hash(self._t)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def __str__(self) -> str:
+        return ".".join(str(c) for c in self._t)
+
+    def __repr__(self) -> str:
+        return f"Dewey({str(self)!r})"

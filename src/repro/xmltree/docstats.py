@@ -1,0 +1,112 @@
+"""Document statistics: what the index builder is about to face.
+
+Computes the structural and lexical profile of a parsed document — node
+counts, depth and fanout distributions, the projected level table, and the
+keyword-frequency distribution.  The frequency skew figures directly drive
+the paper's algorithm choice: a corpus whose keyword frequencies span
+orders of magnitude is Indexed-Lookup territory, a flat distribution is
+Scan Eager's.  Exposed through ``xksearch analyze <document>``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.xmltree.level_table import LevelTable
+from repro.xmltree.tree import XMLTree
+
+
+@dataclass
+class DocumentStats:
+    """Profile of one document."""
+
+    total_nodes: int
+    element_nodes: int
+    text_nodes: int
+    max_depth: int
+    depth_histogram: Dict[int, int]
+    tag_counts: Dict[str, int]
+    level_fanouts: List[int]
+    distinct_keywords: int
+    total_postings: int
+    top_keywords: List[Tuple[str, int]]
+    frequency_percentiles: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_depth(self) -> float:
+        weighted = sum(depth * count for depth, count in self.depth_histogram.items())
+        return weighted / self.total_nodes if self.total_nodes else 0.0
+
+    @property
+    def frequency_skew(self) -> float:
+        """max/median keyword frequency — a quick read on how much Indexed
+        Lookup Eager stands to win on this corpus."""
+        median = self.frequency_percentiles.get(50, 0)
+        top = self.frequency_percentiles.get(100, 0)
+        return top / median if median else 0.0
+
+
+def analyze(tree: XMLTree, top: int = 10) -> DocumentStats:
+    """Compute :class:`DocumentStats` for *tree*."""
+    total = 0
+    elements = 0
+    texts = 0
+    depth_histogram: Counter = Counter()
+    tag_counts: Counter = Counter()
+    for node in tree:
+        total += 1
+        depth_histogram[len(node.dewey)] += 1
+        if node.is_text:
+            texts += 1
+        else:
+            elements += 1
+            tag_counts[node.tag] += 1
+
+    lists = tree.keyword_lists()
+    frequencies = sorted(len(lst) for lst in lists.values())
+    percentiles: Dict[int, int] = {}
+    if frequencies:
+        for pct in (50, 90, 99, 100):
+            index = min(len(frequencies) - 1, (pct * len(frequencies)) // 100)
+            percentiles[pct] = frequencies[index]
+
+    top_keywords = sorted(lists.items(), key=lambda kv: -len(kv[1]))[:top]
+    return DocumentStats(
+        total_nodes=total,
+        element_nodes=elements,
+        text_nodes=texts,
+        max_depth=max(depth_histogram) if depth_histogram else 0,
+        depth_histogram=dict(sorted(depth_histogram.items())),
+        tag_counts=dict(tag_counts.most_common()),
+        level_fanouts=tree.level_fanouts(),
+        distinct_keywords=len(lists),
+        total_postings=sum(frequencies),
+        top_keywords=[(kw, len(lst)) for kw, lst in top_keywords],
+        frequency_percentiles=percentiles,
+    )
+
+
+def format_stats(stats: DocumentStats) -> str:
+    """Human-readable report (the ``xksearch analyze`` output)."""
+    lines = [
+        f"nodes: {stats.total_nodes} ({stats.element_nodes} elements, "
+        f"{stats.text_nodes} text)",
+        f"depth: max {stats.max_depth}, mean {stats.mean_depth:.2f}",
+        "depth histogram: "
+        + " ".join(f"{d}:{c}" for d, c in stats.depth_histogram.items()),
+        "level fanouts: " + " ".join(map(str, stats.level_fanouts)),
+        "projected level table widths: "
+        + " ".join(map(str, LevelTable([max(1, f) for f in stats.level_fanouts]).widths)),
+        f"distinct keywords: {stats.distinct_keywords}, "
+        f"postings: {stats.total_postings}",
+        "keyword frequency percentiles: "
+        + " ".join(f"p{p}={v}" for p, v in stats.frequency_percentiles.items()),
+        f"frequency skew (max/median): {stats.frequency_skew:.1f}x",
+        "top keywords: "
+        + ", ".join(f"{kw} ({count})" for kw, count in stats.top_keywords),
+    ]
+    top_tags = list(stats.tag_counts.items())[:8]
+    lines.append("top tags: " + ", ".join(f"{t} ({c})" for t, c in top_tags))
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Synthetic document generators.
+
+Three families of data feed the test suite, the examples and the
+experiments:
+
+* :func:`school_tree` — a faithful reconstruction of the paper's Figure 1
+  ``School.xml`` running example (classes, a sports club and projects whose
+  members are ``John`` and ``Ben``), used in the quickstart and the
+  worked-example tests.
+* :func:`random_labeled_tree` — random trees over a small label vocabulary,
+  the workhorse of the property-based tests (every algorithm must agree with
+  the brute-force oracle on thousands of these).
+* :func:`dblp_like_tree` — a scaled-down model of the grouped 83 MB DBLP
+  document of the paper's experiments: venues, then years, then papers.
+  :func:`plant_keywords` inserts synthetic query keywords at *exact* target
+  frequencies, which is what Figures 8-13 sweep.
+
+Generators build :class:`~repro.xmltree.tree.Node` trees directly (no text
+round-trip) so that large corpora are cheap; ``serialize`` can render any of
+them to XML text when a file on disk is wanted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.xmltree.tree import Node, TEXT_TAG, XMLTree
+
+_SCHOOL_XML = """\
+<School>
+  <Class>
+    <Title>CS2A</Title>
+    <Instructor>John</Instructor>
+    <TA>Ben</TA>
+  </Class>
+  <Class>
+    <Title>CS3A</Title>
+    <Instructor>John</Instructor>
+    <Student>Ben</Student>
+  </Class>
+  <Projects>
+    <Project>
+      <Title>Search</Title>
+      <Member>John</Member>
+      <Member>Ben</Member>
+    </Project>
+    <Project>
+      <Title>Databases</Title>
+      <Member>Sue</Member>
+    </Project>
+  </Projects>
+</School>
+"""
+
+
+def school_xml() -> str:
+    """The Figure 1 ``School.xml`` document as XML text."""
+    return _SCHOOL_XML
+
+
+def school_tree() -> XMLTree:
+    """The Figure 1 running example, parsed.
+
+    The keyword query ``john, ben`` has exactly three SLCAs here: the CS2A
+    class (Ben is John's TA), the CS3A class (Ben is a student of John's)
+    and the Search project (both are members) — the paper's three answers.
+    """
+    from repro.xmltree.parser import parse
+
+    return parse(_SCHOOL_XML)
+
+
+_DEFAULT_VOCABULARY = (
+    "alpha", "beta", "gamma", "delta", "epsilon",
+    "zeta", "eta", "theta", "iota", "kappa",
+)
+
+
+def random_labeled_tree(
+    seed: int,
+    n_nodes: int = 30,
+    max_fanout: int = 4,
+    vocabulary: Sequence[str] = _DEFAULT_VOCABULARY,
+    text_probability: float = 0.5,
+) -> XMLTree:
+    """A random labeled tree for property-based testing.
+
+    Grows a tree node by node: each new node attaches to a uniformly random
+    existing element and is either an element (tag drawn from *vocabulary*)
+    or a text node (one or two vocabulary words).  Determinism comes from
+    *seed* alone.
+    """
+    rng = random.Random(seed)
+    root = Node("root")
+    root.dewey = (0,)
+    attachable: List[Node] = [root]
+    for _ in range(max(0, n_nodes - 1)):
+        parent = rng.choice(attachable)
+        if rng.random() < text_probability:
+            words = rng.sample(vocabulary, k=rng.randint(1, 2))
+            parent.add_child(Node(TEXT_TAG, text=" ".join(words)))
+        else:
+            child = parent.add_child(Node(rng.choice(vocabulary)))
+            if len(child.children) < max_fanout:
+                attachable.append(child)
+        attachable = [n for n in attachable if len(n.children) < max_fanout]
+        if not attachable:
+            attachable = [root]
+    return XMLTree(root)
+
+
+_VENUE_STEMS = (
+    "sigmod", "vldb", "icde", "edbt", "pods", "cidr", "tods", "tkde",
+    "www", "sigir", "kdd", "icdt",
+)
+
+_TITLE_WORDS = (
+    "query", "index", "stream", "join", "cache", "graph", "schema",
+    "transaction", "storage", "parallel", "adaptive", "semantic",
+    "keyword", "ranking", "views", "mining",
+)
+
+_AUTHOR_NAMES = (
+    "smith", "chen", "garcia", "mueller", "tanaka", "kumar", "rossi",
+    "novak", "silva", "dubois", "kim", "olsen",
+)
+
+
+def dblp_like_tree(
+    seed: int,
+    venues: int = 4,
+    years_per_venue: int = 3,
+    papers_per_year: int = 5,
+) -> XMLTree:
+    """A DBLP-shaped corpus: dblp → venue → year → papers.
+
+    Mirrors the grouping the paper applied to DBLP ("group first by
+    journal/conference names, then by years").  Each paper has a title, one
+    to three authors and a year, every value being a text node so it is
+    keyword-searchable.
+    """
+    rng = random.Random(seed)
+    root = Node("dblp")
+    root.dewey = (0,)
+    for v in range(venues):
+        venue = root.add_child(Node("venue", attrs={"name": _VENUE_STEMS[v % len(_VENUE_STEMS)]}))
+        venue.add_child(Node("name")).add_child(
+            Node(TEXT_TAG, text=_VENUE_STEMS[v % len(_VENUE_STEMS)])
+        )
+        for y in range(years_per_venue):
+            year_node = venue.add_child(Node("year"))
+            year_node.add_child(Node(TEXT_TAG, text=str(1995 + y)))
+            for _ in range(papers_per_year):
+                _add_paper(rng, year_node)
+    return XMLTree(root)
+
+
+def _add_paper(rng: random.Random, parent: Node) -> Node:
+    paper = parent.add_child(Node("paper"))
+    title = " ".join(rng.sample(_TITLE_WORDS, k=rng.randint(2, 4)))
+    paper.add_child(Node("title")).add_child(Node(TEXT_TAG, text=title))
+    for _ in range(rng.randint(1, 3)):
+        author = rng.choice(_AUTHOR_NAMES)
+        paper.add_child(Node("author")).add_child(Node(TEXT_TAG, text=author))
+    pages = f"{rng.randint(1, 400)}-{rng.randint(401, 800)}"
+    paper.add_child(Node("pages")).add_child(Node(TEXT_TAG, text=pages))
+    return paper
+
+
+def plant_keywords(
+    tree: XMLTree,
+    frequencies: Dict[str, int],
+    seed: int = 0,
+    host_tag: Optional[str] = "title",
+) -> None:
+    """Insert synthetic keywords at exact frequencies into *tree*.
+
+    For each ``keyword -> frequency`` pair, *frequency* distinct host text
+    nodes are chosen uniformly at random and the keyword is appended to
+    their text, so the keyword's list length equals *frequency* exactly
+    (one occurrence per node).  Hosts are text nodes under elements tagged
+    *host_tag* (or any text node when ``host_tag`` is None).
+
+    Raises :class:`ValueError` when the document has fewer hosts than the
+    largest requested frequency, or when a planted keyword already occurs
+    in the document.
+    """
+    rng = random.Random(seed)
+    hosts = [
+        node
+        for node in tree
+        if node.is_text
+        and (host_tag is None or (node.parent is not None and node.parent.tag == host_tag))
+    ]
+    existing = tree.keyword_lists()
+    for keyword, frequency in frequencies.items():
+        if keyword.lower() in existing:
+            raise ValueError(f"planted keyword {keyword!r} already occurs in the document")
+        if frequency > len(hosts):
+            raise ValueError(
+                f"cannot plant {keyword!r} {frequency} times: only {len(hosts)} hosts"
+            )
+        for host in rng.sample(hosts, frequency):
+            host.text = f"{host.text} {keyword}"
+    # Invalidate the tree's Dewey index cache conservatively: planting only
+    # edits text in place and never changes structure, so Dewey numbers are
+    # unchanged and no action is required.

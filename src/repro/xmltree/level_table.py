@@ -1,0 +1,113 @@
+"""Level table for Dewey-number compression (paper Section 4).
+
+XKSearch compresses Dewey numbers with a *level table*: entry ``i`` is the
+number of bits needed to store the ``i+1``-th Dewey component, derived from
+the maximum fanout among all nodes at level ``i`` (the root is level 0).
+Because the widths are fixed per level, the bit-packed encodings of any two
+Dewey numbers are component-aligned, which makes bytewise comparison of the
+encodings equal to document order — exactly what the disk B+tree needs.
+
+One deviation from the paper's ``ceil(log2(c_i))``: we size each level for
+``c_i + 1`` encoded values.  The algorithms probe the index with *synthetic*
+Dewey numbers (the ``uncle`` probe of Algorithm 3 is the Dewey number of a
+child ordinal one past the last real child), so each width must accommodate
+one ordinal beyond the observed maximum.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.errors import DeweyError
+from repro.xmltree.dewey import DeweyTuple
+from repro.xmltree.tree import XMLTree
+
+
+class LevelTable:
+    """Per-level bit widths for Dewey components.
+
+    ``widths[i]`` is the bit width used for Dewey component ``i+1`` (the
+    ordinal of a child of a level-``i`` node).  The root component is always
+    0 and is never stored.
+    """
+
+    def __init__(self, fanouts: Sequence[int]):
+        if not fanouts:
+            raise DeweyError("level table requires at least one level")
+        self.fanouts: List[int] = [max(1, int(f)) for f in fanouts]
+        # Encoded value for ordinal c is c + 1 (so that 0 is free to mark
+        # padding); the largest value that must fit is (fanout - 1) + 1 + 1:
+        # the uncle probe one past the last child, plus the +1 shift.
+        self.widths: List[int] = [(f + 1).bit_length() for f in self.fanouts]
+
+    @classmethod
+    def from_tree(cls, tree: XMLTree) -> "LevelTable":
+        """Build the table from a parsed document."""
+        fanouts = tree.level_fanouts()
+        # Drop the deepest all-leaf level: no node there has children, so no
+        # Dewey number ever has a component at depth len(fanouts)+1.
+        while len(fanouts) > 1 and fanouts[-1] == 0:
+            fanouts.pop()
+        return cls(fanouts)
+
+    @classmethod
+    def from_deweys(cls, deweys) -> "LevelTable":
+        """Infer a table from Dewey numbers alone (virtual workloads).
+
+        Used when the index is built from planted keyword lists without a
+        materialized tree: the fanout at level ``i`` is taken as one past
+        the largest ordinal observed at Dewey position ``i+1``.
+        """
+        max_component: List[int] = []
+        for dewey in deweys:
+            for level, component in enumerate(dewey[1:]):
+                while len(max_component) <= level:
+                    max_component.append(0)
+                if component > max_component[level]:
+                    max_component[level] = component
+        if not max_component:
+            max_component = [0]
+        return cls([m + 1 for m in max_component])
+
+    @property
+    def levels(self) -> int:
+        """Number of levels that can have children."""
+        return len(self.widths)
+
+    @property
+    def max_dewey_bits(self) -> int:
+        """Upper bound on the packed size of any Dewey number, in bits."""
+        return sum(self.widths)
+
+    def width(self, level: int) -> int:
+        """Bit width for the component at Dewey position ``level + 1``."""
+        return self.widths[level]
+
+    def check_fits(self, dewey: DeweyTuple) -> None:
+        """Raise :class:`DeweyError` if *dewey* cannot be packed."""
+        if len(dewey) - 1 > len(self.widths):
+            raise DeweyError(
+                f"Dewey {dewey!r} is deeper than the level table ({self.levels} levels)"
+            )
+        for level, component in enumerate(dewey[1:]):
+            if component + 1 >= (1 << self.widths[level]):
+                raise DeweyError(
+                    f"component {component} at level {level + 1} exceeds "
+                    f"level-table width {self.widths[level]}"
+                )
+
+    def to_json(self) -> str:
+        """Serialize for the index directory."""
+        return json.dumps({"fanouts": self.fanouts})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "LevelTable":
+        data = json.loads(payload)
+        return cls(data["fanouts"])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LevelTable) and self.fanouts == other.fanouts
+
+    def __repr__(self) -> str:
+        return f"LevelTable(fanouts={self.fanouts!r}, widths={self.widths!r})"

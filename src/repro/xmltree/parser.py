@@ -1,0 +1,96 @@
+"""Parser: token stream → :class:`~repro.xmltree.tree.XMLTree`.
+
+Enforces well-formedness at the tree level (balanced tags, a single root
+element, no character data outside the root) and applies the whitespace
+policy: by default, text that is *only* whitespace between elements is
+dropped, matching what an indexing system wants (pretty-printing indentation
+must not become keyword-bearing text nodes).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Union
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.tokenizer import TokenType, tokenize
+from repro.xmltree.tree import Node, TEXT_TAG, XMLTree
+
+
+def parse(text: str, keep_whitespace: bool = False) -> XMLTree:
+    """Parse an XML document string into an :class:`XMLTree`.
+
+    Adjacent text runs (split by comments or CDATA boundaries) are merged
+    into a single text node.  Set ``keep_whitespace`` to retain
+    whitespace-only text between elements.
+    """
+    root: Node = None
+    stack: list = []
+    pending_text: list = []
+
+    def flush_text() -> None:
+        if not pending_text:
+            return
+        merged = "".join(pending_text)
+        pending_text.clear()
+        if not keep_whitespace and not merged.strip():
+            return
+        if not stack:
+            if merged.strip():
+                raise XMLSyntaxError("character data outside the root element")
+            return
+        stack[-1].add_child(Node(TEXT_TAG, text=merged))
+
+    for token in tokenize(text):
+        if token.type is TokenType.TEXT:
+            if not stack and not token.value.strip():
+                continue
+            pending_text.append(token.value)
+            continue
+        if token.type in (TokenType.COMMENT, TokenType.PI):
+            continue  # do not flush: comments must not split a text run
+        flush_text()
+        if token.type in (TokenType.START_TAG, TokenType.EMPTY_TAG):
+            node = Node(token.value, attrs=dict(token.attrs) or None)
+            if stack:
+                stack[-1].add_child(node)
+            elif root is None:
+                node.dewey = (0,)
+                root = node
+            else:
+                raise XMLSyntaxError(
+                    f"second root element <{token.value}>", token.line, token.column
+                )
+            if token.type is TokenType.START_TAG:
+                stack.append(node)
+            continue
+        # END_TAG
+        if not stack:
+            raise XMLSyntaxError(
+                f"unexpected end tag </{token.value}>", token.line, token.column
+            )
+        open_node = stack.pop()
+        if open_node.tag != token.value:
+            raise XMLSyntaxError(
+                f"end tag </{token.value}> does not match <{open_node.tag}>",
+                token.line,
+                token.column,
+            )
+    flush_text()
+    if stack:
+        raise XMLSyntaxError(f"unclosed element <{stack[-1].tag}>")
+    if root is None:
+        raise XMLSyntaxError("document has no root element")
+    return XMLTree(root)
+
+
+def parse_file(
+    source: Union[str, os.PathLike, io.TextIOBase],
+    keep_whitespace: bool = False,
+) -> XMLTree:
+    """Parse an XML document from a path or an open text file."""
+    if hasattr(source, "read"):
+        return parse(source.read(), keep_whitespace=keep_whitespace)
+    with open(source, "r", encoding="utf-8") as handle:
+        return parse(handle.read(), keep_whitespace=keep_whitespace)

@@ -1,0 +1,246 @@
+"""A small XPath-like evaluator over the labeled tree.
+
+The paper motivates SLCA keyword search as the user-friendly alternative
+to writing structural queries (its Figure 2 shows the XQuery equivalent of
+one keyword search).  This module provides the structural side of that
+comparison: enough of XPath to express the verification queries —
+
+* ``/a/b`` — child steps from the root;
+* ``//b`` — descendant-or-self steps anywhere below the context;
+* ``*`` — any element; ``text()`` — text nodes;
+* ``[rel/path]`` — existence predicate (a relative path matches);
+* ``[rel/path="value"]`` — string-value equality predicate;
+* ``[n]`` — 1-based position among the step's matches per parent.
+
+``select(tree, expr)`` returns matching nodes in document order.  This is
+deliberately a subset: no axes syntax, no functions beyond ``text()``, no
+arithmetic — the pieces the examples and tests actually need, implemented
+straightforwardly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.xmltree.tree import Node, XMLTree
+
+
+class PathSyntaxError(ReproError):
+    """The path expression is not part of the supported subset."""
+
+
+@dataclass
+class _Predicate:
+    path: Optional["_Path"] = None   # relative path to test
+    value: Optional[str] = None      # compare string value when set
+    position: Optional[int] = None   # 1-based positional predicate
+
+
+@dataclass
+class _Step:
+    test: str                        # tag name, "*", or "text()"
+    descendant: bool                 # came after "//"
+    predicates: List[_Predicate] = field(default_factory=list)
+
+
+@dataclass
+class _Path:
+    absolute: bool
+    steps: List[_Step]
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<sep>//|/)
+  | (?P<name>[A-Za-z_][\w.\-]*(\(\))?|\*)
+  | (?P<lbrack>\[)
+  | (?P<rbrack>\])
+  | (?P<eq>=)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<number>\d+)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(expr: str):
+    pos = 0
+    while pos < len(expr):
+        match = _TOKEN_RE.match(expr, pos)
+        if match is None:
+            raise PathSyntaxError(f"unexpected character at {pos}: {expr[pos:pos+8]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        yield kind, match.group(0)
+    yield "end", ""
+
+
+class _Parser:
+    def __init__(self, expr: str):
+        self._tokens = list(_tokenize(expr))
+        self._i = 0
+        self._expr = expr
+
+    def _peek(self):
+        return self._tokens[self._i]
+
+    def _next(self):
+        token = self._tokens[self._i]
+        self._i += 1
+        return token
+
+    def parse(self) -> _Path:
+        path = self._parse_path()
+        kind, text = self._peek()
+        if kind != "end":
+            raise PathSyntaxError(f"trailing input {text!r} in {self._expr!r}")
+        return path
+
+    def _parse_path(self) -> _Path:
+        absolute = False
+        steps: List[_Step] = []
+        kind, text = self._peek()
+        descendant = False
+        if kind == "sep":
+            absolute = True
+            descendant = text == "//"
+            self._next()
+        while True:
+            kind, text = self._peek()
+            if kind != "name":
+                if not steps:
+                    raise PathSyntaxError(f"expected a step in {self._expr!r}")
+                break
+            self._next()
+            step = _Step(test=text, descendant=descendant)
+            while self._peek()[0] == "lbrack":
+                self._next()
+                step.predicates.append(self._parse_predicate())
+                if self._next()[0] != "rbrack":
+                    raise PathSyntaxError(f"missing ']' in {self._expr!r}")
+            steps.append(step)
+            kind, text = self._peek()
+            if kind != "sep":
+                break
+            descendant = text == "//"
+            self._next()
+        return _Path(absolute=absolute, steps=steps)
+
+    def _parse_predicate(self) -> _Predicate:
+        kind, text = self._peek()
+        if kind == "number":
+            self._next()
+            return _Predicate(position=int(text))
+        path = self._parse_path()
+        if self._peek()[0] == "eq":
+            self._next()
+            kind, text = self._next()
+            if kind != "string":
+                raise PathSyntaxError(f"expected a quoted string in {self._expr!r}")
+            return _Predicate(path=path, value=text[1:-1])
+        return _Predicate(path=path)
+
+
+def parse_path(expr: str) -> _Path:
+    """Parse a path expression (raises :class:`PathSyntaxError`)."""
+    return _Parser(expr).parse()
+
+
+def _string_value(node: Node) -> str:
+    if node.is_text:
+        return node.text or ""
+    parts = [n.text or "" for n in node.iter_subtree() if n.is_text]
+    return "".join(parts)
+
+
+def _test_matches(step: _Step, node: Node) -> bool:
+    if step.test == "*":
+        return not node.is_text
+    if step.test == "text()":
+        return node.is_text
+    return not node.is_text and node.tag == step.test
+
+
+def _candidates(context: Node, step: _Step):
+    if step.descendant:
+        for node in context.iter_subtree():
+            if node is not context and _test_matches(step, node):
+                yield node
+    else:
+        for child in context.children:
+            if _test_matches(step, child):
+                yield child
+
+
+def _evaluate_steps(contexts: Sequence[Node], steps: Sequence[_Step]) -> List[Node]:
+    current = list(contexts)
+    for step in steps:
+        matched: List[Node] = []
+        seen = set()
+        for context in current:
+            per_context = [
+                node for node in _candidates(context, step)
+            ]
+            per_context = _apply_predicates(per_context, step.predicates)
+            for node in per_context:
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    matched.append(node)
+        current = matched
+        if not current:
+            break
+    current.sort(key=lambda n: n.dewey)
+    return current
+
+
+def _apply_predicates(nodes: List[Node], predicates: Sequence[_Predicate]) -> List[Node]:
+    for predicate in predicates:
+        if predicate.position is not None:
+            index = predicate.position - 1
+            nodes = [nodes[index]] if 0 <= index < len(nodes) else []
+            continue
+        kept = []
+        for node in nodes:
+            results = _evaluate_steps([node], predicate.path.steps)
+            if predicate.value is not None:
+                if any(_string_value(r) == predicate.value for r in results):
+                    kept.append(node)
+            elif results:
+                kept.append(node)
+        nodes = kept
+    return nodes
+
+
+def select(tree: XMLTree, expr: str) -> List[Node]:
+    """Nodes matching the path expression, in document order.
+
+    Absolute paths start at the document (so ``/School`` matches the root
+    element itself); relative paths start at the root element's children.
+    """
+    path = parse_path(expr)
+    if not path.steps:
+        return []
+    if path.absolute:
+        first = path.steps[0]
+        if first.descendant:
+            roots = [
+                node
+                for node in tree.root.iter_subtree()
+                if _test_matches(first, node)
+            ]
+        else:
+            roots = [tree.root] if _test_matches(first, tree.root) else []
+        roots = _apply_predicates(roots, first.predicates)
+        return _evaluate_steps(roots, path.steps[1:])
+    return _evaluate_steps([tree.root], path.steps)
+
+
+def select_deweys(tree: XMLTree, expr: str) -> List[tuple]:
+    """Dewey numbers of :func:`select` matches."""
+    return [node.dewey for node in select(tree, expr)]

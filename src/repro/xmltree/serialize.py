@@ -1,0 +1,71 @@
+"""Serialization of trees (and subtrees) back to XML text.
+
+The query engine returns SLCA nodes; rendering the subtree rooted at an
+SLCA as XML is how XKSearch presents an answer (the demo translated results
+to HTML via XSLT — here we emit plain XML snippets).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmltree.tree import Node
+
+_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ESCAPES_ATTR = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for char, entity in _ESCAPES_TEXT.items():
+        value = value.replace(char, entity)
+    return value
+
+
+def escape_attr(value: str) -> str:
+    """Escape an attribute value (double-quoted context)."""
+    for char, entity in _ESCAPES_ATTR.items():
+        value = value.replace(char, entity)
+    return value
+
+
+def serialize(node: Node, indent: int = 0, indent_step: int = 2) -> str:
+    """Render the subtree rooted at *node* as XML text.
+
+    With ``indent_step > 0`` the output is pretty-printed, but any element
+    with *mixed content* (a text child anywhere among its children) is
+    emitted compactly: injecting indentation between text siblings would
+    change the character data on reparse.  Pass ``indent_step=0`` for fully
+    compact output.  The result round-trips: ``parse(serialize(t))``
+    rebuilds the same tree (modulo the parser's merging of adjacent text
+    runs), and re-serializing is a fixed point.
+    """
+    parts: List[str] = []
+    _serialize_into(node, parts, indent, indent_step)
+    return "".join(parts)
+
+
+def _serialize_into(node: Node, parts: List[str], indent: int, step: int) -> None:
+    pad = " " * indent if step else ""
+    newline = "\n" if step else ""
+    if node.is_text:
+        parts.append(f"{pad}{escape_text(node.text or '')}{newline}")
+        return
+    attrs = ""
+    if node.attrs:
+        attrs = "".join(f' {k}="{escape_attr(v)}"' for k, v in node.attrs.items())
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}{attrs}/>{newline}")
+        return
+    mixed = any(child.is_text for child in node.children)
+    if mixed:
+        # Compact body: whitespace here would become character data.
+        parts.append(f"{pad}<{node.tag}{attrs}>")
+        for child in node.children:
+            _serialize_into(child, parts, 0, 0)
+        parts.append(f"</{node.tag}>{newline}")
+        return
+    parts.append(f"{pad}<{node.tag}{attrs}>{newline}")
+    for child in node.children:
+        _serialize_into(child, parts, indent + step, step)
+    parts.append(f"{pad}</{node.tag}>{newline}")

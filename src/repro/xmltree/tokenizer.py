@@ -1,0 +1,349 @@
+"""A from-scratch XML tokenizer.
+
+The paper's XKSearch system used the Apache Xerces parser; since the
+algorithms only need a labeled ordered tree, we implement the subset of XML
+1.0 sufficient for real documents (DBLP-class data):
+
+* start / end / empty-element tags with attributes,
+* character data with the five predefined entities plus numeric character
+  references,
+* CDATA sections, comments, processing instructions,
+* an optional XML declaration and DOCTYPE (skipped, not validated).
+
+The tokenizer is a generator producing :class:`Token` objects; the parser in
+:mod:`repro.xmltree.parser` turns them into a tree.  Errors carry precise
+line/column positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import XMLSyntaxError
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+_WHITESPACE = set(" \t\r\n")
+
+
+class TokenType(Enum):
+    """Kinds of token emitted by :func:`tokenize`."""
+
+    START_TAG = "start"
+    END_TAG = "end"
+    EMPTY_TAG = "empty"
+    TEXT = "text"
+    COMMENT = "comment"
+    PI = "pi"
+
+
+@dataclass
+class Token:
+    """One lexical event.
+
+    ``value`` is the tag name for tag tokens, the decoded character data for
+    text tokens, the comment body for comments, and the target for processing
+    instructions.  ``attrs`` is populated only for start/empty tags.
+    """
+
+    type: TokenType
+    value: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    line: int = 0
+    column: int = 0
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Cursor:
+    """Position-tracking view over the source text."""
+
+    __slots__ = ("text", "pos", "line", "_line_start")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self._line_start = 0
+
+    @property
+    def column(self) -> int:
+        return self.pos - self._line_start + 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def advance(self, count: int = 1) -> None:
+        """Move forward *count* characters, tracking line breaks."""
+        end = min(self.pos + count, len(self.text))
+        segment = self.text[self.pos:end]
+        newlines = segment.count("\n")
+        if newlines:
+            self.line += newlines
+            self._line_start = self.pos + segment.rfind("\n") + 1
+        self.pos = end
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def find(self, needle: str) -> int:
+        return self.text.find(needle, self.pos)
+
+    def error(self, message: str) -> XMLSyntaxError:
+        return XMLSyntaxError(message, self.line, self.column)
+
+
+def decode_entities(raw: str, cursor: _Cursor = None) -> str:
+    """Decode predefined entities and character references in *raw*.
+
+    Unknown named entities raise :class:`XMLSyntaxError` (we do not support
+    DTD-defined entities).  ``cursor`` is used only for error positions.
+    """
+    if "&" not in raw:
+        return raw
+    out = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end == -1:
+            raise _entity_error(cursor, "unterminated entity reference")
+        name = raw[i + 1:end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(_char_ref(name[2:], 16, cursor))
+        elif name.startswith("#"):
+            out.append(_char_ref(name[1:], 10, cursor))
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise _entity_error(cursor, f"unknown entity &{name};")
+        i = end + 1
+    return "".join(out)
+
+
+def _char_ref(digits: str, base: int, cursor: _Cursor) -> str:
+    try:
+        code = int(digits, base)
+        return chr(code)
+    except (ValueError, OverflowError):
+        raise _entity_error(cursor, f"invalid character reference &#{digits};") from None
+
+
+def _entity_error(cursor: _Cursor, message: str) -> XMLSyntaxError:
+    if cursor is not None:
+        return cursor.error(message)
+    return XMLSyntaxError(message)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield :class:`Token` objects for the XML document *text*.
+
+    The stream is purely lexical: tag balance is the parser's job.  Text
+    tokens never span markup and are emitted with entities decoded; runs of
+    text separated only by comments/PIs are emitted as separate tokens.
+    """
+    cur = _Cursor(text)
+    _skip_prolog(cur)
+    while not cur.at_end():
+        if cur.peek() == "<":
+            yield from _lex_markup(cur)
+        else:
+            yield from _lex_text(cur)
+
+
+def _skip_prolog(cur: _Cursor) -> None:
+    """Skip the XML declaration, DOCTYPE and inter-prolog whitespace."""
+    while True:
+        while not cur.at_end() and cur.peek() in _WHITESPACE:
+            cur.advance()
+        if cur.startswith("<?xml"):
+            end = cur.find("?>")
+            if end == -1:
+                raise cur.error("unterminated XML declaration")
+            cur.advance(end - cur.pos + 2)
+        elif cur.startswith("<!DOCTYPE"):
+            _skip_doctype(cur)
+        else:
+            return
+
+
+def _skip_doctype(cur: _Cursor) -> None:
+    """Skip a DOCTYPE declaration, including an internal subset."""
+    depth = 0
+    while not cur.at_end():
+        ch = cur.peek()
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            cur.advance()
+            return
+        cur.advance()
+    raise cur.error("unterminated DOCTYPE declaration")
+
+
+def _lex_text(cur: _Cursor) -> Iterator[Token]:
+    line, column = cur.line, cur.column
+    end = cur.find("<")
+    if end == -1:
+        end = len(cur.text)
+    raw = cur.text[cur.pos:end]
+    cur.advance(end - cur.pos)
+    decoded = decode_entities(raw, cur)
+    if decoded:
+        yield Token(TokenType.TEXT, decoded, line=line, column=column)
+
+
+def _lex_markup(cur: _Cursor) -> Iterator[Token]:
+    if cur.startswith("<!--"):
+        yield _lex_comment(cur)
+    elif cur.startswith("<![CDATA["):
+        yield _lex_cdata(cur)
+    elif cur.startswith("<?"):
+        yield _lex_pi(cur)
+    elif cur.startswith("</"):
+        yield _lex_end_tag(cur)
+    else:
+        yield _lex_start_tag(cur)
+
+
+def _lex_comment(cur: _Cursor) -> Token:
+    line, column = cur.line, cur.column
+    cur.advance(4)  # <!--
+    end = cur.find("-->")
+    if end == -1:
+        raise cur.error("unterminated comment")
+    body = cur.text[cur.pos:end]
+    if "--" in body:
+        raise cur.error("'--' is not allowed inside a comment")
+    cur.advance(end - cur.pos + 3)
+    return Token(TokenType.COMMENT, body, line=line, column=column)
+
+
+def _lex_cdata(cur: _Cursor) -> Token:
+    line, column = cur.line, cur.column
+    cur.advance(9)  # <![CDATA[
+    end = cur.find("]]>")
+    if end == -1:
+        raise cur.error("unterminated CDATA section")
+    body = cur.text[cur.pos:end]
+    cur.advance(end - cur.pos + 3)
+    return Token(TokenType.TEXT, body, line=line, column=column)
+
+
+def _lex_pi(cur: _Cursor) -> Token:
+    line, column = cur.line, cur.column
+    cur.advance(2)  # <?
+    end = cur.find("?>")
+    if end == -1:
+        raise cur.error("unterminated processing instruction")
+    body = cur.text[cur.pos:end]
+    cur.advance(end - cur.pos + 2)
+    target = body.split(None, 1)[0] if body.strip() else ""
+    if not target:
+        raise cur.error("processing instruction missing target")
+    return Token(TokenType.PI, target, line=line, column=column)
+
+
+def _lex_end_tag(cur: _Cursor) -> Token:
+    line, column = cur.line, cur.column
+    cur.advance(2)  # </
+    name = _lex_name(cur)
+    _skip_ws(cur)
+    if cur.peek() != ">":
+        raise cur.error(f"malformed end tag </{name}")
+    cur.advance()
+    return Token(TokenType.END_TAG, name, line=line, column=column)
+
+
+def _lex_start_tag(cur: _Cursor) -> Token:
+    line, column = cur.line, cur.column
+    cur.advance(1)  # <
+    name = _lex_name(cur)
+    attrs = _lex_attributes(cur, name)
+    if cur.startswith("/>"):
+        cur.advance(2)
+        return Token(TokenType.EMPTY_TAG, name, attrs, line=line, column=column)
+    if cur.peek() == ">":
+        cur.advance()
+        return Token(TokenType.START_TAG, name, attrs, line=line, column=column)
+    raise cur.error(f"malformed start tag <{name}")
+
+
+def _lex_attributes(cur: _Cursor, tag: str) -> Dict[str, str]:
+    attrs: Dict[str, str] = {}
+    while True:
+        saw_ws = _skip_ws(cur)
+        ch = cur.peek()
+        if ch in (">", "") or cur.startswith("/>"):
+            return attrs
+        if not saw_ws:
+            raise cur.error(f"expected whitespace before attribute in <{tag}>")
+        name, value = _lex_attribute(cur)
+        if name in attrs:
+            raise cur.error(f"duplicate attribute {name!r} in <{tag}>")
+        attrs[name] = value
+
+
+def _lex_attribute(cur: _Cursor) -> Tuple[str, str]:
+    name = _lex_name(cur)
+    _skip_ws(cur)
+    if cur.peek() != "=":
+        raise cur.error(f"attribute {name!r} missing '='")
+    cur.advance()
+    _skip_ws(cur)
+    quote = cur.peek()
+    if quote not in ("'", '"'):
+        raise cur.error(f"attribute {name!r} value must be quoted")
+    cur.advance()
+    end = cur.find(quote)
+    if end == -1:
+        raise cur.error(f"unterminated value for attribute {name!r}")
+    raw = cur.text[cur.pos:end]
+    if "<" in raw:
+        raise cur.error(f"'<' is not allowed in attribute value of {name!r}")
+    cur.advance(end - cur.pos + 1)
+    return name, decode_entities(raw, cur)
+
+
+def _lex_name(cur: _Cursor) -> str:
+    start = cur.pos
+    if cur.at_end() or not _is_name_start(cur.peek()):
+        raise cur.error("expected an XML name")
+    while not cur.at_end() and _is_name_char(cur.peek()):
+        cur.advance()
+    return cur.text[start:cur.pos]
+
+
+def _skip_ws(cur: _Cursor) -> bool:
+    saw = False
+    while not cur.at_end() and cur.peek() in _WHITESPACE:
+        cur.advance()
+        saw = True
+    return saw

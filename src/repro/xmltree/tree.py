@@ -1,0 +1,254 @@
+"""Labeled ordered tree model with Dewey numbering.
+
+This is the paper's data model (Section 2): an XML document is a labeled
+ordered tree; every node is assigned a Dewey number compatible with preorder.
+Following Figure 1 of the paper, text values are modeled as *nodes of the
+tree* in their own right (the leaves labeled ``John``, ``Ben``, ... in
+School.xml each carry their own Dewey number), so a keyword list can contain
+both element nodes (keyword matches the tag) and text nodes (keyword appears
+in the character data).
+
+The classes here are deliberately lightweight (``__slots__``) because the
+experiment corpora reach hundreds of thousands of nodes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.xmltree.dewey import DeweyTuple
+
+#: Tag used for synthetic text nodes.
+TEXT_TAG = "#text"
+
+_WORD_RE = re.compile(r"[A-Za-z0-9_]+")
+
+
+def extract_keywords(label: str) -> List[str]:
+    """Split a node label into lowercase keyword tokens.
+
+    The paper matches a keyword against the nodes "whose label directly
+    contains" it; we tokenize labels into maximal alphanumeric words and
+    compare case-insensitively, the behaviour of the XKSearch demo.
+    """
+    return [match.group(0).lower() for match in _WORD_RE.finditer(label)]
+
+
+class Node:
+    """One node of the labeled ordered tree.
+
+    Element nodes carry a ``tag`` and optional ``attrs``; text nodes carry
+    ``tag == TEXT_TAG`` and their character data in ``text``.  ``dewey`` is
+    assigned by the tree builder and never changes afterwards.
+    """
+
+    __slots__ = ("tag", "text", "attrs", "children", "dewey", "parent")
+
+    def __init__(
+        self,
+        tag: str,
+        text: Optional[str] = None,
+        attrs: Optional[Dict[str, str]] = None,
+    ):
+        self.tag = tag
+        self.text = text
+        self.attrs = attrs or None
+        self.children: List["Node"] = []
+        self.dewey: DeweyTuple = ()
+        self.parent: Optional["Node"] = None
+
+    @property
+    def is_text(self) -> bool:
+        """True for synthetic text nodes."""
+        return self.tag == TEXT_TAG
+
+    @property
+    def label(self) -> str:
+        """The label the paper's keyword match runs against.
+
+        For element nodes this is the tag plus any attribute names/values;
+        for text nodes it is the character data.
+        """
+        if self.is_text:
+            return self.text or ""
+        if not self.attrs:
+            return self.tag
+        attr_text = " ".join(f"{k} {v}" for k, v in self.attrs.items())
+        return f"{self.tag} {attr_text}"
+
+    def keywords(self) -> List[str]:
+        """Lowercase keyword tokens of this node's label."""
+        return extract_keywords(self.label)
+
+    def add_child(self, child: "Node") -> "Node":
+        """Append *child*, assigning its Dewey number from this node's."""
+        child.parent = self
+        child.dewey = self.dewey + (len(self.children),)
+        self.children.append(child)
+        return child
+
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Document-order (preorder) traversal of this subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:
+        dotted = ".".join(str(c) for c in self.dewey) or "?"
+        if self.is_text:
+            preview = (self.text or "")[:20]
+            return f"Node(#text {preview!r} @{dotted})"
+        return f"Node(<{self.tag}> @{dotted})"
+
+
+def copy_subtree(node: Node) -> Node:
+    """Deep-copy a subtree (structure, labels, attributes; Dewey numbers
+    are copied as-is and can be rewritten with :func:`renumber_subtree`).
+
+    Iterative, so arbitrarily deep documents do not hit the recursion
+    limit; the copy's ``parent`` is ``None``.
+    """
+    clone = Node(node.tag, text=node.text, attrs=dict(node.attrs) if node.attrs else None)
+    clone.dewey = node.dewey
+    stack = [(node, clone)]
+    while stack:
+        original, duplicate = stack.pop()
+        for child in original.children:
+            child_clone = Node(
+                child.tag,
+                text=child.text,
+                attrs=dict(child.attrs) if child.attrs else None,
+            )
+            child_clone.dewey = child.dewey
+            child_clone.parent = duplicate
+            duplicate.children.append(child_clone)
+            stack.append((child, child_clone))
+    return clone
+
+
+def renumber_subtree(node: Node, dewey: DeweyTuple) -> None:
+    """Re-root *node* at *dewey*, rewriting every descendant's Dewey number.
+
+    Used when grafting a parsed document under a new parent (e.g. a
+    multi-document collection root).  Iterative, so arbitrarily deep
+    documents do not hit the recursion limit.
+    """
+    stack = [(node, dewey)]
+    while stack:
+        current, current_dewey = stack.pop()
+        current.dewey = current_dewey
+        for ordinal, child in enumerate(current.children):
+            stack.append((child, current_dewey + (ordinal,)))
+
+
+class XMLTree:
+    """A complete document: the root node plus document-wide metadata.
+
+    Provides node lookup by Dewey number, depth statistics needed by the
+    level-table builder, and the keyword-list extraction the index builder
+    consumes.
+    """
+
+    def __init__(self, root: Node):
+        if root.dewey == ():
+            root.dewey = (0,)
+        self.root = root
+        self._by_dewey: Optional[Dict[DeweyTuple, Node]] = None
+
+    def __iter__(self) -> Iterator[Node]:
+        return self.root.iter_subtree()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth (number of Dewey components) over all nodes."""
+        return max(len(node.dewey) for node in self)
+
+    def node(self, dewey: DeweyTuple) -> Node:
+        """Node with the given Dewey number.
+
+        The first call builds a hash index over the whole document; later
+        calls are O(1).  Raises :class:`KeyError` for unknown ids.
+        """
+        if self._by_dewey is None:
+            self._by_dewey = {node.dewey: node for node in self}
+        return self._by_dewey[dewey]
+
+    def has_node(self, dewey: DeweyTuple) -> bool:
+        """True iff a node with this exact Dewey number exists."""
+        if self._by_dewey is None:
+            self._by_dewey = {node.dewey: node for node in self}
+        return dewey in self._by_dewey
+
+    def keyword_lists(self) -> Dict[str, List[DeweyTuple]]:
+        """All keyword lists of the document.
+
+        Returns a mapping from keyword to the sorted list of Dewey numbers of
+        the nodes whose label directly contains the keyword — the paper's
+        ``S_i`` lists.  Document-order traversal yields Dewey numbers in
+        ascending order already, so no sort is needed; a node whose label
+        contains the same word twice is listed once.
+        """
+        lists: Dict[str, List[DeweyTuple]] = {}
+        for node in self:
+            seen_here = set()
+            for word in node.keywords():
+                if word in seen_here:
+                    continue
+                seen_here.add(word)
+                lists.setdefault(word, []).append(node.dewey)
+        return lists
+
+    def keyword_postings(self) -> Dict[str, List[Tuple[DeweyTuple, str]]]:
+        """Keyword lists with the *context tag* of each occurrence.
+
+        Like :meth:`keyword_lists`, but each posting carries the element tag
+        the occurrence belongs to: an element node's own tag, or the parent
+        element's tag for a text node.  This is what powers tag-qualified
+        query atoms (``title:query`` matches ``query`` only inside
+        ``<title>`` elements).
+        """
+        postings: Dict[str, List[Tuple[DeweyTuple, str]]] = {}
+        for node in self:
+            if node.is_text:
+                context = node.parent.tag if node.parent is not None else TEXT_TAG
+            else:
+                context = node.tag
+            context = context.lower()
+            seen_here = set()
+            for word in node.keywords():
+                if word in seen_here:
+                    continue
+                seen_here.add(word)
+                postings.setdefault(word, []).append((node.dewey, context))
+        return postings
+
+    def level_fanouts(self) -> List[int]:
+        """Maximum child count per level, root = level 0.
+
+        Entry ``i`` is the largest number of children of any node at depth
+        ``i+1`` (i.e. with ``i+1`` Dewey components); this feeds the level
+        table of Section 4.
+        """
+        fanouts: List[int] = []
+        for node in self:
+            level = len(node.dewey) - 1
+            while len(fanouts) <= level:
+                fanouts.append(0)
+            if node.children:
+                fanouts[level] = max(fanouts[level], len(node.children))
+        return fanouts
+
+    def subtree_text(self, dewey: DeweyTuple) -> str:
+        """Concatenated character data of the subtree rooted at *dewey*."""
+        parts = [
+            node.text
+            for node in self.node(dewey).iter_subtree()
+            if node.is_text and node.text
+        ]
+        return " ".join(parts)

@@ -1,0 +1,125 @@
+"""Unit tests for Algorithm 3 (all LCAs)."""
+
+import pytest
+
+from repro.core.all_lca import all_lca, check_lca, find_all_lcas
+from repro.core.brute import all_lca_by_containment, brute_lca_set
+from repro.core.counters import OpCounters
+from repro.core.sources import SortedListSource
+
+
+def sources(*lists, counters=None):
+    counters = counters if counters is not None else OpCounters()
+    return [SortedListSource(lst, counters) for lst in lists]
+
+
+class TestCheckLCA:
+    def test_left_part_hit(self):
+        counters = OpCounters()
+        # SLCA s=(0,2,0); ancestor u=(0,); keyword node (0,1) is left of the
+        # path child (0,2).
+        srcs = sources([(0, 1), (0, 2, 0)], counters=counters)
+        assert check_lca((0,), (0, 2, 0), srcs, counters)
+
+    def test_right_part_hit_via_uncle(self):
+        counters = OpCounters()
+        # keyword node (0,3) is right of path child (0,2): uncle probe.
+        srcs = sources([(0, 2, 0), (0, 3)], counters=counters)
+        assert check_lca((0,), (0, 2, 0), srcs, counters)
+
+    def test_ancestor_own_label_hit(self):
+        counters = OpCounters()
+        # u itself carries a keyword: rm(u) returns u, inside [u, c).
+        srcs = sources([(0, 1), (0, 1, 0, 0)], counters=counters)
+        assert check_lca((0, 1), (0, 1, 0, 0), srcs, counters)
+
+    def test_no_witness_outside_path_child(self):
+        counters = OpCounters()
+        # All keyword nodes are inside the path child's subtree.
+        srcs = sources([(0, 2, 0)], [(0, 2, 1)], counters=counters)
+        assert not check_lca((0,), (0, 2, 0), srcs, counters)
+
+    def test_nodes_under_other_slca_count(self):
+        counters = OpCounters()
+        # u=(0,) has two satisfied subtrees; checking against the right one
+        # must still see the left one's nodes in the left part.
+        srcs = sources([(0, 0, 0), (0, 5, 0)], [(0, 0, 1), (0, 5, 1)], counters=counters)
+        assert check_lca((0,), (0, 5), srcs, counters)
+
+
+class TestFindAllLCAs:
+    def test_school_example(self, school):
+        lists = school.keyword_lists()
+        got = all_lca([lists["john"], lists["ben"]])
+        assert got == [(0,), (0, 0), (0, 1), (0, 2, 0)]
+
+    def test_every_slca_is_reported(self, school):
+        from repro.core import slca
+
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        assert set(slca(kl)) <= set(all_lca(kl))
+
+    def test_matches_containment_oracle(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"], lists["title"]]
+        assert set(all_lca(kl)) == all_lca_by_containment(kl)
+
+    def test_matches_brute_product(self):
+        kl = [
+            [(0, 0, 0), (0, 2), (0, 3, 1)],
+            [(0, 0, 1), (0, 3, 0)],
+        ]
+        assert set(all_lca(kl)) == brute_lca_set(kl)
+
+    def test_k1_returns_whole_list(self):
+        s = [(0, 1), (0, 1, 2), (0, 3)]
+        assert all_lca([s]) == s
+
+    def test_empty_list(self):
+        assert all_lca([[(0, 1)], []]) == []
+
+    def test_no_duplicates(self):
+        kl = [
+            [(0, 0, 0), (0, 1, 0), (0, 2, 0)],
+            [(0, 0, 1), (0, 1, 1), (0, 2, 1)],
+        ]
+        got = all_lca(kl)
+        assert len(got) == len(set(got))
+
+    def test_each_ancestor_checked_once(self):
+        """Algorithm 3's walk visits each SLCA ancestor exactly once."""
+        checked = []
+        import importlib
+
+        # `repro.core.all_lca` the *attribute* is the function (re-exported
+        # by the package); fetch the submodule itself to patch its global.
+        mod = importlib.import_module("repro.core.all_lca")
+        original = mod.check_lca
+
+        def spying_check(u, s, srcs, counters):
+            checked.append(u)
+            return original(u, s, srcs, counters)
+
+        kl = [
+            [(0, 0, 0, 0), (0, 0, 1, 0), (0, 5, 0)],
+            [(0, 0, 0, 1), (0, 0, 1, 1), (0, 5, 1)],
+        ]
+        counters = OpCounters()
+        srcs = sources(*kl, counters=counters)
+        # Patch within this test only.
+        mod.check_lca = spying_check
+        try:
+            list(mod.find_all_lcas(srcs, counters))
+        finally:
+            mod.check_lca = original
+        assert len(checked) == len(set(checked))
+
+    def test_pipelined_generator(self):
+        kl = [
+            [(0, 0, 0), (0, 9, 0)],
+            [(0, 0, 1), (0, 9, 1)],
+        ]
+        stream = find_all_lcas(sources(*kl))
+        first = next(stream)
+        assert first == (0, 0)

@@ -1,0 +1,125 @@
+"""Unit tests for the brute-force oracles themselves."""
+
+import pytest
+
+from repro.core.brute import (
+    all_lca_by_containment,
+    brute_lca_set,
+    brute_slca,
+    remove_ancestors,
+    slca_by_containment,
+)
+
+
+class TestRemoveAncestors:
+    def test_drops_proper_ancestors(self):
+        nodes = {(0,), (0, 1), (0, 1, 2), (0, 2)}
+        assert remove_ancestors(nodes) == {(0, 1, 2), (0, 2)}
+
+    def test_keeps_antichain(self):
+        nodes = {(0, 1), (0, 2), (0, 3, 1)}
+        assert remove_ancestors(nodes) == nodes
+
+    def test_empty(self):
+        assert remove_ancestors(set()) == set()
+
+    def test_single(self):
+        assert remove_ancestors({(0,)}) == {(0,)}
+
+    def test_chain_keeps_deepest(self):
+        assert remove_ancestors({(0,), (0, 1), (0, 1, 1)}) == {(0, 1, 1)}
+
+
+class TestBruteLCASet:
+    def test_two_singletons(self):
+        assert brute_lca_set([[(0, 1, 0)], [(0, 1, 2)]]) == {(0, 1)}
+
+    def test_cross_product(self):
+        s1 = [(0, 0), (0, 1)]
+        s2 = [(0, 0, 1), (0, 2)]
+        # lca pairs: (0,0)&(0,0,1)->(0,0); (0,0)&(0,2)->(0,); (0,1)&(0,0,1)->(0,); (0,1)&(0,2)->(0,)
+        assert brute_lca_set([s1, s2]) == {(0, 0), (0,)}
+
+    def test_single_list_is_identity(self):
+        s = [(0, 1), (0, 2, 3)]
+        assert brute_lca_set([s]) == set(s)
+
+    def test_empty_list_gives_empty(self):
+        assert brute_lca_set([[(0, 1)], []]) == set()
+
+    def test_combination_cap(self):
+        big = [(0, i) for i in range(700)]
+        with pytest.raises(ValueError, match="cap"):
+            brute_lca_set([big, big])
+
+    def test_no_lists_rejected(self):
+        with pytest.raises(ValueError):
+            brute_lca_set([])
+
+
+class TestSLCAOracles:
+    def test_paper_school_example(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        want = {(0, 0), (0, 1), (0, 2, 0)}
+        assert brute_slca(kl) == want
+        assert slca_by_containment(kl) == want
+
+    def test_node_containing_all_keywords_is_its_own_slca(self):
+        kl = [[(0, 1)], [(0, 1)]]
+        assert brute_slca(kl) == {(0, 1)}
+        assert slca_by_containment(kl) == {(0, 1)}
+
+    def test_ancestor_descendant_witnesses(self):
+        # keyword 1 at an ancestor of keyword 2's node.
+        kl = [[(0, 1)], [(0, 1, 2)]]
+        want = {(0, 1)}
+        assert brute_slca(kl) == want
+        assert slca_by_containment(kl) == want
+
+    def test_disjoint_subtrees_meet_at_root(self):
+        kl = [[(0, 0, 0)], [(0, 5, 5)]]
+        assert slca_by_containment(kl) == {(0,)}
+
+    def test_empty_list_empty_answer(self):
+        assert slca_by_containment([[(0, 1)], []]) == set()
+
+
+class TestAllLCAOracle:
+    def test_school_example(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        got = all_lca_by_containment(kl)
+        # All SLCAs plus the root (pairs across classes meet at School).
+        assert got == {(0,), (0, 0), (0, 1), (0, 2, 0)}
+
+    def test_matches_brute_product(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        assert all_lca_by_containment(kl) == brute_lca_set(kl)
+
+    def test_single_list(self):
+        s = [(0, 1), (0, 1, 2)]
+        assert all_lca_by_containment([s]) == set(s)
+
+    def test_self_hit_makes_lca(self):
+        # Node (0,1) itself holds keyword 1; keyword 2 is below it only in
+        # one child, but (0,1) is still an exact LCA via its own label.
+        kl = [[(0, 1)], [(0, 1, 0, 0)]]
+        assert all_lca_by_containment(kl) == {(0, 1), (0, 1, 0, 0)} & all_lca_by_containment(kl) | {(0, 1)}
+        assert (0, 1) in all_lca_by_containment(kl)
+
+    def test_confined_to_one_child_not_lca(self):
+        # Both keywords live only under child (0,1,0): (0,1) is never an
+        # exact meeting point.
+        kl = [[(0, 1, 0, 0)], [(0, 1, 0, 1)]]
+        got = all_lca_by_containment(kl)
+        assert (0, 1) not in got
+        assert (0, 1, 0) in got
+
+    def test_lca_superset_of_slca(self):
+        kl = [
+            [(0, 0, 0), (0, 2)],
+            [(0, 0, 1), (0, 3)],
+        ]
+        assert slca_by_containment(kl) <= all_lca_by_containment(kl)

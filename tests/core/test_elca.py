@@ -1,0 +1,125 @@
+"""Unit tests for ELCA semantics (the XRANK baseline's answer set)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    all_lca_by_containment,
+    elca,
+    elca_by_containment,
+    slca_by_containment,
+    stack_elca,
+)
+from repro.core.counters import OpCounters
+
+from tests.conftest import query_lists_st
+
+
+class TestBasics:
+    def test_school_example(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        # The three SLCAs qualify; the School root does NOT: all of its
+        # John/Ben occurrences sit under satisfied descendants.
+        assert elca(kl) == [(0, 0), (0, 1), (0, 2, 0)]
+
+    def test_ancestor_with_own_occurrence_qualifies(self):
+        # (0,1) has its own keyword-1 occurrence and keyword 2 at (0,1,1):
+        # the satisfied descendant (0,1,0) swallows only what's under it.
+        kl = [
+            [(0, 1), (0, 1, 0, 0)],
+            [(0, 1, 0, 1), (0, 1, 1)],
+        ]
+        got = elca(kl)
+        assert (0, 1, 0) in got
+        assert (0, 1) in got
+
+    def test_ancestor_without_exclusive_witness_excluded(self):
+        # Everything under the satisfied child (0,1,0): (0,1) gets nothing.
+        kl = [[(0, 1, 0, 0)], [(0, 1, 0, 1)]]
+        assert elca(kl) == [(0, 1, 0)]
+
+    def test_swallowing_by_satisfied_non_elca_descendant(self):
+        # (0,0) is satisfied but NOT an ELCA (its own occurrences are all
+        # under the deeper satisfied node (0,0,0)); it must STILL swallow
+        # occurrences from (0,1)'s perspective... here check three levels.
+        kl = [
+            [(0, 0, 0, 0), (0, 0, 1)],
+            [(0, 0, 0, 1), (0, 0, 2)],
+        ]
+        got = set(elca(kl))
+        # (0,0,0) is an ELCA; (0,0) has exclusive witnesses (0,0,1)/(0,0,2).
+        assert got == {(0, 0, 0), (0, 0)}
+
+    def test_k1(self):
+        kl = [[(0, 1), (0, 1, 2), (0, 3)]]
+        # Every occurrence node is satisfied for k=1, so ancestors are all
+        # swallowed: ELCA = the occurrence nodes that are not ancestors of
+        # other occurrence nodes... each occurrence IS satisfied itself, so
+        # ELCA = the occurrence set minus those swallowed: (0,1) has its
+        # occurrence at itself, not under a *proper* satisfied descendant?
+        # (0,1)'s occurrence is at (0,1) itself — not swallowed.
+        assert set(elca(kl)) == {(0, 1), (0, 1, 2), (0, 3)}
+
+    def test_empty_list(self):
+        assert elca([[(0, 1)], []]) == []
+
+    def test_no_lists_raises(self):
+        with pytest.raises(ValueError):
+            list(stack_elca([]))
+
+    def test_counters(self):
+        counters = OpCounters()
+        kl = [[(0, 0)], [(0, 1)]]
+        list(stack_elca(kl, counters))
+        assert counters.nodes_merged == 2
+        assert counters.results == 1
+
+
+class TestAgainstOracle:
+    def test_oracle_on_school(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        assert set(elca(kl)) == elca_by_containment(kl)
+
+    @given(keyword_lists=query_lists_st)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_oracle(self, keyword_lists):
+        got = elca(keyword_lists)
+        assert len(got) == len(set(got))
+        assert set(got) == elca_by_containment(keyword_lists)
+
+    @given(keyword_lists=query_lists_st)
+    @settings(max_examples=300, deadline=None)
+    def test_sandwich(self, keyword_lists):
+        """SLCA ⊆ ELCA ⊆ LCA."""
+        slcas = slca_by_containment(keyword_lists)
+        elcas = set(elca(keyword_lists))
+        lcas = all_lca_by_containment(keyword_lists)
+        assert slcas <= elcas <= lcas
+
+
+class TestEngineIntegration:
+    def test_search_elcas(self, school):
+        from repro.xksearch.system import XKSearch
+
+        system = XKSearch.from_tree(school)
+        results = system.search_elcas("john ben")
+        assert [r.dewey for r in results] == [(0, 0), (0, 1), (0, 2, 0)]
+
+    def test_engine_empty_keyword(self, school):
+        from repro.xksearch.system import XKSearch
+
+        system = XKSearch.from_tree(school)
+        assert system.search_elcas("john zebra") == []
+
+    def test_cli_elca_flag(self, tmp_path, capsys):
+        from repro.xksearch.cli import main
+        from repro.xmltree.generate import school_xml
+
+        doc = tmp_path / "school.xml"
+        doc.write_text(school_xml(), encoding="utf-8")
+        assert main(["build", str(doc), str(tmp_path / "i")]) == 0
+        capsys.readouterr()
+        assert main(["search", str(tmp_path / "i"), "John Ben", "--elca"]) == 0
+        assert "ELCA answer(s)" in capsys.readouterr().out

@@ -1,0 +1,178 @@
+"""Unit tests for the Indexed Lookup Eager algorithm."""
+
+import pytest
+
+from repro.core.counters import OpCounters
+from repro.core.indexed_lookup import (
+    eager_slca,
+    indexed_lookup_blocked,
+    indexed_lookup_slca,
+    slca_candidate,
+)
+from repro.core.sources import SortedListSource
+
+
+def sources(*lists, counters=None):
+    counters = counters if counters is not None else OpCounters()
+    return [SortedListSource(lst, counters) for lst in lists]
+
+
+class TestCandidate:
+    """Properties 1 and 2: the per-node SLCA candidate."""
+
+    def test_candidate_is_lca_with_closest_match(self):
+        counters = OpCounters()
+        (s2,) = sources([(0, 0), (0, 2)], counters=counters)
+        # v=(0,1,5): lm=(0,0) -> lca=(0,), rm=(0,2) -> lca=(0,). Root wins.
+        assert slca_candidate((0, 1, 5), [s2], counters) == (0,)
+
+    def test_candidate_prefers_deeper_side(self):
+        counters = OpCounters()
+        (s2,) = sources([(0, 1, 0), (0, 9)], counters=counters)
+        # lm=(0,1,0) -> lca with (0,1,5) is (0,1); rm=(0,9) -> lca (0,).
+        assert slca_candidate((0, 1, 5), [s2], counters) == (0, 1)
+
+    def test_candidate_with_self_match(self):
+        counters = OpCounters()
+        (s2,) = sources([(0, 1, 5)], counters=counters)
+        assert slca_candidate((0, 1, 5), [s2], counters) == (0, 1, 5)
+
+    def test_candidate_with_ancestor_match(self):
+        counters = OpCounters()
+        (s2,) = sources([(0, 1)], counters=counters)
+        # (0,1) is an ancestor of v: lm=(0,1), lca=(0,1).
+        assert slca_candidate((0, 1, 5), [s2], counters) == (0, 1)
+
+    def test_candidate_folds_across_lists(self):
+        counters = OpCounters()
+        s2, s3 = sources([(0, 1, 0)], [(0, 2)], counters=counters)
+        # After s2: x=(0,1); after s3: lca((0,1),(0,2))=(0,) either side.
+        assert slca_candidate((0, 1, 5), [s2, s3], counters) == (0,)
+
+    def test_candidate_subtree_contains_all_keywords(self):
+        """The candidate's subtree must contain v and a node of each list."""
+        counters = OpCounters()
+        lists = [[(0, 0, 1), (0, 2, 2)], [(0, 1), (0, 2, 0)]]
+        srcs = sources(*lists, counters=counters)
+        for v in [(0, 0, 0), (0, 2, 1), (0, 3)]:
+            x = slca_candidate(v, srcs, counters)
+            assert v[: len(x)] == x  # x is an ancestor-or-self of v
+            for lst in lists:
+                assert any(n[: len(x)] == x for n in lst)
+
+
+class TestEagerPipeline:
+    def test_school_example(self, school):
+        lists = school.keyword_lists()
+        assert indexed_lookup_slca([lists["john"], lists["ben"]]) == [
+            (0, 0),
+            (0, 1),
+            (0, 2, 0),
+        ]
+
+    def test_results_in_document_order(self):
+        got = indexed_lookup_slca([[(0, 0, 0), (0, 5)], [(0, 0, 1), (0, 5, 2)]])
+        assert got == sorted(got)
+
+    def test_lemma1_discards_backward_candidate(self):
+        # S1 = [(0,1,0), (0,2)]; S2 = [(0,1,1), (0,0)]
+        # candidate((0,1,0)) = (0,1); candidate((0,2)) = (0,) which precedes
+        # (0,1) and must be discarded as its ancestor.
+        got = indexed_lookup_slca([[(0, 1, 0), (0, 2)], [(0, 0), (0, 1, 1)]])
+        assert got == [(0, 1)]
+
+    def test_lemma2_held_ancestor_replaced(self):
+        # candidate of first v is an ancestor of candidate of second v:
+        # held (0,1) replaced by (0,1,2) without being emitted.
+        got = indexed_lookup_slca([[(0, 1, 0), (0, 1, 2, 0)], [(0, 1, 1), (0, 1, 2, 1)]])
+        assert got == [(0, 1, 2)]
+
+    def test_duplicate_candidates_collapse(self):
+        # Two S1 nodes under one answer root produce the same candidate.
+        got = indexed_lookup_slca([[(0, 1, 0), (0, 1, 1)], [(0, 1, 2)]])
+        assert got == [(0, 1)]
+
+    def test_k1_removes_ancestors(self):
+        got = indexed_lookup_slca([[(0, 1), (0, 1, 2), (0, 3)]])
+        assert got == [(0, 1, 2), (0, 3)]
+
+    def test_k1_single_node(self):
+        assert indexed_lookup_slca([[(0,)]]) == [(0,)]
+
+    def test_empty_list_short_circuits(self):
+        counters = OpCounters()
+        got = list(eager_slca(sources([(0, 1)], [], counters=counters), counters))
+        assert got == []
+        assert counters.candidates == 0
+
+    def test_no_lists_raises(self):
+        with pytest.raises(ValueError):
+            list(eager_slca([]))
+
+    def test_wrapper_orders_smallest_first(self):
+        counters = OpCounters()
+        small = [(0, 1)]
+        big = [(0, i) for i in range(2, 20)]
+        indexed_lookup_slca([big, small], counters)
+        # Candidates are computed per node of the smallest list only.
+        assert counters.candidates == len(small)
+
+    def test_streaming_is_eager(self):
+        """The first SLCA must be available before S1 is exhausted."""
+        seen_probes = []
+
+        class SpySource(SortedListSource):
+            def scan(self):
+                for node in super().scan():
+                    seen_probes.append(node)
+                    yield node
+
+        counters = OpCounters()
+        s1 = SpySource([(0, 0, 0), (0, 1, 0), (0, 2, 0)], counters)
+        s2 = SortedListSource([(0, 0, 1), (0, 1, 1), (0, 2, 1)], counters)
+        stream = eager_slca([s1, s2], counters)
+        first = next(stream)
+        assert first == (0, 0)
+        # Only the first two S1 nodes were needed to confirm the answer.
+        assert len(seen_probes) == 2
+
+    def test_match_op_budget(self):
+        """IL performs at most 2·(k-1) match ops per S1 node (Table 1)."""
+        counters = OpCounters()
+        lists = [
+            [(0, i) for i in range(0, 10)],
+            [(0, i, 0) for i in range(0, 50, 2)],
+            [(0, i, 1) for i in range(0, 50, 2)],
+        ]
+        indexed_lookup_slca([lists[0][:5], lists[1], lists[2]], counters)
+        k = 3
+        s1 = 5
+        assert counters.match_ops <= 2 * (k - 1) * s1
+
+
+class TestBlockedVariant:
+    def test_blocks_concatenate_to_full_answer(self, school):
+        lists = school.keyword_lists()
+        counters = OpCounters()
+        srcs = sources(lists["john"], lists["ben"], counters=counters)
+        blocks = list(indexed_lookup_blocked(srcs, block_size=1, counters=counters))
+        flat = [node for block in blocks for node in block]
+        assert flat == [(0, 0), (0, 1), (0, 2, 0)]
+
+    def test_various_block_sizes_agree(self):
+        lists = [
+            [(0, 0, 0), (0, 1, 0), (0, 2, 0), (0, 3, 0)],
+            [(0, 0, 1), (0, 1, 1), (0, 2, 1), (0, 3, 1)],
+        ]
+        want = indexed_lookup_slca(lists)
+        for b in (1, 2, 3, 100):
+            srcs = sources(*lists)
+            flat = [n for blk in indexed_lookup_blocked(srcs, b) for n in blk]
+            assert flat == want, b
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            list(indexed_lookup_blocked(sources([(0,)]), 0))
+
+    def test_empty_input(self):
+        assert list(indexed_lookup_blocked(sources([], [(0,)]), 2)) == []

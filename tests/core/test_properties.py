@@ -1,0 +1,122 @@
+"""Property-based tests: every algorithm against every oracle.
+
+These are the strongest correctness guarantees in the suite: on arbitrary
+keyword lists over a collision-rich Dewey space, the three production
+algorithms (Indexed Lookup Eager, Scan Eager, Stack) must produce exactly
+the SLCA set defined by two *independent* oracles — the paper's
+definitional brute force over node combinations and the containment
+characterization — and Algorithm 3 must produce exactly the brute-force
+all-LCA set.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    all_lca,
+    all_lca_by_containment,
+    brute_lca_set,
+    brute_slca,
+    indexed_lookup_slca,
+    scan_eager_slca,
+    slca_by_containment,
+    stack_slca,
+)
+from repro.core.brute import MAX_COMBINATIONS
+from repro.core.counters import OpCounters
+from repro.core.indexed_lookup import indexed_lookup_blocked
+from repro.core.sources import SortedListSource
+
+from tests.conftest import query_lists_st
+
+
+def small_enough_for_brute(keyword_lists) -> bool:
+    combos = 1
+    for lst in keyword_lists:
+        combos *= max(1, len(lst))
+    return combos <= MAX_COMBINATIONS
+
+
+@given(keyword_lists=query_lists_st)
+@settings(max_examples=400, deadline=None)
+def test_oracles_agree(keyword_lists):
+    if small_enough_for_brute(keyword_lists):
+        assert brute_slca(keyword_lists) == slca_by_containment(keyword_lists)
+
+
+@given(keyword_lists=query_lists_st)
+@settings(max_examples=400, deadline=None)
+def test_indexed_lookup_matches_oracle(keyword_lists):
+    got = indexed_lookup_slca(keyword_lists)
+    assert got == sorted(got)
+    assert len(got) == len(set(got))
+    assert set(got) == slca_by_containment(keyword_lists)
+
+
+@given(keyword_lists=query_lists_st)
+@settings(max_examples=400, deadline=None)
+def test_scan_eager_matches_oracle(keyword_lists):
+    got = scan_eager_slca(keyword_lists)
+    assert got == sorted(got)
+    assert set(got) == slca_by_containment(keyword_lists)
+
+
+@given(keyword_lists=query_lists_st)
+@settings(max_examples=400, deadline=None)
+def test_stack_matches_oracle(keyword_lists):
+    got = list(stack_slca(keyword_lists))
+    assert got == sorted(got)
+    assert set(got) == slca_by_containment(keyword_lists)
+
+
+@given(keyword_lists=query_lists_st)
+@settings(max_examples=300, deadline=None)
+def test_all_lca_matches_containment_oracle(keyword_lists):
+    got = all_lca(keyword_lists)
+    assert len(got) == len(set(got))
+    assert set(got) == all_lca_by_containment(keyword_lists)
+
+
+@given(keyword_lists=query_lists_st)
+@settings(max_examples=200, deadline=None)
+def test_all_lca_matches_brute_product(keyword_lists):
+    if small_enough_for_brute(keyword_lists):
+        assert set(all_lca(keyword_lists)) == brute_lca_set(keyword_lists)
+
+
+@given(keyword_lists=query_lists_st)
+@settings(max_examples=200, deadline=None)
+def test_slca_subset_of_all_lca(keyword_lists):
+    assert set(indexed_lookup_slca(keyword_lists)) <= set(all_lca(keyword_lists))
+
+
+@given(keyword_lists=query_lists_st, block_size=st.integers(min_value=1, max_value=7))
+@settings(max_examples=200, deadline=None)
+def test_blocked_il_equals_plain_il(keyword_lists, block_size):
+    counters = OpCounters()
+    ordered = sorted(keyword_lists, key=len)
+    srcs = [SortedListSource(lst, counters) for lst in ordered]
+    blocks = list(indexed_lookup_blocked(srcs, block_size, counters))
+    flat = [node for block in blocks for node in block]
+    assert flat == indexed_lookup_slca(keyword_lists)
+
+
+@given(keyword_lists=query_lists_st)
+@settings(max_examples=200, deadline=None)
+def test_list_order_does_not_change_answer(keyword_lists):
+    """The algorithm is correct for any list order, not just smallest-first."""
+    counters = OpCounters()
+    srcs = [SortedListSource(lst, counters) for lst in keyword_lists]
+    from repro.core.indexed_lookup import eager_slca
+
+    got = sorted(eager_slca(srcs, counters))
+    assert set(got) == slca_by_containment(keyword_lists)
+
+
+@given(keyword_lists=query_lists_st)
+@settings(max_examples=200, deadline=None)
+def test_slca_is_an_antichain(keyword_lists):
+    got = indexed_lookup_slca(keyword_lists)
+    for i, a in enumerate(got):
+        for b in got[i + 1:]:
+            assert b[: len(a)] != a, "an SLCA is an ancestor of another"

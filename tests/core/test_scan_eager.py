@@ -1,0 +1,65 @@
+"""Unit tests for the Scan Eager algorithm."""
+
+from repro.core.counters import OpCounters
+from repro.core.indexed_lookup import indexed_lookup_slca
+from repro.core.scan_eager import scan_eager_slca
+
+
+class TestEquivalenceWithIL:
+    def test_school_example(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        assert scan_eager_slca(kl) == indexed_lookup_slca(kl)
+
+    def test_three_keywords(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"], lists["class"]]
+        assert scan_eager_slca(kl) == indexed_lookup_slca(kl)
+
+    def test_k1(self):
+        kl = [[(0, 1), (0, 1, 2), (0, 3)]]
+        assert scan_eager_slca(kl) == [(0, 1, 2), (0, 3)]
+
+    def test_empty_list(self):
+        assert scan_eager_slca([[(0, 1)], []]) == []
+
+
+class TestCostProfile:
+    def test_cursor_advances_bounded_by_total_size(self):
+        counters = OpCounters()
+        lists = [
+            [(0, i) for i in range(5)],
+            [(0, i, 0) for i in range(40)],
+            [(0, i, 1) for i in range(40)],
+        ]
+        scan_eager_slca(lists, counters)
+        total = sum(len(lst) for lst in lists)
+        # Each non-head cursor moves forward at most once past each element;
+        # reseeks are bounded binary searches, not advances.
+        assert counters.cursor_advances <= total
+
+    def test_head_list_never_probed(self):
+        """S1 under Scan Eager is pure scan — no lm/rm ever hits it."""
+        from repro.core.indexed_lookup import eager_slca
+        from repro.core.scan_eager import SortedCursorHead
+        from repro.core.sources import CursorListSource
+
+        class TrapHead(SortedCursorHead):
+            def lm(self, v):
+                raise AssertionError("head list was probed")
+
+            def rm(self, v):
+                raise AssertionError("head list was probed")
+
+        counters = OpCounters()
+        head = TrapHead([(0, 0), (0, 3)], counters)
+        other = CursorListSource([(0, 1), (0, 4)], counters)
+        assert list(eager_slca([head, other], counters)) == [(0,)]
+
+    def test_same_answers_under_heavy_interleaving(self):
+        # Lists that force many small forward steps and some regressions.
+        s1 = [(0, i, 1) for i in range(30)]
+        s2 = [(0, i, 0) for i in range(30)] + [(0, 30)]
+        s3 = [(0, i, 2) for i in range(0, 30, 3)]
+        kl = [s1, sorted(s2), s3]
+        assert scan_eager_slca(kl) == indexed_lookup_slca(kl)

@@ -1,0 +1,171 @@
+"""Unit tests for the match sources (lm/rm accessors)."""
+
+import pytest
+
+from repro.core.counters import OpCounters
+from repro.core.sources import (
+    CursorListSource,
+    LazyCursorSource,
+    SortedListSource,
+    memory_sources,
+)
+
+LIST = [(0, 1), (0, 1, 2), (0, 3), (0, 5, 0), (0, 5, 2)]
+
+
+class TestSortedListSource:
+    def test_rm_exact(self):
+        src = SortedListSource(LIST)
+        assert src.rm((0, 3)) == (0, 3)
+
+    def test_rm_between(self):
+        src = SortedListSource(LIST)
+        assert src.rm((0, 2)) == (0, 3)
+
+    def test_rm_past_end(self):
+        src = SortedListSource(LIST)
+        assert src.rm((0, 9)) is None
+
+    def test_lm_exact(self):
+        src = SortedListSource(LIST)
+        assert src.lm((0, 3)) == (0, 3)
+
+    def test_lm_between(self):
+        src = SortedListSource(LIST)
+        assert src.lm((0, 4)) == (0, 3)
+
+    def test_lm_before_start(self):
+        src = SortedListSource(LIST)
+        assert src.lm((0, 0)) is None
+
+    def test_lm_rm_with_ancestor_probe(self):
+        src = SortedListSource(LIST)
+        # (0,1) is an ancestor of (0,1,2): it sorts before it.
+        assert src.rm((0, 1, 0)) == (0, 1, 2)
+        assert src.lm((0, 1, 0)) == (0, 1)
+
+    def test_scan_and_len(self):
+        src = SortedListSource(LIST)
+        assert list(src.scan()) == LIST
+        assert len(src) == 5
+
+    def test_counters_incremented(self):
+        counters = OpCounters()
+        src = SortedListSource(LIST, counters)
+        src.lm((0, 3))
+        src.rm((0, 3))
+        src.rm((0, 4))
+        assert counters.lm_ops == 1
+        assert counters.rm_ops == 2
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            SortedListSource([(0, 2), (0, 1)])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SortedListSource([(0, 1), (0, 1)])
+
+    def test_empty_list_ok(self):
+        src = SortedListSource([])
+        assert src.lm((0,)) is None
+        assert src.rm((0,)) is None
+        assert len(src) == 0
+
+
+class TestCursorListSource:
+    def test_monotone_probes_match_sorted_source(self):
+        sorted_src = SortedListSource(LIST)
+        cursor_src = CursorListSource(LIST)
+        for probe in [(0, 0), (0, 1), (0, 2), (0, 3), (0, 4), (0, 5, 1), (0, 9)]:
+            assert cursor_src.rm(probe) == sorted_src.rm(probe), probe
+            assert cursor_src.lm(probe) == sorted_src.lm(probe), probe
+
+    def test_regressing_probe_still_correct(self):
+        cursor_src = CursorListSource(LIST)
+        sorted_src = SortedListSource(LIST)
+        assert cursor_src.rm((0, 5, 1)) == (0, 5, 2)   # cursor moves deep
+        for probe in [(0, 2), (0, 1), (0, 0)]:          # regress hard
+            assert cursor_src.rm(probe) == sorted_src.rm(probe), probe
+            assert cursor_src.lm(probe) == sorted_src.lm(probe), probe
+
+    def test_regression_counted_as_reseek(self):
+        counters = OpCounters()
+        cursor_src = CursorListSource(LIST, counters)
+        cursor_src.rm((0, 5, 1))
+        cursor_src.rm((0, 1))
+        assert counters.cursor_reseeks == 1
+
+    def test_advances_counted(self):
+        counters = OpCounters()
+        cursor_src = CursorListSource(LIST, counters)
+        cursor_src.rm((0, 9))
+        assert counters.cursor_advances == len(LIST)
+
+    def test_total_advances_bounded_by_list_size(self):
+        counters = OpCounters()
+        cursor_src = CursorListSource(LIST, counters)
+        for probe in LIST:
+            cursor_src.rm(probe)
+            cursor_src.lm(probe)
+        assert counters.cursor_advances <= len(LIST)
+
+    def test_exhaustive_vs_sorted_on_every_probe(self):
+        # Fresh cursor per probe: must agree with binary search everywhere.
+        sorted_src = SortedListSource(LIST)
+        probes = LIST + [(0,), (0, 0), (0, 2), (0, 4), (0, 9), (0, 5, 1), (0, 1, 2, 0)]
+        for probe in probes:
+            fresh = CursorListSource(LIST)
+            assert fresh.rm(probe) == sorted_src.rm(probe), probe
+            fresh = CursorListSource(LIST)
+            assert fresh.lm(probe) == sorted_src.lm(probe), probe
+
+
+class TestLazyCursorSource:
+    def test_behaves_like_cursor_source(self):
+        lazy = LazyCursorSource(iter(LIST), len(LIST))
+        plain = CursorListSource(LIST)
+        for probe in [(0, 0), (0, 1, 2), (0, 2), (0, 4), (0, 5, 1), (0, 9)]:
+            assert lazy.rm(probe) == plain.rm(probe), probe
+            assert lazy.lm(probe) == plain.lm(probe), probe
+
+    def test_scan_streams_everything_once(self):
+        lazy = LazyCursorSource(iter(LIST), len(LIST))
+        assert list(lazy.scan()) == LIST
+
+    def test_scan_after_partial_matching(self):
+        lazy = LazyCursorSource(iter(LIST), len(LIST))
+        lazy.rm((0, 3))
+        assert list(lazy.scan()) == LIST
+
+    def test_len_is_declared_length(self):
+        lazy = LazyCursorSource(iter(LIST), 5)
+        assert len(lazy) == 5
+
+    def test_unsorted_stream_detected(self):
+        lazy = LazyCursorSource(iter([(0, 2), (0, 1)]), 2)
+        with pytest.raises(ValueError, match="sorted"):
+            lazy.rm((0, 9))
+
+    def test_regression_fallback(self):
+        lazy = LazyCursorSource(iter(LIST), len(LIST))
+        assert lazy.rm((0, 5, 1)) == (0, 5, 2)
+        assert lazy.lm((0, 1, 1)) == (0, 1)
+        assert lazy.rm((0, 2)) == (0, 3)
+
+
+class TestMemorySources:
+    def test_shared_counters(self):
+        counters = OpCounters()
+        sources = memory_sources([LIST, LIST], counters)
+        sources[0].rm((0,))
+        sources[1].rm((0,))
+        assert counters.rm_ops == 2
+
+    def test_cursor_flag(self):
+        sources = memory_sources([LIST], cursor=True)
+        assert isinstance(sources[0], CursorListSource)
+
+    def test_default_sorted(self):
+        sources = memory_sources([LIST])
+        assert isinstance(sources[0], SortedListSource)

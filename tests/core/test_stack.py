@@ -1,0 +1,102 @@
+"""Unit tests for the Stack (XRANK-derived) algorithm."""
+
+import pytest
+
+from repro.core.counters import OpCounters
+from repro.core.indexed_lookup import indexed_lookup_slca
+from repro.core.stack import _merge_with_masks, stack_slca
+
+
+class TestMerge:
+    def test_masks_tag_source_list(self):
+        merged = list(_merge_with_masks([[(0, 1)], [(0, 2)]]))
+        assert merged == [((0, 1), 0b01), ((0, 2), 0b10)]
+
+    def test_duplicate_node_masks_union(self):
+        merged = list(_merge_with_masks([[(0, 1)], [(0, 1)]]))
+        assert merged == [((0, 1), 0b11)]
+
+    def test_interleaving_is_document_order(self):
+        merged = list(_merge_with_masks([[(0, 0), (0, 2)], [(0, 1), (0, 3)]]))
+        assert [d for d, _ in merged] == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+    def test_ancestor_before_descendant(self):
+        merged = list(_merge_with_masks([[(0, 1)], [(0, 1, 0)]]))
+        assert [d for d, _ in merged] == [(0, 1), (0, 1, 0)]
+
+
+class TestStackSLCA:
+    def test_school_example(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        assert list(stack_slca(kl)) == [(0, 0), (0, 1), (0, 2, 0)]
+
+    def test_matches_il_on_three_keywords(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"], lists["title"]]
+        assert list(stack_slca(kl)) == indexed_lookup_slca(kl)
+
+    def test_single_node_all_keywords(self):
+        assert list(stack_slca([[(0, 1)], [(0, 1)]])) == [(0, 1)]
+
+    def test_ancestor_of_slca_not_reported(self):
+        # (0,1) contains both keywords, but so does its child (0,1,0).
+        kl = [[(0, 1), (0, 1, 0, 0)], [(0, 1), (0, 1, 0, 1)]]
+        assert list(stack_slca(kl)) == [(0, 1, 0)]
+
+    def test_keyword_at_internal_node(self):
+        # keyword 1 at an ancestor, keyword 2 below it.
+        kl = [[(0, 1)], [(0, 1, 2)]]
+        assert list(stack_slca(kl)) == [(0, 1)]
+
+    def test_k1_removes_ancestors(self):
+        assert list(stack_slca([[(0, 1), (0, 1, 2), (0, 3)]])) == [(0, 1, 2), (0, 3)]
+
+    def test_empty_list(self):
+        assert list(stack_slca([[(0, 1)], []])) == []
+
+    def test_no_lists_raises(self):
+        with pytest.raises(ValueError):
+            list(stack_slca([]))
+
+    def test_document_order_output(self):
+        kl = [
+            [(0, 0, 0), (0, 2, 0), (0, 4, 0)],
+            [(0, 0, 1), (0, 2, 1), (0, 4, 1)],
+        ]
+        got = list(stack_slca(kl))
+        assert got == sorted(got) == [(0, 0), (0, 2), (0, 4)]
+
+    def test_streaming_yields_before_exhaustion(self):
+        seen = []
+
+        def spy(lst):
+            for node in lst:
+                seen.append(node)
+                yield node
+
+        kl = [
+            [(0, i, 0) for i in range(50)],
+            [(0, i, 1) for i in range(50)],
+        ]
+        stream = stack_slca([spy(kl[0]), spy(kl[1])])
+        first = next(stream)
+        assert first == (0, 0)
+        # Only a constant lookahead beyond the first answer was consumed.
+        assert len(seen) < 10
+
+
+class TestCostProfile:
+    def test_merges_every_node(self):
+        counters = OpCounters()
+        kl = [[(0, i) for i in range(20)], [(0, i, 0) for i in range(30)]]
+        list(stack_slca(kl, counters))
+        assert counters.nodes_merged == 50
+
+    def test_merge_count_includes_small_and_large(self):
+        """The Stack baseline pays for every list — the cost IL avoids."""
+        counters = OpCounters()
+        small = [(0, 25)]
+        large = [(0, i, 0) for i in range(100)]
+        list(stack_slca([small, large], counters))
+        assert counters.nodes_merged == 101

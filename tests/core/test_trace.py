@@ -1,0 +1,82 @@
+"""Unit tests for the IL execution trace."""
+
+from hypothesis import given, settings
+
+from repro.core import indexed_lookup_slca
+from repro.core.trace import format_trace, traced_slca
+
+from tests.conftest import query_lists_st
+
+
+class TestTracedRun:
+    def test_results_match_production_algorithm(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        trace = traced_slca(kl)
+        assert trace.results == indexed_lookup_slca(kl)
+
+    def test_one_step_per_s1_node(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"]]
+        assert len(traced_slca(kl).steps) == 3
+
+    def test_match_steps_probe_every_other_list(self, school):
+        lists = school.keyword_lists()
+        kl = [lists["john"], lists["ben"], lists["title"]]
+        trace = traced_slca(kl)
+        for step in trace.steps:
+            assert len(step.matches) == 2  # k - 1 lists probed per v
+            assert [m.list_index for m in step.matches] == [2, 3]
+
+    def test_first_candidate_held(self, school):
+        lists = school.keyword_lists()
+        trace = traced_slca([lists["john"], lists["ben"]])
+        assert trace.steps[0].decision == "hold"
+
+    def test_emit_steps_reference_lemma2(self, school):
+        lists = school.keyword_lists()
+        trace = traced_slca([lists["john"], lists["ben"]])
+        emits = [s for s in trace.steps if s.decision == "emit+hold"]
+        assert emits
+        assert all("Lemma 2" in s.rule for s in emits)
+
+    def test_discard_uses_lemma1(self):
+        # Second S1 node's candidate precedes the first's: Lemma 1 discard.
+        kl = [[(0, 1, 0), (0, 2)], [(0, 0), (0, 1, 1)]]
+        trace = traced_slca(kl)
+        assert trace.steps[-1].decision == "discard"
+        assert "Lemma 1" in trace.steps[-1].rule
+        assert trace.results == [(0, 1)]
+
+    def test_replace_on_ancestor_candidate(self):
+        kl = [[(0, 1, 0), (0, 1, 2, 0)], [(0, 1, 1), (0, 1, 2, 1)]]
+        trace = traced_slca(kl)
+        assert trace.steps[-1].decision == "replace"
+        assert trace.results == [(0, 1, 2)]
+
+    def test_empty_inputs(self):
+        assert traced_slca([]).results == []
+        assert traced_slca([[(0, 1)], []]).results == []
+
+    @given(keyword_lists=query_lists_st)
+    @settings(max_examples=150, deadline=None)
+    def test_trace_always_agrees_with_algorithm(self, keyword_lists):
+        assert traced_slca(keyword_lists).results == indexed_lookup_slca(keyword_lists)
+
+
+class TestFormatting:
+    def test_format_contains_steps_and_answer(self, school):
+        lists = school.keyword_lists()
+        out = format_trace(traced_slca([lists["john"], lists["ben"]]))
+        assert "step 1: v = 0.0.1.0" in out
+        assert "SLCA confirmed: 0.0" in out
+        assert "answer: [0.0, 0.1, 0.2.0]" in out
+
+    def test_format_without_matches(self, school):
+        lists = school.keyword_lists()
+        out = format_trace(traced_slca([lists["john"], lists["ben"]]), show_matches=False)
+        assert "lm(" not in out
+        assert "candidate =" in out
+
+    def test_empty_answer_formatting(self):
+        assert "answer: []" in format_trace(traced_slca([[(0, 1)], []]))

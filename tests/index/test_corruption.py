@@ -1,0 +1,130 @@
+"""Failure injection: corrupted or incomplete index directories must fail
+with the library's own exceptions, never crash or loop."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import (
+    IndexFormatError,
+    IndexNotFoundError,
+    PageError,
+    ReproError,
+)
+from repro.index.builder import build_index
+from repro.index.inverted import DiskKeywordIndex
+
+
+@pytest.fixture
+def built(tmp_path, school):
+    target = tmp_path / "idx"
+    build_index(school, target, page_size=512)
+    return target
+
+
+def open_and_query(target):
+    with DiskKeywordIndex(target) as index:
+        return index.keyword_list("john")
+
+
+class TestMissingPieces:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(IndexNotFoundError):
+            DiskKeywordIndex(tmp_path / "nope")
+
+    def test_missing_manifest(self, built):
+        os.remove(built / "manifest.json")
+        with pytest.raises(IndexNotFoundError):
+            DiskKeywordIndex(built)
+
+    def test_missing_level_table(self, built):
+        os.remove(built / "level_table.json")
+        with pytest.raises(IndexNotFoundError):
+            DiskKeywordIndex(built)
+
+    def test_missing_index_file(self, built):
+        os.remove(built / "index.db")
+        with pytest.raises(ReproError):
+            open_and_query(built)
+
+    def test_missing_tags_tolerated(self, built, school):
+        # Tag file is an extension artifact: absence degrades gracefully to
+        # untagged behaviour rather than failing.
+        os.remove(built / "tags.json")
+        with DiskKeywordIndex(built) as index:
+            assert index.keyword_list("john") == school.keyword_lists()["john"]
+
+
+class TestCorruptBytes:
+    def test_garbage_manifest(self, built):
+        (built / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises((IndexFormatError, ValueError)):
+            DiskKeywordIndex(built)
+
+    def test_wrong_manifest_version(self, built):
+        manifest = json.loads((built / "manifest.json").read_text())
+        manifest["version"] = 42
+        (built / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(IndexFormatError):
+            DiskKeywordIndex(built)
+
+    def test_unknown_codec_in_manifest(self, built):
+        manifest = json.loads((built / "manifest.json").read_text())
+        manifest["codec"] = "zstd"
+        (built / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(IndexFormatError):
+            DiskKeywordIndex(built)
+
+    def test_zeroed_header_page(self, built):
+        with open(built / "index.db", "r+b") as fh:
+            fh.write(b"\x00" * 64)
+        with pytest.raises(PageError):
+            DiskKeywordIndex(built)
+
+    def test_truncated_index_file(self, built):
+        path = built / "index.db"
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - (size % 512) - 512 or 512)
+        with pytest.raises(ReproError):
+            open_and_query(built)
+
+    def test_misaligned_index_file(self, built):
+        path = built / "index.db"
+        with open(path, "ab") as fh:
+            fh.write(b"junk")
+        with pytest.raises(PageError):
+            DiskKeywordIndex(built)
+
+    def test_flipped_page_type_byte(self, built):
+        # Corrupt the first byte of every data page: node decode must raise
+        # a TreeCorruptError (or another ReproError), not misbehave silently.
+        path = built / "index.db"
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            for offset in range(512, size, 512):
+                fh.seek(offset)
+                fh.write(b"\x77")
+        with pytest.raises(ReproError):
+            open_and_query(built)
+
+    def test_garbage_level_table(self, built):
+        (built / "level_table.json").write_text("[]", encoding="utf-8")
+        with pytest.raises((ReproError, ValueError, KeyError, TypeError)):
+            open_and_query(built)
+
+
+class TestRecoveryPath:
+    def test_rebuild_fixes_corruption(self, built, school, tmp_path):
+        path = built / "index.db"
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            for offset in range(512, size, 512):
+                fh.seek(offset)
+                fh.write(b"\xff" * 64)
+        with pytest.raises(ReproError):
+            open_and_query(built)
+        # A rebuild into the same directory restores service.
+        build_index(school, built, page_size=512)
+        assert open_and_query(built) == school.keyword_lists()["john"]

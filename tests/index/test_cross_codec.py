@@ -1,0 +1,96 @@
+"""End-to-end parity across Dewey codecs and page sizes.
+
+The codec and page size are storage knobs: for any combination, every
+query path (indexed, scan, stack; SLCA, all-LCA) must produce identical
+answers, and updates must keep working.
+"""
+
+import pytest
+
+from repro.core import OpCounters, eager_slca, find_all_lcas, slca, stack_slca
+from repro.index.builder import build_index
+from repro.index.inverted import DiskKeywordIndex
+from repro.index.updates import IndexUpdater
+from repro.index.verify import verify_index
+
+COMBOS = [
+    ("packed", 512),
+    ("packed", 4096),
+    ("varint", 512),
+    ("varint", 4096),
+]
+
+
+@pytest.fixture(scope="module")
+def reference(planted_dblp_module):
+    lists = planted_dblp_module.keyword_lists()
+    query = ("xkrare", "xkmid", "xkbig")
+    return {
+        "slca": slca([lists[k] for k in query]),
+        "query": query,
+        "lists": lists,
+    }
+
+
+@pytest.fixture(scope="module")
+def planted_dblp_module():
+    from repro.xmltree.generate import dblp_like_tree, plant_keywords
+
+    tree = dblp_like_tree(5, venues=3, years_per_venue=3, papers_per_year=10)
+    plant_keywords(tree, {"xkrare": 4, "xkmid": 20, "xkbig": 60}, seed=9)
+    return tree
+
+
+@pytest.mark.parametrize("codec,page_size", COMBOS)
+class TestCodecPageSizeMatrix:
+    @pytest.fixture
+    def index(self, planted_dblp_module, tmp_path, codec, page_size):
+        target = tmp_path / f"{codec}-{page_size}"
+        build_index(planted_dblp_module, target, codec=codec, page_size=page_size)
+        with DiskKeywordIndex(target) as opened:
+            yield opened
+
+    def test_all_query_paths_agree(self, index, reference):
+        query = reference["query"]
+        want = reference["slca"]
+        il = list(eager_slca(index.sources_for(query, "indexed", OpCounters())))
+        scan = list(eager_slca(index.sources_for(query, "scan", OpCounters())))
+        stack = list(stack_slca([index.scan(k) for k in query]))
+        assert il == scan == stack == want
+
+    def test_all_lca_agrees(self, index, reference):
+        query = reference["query"]
+        got = sorted(
+            find_all_lcas(index.sources_for(query, "indexed", OpCounters()))
+        )
+        from repro.core import all_lca
+
+        want = all_lca([reference["lists"][k] for k in query])
+        assert got == want
+
+    def test_lists_roundtrip(self, index, reference):
+        for keyword in ("xkrare", "xkbig", "title"):
+            assert index.keyword_list(keyword) == reference["lists"][keyword]
+
+    def test_verifies_clean(self, index):
+        report = verify_index(index.index_dir)
+        assert report.ok, report.summary()
+
+    def test_update_then_query(self, index, reference, tmp_path, codec, page_size):
+        # Work on a private copy: updates mutate the directory.
+        import shutil
+
+        target = tmp_path / "updated"
+        shutil.copytree(index.index_dir, target)
+        with IndexUpdater(target) as updater:
+            updater.add_postings({"xkrare": [((0, 1, 1, 1, 0, 0), "title")]})
+        with DiskKeywordIndex(target) as updated:
+            assert updated.frequency("xkrare") == 5
+            answers = list(
+                eager_slca(updated.sources_for(reference["query"], "indexed"))
+            )
+            recomputed = slca(
+                [updated.keyword_list(k) for k in reference["query"]]
+            )
+            assert answers == recomputed
+        assert verify_index(target).ok

@@ -1,0 +1,166 @@
+"""Unit tests for the disk keyword index and its match sources."""
+
+import random
+
+import pytest
+
+from repro.core import eager_slca, slca, stack_slca
+from repro.core.counters import OpCounters
+from repro.index.builder import build_index
+from repro.index.inverted import DiskIndexedSource, DiskKeywordIndex
+from repro.index.memory import MemoryKeywordIndex
+
+
+@pytest.fixture
+def built(tmp_path, planted_dblp):
+    build_index(planted_dblp, tmp_path / "idx", page_size=1024)
+    index = DiskKeywordIndex(tmp_path / "idx", pool_capacity=512)
+    yield index, planted_dblp
+    index.close()
+
+
+class TestCatalogue:
+    def test_frequency(self, built):
+        index, tree = built
+        lists = tree.keyword_lists()
+        assert index.frequency("xkrare") == len(lists["xkrare"]) == 4
+
+    def test_contains(self, built):
+        index, _ = built
+        assert "xkmid" in index
+        assert "definitely_absent" not in index
+
+    def test_keywords_sorted(self, built):
+        index, tree = built
+        assert index.keywords() == sorted(tree.keyword_lists())
+
+    def test_case_insensitive(self, built):
+        index, _ = built
+        assert index.frequency("XKMID") == 20
+
+
+class TestMatches:
+    def test_lm_rm_match_memory_reference(self, built):
+        index, tree = built
+        lists = tree.keyword_lists()
+        memory = MemoryKeywordIndex(lists)
+        rng = random.Random(4)
+        probes = [n.dewey for n in tree]
+        for keyword in ("xkrare", "xkmid", "xkbig", "smith"):
+            counters = OpCounters()
+            disk_src = DiskIndexedSource(index, keyword, counters)
+            mem_src = memory.sources_for([keyword])[0]
+            for _ in range(200):
+                probe = rng.choice(probes)
+                assert disk_src.lm(probe) == mem_src.lm(probe), (keyword, probe)
+                assert disk_src.rm(probe) == mem_src.rm(probe), (keyword, probe)
+
+    def test_match_counters(self, built):
+        index, _ = built
+        counters = OpCounters()
+        src = DiskIndexedSource(index, "xkmid", counters)
+        src.lm((0,))
+        src.rm((0,))
+        assert counters.lm_ops == 1 and counters.rm_ops == 1
+
+    def test_one_off_helpers(self, built):
+        index, tree = built
+        lists = tree.keyword_lists()
+        assert index.rm("xkmid", (0,)) == lists["xkmid"][0]
+        assert index.lm("xkmid", (0,)) is None
+
+    def test_scan_matches_lists(self, built):
+        index, tree = built
+        lists = tree.keyword_lists()
+        for keyword in ("xkrare", "xkbig", "title"):
+            assert list(index.scan(keyword)) == lists[keyword]
+
+    def test_scan_unknown_keyword_empty(self, built):
+        index, _ = built
+        assert list(index.scan("ghost")) == []
+
+    def test_indexed_source_scan_equals_block_scan(self, built):
+        index, _ = built
+        counters = OpCounters()
+        src = DiskIndexedSource(index, "xkmid", counters)
+        assert list(src.scan()) == list(index.scan("xkmid"))
+
+
+class TestQueriesOverDisk:
+    QUERY = ("xkrare", "xkmid", "xkbig")
+
+    def test_il_scan_stack_agree_with_memory(self, built):
+        index, tree = built
+        lists = tree.keyword_lists()
+        want = slca([lists[k] for k in self.QUERY])
+        il = list(eager_slca(index.sources_for(self.QUERY, "indexed")))
+        scan = list(eager_slca(index.sources_for(self.QUERY, "scan")))
+        stack = list(stack_slca([index.scan(k) for k in self.QUERY]))
+        assert il == scan == stack == want
+
+    def test_bad_source_mode(self, built):
+        index, _ = built
+        with pytest.raises(ValueError, match="mode"):
+            index.sources_for(["xkmid"], "hash")
+
+
+class TestCacheTemperature:
+    def test_hot_run_reads_nothing(self, built):
+        index, _ = built
+        list(eager_slca(index.sources_for(self.q(), "indexed")))
+        before = index.io_snapshot()
+        list(eager_slca(index.sources_for(self.q(), "indexed")))
+        assert index.pager.stats.delta(before).reads == 0
+
+    def test_cold_run_reads_pages(self, built):
+        index, _ = built
+        list(eager_slca(index.sources_for(self.q(), "indexed")))
+        index.make_cold()
+        before = index.io_snapshot()
+        list(eager_slca(index.sources_for(self.q(), "indexed")))
+        assert index.pager.stats.delta(before).reads > 0
+
+    def test_pinned_internal_pages_survive_cold(self, built):
+        index, _ = built
+        assert index.pool.pinned_pages
+        index.make_cold()
+        assert index.pool.pinned_pages
+
+    def test_fully_cold_unpins(self, built):
+        index, _ = built
+        index.make_fully_cold()
+        assert not index.pool.pinned_pages
+
+    def test_unpinned_index_still_correct(self, tmp_path, planted_dblp):
+        build_index(planted_dblp, tmp_path / "i2", page_size=1024)
+        lists = planted_dblp.keyword_lists()
+        with DiskKeywordIndex(tmp_path / "i2", pin_internal=False) as index:
+            assert index.keyword_list("xkmid") == lists["xkmid"]
+            assert not index.pool.pinned_pages
+
+    @staticmethod
+    def q():
+        return ("xkrare", "xkbig")
+
+
+class TestLifecycle:
+    def test_context_manager(self, tmp_path, school):
+        build_index(school, tmp_path / "cm")
+        with DiskKeywordIndex(tmp_path / "cm") as index:
+            assert index.frequency("john") == 3
+
+    def test_document_path(self, tmp_path, school):
+        build_index(school, tmp_path / "doc")
+        with DiskKeywordIndex(tmp_path / "doc") as index:
+            assert index.document_path() is not None
+
+    def test_document_path_absent(self, tmp_path, school):
+        build_index(school, tmp_path / "nodoc", keep_document=False)
+        with DiskKeywordIndex(tmp_path / "nodoc") as index:
+            assert index.document_path() is None
+
+    def test_missing_index_dir(self, tmp_path):
+        from repro.errors import IndexNotFoundError
+
+        with pytest.raises(IndexNotFoundError):
+            DiskKeywordIndex(tmp_path / "ghost")

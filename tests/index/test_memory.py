@@ -1,0 +1,65 @@
+"""Unit tests for the in-memory keyword index."""
+
+import pytest
+
+from repro.core.sources import CursorListSource, SortedListSource
+from repro.index.memory import MemoryKeywordIndex
+
+
+class TestConstruction:
+    def test_from_tree(self, school):
+        index = MemoryKeywordIndex.from_tree(school)
+        assert index.frequency("john") == 3
+
+    def test_lowercases_keys(self):
+        index = MemoryKeywordIndex({"John": [(0, 1)]})
+        assert index.frequency("john") == 1
+        assert "JOHN" in index
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            MemoryKeywordIndex({"a": [(0, 2), (0, 1)]})
+
+    def test_len_and_keywords(self):
+        index = MemoryKeywordIndex({"a": [(0, 1)], "b": [(0, 2)]})
+        assert len(index) == 2
+        assert index.keywords() == ["a", "b"]
+
+
+class TestAccess:
+    def test_keyword_list_copy(self):
+        index = MemoryKeywordIndex({"a": [(0, 1)]})
+        lst = index.keyword_list("a")
+        lst.append((0, 9))
+        assert index.keyword_list("a") == [(0, 1)]
+
+    def test_scan_unknown_is_empty(self):
+        index = MemoryKeywordIndex({})
+        assert list(index.scan("ghost")) == []
+
+    def test_sources_modes(self):
+        index = MemoryKeywordIndex({"a": [(0, 1)]})
+        (indexed,) = index.sources_for(["a"], "indexed")
+        (cursor,) = index.sources_for(["a"], "scan")
+        assert isinstance(indexed, SortedListSource)
+        assert isinstance(cursor, CursorListSource)
+
+    def test_sources_for_missing_keyword_empty(self):
+        index = MemoryKeywordIndex({"a": [(0, 1)]})
+        (src,) = index.sources_for(["ghost"])
+        assert len(src) == 0
+
+    def test_bad_mode(self):
+        index = MemoryKeywordIndex({})
+        with pytest.raises(ValueError):
+            index.sources_for(["a"], "turbo")
+
+    def test_shared_counters_across_sources(self):
+        from repro.core.counters import OpCounters
+
+        index = MemoryKeywordIndex({"a": [(0, 1)], "b": [(0, 2)]})
+        counters = OpCounters()
+        sources = index.sources_for(["a", "b"], counters=counters)
+        sources[0].rm((0,))
+        sources[1].rm((0,))
+        assert counters.rm_ops == 2

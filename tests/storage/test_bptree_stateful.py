@@ -1,0 +1,82 @@
+"""Stateful model-based testing of the B+tree.
+
+Hypothesis drives random interleavings of insert / overwrite / delete /
+search / floor / ceiling / scan against a plain dict+sorted-list model;
+any divergence (including after node splits and emptied leaves) fails with
+a minimized command sequence.
+"""
+
+import bisect
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+
+keys_st = st.binary(min_size=1, max_size=6)
+values_st = st.binary(max_size=5)
+
+
+class BPlusTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        import tempfile
+
+        self._dir = tempfile.TemporaryDirectory(prefix="bptree-state-")
+        # Tiny pages force frequent splits; tiny pool forces real paging.
+        self.pager = Pager(f"{self._dir.name}/t.db", page_size=128, create=True)
+        self.pool = BufferPool(self.pager, capacity=8)
+        self.tree = BPlusTree(self.pool, "m")
+        self.model = {}
+
+    def teardown(self):
+        self.pager.close()
+        self._dir.cleanup()
+
+    @rule(key=keys_st, value=values_st)
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=keys_st)
+    def delete(self, key):
+        assert self.tree.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=keys_st)
+    def search(self, key):
+        assert self.tree.search(key) == self.model.get(key)
+
+    @rule(probe=st.binary(max_size=7))
+    def floor(self, probe):
+        ordered = sorted(self.model)
+        i = bisect.bisect_right(ordered, probe)
+        expected = ordered[i - 1] if i else None
+        got = self.tree.floor_entry(probe)
+        assert (got[0] if got else None) == expected
+
+    @rule(probe=st.binary(max_size=7))
+    def ceiling(self, probe):
+        ordered = sorted(self.model)
+        i = bisect.bisect_left(ordered, probe)
+        expected = ordered[i] if i < len(ordered) else None
+        got = self.tree.ceiling_entry(probe)
+        assert (got[0] if got else None) == expected
+
+    @invariant()
+    def scan_matches_model(self):
+        assert [k for k, _ in self.tree.scan()] == sorted(self.model)
+
+    @invariant()
+    def values_match_model(self):
+        for key, value in self.tree.scan():
+            assert self.model[key] == value
+
+
+TestBPlusTreeStateful = BPlusTreeMachine.TestCase
+TestBPlusTreeStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

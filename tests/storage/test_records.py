@@ -1,0 +1,93 @@
+"""Unit tests for composite key/record encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexFormatError
+from repro.storage import records
+
+
+class TestKeywordEncoding:
+    def test_roundtrip_through_posting_key(self):
+        key = records.posting_key("john", b"\x01\x02")
+        keyword, dewey = records.split_posting_key(key)
+        assert keyword == "john"
+        assert dewey == b"\x01\x02"
+
+    def test_rejects_empty_keyword(self):
+        with pytest.raises(IndexFormatError):
+            records.encode_keyword("")
+
+    def test_rejects_nul_in_keyword(self):
+        with pytest.raises(IndexFormatError):
+            records.encode_keyword("a\x00b")
+
+    def test_split_rejects_malformed(self):
+        with pytest.raises(IndexFormatError):
+            records.split_posting_key(b"noseparator")
+
+    def test_unicode_keyword(self):
+        key = records.posting_key("café", b"\x05")
+        assert records.split_posting_key(key) == ("café", b"\x05")
+
+
+class TestOrdering:
+    def test_postings_group_by_keyword_then_dewey(self):
+        keys = [
+            records.posting_key("a", b"\x09"),
+            records.posting_key("ab", b"\x01"),
+            records.posting_key("b", b"\x00"),
+            records.posting_key("a", b"\x01"),
+        ]
+        ordered = sorted(keys)
+        pairs = [records.split_posting_key(k) for k in ordered]
+        assert pairs == [
+            ("a", b"\x01"),
+            ("a", b"\x09"),
+            ("ab", b"\x01"),
+            ("b", b"\x00"),
+        ]
+
+    def test_keyword_range_covers_exactly_its_postings(self):
+        lo, hi = records.keyword_range("ab")
+        inside = records.posting_key("ab", b"\xff\xff")
+        outside_prefix = records.posting_key("abc", b"\x00")
+        outside_prev = records.posting_key("aa", b"\xff")
+        assert lo <= inside < hi
+        assert not (lo <= outside_prefix < hi)
+        assert not (lo <= outside_prev < hi)
+
+    @given(
+        kw1=st.text(alphabet="abcdefg0123", min_size=1, max_size=6),
+        kw2=st.text(alphabet="abcdefg0123", min_size=1, max_size=6),
+        suffix=st.binary(max_size=4),
+    )
+    @settings(max_examples=200)
+    def test_range_isolation_property(self, kw1, kw2, suffix):
+        lo, hi = records.keyword_range(kw1)
+        key = records.posting_key(kw2, suffix)
+        assert (lo <= key < hi) == (kw1 == kw2)
+
+
+class TestBlocks:
+    def test_pack_unpack_roundtrip(self):
+        encodings = [b"", b"\x01", b"\x02\x03", b"\xff" * 10]
+        assert records.unpack_block(records.pack_block(encodings)) == encodings
+
+    def test_block_key_ordering(self):
+        assert records.block_key("a", 0) < records.block_key("a", 1)
+        assert records.block_key("a", 255) < records.block_key("a", 256)
+        assert records.block_key("a", 99999) < records.block_key("b", 0)
+
+    def test_oversized_encoding_rejected(self):
+        with pytest.raises(IndexFormatError, match="too long"):
+            records.pack_block([b"\x00" * 256])
+
+    def test_truncated_block_rejected(self):
+        good = records.pack_block([b"\x01\x02\x03"])
+        with pytest.raises(IndexFormatError, match="truncated"):
+            records.unpack_block(good[:-1])
+
+    def test_empty_block(self):
+        assert records.unpack_block(b"") == []

@@ -1,0 +1,212 @@
+"""Integration tests: the whole system, end to end, at moderate scale.
+
+These tests chain the full pipeline — generate → serialize → parse →
+index on disk → query with every algorithm and semantics → update →
+requery — on a corpus of a few thousand nodes, checking cross-layer
+consistency rather than unit behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.core import OpCounters, brute_slca, elca_by_containment, slca, slca_by_containment
+from repro.index import DiskKeywordIndex, IndexUpdater, build_index
+from repro.xksearch import XKSearch, XMLCollection
+from repro.xksearch.engine import ExecutionStats
+from repro.xmltree import parse, select, serialize
+from repro.xmltree.generate import dblp_like_tree, plant_keywords
+from repro.xmltree.tree import renumber_subtree
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    tree = dblp_like_tree(seed=77, venues=5, years_per_venue=4, papers_per_year=12)
+    plant_keywords(
+        tree, {"xkrare": 3, "xkmid": 25, "xkbig": 120, "xkhuge": 200}, seed=5
+    )
+    return tree
+
+
+@pytest.fixture(scope="module")
+def system(corpus, tmp_path_factory):
+    index_dir = tmp_path_factory.mktemp("integration") / "idx"
+    with XKSearch.build(corpus, index_dir) as built:
+        yield built
+
+
+class TestTextRoundTrip:
+    def test_serialize_parse_preserves_everything(self, corpus):
+        text = serialize(corpus.root)
+        reparsed = parse(text)
+        assert len(reparsed) == len(corpus)
+        assert [n.dewey for n in reparsed] == [n.dewey for n in corpus]
+        assert reparsed.keyword_lists() == corpus.keyword_lists()
+
+    def test_index_from_text_equals_index_from_tree(self, corpus, tmp_path):
+        text = serialize(corpus.root)
+        doc = tmp_path / "corpus.xml"
+        doc.write_text(text, encoding="utf-8")
+        with XKSearch.build(doc, tmp_path / "idx") as from_text:
+            with XKSearch.from_tree(corpus) as from_tree:
+                for query in ("xkrare xkbig", "xkmid smith", "query index"):
+                    assert [r.dewey for r in from_text.search(query)] == [
+                        r.dewey for r in from_tree.search(query)
+                    ], query
+
+
+class TestAlgorithmConsistencyAtScale:
+    QUERIES = (
+        "xkrare xkhuge",
+        "xkmid xkbig",
+        "xkrare xkmid xkbig xkhuge",
+        "smith query",
+        "sigmod kumar",
+        "xkrare",
+    )
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_all_algorithms_and_oracle_agree(self, corpus, system, query):
+        lists = corpus.keyword_lists()
+        words = query.split()
+        if not all(w in lists for w in words):
+            pytest.skip("keyword not present in this seed")
+        keyword_lists = [lists[w] for w in words]
+        oracle = slca_by_containment(keyword_lists)
+        for algorithm in ("il", "scan", "stack"):
+            got = [r.dewey for r in system.search(query, algorithm=algorithm)]
+            assert set(got) == oracle, (query, algorithm)
+            assert got == sorted(got)
+
+    def test_semantics_containment_chain(self, corpus, system):
+        query = "xkrare xkbig"
+        slcas = {r.dewey for r in system.search(query)}
+        elcas = {r.dewey for r in system.search_elcas(query)}
+        lcas = {r.dewey for r in system.search_all_lcas(query)}
+        assert slcas <= elcas <= lcas
+        lists = corpus.keyword_lists()
+        assert elcas == elca_by_containment([lists["xkrare"], lists["xkbig"]])
+
+    def test_engine_cost_profile_matches_theory(self, system):
+        stats = ExecutionStats()
+        list(system.search_ids("xkrare xkhuge", algorithm="il", stats=stats))
+        # 2 keywords, |S1| = 3: at most 2·(k-1)·|S1| match operations.
+        assert stats.counters.match_ops <= 2 * 1 * 3
+
+
+class TestStructuralCrossCheck:
+    def test_keyword_answer_subtrees_contain_path_matches(self, corpus):
+        system = XKSearch.from_tree(corpus)
+        answers = {r.dewey for r in system.search("smith sigmod")}
+        if not answers:
+            pytest.skip("no co-occurrence in this seed")
+        smith_nodes = {n.dewey for n in select(corpus, "//author/text()") if "smith" in (n.text or "")}
+        for answer in answers:
+            subtree = {n.dewey for n in corpus.node(answer).iter_subtree()}
+            assert subtree & smith_nodes or any(
+                "smith" in (n.text or "") for n in corpus.node(answer).iter_subtree() if n.is_text
+            )
+
+    def test_tag_atom_equals_path_filtered_keywords(self, corpus):
+        system = XKSearch.from_tree(corpus)
+        # title:query must match exactly the keyword occurrences whose
+        # parent element is <title>, as XPath sees them.
+        postings = corpus.keyword_postings()["query"]
+        expected = [d for d, tag in postings if tag == "title"]
+        got = system.index.keyword_list("query", tag="title")
+        assert got == expected
+
+
+class TestUpdateLifecycle:
+    def test_update_then_requery_consistent(self, corpus, tmp_path):
+        index_dir = tmp_path / "upd"
+        build_index(corpus, index_dir)
+        fragment = parse(
+            "<paper><title>totally novel phrase</title><author>xkrare</author></paper>"
+        )
+        # Graft as a new paper under the first year of the first venue.
+        anchor = corpus.node((0, 0, 1))
+        new_dewey = (0, 0, 1) + (len(anchor.children),)
+        renumber_subtree(fragment.root, new_dewey)
+        with IndexUpdater(index_dir) as updater:
+            updater.add_subtree(fragment.root)
+        with DiskKeywordIndex(index_dir) as index:
+            assert index.keyword_list("novel") == [new_dewey + (0, 0)]
+            # the planted keyword xkrare gained one occurrence
+            assert index.frequency("xkrare") == 4
+            # a query mixing old and new postings is consistent across paths
+            from repro.core import eager_slca
+
+            il = list(eager_slca(index.sources_for(("novel", "xkrare"), "indexed")))
+            sc = list(eager_slca(index.sources_for(("novel", "xkrare"), "scan")))
+            assert il == sc
+            # and matches an in-memory recomputation
+            want = slca([index.keyword_list("novel"), index.keyword_list("xkrare")])
+            assert il == want
+
+    def test_remove_restores_original_answers(self, corpus, tmp_path):
+        index_dir = tmp_path / "upd2"
+        build_index(corpus, index_dir)
+        with DiskKeywordIndex(index_dir) as index:
+            before = list(index.scan("xkmid"))
+        fragment = parse("<note>xkmid</note>")
+        renumber_subtree(fragment.root, (0, 4, 4, 13))
+        with IndexUpdater(index_dir) as updater:
+            updater.add_subtree(fragment.root)
+        with IndexUpdater(index_dir) as updater:
+            updater.remove_subtree(fragment.root)
+        with DiskKeywordIndex(index_dir) as index:
+            assert list(index.scan("xkmid")) == before
+
+
+class TestCollectionsAtScale:
+    def test_three_document_collection(self, tmp_path):
+        docs = {}
+        for i in range(3):
+            tree = dblp_like_tree(seed=100 + i, venues=2, years_per_venue=2, papers_per_year=6)
+            plant_keywords(tree, {f"only{i}": 2, "shared": 4}, seed=i)
+            docs[f"doc{i}.xml"] = tree
+        collection = XMLCollection(docs)
+        # per-document keywords resolve to their own document
+        for i in range(3):
+            results = collection.search(f"only{i} shared")
+            assert results, i
+            assert {r.document for r in results} == {f"doc{i}.xml"}
+        # a shared keyword alone spans all documents
+        assert set(collection.documents_matching("shared")) == set(docs)
+
+    def test_collection_answers_match_per_document_search(self, tmp_path):
+        trees = {
+            f"d{i}": dblp_like_tree(seed=200 + i, venues=2, years_per_venue=2, papers_per_year=5)
+            for i in range(2)
+        }
+        for i, tree in enumerate(trees.values()):
+            plant_keywords(tree, {"common": 3, "word": 3}, seed=i)
+        collection = XMLCollection(dict(trees))
+        combined = [
+            (r.document, r.dewey) for r in collection.search("common word")
+        ]
+        individually = []
+        for name, tree in trees.items():
+            single = XKSearch.from_tree(tree)
+            individually.extend((name, r.dewey) for r in single.search("common word"))
+        assert sorted(combined) == sorted(individually)
+
+
+class TestRandomizedEndToEnd:
+    def test_disk_queries_match_brute_force(self, tmp_path):
+        rng = random.Random(31)
+        tree = dblp_like_tree(seed=31, venues=3, years_per_venue=3, papers_per_year=6)
+        index_dir = tmp_path / "rand"
+        build_index(tree, index_dir, page_size=512)
+        lists = tree.keyword_lists()
+        keywords = [k for k, lst in lists.items() if 1 <= len(lst) <= 25]
+        with DiskKeywordIndex(index_dir, pool_capacity=64) as index:
+            from repro.core import eager_slca
+
+            for _ in range(25):
+                k = rng.randint(2, 3)
+                chosen = rng.sample(keywords, k)
+                want = brute_slca([lists[kw] for kw in chosen])
+                got = set(eager_slca(index.sources_for(chosen, "indexed")))
+                assert got == want, chosen

@@ -1,0 +1,92 @@
+"""Unit tests for the experiment corpora."""
+
+import pytest
+
+from repro.workloads.datasets import (
+    CorpusShape,
+    PlantedCorpus,
+    keyword_name,
+    plant_virtual_lists,
+)
+
+
+class TestCorpusShape:
+    def test_slot_count(self):
+        shape = CorpusShape(venues=2, years=3, papers=4)
+        assert shape.slots == 24
+
+    def test_slot_deweys_are_distinct_and_ordered(self):
+        shape = CorpusShape(venues=2, years=3, papers=4)
+        deweys = [shape.slot_dewey(s) for s in range(shape.slots)]
+        assert len(set(deweys)) == shape.slots
+        assert deweys == sorted(deweys)
+
+    def test_slot_dewey_geometry(self):
+        shape = CorpusShape(venues=2, years=3, papers=4)
+        # slot 0: first venue, first year (child 1), first paper (child 1).
+        assert shape.slot_dewey(0) == (0, 0, 1, 1, 0, 0)
+        # last slot: last venue, last year, last paper.
+        assert shape.slot_dewey(shape.slots - 1) == (0, 1, 3, 4, 0, 0)
+
+    def test_out_of_range_slot(self):
+        shape = CorpusShape(venues=1, years=1, papers=1)
+        with pytest.raises(ValueError):
+            shape.slot_dewey(1)
+
+    def test_sized_for_has_headroom(self):
+        shape = CorpusShape.sized_for(1000)
+        assert shape.slots >= 2000
+
+    def test_level_table_fits_all_slots(self):
+        shape = CorpusShape(venues=3, years=2, papers=5)
+        table = shape.level_table()
+        for slot in range(shape.slots):
+            table.check_fits(shape.slot_dewey(slot))
+
+
+class TestPlanting:
+    def test_exact_frequencies(self):
+        lists, _ = plant_virtual_lists({"a": 7, "b": 100}, seed=1)
+        assert len(lists["a"]) == 7
+        assert len(lists["b"]) == 100
+
+    def test_lists_sorted_unique(self):
+        lists, _ = plant_virtual_lists({"a": 500}, seed=2)
+        assert lists["a"] == sorted(set(lists["a"]))
+
+    def test_deterministic(self):
+        a, _ = plant_virtual_lists({"x": 50}, seed=3)
+        b, _ = plant_virtual_lists({"x": 50}, seed=3)
+        assert a == b
+
+    def test_seed_changes_placement(self):
+        a, _ = plant_virtual_lists({"x": 50}, seed=3)
+        b, _ = plant_virtual_lists({"x": 50}, seed=4)
+        assert a != b
+
+    def test_frequency_exceeding_slots_rejected(self):
+        shape = CorpusShape(venues=1, years=1, papers=10)
+        with pytest.raises(ValueError, match="slots"):
+            plant_virtual_lists({"a": 11}, shape=shape)
+
+
+class TestPlantedCorpus:
+    def test_for_frequencies(self):
+        corpus = PlantedCorpus.for_frequencies([(10, 2), (100, 1)], seed=5)
+        assert len(corpus.lists[keyword_name(10, 0)]) == 10
+        assert len(corpus.lists[keyword_name(10, 1)]) == 10
+        assert len(corpus.lists[keyword_name(100, 0)]) == 100
+        assert corpus.total_postings == 120
+
+    def test_keyword_lookup(self):
+        corpus = PlantedCorpus.for_frequencies([(10, 1)], seed=5)
+        assert corpus.keyword(10) == "xk10_0"
+        with pytest.raises(KeyError):
+            corpus.keyword(10, 5)
+
+    def test_level_table_covers_lists(self):
+        corpus = PlantedCorpus.for_frequencies([(10, 1), (1000, 1)], seed=6)
+        table = corpus.level_table()
+        for lst in corpus.lists.values():
+            for dewey in lst:
+                table.check_fits(dewey)

@@ -1,0 +1,75 @@
+"""Unit tests for the per-figure query generators."""
+
+from repro.workloads.queries import (
+    FREQUENCY_LADDER,
+    fig8_points,
+    fig9_points,
+    fig10_points,
+    needed_frequencies,
+)
+
+
+class TestFig8:
+    def test_x_axis_is_frequency_ladder(self):
+        points = fig8_points(10)
+        assert [p.x for p in points] == list(FREQUENCY_LADDER)
+
+    def test_two_keywords_per_query(self):
+        for point in fig8_points(100, variants=3):
+            for query in point.queries:
+                assert len(query) == 2
+
+    def test_variants_count(self):
+        points = fig8_points(10, variants=3)
+        assert all(len(p.queries) == 3 for p in points)
+
+    def test_equal_frequency_point_uses_distinct_keywords(self):
+        (point,) = fig8_points(10, large_frequencies=(10,), variants=2)
+        for small, large in point.queries:
+            assert small != large
+
+
+class TestFig9:
+    def test_keyword_counts(self):
+        points = fig9_points(10)
+        assert [p.x for p in points] == [2, 3, 4, 5]
+        for point in points:
+            for query in point.queries:
+                assert len(query) == point.x
+
+    def test_one_small_rest_large(self):
+        points = fig9_points(10, large_frequency=100000)
+        for point in points:
+            for query in point.queries:
+                assert query[0].startswith("xk10_")
+                assert all(kw.startswith("xk100000_") for kw in query[1:])
+
+    def test_large_keywords_distinct_within_query(self):
+        for point in fig9_points(10, variants=2):
+            for query in point.queries:
+                assert len(set(query)) == len(query)
+
+
+class TestFig10:
+    def test_all_same_frequency(self):
+        for point in fig10_points(1000):
+            for query in point.queries:
+                assert all(kw.startswith("xk1000_") for kw in query)
+
+    def test_keywords_distinct(self):
+        for point in fig10_points(100, variants=2):
+            for query in point.queries:
+                assert len(set(query)) == len(query)
+
+
+class TestNeededFrequencies:
+    def test_fig8_needs(self):
+        needs = dict(needed_frequencies(fig8_points(10, variants=2)))
+        # small keyword 10 also appears as a large keyword with extra
+        # variants at the equal-frequency point.
+        assert needs[10] >= 2
+        assert needs[100000] == 2
+
+    def test_fig10_needs_k_times_variants(self):
+        needs = dict(needed_frequencies(fig10_points(100, variants=2)))
+        assert needs[100] == 2 * 5  # variants × max keyword count

@@ -1,0 +1,83 @@
+"""Unit tests for the report formatting."""
+
+from repro.core.counters import OpCounters
+from repro.workloads.report import format_table, io_table, ops_table, sweep_table
+from repro.workloads.runner import Measurement
+
+
+def fake_sweep():
+    def m(alg, ms, reads=0):
+        return Measurement(
+            alg,
+            "memory",
+            wall_ms=ms,
+            page_reads=reads,
+            random_reads=reads,
+            counters=OpCounters(lm_ops=3, rm_ops=3, nodes_merged=reads),
+        )
+
+    return {
+        10: {"il": m("il", 0.5), "scan": m("scan", 0.4), "stack": m("stack", 1.0)},
+        100: {"il": m("il", 0.6), "scan": m("scan", 2.0), "stack": m("stack", 6.0)},
+    }
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table("T", ["a", "bb"], [["1", "2"], ["10", "20"]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_wide_cells_stretch_columns(self):
+        out = format_table("T", ["x"], [["very-long-cell"]])
+        assert "very-long-cell" in out
+
+
+class TestSweepTable:
+    def test_rows_sorted_by_x(self):
+        out = sweep_table("Fig", "|S2|", fake_sweep())
+        lines = out.splitlines()
+        assert lines[3].strip().startswith("10")
+        assert lines[4].strip().startswith("100")
+
+    def test_ratio_column(self):
+        out = sweep_table("Fig", "x", fake_sweep())
+        assert "stack/il" in out
+        assert "2.0x" in out  # 1.0 / 0.5
+
+    def test_ratio_suppressed(self):
+        out = sweep_table("Fig", "x", fake_sweep(), ratio=False)
+        assert "stack/il" not in out
+
+    def test_custom_value_function(self):
+        out = sweep_table(
+            "Fig", "x", fake_sweep(), value=lambda m: float(m.counters.match_ops),
+            value_label="ops",
+        )
+        assert "ops" in out
+        assert "6.00" in out
+
+    def test_millisecond_formatting_ranges(self):
+        sweep = {
+            1: {
+                "il": Measurement("il", "memory", wall_ms=0.1234),
+                "scan": Measurement("scan", "memory", wall_ms=12.345),
+                "stack": Measurement("stack", "memory", wall_ms=1234.5),
+            }
+        }
+        out = sweep_table("Fig", "x", sweep)
+        assert "0.123" in out
+        assert "12.35" in out or "12.34" in out
+        assert "1235" in out or "1234" in out
+
+
+class TestBreakdownTables:
+    def test_io_table_columns(self):
+        out = io_table("IO", "x", fake_sweep())
+        assert "IL reads" in out and "Stack seq" in out
+
+    def test_ops_table_columns(self):
+        out = ops_table("Ops", "x", fake_sweep())
+        assert "IL match" in out and "Stack merged" in out

@@ -1,0 +1,101 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.storage.pager import CostModel
+from repro.workloads.datasets import PlantedCorpus
+from repro.workloads.queries import QueryPoint, fig8_points
+from repro.workloads.runner import (
+    ExperimentRunner,
+    Measurement,
+    average_measurements,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return PlantedCorpus.for_frequencies([(10, 4), (100, 2), (1000, 2)], seed=7)
+
+
+@pytest.fixture
+def runner(corpus):
+    with ExperimentRunner(corpus, page_size=1024) as r:
+        yield r
+
+
+class TestModes:
+    def test_memory_mode(self, runner):
+        m = runner.run_query(("xk10_0", "xk1000_0"), "il", "memory")
+        assert m.mode == "memory"
+        assert m.wall_ms > 0
+        assert m.page_reads == 0
+        assert m.counters.candidates == 10
+
+    def test_disk_hot_mode_reads_nothing(self, runner):
+        m = runner.run_query(("xk10_0", "xk1000_0"), "il", "disk-hot")
+        assert m.mode == "disk-hot"
+        assert m.page_reads == 0
+        assert m.modeled_io_ms == 0
+
+    def test_disk_cold_mode_counts_reads(self, runner):
+        m = runner.run_query(("xk10_0", "xk1000_0"), "il", "disk-cold")
+        assert m.page_reads > 0
+        assert m.modeled_io_ms > 0
+        assert m.total_ms > m.wall_ms
+
+    def test_unknown_mode_rejected(self, runner):
+        with pytest.raises(ValueError, match="mode"):
+            runner.run_query(("xk10_0",), "il", "warp")
+
+    def test_all_algorithms_same_results(self, runner):
+        counts = {
+            alg: runner.run_query(("xk10_0", "xk100_0"), alg, "memory").n_results
+            for alg in ("il", "scan", "stack")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_cold_scan_is_mostly_sequential(self, runner):
+        m = runner.run_query(("xk10_0", "xk1000_0"), "scan", "disk-cold")
+        assert m.sequential_reads >= m.random_reads
+
+    def test_cost_model_applied(self, corpus):
+        model = CostModel(random_ms=100.0, sequential_ms=0.0)
+        with ExperimentRunner(corpus, page_size=1024, cost_model=model) as r:
+            m = r.run_query(("xk10_0", "xk1000_0"), "il", "disk-cold")
+            assert m.modeled_io_ms == pytest.approx(m.random_reads * 100.0)
+
+
+class TestPoints:
+    def test_run_point_averages_variants(self, runner):
+        point = QueryPoint(x=100, queries=(("xk10_0", "xk100_0"), ("xk10_1", "xk100_1")))
+        m = runner.run_point(point, "il", "memory")
+        assert isinstance(m, Measurement)
+        assert m.counters.candidates == 10  # average of two 10-candidate runs
+
+    def test_run_points_sweep_structure(self, runner):
+        points = fig8_points(10, large_frequencies=(10, 100), variants=2)
+        sweep = runner.run_points(points, ("il", "stack"), "memory")
+        assert set(sweep) == {10, 100}
+        assert set(sweep[10]) == {"il", "stack"}
+
+    def test_repeats(self, runner):
+        point = QueryPoint(x=1, queries=(("xk10_0", "xk100_0"),))
+        m = runner.run_point(point, "il", "memory", repeats=3)
+        assert m.n_results == runner.run_query(("xk10_0", "xk100_0"), "il").n_results
+
+
+class TestAveraging:
+    def test_average_of_one(self):
+        m = Measurement("il", "memory", wall_ms=2.0, n_results=3)
+        assert average_measurements([m]).wall_ms == 2.0
+
+    def test_average_of_two(self):
+        a = Measurement("il", "memory", wall_ms=2.0, page_reads=4)
+        b = Measurement("il", "memory", wall_ms=4.0, page_reads=6)
+        avg = average_measurements([a, b])
+        assert avg.wall_ms == pytest.approx(3.0)
+        assert avg.page_reads == 5
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_measurements([])

@@ -1,0 +1,180 @@
+"""Unit tests for tag-qualified query atoms (``tag:word``)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index.builder import build_index
+from repro.index.inverted import DiskKeywordIndex
+from repro.index.memory import MemoryKeywordIndex
+from repro.xksearch.engine import QueryAtom, parse_query
+from repro.xksearch.system import XKSearch
+from repro.xmltree.parser import parse
+
+DOC = """
+<library>
+  <book>
+    <title>database systems</title>
+    <author>smith</author>
+  </book>
+  <book>
+    <title>smith biography</title>
+    <author>jones</author>
+  </book>
+  <review>
+    <title>review of database systems</title>
+    <author>smith</author>
+  </review>
+</library>
+"""
+
+
+@pytest.fixture
+def library():
+    return parse(DOC)
+
+
+class TestParseQuery:
+    def test_plain_words(self):
+        assert parse_query("Smith Database") == [
+            QueryAtom("smith"),
+            QueryAtom("database"),
+        ]
+
+    def test_qualified_atom(self):
+        assert parse_query("title:Smith") == [QueryAtom("smith", "title")]
+
+    def test_mixed(self):
+        assert parse_query("author:smith database") == [
+            QueryAtom("smith", "author"),
+            QueryAtom("database"),
+        ]
+
+    def test_multiword_body_shares_tag(self):
+        assert parse_query("title:database systems") == [
+            QueryAtom("database", "title"),
+            QueryAtom("systems"),
+        ]
+
+    def test_duplicates_collapse_per_atom(self):
+        atoms = parse_query("smith title:smith smith")
+        assert atoms == [QueryAtom("smith"), QueryAtom("smith", "title")]
+
+    def test_display(self):
+        assert QueryAtom("x", "t").display == "t:x"
+        assert QueryAtom("x").display == "x"
+
+    def test_empty_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("::: ,")
+
+    def test_sequence_input(self):
+        assert parse_query(["title:a", "b"]) == [
+            QueryAtom("a", "title"),
+            QueryAtom("b"),
+        ]
+
+
+class TestTaggedPostings:
+    def test_keyword_postings_context_tags(self, library):
+        postings = library.keyword_postings()
+        contexts = {tag for _, tag in postings["smith"]}
+        assert contexts == {"title", "author"}
+
+    def test_element_tag_occurrence_context_is_itself(self, library):
+        postings = library.keyword_postings()
+        assert all(tag == "book" for _, tag in postings["book"])
+
+    def test_memory_index_tag_filter(self, library):
+        index = MemoryKeywordIndex.from_tree(library)
+        all_smith = index.keyword_list("smith")
+        author_smith = index.keyword_list("smith", tag="author")
+        title_smith = index.keyword_list("smith", tag="title")
+        assert len(all_smith) == 3
+        assert len(author_smith) == 2
+        assert len(title_smith) == 1
+        assert sorted(author_smith + title_smith) == all_smith
+
+    def test_memory_index_untagged_lists_filter_empty(self):
+        index = MemoryKeywordIndex({"a": [(0, 1)]})
+        assert index.keyword_list("a", tag="title") == []
+
+    def test_disk_index_tag_filter_matches_memory(self, library, tmp_path):
+        build_index(library, tmp_path / "idx")
+        memory = MemoryKeywordIndex.from_tree(library)
+        with DiskKeywordIndex(tmp_path / "idx") as disk:
+            for keyword in ("smith", "database", "title"):
+                for tag in (None, "title", "author", "book"):
+                    assert disk.keyword_list(keyword, tag) == memory.keyword_list(
+                        keyword, tag
+                    ), (keyword, tag)
+
+    def test_disk_scan_tagged(self, library, tmp_path):
+        build_index(library, tmp_path / "idx")
+        with DiskKeywordIndex(tmp_path / "idx") as disk:
+            pairs = list(disk.scan_tagged("smith"))
+            assert [t for _, t in pairs] == ["author", "title", "author"]
+
+
+class TestQualifiedSearch:
+    def test_qualifier_narrows_answers(self, library):
+        system = XKSearch.from_tree(library)
+        plain = system.search("smith database")
+        qualified = system.search("author:smith database")
+        # plain: book1 (title+author), book2? smith in title, database not
+        # under book2... review matches both too.
+        assert {r.dewey for r in qualified} <= {r.dewey for r in plain} | {(0,)}
+        # title:smith database — smith-as-title only in book2, database not
+        # under book2, so they only meet at the root.
+        root_only = system.search("title:smith title:database")
+        assert [r.dewey for r in root_only] == [(0,)]
+
+    def test_qualified_and_plain_agree_when_tag_unrestrictive(self, library):
+        system = XKSearch.from_tree(library)
+        # every "jones" is an author, so the qualifier changes nothing
+        plain = system.search("jones smith")
+        qualified = system.search("author:jones smith")
+        assert [r.dewey for r in plain] == [r.dewey for r in qualified]
+
+    def test_unknown_tag_empty(self, library):
+        system = XKSearch.from_tree(library)
+        assert system.search("publisher:smith database") == []
+
+    def test_all_algorithms_agree(self, library):
+        system = XKSearch.from_tree(library)
+        baseline = [r.dewey for r in system.search("author:smith title:database", "il")]
+        for algorithm in ("scan", "stack"):
+            got = [r.dewey for r in system.search("author:smith title:database", algorithm)]
+            assert got == baseline
+
+    def test_witnesses_respect_tag(self, library):
+        system = XKSearch.from_tree(library)
+        result = system.search("author:smith title:database")[0]
+        smith_witnesses = result.witnesses["author:smith"]
+        postings = dict(library.keyword_postings())["smith"]
+        author_deweys = {d for d, t in postings if t == "author"}
+        assert set(smith_witnesses) <= author_deweys
+
+    def test_plan_orders_by_filtered_frequency(self, library):
+        system = XKSearch.from_tree(library)
+        plan = system.explain("smith title:smith")
+        # title:smith has 1 posting, bare smith has 3 — qualified leads.
+        assert plan.keywords[0] == "title:smith"
+        assert plan.frequencies == [1, 3]
+
+    def test_qualified_all_lca(self, library):
+        system = XKSearch.from_tree(library)
+        lcas = system.search_all_lcas("author:smith title:database")
+        slcas = system.search("author:smith title:database")
+        assert {r.dewey for r in slcas} <= {r.dewey for r in lcas}
+
+    def test_qualified_elca(self, library):
+        system = XKSearch.from_tree(library)
+        elcas = system.search_elcas("author:smith title:database")
+        assert elcas  # book1 and review qualify
+
+    def test_disk_roundtrip(self, library, tmp_path):
+        with XKSearch.build(library, tmp_path / "idx") as built:
+            want = [r.dewey for r in built.search("author:smith title:database")]
+        with XKSearch.open(tmp_path / "idx") as reopened:
+            got = [r.dewey for r in reopened.search("author:smith title:database")]
+        assert got == want

@@ -1,0 +1,49 @@
+"""Unit tests for the auxiliary CLI commands (group / verify / analyze
+pipeline chaining)."""
+
+import pytest
+
+from repro.xksearch.cli import main
+from repro.xmltree.dblp import flat_dblp_tree
+from repro.xmltree.serialize import serialize
+
+
+@pytest.fixture
+def flat_file(tmp_path):
+    path = tmp_path / "flat.xml"
+    path.write_text(serialize(flat_dblp_tree(seed=4, records=30).root), encoding="utf-8")
+    return path
+
+
+class TestGroupCommand:
+    def test_group_writes_output(self, flat_file, tmp_path, capsys):
+        out = tmp_path / "grouped.xml"
+        assert main(["group", str(flat_file), str(out)]) == 0
+        assert out.exists()
+        assert "venues" in capsys.readouterr().out
+
+    def test_grouped_output_parses_and_indexes(self, flat_file, tmp_path, capsys):
+        out = tmp_path / "grouped.xml"
+        main(["group", str(flat_file), str(out)])
+        assert main(["build", str(out), str(tmp_path / "idx")]) == 0
+        capsys.readouterr()
+        assert main(["search", str(tmp_path / "idx"), "query sigmod", "--ids-only"]) == 0
+
+    def test_group_missing_input(self, tmp_path, capsys):
+        assert main(["group", str(tmp_path / "ghost.xml"), str(tmp_path / "o.xml")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFullPipeline:
+    def test_group_analyze_build_verify_search(self, flat_file, tmp_path, capsys):
+        """The whole CLI surface chained: the paper's workflow end to end."""
+        grouped = tmp_path / "grouped.xml"
+        index_dir = tmp_path / "idx"
+        assert main(["group", str(flat_file), str(grouped)]) == 0
+        assert main(["analyze", str(grouped)]) == 0
+        assert main(["build", str(grouped), str(index_dir)]) == 0
+        assert main(["verify", str(index_dir)]) == 0
+        capsys.readouterr()
+        assert main(["search", str(index_dir), "xml search"]) == 0
+        out = capsys.readouterr().out
+        assert "answer(s)" in out

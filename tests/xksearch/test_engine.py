@@ -1,0 +1,112 @@
+"""Unit tests for the query engine."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index.memory import MemoryKeywordIndex
+from repro.xksearch.engine import (
+    DEFAULT_SKEW_THRESHOLD,
+    ExecutionStats,
+    QueryEngine,
+    normalize_query,
+)
+
+
+@pytest.fixture
+def engine(school):
+    return QueryEngine(MemoryKeywordIndex.from_tree(school))
+
+
+class TestNormalizeQuery:
+    def test_string_tokenized(self):
+        assert normalize_query("John, Ben!") == ["john", "ben"]
+
+    def test_sequence_tokenized(self):
+        assert normalize_query(["John", "Ben Smith"]) == ["john", "ben", "smith"]
+
+    def test_duplicates_collapse(self):
+        assert normalize_query("john JOHN ben") == ["john", "ben"]
+
+    def test_empty_raises(self):
+        with pytest.raises(QueryError):
+            normalize_query("  ,,, ")
+
+    def test_empty_list_raises(self):
+        with pytest.raises(QueryError):
+            normalize_query([])
+
+
+class TestPlanning:
+    def test_rarest_keyword_leads(self, engine):
+        plan = engine.plan("class john")  # class:2, john:3
+        assert plan.keywords == ["class", "john"]
+        assert plan.frequencies == [2, 3]
+
+    def test_missing_keyword_marks_empty(self, engine):
+        plan = engine.plan("john zebra")
+        assert plan.empty
+        assert plan.frequencies[0] == 0
+
+    def test_auto_picks_scan_for_similar_frequencies(self, engine):
+        plan = engine.plan("john ben")  # 3 vs 3
+        assert plan.algorithm == "scan"
+
+    def test_auto_picks_il_for_skewed_frequencies(self):
+        lists = {
+            "rare": [(0, 1)],
+            "common": [(0, i, 0) for i in range(50)],
+        }
+        engine = QueryEngine(MemoryKeywordIndex(lists))
+        plan = engine.plan("rare common")
+        assert plan.skew == 50.0 >= DEFAULT_SKEW_THRESHOLD
+        assert plan.algorithm == "il"
+
+    def test_explicit_algorithm_respected(self, engine):
+        assert engine.plan("john ben", algorithm="stack").algorithm == "stack"
+
+    def test_unknown_algorithm_rejected(self, engine):
+        with pytest.raises(QueryError, match="unknown algorithm"):
+            engine.plan("john", algorithm="magic")
+
+    def test_skew_with_empty_list_is_inf(self, engine):
+        assert engine.plan("john zebra").skew == float("inf")
+
+    def test_custom_threshold(self):
+        lists = {"a": [(0, 1)], "b": [(0, 1), (0, 2)]}
+        engine = QueryEngine(MemoryKeywordIndex(lists), skew_threshold=2.0)
+        assert engine.plan("a b").algorithm == "il"
+
+
+class TestExecution:
+    def test_paper_example_all_algorithms(self, engine):
+        want = [(0, 0), (0, 1), (0, 2, 0)]
+        for algorithm in ("auto", "il", "scan", "stack"):
+            assert list(engine.execute("john ben", algorithm)) == want, algorithm
+
+    def test_missing_keyword_gives_empty(self, engine):
+        assert list(engine.execute("john zebra")) == []
+
+    def test_single_keyword(self, engine):
+        got = list(engine.execute("john"))
+        assert len(got) == 3  # three disjoint John nodes
+
+    def test_stats_populated(self, engine):
+        stats = ExecutionStats()
+        list(engine.execute("john ben", "il", stats))
+        assert stats.counters.candidates == 3
+        assert stats.counters.match_ops > 0
+
+    def test_execute_plan_directly(self, engine):
+        plan = engine.plan("john ben", algorithm="stack")
+        assert list(engine.execute_plan(plan)) == [(0, 0), (0, 1), (0, 2, 0)]
+
+    def test_execute_all_lca(self, engine):
+        got = sorted(engine.execute_all_lca("john ben"))
+        assert got == [(0,), (0, 0), (0, 1), (0, 2, 0)]
+
+    def test_execute_all_lca_missing_keyword(self, engine):
+        assert list(engine.execute_all_lca("john zebra")) == []
+
+    def test_results_streamed(self, engine):
+        stream = engine.execute("john ben", "il")
+        assert next(stream) == (0, 0)

@@ -1,0 +1,71 @@
+"""Unit tests for HTML rendering."""
+
+from repro.xksearch.html import highlight, render_page, render_result
+from repro.xksearch.results import SearchResult
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import school_tree
+
+
+class TestHighlight:
+    def test_marks_keywords_case_insensitively(self):
+        out = highlight("John teaches Ben", ["john", "ben"])
+        assert "<mark>John</mark>" in out
+        assert "<mark>Ben</mark>" in out
+        assert "teaches" in out and "<mark>teaches" not in out
+
+    def test_whole_word_only(self):
+        out = highlight("Benjamin Ben", ["ben"])
+        assert out.count("<mark>") == 1
+        assert "<mark>Ben</mark>" in out
+
+    def test_escapes_html(self):
+        out = highlight("<b>john & co</b>", ["john"])
+        assert "&lt;b&gt;" in out
+        assert "&amp;" in out
+        assert "<b>" not in out
+
+    def test_no_keywords(self):
+        assert highlight("plain text", []) == "plain text"
+
+
+class TestRenderResult:
+    def test_contains_path_and_dewey(self):
+        result = SearchResult((0, 1), path="School/Class", snippet="<Class/>")
+        out = render_result(result, [])
+        assert "School/Class" in out
+        assert "(0.1)" in out
+
+    def test_snippet_highlighted_and_escaped(self):
+        result = SearchResult((0, 1), snippet="<Instructor>John</Instructor>")
+        out = render_result(result, ["john"])
+        assert "&lt;Instructor&gt;" in out
+        assert "<mark>John</mark>" in out
+
+    def test_witness_summary(self):
+        result = SearchResult((0, 1), witnesses={"john": [(0, 1, 0)]})
+        assert "john: 1" in render_result(result, ["john"])
+
+
+class TestRenderPage:
+    def test_landing_page(self):
+        out = render_page("", [])
+        assert "<form" in out
+        assert "No subtree" not in out
+
+    def test_empty_results_message(self):
+        out = render_page("zebra", [])
+        assert "No subtree contains all the keywords." in out
+
+    def test_query_value_escaped_into_form(self):
+        out = render_page('john" onmouseover="x', [])
+        assert 'value="john&quot; onmouseover=&quot;x"' in out
+
+    def test_full_search_page(self):
+        system = XKSearch.from_tree(school_tree())
+        plan = system.explain("john ben")
+        results = system.search("john ben")
+        out = render_page("john ben", results, plan=plan, elapsed_ms=0.5)
+        assert out.count('<div class="result">') == 3
+        assert "algorithm <b>scan</b>" in out
+        assert "3 answer(s)" in out
+        assert "<mark>John</mark>" in out

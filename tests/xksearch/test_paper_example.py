@@ -1,0 +1,76 @@
+"""The paper's Section 1 worked example, end to end.
+
+School.xml (Figure 1) with the query "John, Ben" must return exactly the
+three most specific answers the paper describes: the class where Ben is a
+TA for John, the class where Ben is a student of John's, and the project
+where both are members — and *not* the School root or the Projects list,
+which also contain both names but are not smallest.
+"""
+
+from repro.core import brute_slca, slca
+from repro.xksearch.system import XKSearch
+
+
+class TestWorkedExample:
+    QUERY = "John Ben"
+    EXPECTED = [(0, 0), (0, 1), (0, 2, 0)]
+
+    def test_slca_set(self, school):
+        lists = school.keyword_lists()
+        assert slca([lists["john"], lists["ben"]]) == self.EXPECTED
+
+    def test_agrees_with_definitional_brute_force(self, school):
+        lists = school.keyword_lists()
+        assert brute_slca([lists["john"], lists["ben"]]) == set(self.EXPECTED)
+
+    def test_non_smallest_ancestors_excluded(self, school):
+        lists = school.keyword_lists()
+        answers = set(slca([lists["john"], lists["ben"]]))
+        assert (0,) not in answers        # School contains both, not smallest
+        assert (0, 2) not in answers      # Projects contains both, not smallest
+
+    def test_end_to_end_meanings(self, school):
+        system = XKSearch.from_tree(school)
+        results = system.search(self.QUERY)
+        stories = {r.dewey: r.snippet for r in results}
+        assert "TA" in stories[(0, 0)]          # Ben is a TA for John
+        assert "Student" in stories[(0, 1)]     # Ben studies under John
+        assert "Member" in stories[(0, 2, 0)]   # both are project members
+
+    def test_xquery_equivalent_semantics(self, school):
+        """The paper's Figure 2 XQuery (smallest subtrees containing both
+        keywords) — verified against a literal implementation of that
+        semantics over the tree."""
+        lists = school.keyword_lists()
+        john, ben = set(lists["john"]), set(lists["ben"])
+
+        def contains_both(node):
+            subtree = {d.dewey for d in school.node(node).iter_subtree()}
+            return subtree & john and subtree & ben
+
+        answers = []
+        for node in school:
+            if not contains_both(node.dewey):
+                continue
+            if any(
+                contains_both(child.dewey) for child in node.children
+            ):
+                continue
+            answers.append(node.dewey)
+        assert answers == self.EXPECTED
+
+    def test_all_lca_adds_exactly_the_root(self, school):
+        system = XKSearch.from_tree(school)
+        lcas = [r.dewey for r in system.search_all_lcas(self.QUERY)]
+        assert lcas == [(0,)] + self.EXPECTED
+
+    def test_case_insensitivity(self, school):
+        system = XKSearch.from_tree(school)
+        assert [r.dewey for r in system.search("JOHN bEn")] == self.EXPECTED
+
+    def test_sue_query_single_answer(self, school):
+        """'Sue' appears once: her project is the only smallest answer for
+        'sue databases'."""
+        system = XKSearch.from_tree(school)
+        results = system.search("sue databases")
+        assert [r.dewey for r in results] == [(0, 2, 1)]

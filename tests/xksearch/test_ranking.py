@@ -1,0 +1,90 @@
+"""Unit tests for the specificity ranking."""
+
+import pytest
+
+from repro.xksearch.ranking import RankedResult, rank_results, score_result
+from repro.xksearch.results import SearchResult
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import school_tree
+
+
+def make_result(dewey, witnesses=None):
+    return SearchResult(dewey, witnesses=witnesses or {})
+
+
+class TestScore:
+    def test_deeper_scores_higher(self):
+        shallow = score_result(make_result((0, 1)), max_depth=5)
+        deep = score_result(make_result((0, 1, 2, 3)), max_depth=5)
+        assert deep.score > shallow.score
+
+    def test_closer_witnesses_score_higher(self):
+        near = make_result((0, 1), {"a": [(0, 1, 0)], "b": [(0, 1, 1)]})
+        far = make_result((0, 2), {"a": [(0, 2, 0, 0, 0)], "b": [(0, 2, 1, 1, 1)]})
+        near_score = score_result(near, max_depth=5)
+        far_score = score_result(far, max_depth=5)
+        assert near_score.mean_witness_distance < far_score.mean_witness_distance
+        assert near_score.score > far_score.score
+
+    def test_more_witnesses_break_ties(self):
+        one = make_result((0, 1), {"a": [(0, 1, 0)], "b": [(0, 1, 1)]})
+        many = make_result((0, 2), {"a": [(0, 2, 0), (0, 2, 2)], "b": [(0, 2, 1)]})
+        assert score_result(many, 5).score > score_result(one, 5).score
+
+    def test_score_bounded(self):
+        result = make_result((0, 1, 2), {"a": [(0, 1, 2)]})
+        ranked = score_result(result, max_depth=3)
+        assert 0 < ranked.score <= 1
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            score_result(make_result((0,)), 3, depth_weight=0.9, proximity_weight=0.9)
+
+    def test_no_witnesses_still_scores(self):
+        ranked = score_result(make_result((0, 1)), max_depth=3)
+        assert ranked.witness_count == 0
+        assert ranked.score > 0
+
+
+class TestRankResults:
+    def test_sorted_best_first(self):
+        results = [
+            make_result((0, 0), {"a": [(0, 0, 1, 1)]}),
+            make_result((0, 1, 2), {"a": [(0, 1, 2, 0)]}),
+        ]
+        ranked = rank_results(results)
+        assert [r.dewey for r in ranked] == [(0, 1, 2), (0, 0)]
+
+    def test_ties_break_by_document_order(self):
+        results = [
+            make_result((0, 5), {"a": [(0, 5, 0)]}),
+            make_result((0, 1), {"a": [(0, 1, 0)]}),
+        ]
+        ranked = rank_results(results)
+        assert [r.dewey for r in ranked] == [(0, 1), (0, 5)]
+
+    def test_empty(self):
+        assert rank_results([]) == []
+
+    def test_explicit_max_depth(self):
+        results = [make_result((0, 1))]
+        ranked = rank_results(results, max_depth=10)
+        assert ranked[0].depth == 2
+
+    def test_str(self):
+        (ranked,) = rank_results([make_result((0, 1))])
+        assert "score=" in str(ranked)
+
+
+class TestSystemIntegration:
+    def test_search_ranked_school(self):
+        system = XKSearch.from_tree(school_tree())
+        ranked = system.search_ranked("john ben")
+        # The Project answer is deeper than the Class answers: best first.
+        assert ranked[0].dewey == (0, 2, 0)
+        assert {r.dewey for r in ranked} == {(0, 0), (0, 1), (0, 2, 0)}
+        assert ranked[0].score >= ranked[-1].score
+
+    def test_search_ranked_limit(self):
+        system = XKSearch.from_tree(school_tree())
+        assert len(system.search_ranked("john ben", limit=1)) == 1

@@ -1,0 +1,54 @@
+"""Unit tests for result decoration."""
+
+from repro.xksearch.results import SearchResult, decorate_result
+from repro.xmltree.dewey import Dewey
+
+
+class TestDecoration:
+    def test_bare_result_without_tree(self):
+        result = decorate_result((0, 1), None)
+        assert result.dewey == (0, 1)
+        assert result.path is None
+        assert result.snippet is None
+
+    def test_path_skips_text_nodes(self, school):
+        result = decorate_result((0, 0, 1, 0), school)
+        # the text node "John": path shows element chain only
+        assert result.path == "School/Class/Instructor"
+
+    def test_snippet_contains_subtree(self, school):
+        result = decorate_result((0, 0), school)
+        assert "<Class>" in result.snippet
+        assert "John" in result.snippet and "Ben" in result.snippet
+
+    def test_snippet_truncated(self, school):
+        result = decorate_result((0,), school, snippet_limit=30)
+        assert len(result.snippet) <= 31
+        assert result.snippet.endswith("…")
+
+    def test_witnesses_collected(self, school):
+        lists = school.keyword_lists()
+        result = decorate_result(
+            (0, 0), school, keywords=["john", "ben"], keyword_lists=lists
+        )
+        assert result.witnesses["john"] == [(0, 0, 1, 0)]
+        assert result.witnesses["ben"] == [(0, 0, 2, 0)]
+
+    def test_witnesses_scoped_to_subtree(self, school):
+        lists = school.keyword_lists()
+        result = decorate_result(
+            (0, 1), school, keywords=["john"], keyword_lists=lists
+        )
+        assert all(w[:2] == (0, 1) for w in result.witnesses["john"])
+
+
+class TestSearchResult:
+    def test_id_property(self):
+        assert SearchResult((0, 1, 2)).id == Dewey((0, 1, 2))
+
+    def test_str_with_path(self):
+        result = SearchResult((0, 1), path="a/b")
+        assert str(result) == "0.1 (a/b)"
+
+    def test_str_without_path(self):
+        assert str(SearchResult((0, 1))) == "0.1"

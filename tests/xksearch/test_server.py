@@ -1,0 +1,80 @@
+"""Integration tests for the demo web server (real HTTP over localhost)."""
+
+import threading
+import urllib.request
+import urllib.error
+
+import pytest
+
+from repro.xksearch.server import make_server
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import school_tree
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    system = XKSearch.from_tree(school_tree())
+    server = make_server(system, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestEndpoints:
+    def test_healthz(self, server_url):
+        status, body = fetch(f"{server_url}/healthz")
+        assert status == 200
+        assert body == "ok"
+
+    def test_landing_page(self, server_url):
+        status, body = fetch(f"{server_url}/")
+        assert status == 200
+        assert "<form" in body
+
+    def test_search_returns_answers(self, server_url):
+        status, body = fetch(f"{server_url}/search?q=John+Ben")
+        assert status == 200
+        assert body.count('<div class="result">') == 3
+        assert "<mark>John</mark>" in body
+        assert "0.2.0" in body
+
+    def test_search_algorithm_param(self, server_url):
+        status, body = fetch(f"{server_url}/search?q=John+Ben&algorithm=stack")
+        assert status == 200
+        assert "algorithm <b>stack</b>" in body
+
+    def test_search_no_hits(self, server_url):
+        status, body = fetch(f"{server_url}/search?q=zebra+quux")
+        assert status == 200
+        assert "No subtree contains all the keywords." in body
+
+    def test_empty_query_shows_form(self, server_url):
+        status, body = fetch(f"{server_url}/search?q=")
+        assert status == 200
+        assert "<form" in body
+
+    def test_bad_algorithm_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{server_url}/search?q=john&algorithm=warp")
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{server_url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_xss_attempt_escaped(self, server_url):
+        status, body = fetch(
+            f"{server_url}/search?q=%3Cscript%3Ealert(1)%3C/script%3E"
+        )
+        assert status == 200
+        assert "<script>" not in body

@@ -1,0 +1,146 @@
+"""Unit and property tests for the Dewey codecs.
+
+The disk index depends on two properties of every codec:
+
+* order preservation — bytewise order of encodings equals document order;
+* injectivity with prefix discipline — an encoding is a prefix of another
+  only for ancestor-or-self pairs, so no two nodes collide.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeweyError
+from repro.xmltree.codec import PackedDeweyCodec, VarintDeweyCodec
+from repro.xmltree.level_table import LevelTable
+
+from tests.conftest import dewey_st
+
+
+@pytest.fixture
+def packed():
+    # Fanout 4 at four levels matches the dewey_st strategy space.
+    return PackedDeweyCodec(LevelTable([4, 4, 4, 4]))
+
+
+@pytest.fixture
+def varint():
+    return VarintDeweyCodec()
+
+
+class TestPackedBasics:
+    def test_root_encodes_to_empty(self, packed):
+        assert packed.encode((0,)) == b""
+        assert packed.decode(b"") == (0,)
+
+    def test_roundtrip_simple(self, packed):
+        for dewey in [(0,), (0, 0), (0, 3), (0, 1, 2), (0, 3, 3, 3, 3)]:
+            assert packed.decode(packed.encode(dewey)) == dewey
+
+    def test_ancestor_encoding_sorts_before_first_child(self, packed):
+        parent = packed.encode((0, 1))
+        child = packed.encode((0, 1, 0))
+        assert parent < child
+
+    def test_rejects_wrong_root(self, packed):
+        with pytest.raises(DeweyError):
+            packed.encode((1, 0))
+
+    def test_rejects_too_deep(self, packed):
+        with pytest.raises(DeweyError):
+            packed.encode((0, 1, 1, 1, 1, 1))
+
+    def test_rejects_component_beyond_width(self, packed):
+        # Width for fanout 4 is bit_length(5) = 3 → values up to 6 encode
+        # (ordinal up to 5, covering the uncle probe one past the fanout).
+        packed.encode((0, 5))
+        with pytest.raises(DeweyError):
+            packed.encode((0, 7))
+
+    def test_corrupt_padding_detected(self, packed):
+        good = packed.encode((0, 1))
+        bad = bytes([good[0] | 0x01])  # flip a padding bit
+        with pytest.raises(DeweyError):
+            packed.decode(bad)
+
+    def test_uncle_probe_fits(self, packed):
+        # Fanout 4 → ordinals 0..3 exist; the uncle probe may be 4.
+        assert packed.decode(packed.encode((0, 4))) == (0, 4)
+
+
+class TestVarintBasics:
+    def test_root_encodes_to_empty(self, varint):
+        assert varint.encode((0,)) == b""
+        assert varint.decode(b"") == (0,)
+
+    def test_single_byte_components(self, varint):
+        assert varint.encode((0, 5)) == bytes([5])
+        assert varint.encode((0, 239)) == bytes([239])
+
+    def test_multi_byte_components(self, varint):
+        assert varint.encode((0, 240)) == bytes([240, 240])
+        assert varint.encode((0, 65536)) == bytes([242, 1, 0, 0])
+
+    def test_roundtrip_large(self, varint):
+        for component in [0, 1, 239, 240, 255, 256, 65535, 65536, 2**31]:
+            dewey = (0, component, 1)
+            assert varint.decode(varint.encode(dewey)) == dewey
+
+    def test_rejects_wrong_root(self, varint):
+        with pytest.raises(DeweyError):
+            varint.encode((2,))
+
+    def test_truncated_decode_raises(self, varint):
+        with pytest.raises(DeweyError):
+            varint.decode(bytes([241, 1]))  # marker promises 2 bytes
+
+
+@pytest.mark.parametrize("codec_name", ["packed", "varint"])
+class TestCodecProperties:
+    @pytest.fixture
+    def codec(self, codec_name, packed, varint):
+        return packed if codec_name == "packed" else varint
+
+    @given(a=dewey_st, b=dewey_st)
+    @settings(max_examples=300)
+    def test_order_preserving_and_injective(self, codec_name, a, b):
+        codec = (
+            PackedDeweyCodec(LevelTable([4, 4, 4, 4]))
+            if codec_name == "packed"
+            else VarintDeweyCodec()
+        )
+        ea, eb = codec.encode(a), codec.encode(b)
+        assert (ea < eb) == (a < b)
+        assert (ea == eb) == (a == b)
+
+    @given(d=dewey_st)
+    @settings(max_examples=300)
+    def test_roundtrip(self, codec_name, d):
+        codec = (
+            PackedDeweyCodec(LevelTable([4, 4, 4, 4]))
+            if codec_name == "packed"
+            else VarintDeweyCodec()
+        )
+        assert codec.decode(codec.encode(d)) == d
+
+    @given(a=dewey_st, b=dewey_st)
+    @settings(max_examples=300)
+    def test_prefix_only_for_ancestors(self, codec_name, a, b):
+        codec = (
+            PackedDeweyCodec(LevelTable([4, 4, 4, 4]))
+            if codec_name == "packed"
+            else VarintDeweyCodec()
+        )
+        ea, eb = codec.encode(a), codec.encode(b)
+        if eb.startswith(ea) and a != b:
+            assert b[: len(a)] == a, "non-ancestor prefix collision"
+
+
+class TestSizeComparison:
+    def test_packed_is_denser_than_varint_for_shallow_fanouts(self):
+        table = LevelTable([8, 8, 8, 8, 8])
+        packed = PackedDeweyCodec(table)
+        varint = VarintDeweyCodec()
+        dewey = (0, 7, 7, 7, 7, 7)
+        assert len(packed.encode(dewey)) < len(varint.encode(dewey))

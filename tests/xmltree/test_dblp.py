@@ -1,0 +1,162 @@
+"""Unit tests for the DBLP preprocessing (Section 6's data preparation)."""
+
+import pytest
+
+from repro.core import slca
+from repro.xmltree.dblp import (
+    PUBLICATION_TAGS,
+    WEBSITE_ONLY_TAGS,
+    flat_dblp_tree,
+    group_by_venue_year,
+    record_venue,
+    record_year,
+)
+from repro.xmltree.parser import parse
+
+FLAT = """
+<dblp>
+  <article key="journals/tods/x1">
+    <author>alice</author>
+    <title>keyword search</title>
+    <journal>tods</journal>
+    <year>2004</year>
+    <url>db/journals/tods/x1</url>
+    <ee>https://doi.example/x1</ee>
+  </article>
+  <inproceedings key="conf/sigmod/y1">
+    <author>bob</author>
+    <title>xml indexing</title>
+    <booktitle>sigmod</booktitle>
+    <year>2003</year>
+    <cite>journals/tods/x1</cite>
+  </inproceedings>
+  <article key="journals/tods/x2">
+    <author>alice</author>
+    <title>more keyword search</title>
+    <journal>tods</journal>
+    <year>2003</year>
+  </article>
+  <www key="homepages/a">ignored website record</www>
+</dblp>
+"""
+
+
+@pytest.fixture
+def flat():
+    return parse(FLAT)
+
+
+@pytest.fixture
+def grouped(flat):
+    return group_by_venue_year(flat)
+
+
+class TestRecordFields:
+    def test_record_venue_journal(self, flat):
+        assert record_venue(flat.root.children[0]) == "tods"
+
+    def test_record_venue_booktitle(self, flat):
+        assert record_venue(flat.root.children[1]) == "sigmod"
+
+    def test_record_year(self, flat):
+        assert record_year(flat.root.children[0]) == "2004"
+
+    def test_missing_fields_get_placeholders(self):
+        tree = parse("<dblp><article><title>bare</title></article></dblp>")
+        record = tree.root.children[0]
+        assert record_venue(record) == "unknown-venue"
+        assert record_year(record) == "unknown-year"
+
+
+class TestGrouping:
+    def test_venue_groups(self, grouped):
+        venues = [n.attrs["name"] for n in grouped.root.children]
+        assert venues == ["tods", "sigmod"]  # first-seen order
+
+    def test_years_sorted_within_venue(self, grouped):
+        tods = grouped.root.children[0]
+        years = [n.attrs["value"] for n in tods.children if n.tag == "year"]
+        assert years == ["2003", "2004"]
+
+    def test_records_attached_to_their_year(self, grouped):
+        tods = grouped.root.children[0]
+        year_2004 = next(n for n in tods.children if n.attrs and n.attrs.get("value") == "2004")
+        records = [n for n in year_2004.children if n.tag in PUBLICATION_TAGS]
+        assert len(records) == 1
+        assert records[0].attrs["key"] == "journals/tods/x1"
+
+    def test_website_fields_filtered(self, grouped):
+        tags = {n.tag for n in grouped}
+        assert not tags & WEBSITE_ONLY_TAGS
+
+    def test_non_publication_records_dropped(self, grouped):
+        assert all(n.tag != "www" for n in grouped)
+
+    def test_input_not_modified(self, flat):
+        before = [(n.dewey, n.tag) for n in flat]
+        group_by_venue_year(flat)
+        assert [(n.dewey, n.tag) for n in flat] == before
+
+    def test_deweys_valid_document_order(self, grouped):
+        deweys = [n.dewey for n in grouped]
+        assert deweys == sorted(deweys)
+        assert len(set(deweys)) == len(deweys)
+
+    def test_grouping_improves_answer_specificity(self, flat, grouped):
+        """The paper's motivation for grouping: on the flat file, keywords
+        from different records only meet at the root; grouped, they meet at
+        the venue/year level."""
+        flat_lists = flat.keyword_lists()
+        flat_answer = slca([flat_lists["keyword"], flat_lists["indexing"]])
+        assert flat_answer == [(0,)]
+        grouped_lists = grouped.keyword_lists()
+        grouped_answer = slca([grouped_lists["keyword"], grouped_lists["indexing"]])
+        assert grouped_answer == [(0,)]  # different venues: still the root
+        # but within one venue, answers are now at the venue, not the root:
+        same_venue = slca([grouped_lists["keyword"], grouped_lists["2003"]])
+        assert all(answer != (0,) for answer in same_venue)
+
+
+class TestFlatGenerator:
+    def test_shape(self):
+        tree = flat_dblp_tree(seed=3, records=20)
+        records = [n for n in tree.root.children if n.tag in PUBLICATION_TAGS]
+        assert len(records) == 20
+        for record in records:
+            child_tags = {c.tag for c in record.children}
+            assert "title" in child_tags and "year" in child_tags
+            assert "journal" in child_tags or "booktitle" in child_tags
+
+    def test_website_fields_present_by_default(self):
+        tree = flat_dblp_tree(seed=3, records=10)
+        tags = {n.tag for n in tree}
+        assert "url" in tags and "ee" in tags
+
+    def test_without_website_fields(self):
+        tree = flat_dblp_tree(seed=3, records=10, with_website_fields=False)
+        tags = {n.tag for n in tree}
+        assert not tags & WEBSITE_ONLY_TAGS
+
+    def test_deterministic(self):
+        a = flat_dblp_tree(seed=9, records=15)
+        b = flat_dblp_tree(seed=9, records=15)
+        assert [n.label for n in a] == [n.label for n in b]
+
+    def test_roundtrip_through_grouping_and_search(self):
+        flat = flat_dblp_tree(seed=12, records=60)
+        grouped = group_by_venue_year(flat)
+        # Every record key survives grouping exactly once.
+        flat_keys = sorted(
+            n.attrs["key"] for n in flat if n.attrs and "key" in n.attrs
+        )
+        grouped_keys = sorted(
+            n.attrs["key"] for n in grouped if n.attrs and "key" in n.attrs
+        )
+        assert grouped_keys == flat_keys
+        # And the grouped document is searchable end to end.
+        from repro.xksearch import XKSearch
+
+        system = XKSearch.from_tree(grouped)
+        results = system.search("query sigmod")
+        for result in results:
+            assert result.dewey != (0,)

@@ -1,0 +1,220 @@
+"""Unit tests for the Dewey-number algebra."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import DeweyError
+from repro.xmltree import dewey as dw
+from repro.xmltree.dewey import Dewey
+
+from tests.conftest import dewey_st
+
+
+class TestOrdering:
+    def test_tuple_order_is_document_order_ancestor_first(self):
+        assert (0, 1) < (0, 1, 0)
+
+    def test_tuple_order_siblings(self):
+        assert (0, 1, 2) < (0, 1, 3)
+
+    def test_tuple_order_across_subtrees(self):
+        assert (0, 1, 5, 9) < (0, 2)
+
+    @given(a=dewey_st, b=dewey_st)
+    def test_order_matches_preorder_rank(self, a, b):
+        # Document order: a precedes b iff a is an ancestor of b, or at the
+        # first differing component a is smaller.
+        if a == b:
+            assert not (a < b)
+            return
+        i = dw.common_prefix_len(a, b)
+        if i == len(a):
+            assert a < b  # a is an ancestor of b
+        elif i == len(b):
+            assert b < a
+        else:
+            assert (a < b) == (a[i] < b[i])
+
+
+class TestLCA:
+    def test_lca_of_siblings_is_parent(self):
+        assert dw.lca((0, 1, 0), (0, 1, 2)) == (0, 1)
+
+    def test_lca_with_ancestor_is_ancestor(self):
+        assert dw.lca((0, 1), (0, 1, 2, 3)) == (0, 1)
+
+    def test_lca_of_node_with_itself(self):
+        assert dw.lca((0, 2, 1), (0, 2, 1)) == (0, 2, 1)
+
+    def test_lca_distinct_subtrees_is_root(self):
+        assert dw.lca((0, 0, 5), (0, 3)) == (0,)
+
+    def test_lca_disjoint_roots_raises(self):
+        with pytest.raises(DeweyError):
+            dw.lca((0, 1), (1, 1))
+
+    def test_lca_many_folds(self):
+        assert dw.lca_many([(0, 1, 2), (0, 1, 3), (0, 1, 2, 2)]) == (0, 1)
+
+    def test_lca_many_single(self):
+        assert dw.lca_many([(0, 5)]) == (0, 5)
+
+    def test_lca_many_empty_raises(self):
+        with pytest.raises(DeweyError):
+            dw.lca_many([])
+
+    @given(a=dewey_st, b=dewey_st)
+    def test_lca_is_common_ancestor_and_lowest(self, a, b):
+        ancestor = dw.lca(a, b)
+        assert dw.is_ancestor_or_self(ancestor, a)
+        assert dw.is_ancestor_or_self(ancestor, b)
+        # One level deeper is no longer common.
+        deeper_guess = a[: len(ancestor) + 1]
+        if len(deeper_guess) > len(ancestor):
+            assert not (
+                dw.is_ancestor_or_self(deeper_guess, a)
+                and dw.is_ancestor_or_self(deeper_guess, b)
+            ) or a == b
+
+
+class TestAncestorTests:
+    def test_proper_ancestor(self):
+        assert dw.is_ancestor((0,), (0, 1))
+
+    def test_self_is_not_proper_ancestor(self):
+        assert not dw.is_ancestor((0, 1), (0, 1))
+
+    def test_self_is_ancestor_or_self(self):
+        assert dw.is_ancestor_or_self((0, 1), (0, 1))
+
+    def test_sibling_is_not_ancestor(self):
+        assert not dw.is_ancestor((0, 1), (0, 2))
+
+    def test_descendant_is_not_ancestor_of_ancestor(self):
+        assert not dw.is_ancestor((0, 1, 2), (0, 1))
+
+
+class TestDeeper:
+    def test_deeper_picks_longer(self):
+        assert dw.deeper((0, 1), (0, 1, 2)) == (0, 1, 2)
+
+    def test_deeper_none_left(self):
+        assert dw.deeper(None, (0, 1)) == (0, 1)
+
+    def test_deeper_none_right(self):
+        assert dw.deeper((0, 1), None) == (0, 1)
+
+    def test_deeper_both_none(self):
+        assert dw.deeper(None, None) is None
+
+    def test_deeper_equal_length_returns_first(self):
+        assert dw.deeper((0, 1), (0, 2)) == (0, 1)
+
+
+class TestPaths:
+    def test_parent(self):
+        assert dw.parent((0, 1, 2)) == (0, 1)
+
+    def test_parent_of_root_is_none(self):
+        assert dw.parent((0,)) is None
+
+    def test_ancestors_to_root(self):
+        assert list(dw.ancestors((0, 1, 2, 3))) == [(0, 1, 2), (0, 1), (0,)]
+
+    def test_ancestors_of_root_empty(self):
+        assert list(dw.ancestors((0,))) == []
+
+    def test_ancestors_with_stop_excludes_stop(self):
+        assert list(dw.ancestors((0, 1, 2, 3), stop=(0, 1))) == [(0, 1, 2)]
+
+    def test_ancestors_stop_at_parent_yields_nothing(self):
+        assert list(dw.ancestors((0, 1, 2), stop=(0, 1))) == []
+
+    def test_ancestors_stop_self_yields_nothing(self):
+        assert list(dw.ancestors((0, 1), stop=(0, 1))) == []
+
+    def test_ancestors_invalid_stop_raises(self):
+        with pytest.raises(DeweyError):
+            list(dw.ancestors((0, 1), stop=(0, 2)))
+
+    def test_child_toward(self):
+        assert dw.child_toward((0,), (0, 2, 5, 1)) == (0, 2)
+
+    def test_child_toward_direct_child(self):
+        assert dw.child_toward((0, 1), (0, 1, 4)) == (0, 1, 4)
+
+    def test_child_toward_requires_proper_ancestor(self):
+        with pytest.raises(DeweyError):
+            dw.child_toward((0, 1), (0, 1))
+
+    def test_uncle_is_next_sibling_of_path_child(self):
+        assert dw.uncle((0,), (0, 2, 5)) == (0, 3)
+
+    def test_uncle_of_direct_child(self):
+        assert dw.uncle((0, 1), (0, 1, 0, 7)) == (0, 1, 1)
+
+    def test_depth(self):
+        assert dw.depth((0,)) == 1
+        assert dw.depth((0, 3, 1)) == 3
+
+    @given(d=dewey_st)
+    def test_every_proper_ancestor_is_prefix(self, d):
+        for a in dw.ancestors(d):
+            assert dw.is_ancestor(a, d)
+
+
+class TestValidate:
+    def test_valid(self):
+        assert dw.validate((0, 1, 2)) == (0, 1, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(DeweyError):
+            dw.validate(())
+
+    def test_negative_raises(self):
+        with pytest.raises(DeweyError):
+            dw.validate((0, -1))
+
+    def test_non_tuple_raises(self):
+        with pytest.raises(DeweyError):
+            dw.validate([0, 1])
+
+
+class TestDeweyClass:
+    def test_parse_and_str_roundtrip(self):
+        d = Dewey.parse("0.1.2")
+        assert str(d) == "0.1.2"
+        assert d.tuple == (0, 1, 2)
+
+    def test_parse_invalid_raises(self):
+        with pytest.raises(DeweyError):
+            Dewey.parse("0.x.2")
+
+    def test_ordering(self):
+        assert Dewey.parse("0.1") < Dewey.parse("0.1.0") < Dewey.parse("0.2")
+        assert Dewey.parse("0.2") >= Dewey.parse("0.1")
+
+    def test_equality_and_hash(self):
+        assert Dewey((0, 1)) == Dewey.parse("0.1")
+        assert hash(Dewey((0, 1))) == hash(Dewey.parse("0.1"))
+        assert Dewey((0, 1)) != (0, 1)
+
+    def test_lca_method(self):
+        assert Dewey.parse("0.1.2").lca(Dewey.parse("0.1.5")) == Dewey.parse("0.1")
+
+    def test_ancestor_methods(self):
+        assert Dewey.parse("0.1").is_ancestor_of(Dewey.parse("0.1.2"))
+        assert not Dewey.parse("0.1").is_ancestor_of(Dewey.parse("0.1"))
+        assert Dewey.parse("0.1").is_ancestor_or_self_of(Dewey.parse("0.1"))
+
+    def test_parent_property(self):
+        assert Dewey.parse("0.1.2").parent == Dewey.parse("0.1")
+        assert Dewey.parse("0").parent is None
+
+    def test_depth_and_len(self):
+        d = Dewey.parse("0.4.2")
+        assert d.depth == 3
+        assert len(d) == 3
+
+    def test_repr(self):
+        assert repr(Dewey.parse("0.1")) == "Dewey('0.1')"

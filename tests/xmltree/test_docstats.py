@@ -1,0 +1,80 @@
+"""Unit tests for document statistics."""
+
+import pytest
+
+from repro.xmltree.docstats import analyze, format_stats
+
+
+@pytest.fixture
+def stats(school):
+    return analyze(school)
+
+
+class TestAnalyze:
+    def test_node_counts(self, school, stats):
+        assert stats.total_nodes == len(school)
+        assert stats.element_nodes + stats.text_nodes == stats.total_nodes
+        assert stats.text_nodes == sum(1 for n in school if n.is_text)
+
+    def test_depth(self, school, stats):
+        assert stats.max_depth == school.depth
+        assert sum(stats.depth_histogram.values()) == stats.total_nodes
+        assert 1 < stats.mean_depth < stats.max_depth
+
+    def test_tag_counts(self, stats):
+        assert stats.tag_counts["Class"] == 2
+        assert stats.tag_counts["Project"] == 2
+
+    def test_level_fanouts_match_tree(self, school, stats):
+        assert stats.level_fanouts == school.level_fanouts()
+
+    def test_keyword_totals(self, school, stats):
+        lists = school.keyword_lists()
+        assert stats.distinct_keywords == len(lists)
+        assert stats.total_postings == sum(len(lst) for lst in lists.values())
+
+    def test_top_keywords_sorted(self, stats):
+        counts = [count for _, count in stats.top_keywords]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_percentiles_monotone(self, stats):
+        p = stats.frequency_percentiles
+        assert p[50] <= p[90] <= p[99] <= p[100]
+
+    def test_skew(self, stats):
+        assert stats.frequency_skew >= 1.0
+
+    def test_top_parameter(self, school):
+        assert len(analyze(school, top=3).top_keywords) == 3
+
+
+class TestFormat:
+    def test_report_mentions_key_sections(self, stats):
+        out = format_stats(stats)
+        for fragment in (
+            "nodes:",
+            "depth:",
+            "level fanouts:",
+            "distinct keywords:",
+            "frequency skew",
+            "top keywords:",
+            "top tags:",
+        ):
+            assert fragment in out, fragment
+
+
+class TestCLI:
+    def test_analyze_command(self, tmp_path, capsys):
+        from repro.xksearch.cli import main
+        from repro.xmltree.generate import school_xml
+
+        doc = tmp_path / "school.xml"
+        doc.write_text(school_xml(), encoding="utf-8")
+        assert main(["analyze", str(doc)]) == 0
+        out = capsys.readouterr().out
+        assert "distinct keywords:" in out
+
+    def test_analyze_missing_file(self, tmp_path, capsys):
+        from repro.xksearch.cli import main
+
+        assert main(["analyze", str(tmp_path / "ghost.xml")]) == 1

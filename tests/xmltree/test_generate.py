@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic generators."""
+
+import pytest
+
+from repro.core import slca
+from repro.xmltree.generate import (
+    dblp_like_tree,
+    plant_keywords,
+    random_labeled_tree,
+    school_tree,
+    school_xml,
+)
+from repro.xmltree.parser import parse
+
+
+class TestSchool:
+    def test_school_xml_parses_to_school_tree(self):
+        parsed = parse(school_xml())
+        assert [n.dewey for n in parsed] == [n.dewey for n in school_tree()]
+
+    def test_paper_query_has_three_answers(self):
+        tree = school_tree()
+        lists = tree.keyword_lists()
+        answers = slca([lists["john"], lists["ben"]])
+        assert answers == [(0, 0), (0, 1), (0, 2, 0)]
+
+    def test_answer_subtrees_are_the_story(self):
+        tree = school_tree()
+        assert tree.node((0, 0)).tag == "Class"      # Ben TAs for John
+        assert tree.node((0, 1)).tag == "Class"      # Ben studies under John
+        assert tree.node((0, 2, 0)).tag == "Project"  # both are members
+
+
+class TestRandomTree:
+    def test_deterministic(self):
+        a = random_labeled_tree(7, n_nodes=40)
+        b = random_labeled_tree(7, n_nodes=40)
+        assert [n.dewey for n in a] == [n.dewey for n in b]
+        assert [n.label for n in a] == [n.label for n in b]
+
+    def test_different_seeds_differ(self):
+        a = random_labeled_tree(1, n_nodes=40)
+        b = random_labeled_tree(2, n_nodes=40)
+        assert [n.label for n in a] != [n.label for n in b]
+
+    def test_size_close_to_requested(self):
+        tree = random_labeled_tree(3, n_nodes=50)
+        assert len(tree) == 50
+
+    def test_fanout_respected(self):
+        tree = random_labeled_tree(11, n_nodes=200, max_fanout=3)
+        assert all(len(n.children) <= 3 for n in tree)
+
+    def test_deweys_are_valid_document_order(self):
+        tree = random_labeled_tree(5, n_nodes=80)
+        deweys = [n.dewey for n in tree]
+        assert deweys == sorted(deweys)
+        assert len(set(deweys)) == len(deweys)
+
+
+class TestDBLP:
+    def test_shape(self):
+        tree = dblp_like_tree(1, venues=2, years_per_venue=3, papers_per_year=4)
+        venues = [n for n in tree if n.tag == "venue"]
+        years = [n for n in tree if n.tag == "year"]
+        papers = [n for n in tree if n.tag == "paper"]
+        assert len(venues) == 2
+        assert len(years) == 6
+        assert len(papers) == 24
+
+    def test_papers_have_titles_and_authors(self):
+        tree = dblp_like_tree(2, venues=1, years_per_venue=1, papers_per_year=5)
+        papers = [n for n in tree if n.tag == "paper"]
+        for paper in papers:
+            tags = [c.tag for c in paper.children]
+            assert "title" in tags and "author" in tags and "pages" in tags
+
+    def test_deterministic(self):
+        a = dblp_like_tree(9, venues=2, years_per_venue=2, papers_per_year=3)
+        b = dblp_like_tree(9, venues=2, years_per_venue=2, papers_per_year=3)
+        assert [n.label for n in a] == [n.label for n in b]
+
+
+class TestPlanting:
+    def test_exact_frequencies(self):
+        tree = dblp_like_tree(3, venues=2, years_per_venue=2, papers_per_year=10)
+        plant_keywords(tree, {"xk7": 7, "xk3": 3}, seed=1)
+        lists = tree.keyword_lists()
+        assert len(lists["xk7"]) == 7
+        assert len(lists["xk3"]) == 3
+
+    def test_plant_structure_unchanged(self):
+        tree = dblp_like_tree(3, venues=2, years_per_venue=2, papers_per_year=5)
+        before = [n.dewey for n in tree]
+        plant_keywords(tree, {"xk2": 2}, seed=1)
+        assert [n.dewey for n in tree] == before
+
+    def test_too_many_raises(self):
+        tree = dblp_like_tree(3, venues=1, years_per_venue=1, papers_per_year=2)
+        with pytest.raises(ValueError, match="hosts"):
+            plant_keywords(tree, {"xk99": 99}, seed=0)
+
+    def test_existing_keyword_rejected(self):
+        tree = dblp_like_tree(3, venues=1, years_per_venue=1, papers_per_year=5)
+        with pytest.raises(ValueError, match="already occurs"):
+            plant_keywords(tree, {"title": 1}, seed=0)
+
+    def test_host_tag_none_uses_all_text(self):
+        tree = dblp_like_tree(3, venues=1, years_per_venue=1, papers_per_year=3)
+        plant_keywords(tree, {"xk5": 5}, seed=2, host_tag=None)
+        assert len(tree.keyword_lists()["xk5"]) == 5
+
+    def test_deterministic_given_seed(self):
+        t1 = dblp_like_tree(4, venues=2, years_per_venue=2, papers_per_year=5)
+        t2 = dblp_like_tree(4, venues=2, years_per_venue=2, papers_per_year=5)
+        plant_keywords(t1, {"xk4": 4}, seed=8)
+        plant_keywords(t2, {"xk4": 4}, seed=8)
+        assert t1.keyword_lists()["xk4"] == t2.keyword_lists()["xk4"]

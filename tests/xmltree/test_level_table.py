@@ -1,0 +1,78 @@
+"""Unit tests for the level table."""
+
+import pytest
+
+from repro.errors import DeweyError
+from repro.xmltree.level_table import LevelTable
+from repro.xmltree.parser import parse
+
+
+class TestConstruction:
+    def test_widths_accommodate_uncle_probe(self):
+        table = LevelTable([4])
+        # Encoded value range must cover ordinal 4 (uncle) + 1 shift = 5.
+        assert (1 << table.widths[0]) - 1 >= 5
+
+    def test_fanout_one_gets_nonzero_width(self):
+        table = LevelTable([1])
+        assert table.widths[0] >= 1
+
+    def test_empty_fanouts_rejected(self):
+        with pytest.raises(DeweyError):
+            LevelTable([])
+
+    def test_from_tree_drops_leaf_level(self):
+        tree = parse("<a><b><c/></b></a>")
+        table = LevelTable.from_tree(tree)
+        # Levels with children: root and b — the all-leaf level c is dropped.
+        assert table.levels == 2
+
+    def test_from_tree_fanouts(self):
+        tree = parse("<a><b/><b/><b><c/></b></a>")
+        table = LevelTable.from_tree(tree)
+        assert table.fanouts == [3, 1]
+
+    def test_from_deweys(self):
+        table = LevelTable.from_deweys([(0, 2), (0, 0, 5)])
+        assert table.fanouts == [3, 6]
+
+    def test_from_deweys_root_only(self):
+        table = LevelTable.from_deweys([(0,)])
+        assert table.levels == 1
+
+
+class TestChecks:
+    def test_check_fits_accepts_in_range(self):
+        LevelTable([4, 4]).check_fits((0, 3, 3))
+
+    def test_check_fits_rejects_deep(self):
+        with pytest.raises(DeweyError, match="deeper"):
+            LevelTable([4]).check_fits((0, 1, 1))
+
+    def test_check_fits_rejects_wide(self):
+        with pytest.raises(DeweyError, match="exceeds"):
+            LevelTable([2]).check_fits((0, 9))
+
+    def test_max_dewey_bits(self):
+        table = LevelTable([4, 4])
+        assert table.max_dewey_bits == sum(table.widths)
+
+    def test_width_accessor(self):
+        table = LevelTable([4, 16])
+        assert table.width(1) == table.widths[1]
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        table = LevelTable([20, 11, 1001, 4, 1])
+        again = LevelTable.from_json(table.to_json())
+        assert again == table
+        assert again.widths == table.widths
+
+    def test_equality(self):
+        assert LevelTable([2, 3]) == LevelTable([2, 3])
+        assert LevelTable([2, 3]) != LevelTable([3, 2])
+        assert LevelTable([2]) != object()
+
+    def test_repr(self):
+        assert "fanouts" in repr(LevelTable([2]))

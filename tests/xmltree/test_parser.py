@@ -1,0 +1,138 @@
+"""Unit tests for the tree-building parser."""
+
+import io
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.parser import parse, parse_file
+from repro.xmltree.tree import TEXT_TAG
+
+
+class TestBasicStructure:
+    def test_single_root(self):
+        tree = parse("<a/>")
+        assert tree.root.tag == "a"
+        assert tree.root.dewey == (0,)
+
+    def test_children_get_sequential_deweys(self):
+        tree = parse("<a><b/><c/><d/></a>")
+        assert [child.dewey for child in tree.root.children] == [
+            (0, 0),
+            (0, 1),
+            (0, 2),
+        ]
+
+    def test_nested_deweys(self):
+        tree = parse("<a><b><c/></b></a>")
+        assert tree.root.children[0].children[0].dewey == (0, 0, 0)
+
+    def test_text_becomes_node(self):
+        tree = parse("<a>hello</a>")
+        text = tree.root.children[0]
+        assert text.tag == TEXT_TAG
+        assert text.text == "hello"
+        assert text.dewey == (0, 0)
+
+    def test_mixed_content_order(self):
+        tree = parse("<a>x<b/>y</a>")
+        kinds = [(c.is_text, c.text or c.tag) for c in tree.root.children]
+        assert kinds == [(True, "x"), (False, "b"), (True, "y")]
+
+    def test_attributes_preserved(self):
+        tree = parse('<a x="1"><b y="2"/></a>')
+        assert tree.root.attrs == {"x": "1"}
+        assert tree.root.children[0].attrs == {"y": "2"}
+
+    def test_parent_links(self):
+        tree = parse("<a><b><c/></b></a>")
+        c = tree.root.children[0].children[0]
+        assert c.parent.tag == "b"
+        assert c.parent.parent is tree.root
+        assert tree.root.parent is None
+
+
+class TestWhitespacePolicy:
+    def test_indentation_dropped_by_default(self):
+        tree = parse("<a>\n  <b/>\n</a>")
+        assert len(tree.root.children) == 1
+
+    def test_keep_whitespace_retains_it(self):
+        tree = parse("<a>\n  <b/>\n</a>", keep_whitespace=True)
+        assert len(tree.root.children) == 3
+        assert tree.root.children[0].is_text
+
+    def test_significant_text_kept(self):
+        tree = parse("<a> x </a>")
+        assert tree.root.children[0].text == " x "
+
+    def test_adjacent_text_runs_merged(self):
+        tree = parse("<a>one<!-- c -->two</a>")
+        assert len(tree.root.children) == 1
+        assert tree.root.children[0].text == "onetwo"
+
+    def test_cdata_merges_with_text(self):
+        tree = parse("<a>x<![CDATA[<y>]]>z</a>")
+        assert tree.root.children[0].text == "x<y>z"
+
+
+class TestWellFormedness:
+    def test_mismatched_end_tag(self):
+        with pytest.raises(XMLSyntaxError, match="does not match"):
+            parse("<a><b></a></b>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLSyntaxError, match="unclosed"):
+            parse("<a><b>")
+
+    def test_stray_end_tag(self):
+        with pytest.raises(XMLSyntaxError, match="unexpected end tag"):
+            parse("<a/></b>")
+
+    def test_two_roots(self):
+        with pytest.raises(XMLSyntaxError, match="second root"):
+            parse("<a/><b/>")
+
+    def test_no_root(self):
+        with pytest.raises(XMLSyntaxError, match="no root"):
+            parse("   ")
+
+    def test_text_outside_root(self):
+        with pytest.raises(XMLSyntaxError, match="outside the root"):
+            parse("<a/>junk")
+
+    def test_whitespace_outside_root_ok(self):
+        tree = parse("  <a/>  \n")
+        assert tree.root.tag == "a"
+
+    def test_comments_outside_root_ok(self):
+        tree = parse("<!-- before --><a/><!-- after -->")
+        assert tree.root.tag == "a"
+
+
+class TestParseFile:
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b/></a>", encoding="utf-8")
+        tree = parse_file(path)
+        assert tree.root.children[0].tag == "b"
+
+    def test_from_file_object(self):
+        tree = parse_file(io.StringIO("<a>hi</a>"))
+        assert tree.root.children[0].text == "hi"
+
+    def test_keep_whitespace_forwarded(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a>\n<b/>\n</a>", encoding="utf-8")
+        assert len(parse_file(path, keep_whitespace=True).root.children) == 3
+
+
+class TestLargerDocuments:
+    def test_prolog_and_depth(self):
+        text = '<?xml version="1.0"?><!DOCTYPE r><r><x><y><z>deep</z></y></x></r>'
+        tree = parse(text)
+        assert tree.depth == 5
+
+    def test_node_count(self):
+        tree = parse("<a><b>t</b><b>t</b><b>t</b></a>")
+        assert len(tree) == 7  # root + 3 b's + 3 texts

@@ -1,0 +1,122 @@
+"""Unit tests for the XPath-lite evaluator."""
+
+import pytest
+
+from repro.xmltree.paths import PathSyntaxError, parse_path, select, select_deweys
+
+
+class TestParsing:
+    def test_simple_absolute(self):
+        path = parse_path("/a/b")
+        assert path.absolute
+        assert [s.test for s in path.steps] == ["a", "b"]
+        assert [s.descendant for s in path.steps] == [False, False]
+
+    def test_descendant_steps(self):
+        path = parse_path("//a//b")
+        assert all(s.descendant for s in path.steps)
+
+    def test_wildcard_and_text(self):
+        path = parse_path("/a/*/text()")
+        assert [s.test for s in path.steps] == ["a", "*", "text()"]
+
+    def test_predicates_parsed(self):
+        path = parse_path('/a/b[c="x"][2]')
+        b = path.steps[1]
+        assert len(b.predicates) == 2
+        assert b.predicates[0].value == "x"
+        assert b.predicates[1].position == 2
+
+    def test_garbage_rejected(self):
+        for bad in ("/a/&", "/a[b", "a=b", "/a[b=c]", ""):
+            with pytest.raises(PathSyntaxError):
+                parse_path(bad)
+
+
+class TestSelection:
+    def test_root_step(self, school):
+        (root,) = select(school, "/School")
+        assert root is school.root
+
+    def test_child_steps(self, school):
+        classes = select(school, "/School/Class")
+        assert [n.dewey for n in classes] == [(0, 0), (0, 1)]
+
+    def test_descendant_step(self, school):
+        members = select(school, "//Member")
+        assert len(members) == 3
+
+    def test_descendant_from_child(self, school):
+        titles = select(school, "/School/Projects//Title")
+        assert [n.dewey for n in titles] == [(0, 2, 0, 0), (0, 2, 1, 0)]
+
+    def test_wildcard(self, school):
+        children = select(school, "/School/*")
+        assert [n.tag for n in children] == ["Class", "Class", "Projects"]
+
+    def test_text_nodes(self, school):
+        texts = select(school, "/School/Class/Instructor/text()")
+        assert [n.text for n in texts] == ["John", "John"]
+
+    def test_document_order_and_dedup(self, school):
+        # // over overlapping contexts must not duplicate matches.
+        nodes = select(school, "//Project//text()")
+        deweys = [n.dewey for n in nodes]
+        assert deweys == sorted(deweys)
+        assert len(set(deweys)) == len(deweys)
+
+    def test_no_match(self, school):
+        assert select(school, "/School/Zebra") == []
+
+    def test_relative_path_from_root_children(self, school):
+        assert [n.dewey for n in select(school, "Class")] == [(0, 0), (0, 1)]
+
+
+class TestPredicates:
+    def test_existence(self, school):
+        classes = select(school, "/School/Class[TA]")
+        assert [n.dewey for n in classes] == [(0, 0)]
+
+    def test_value_equality(self, school):
+        classes = select(school, '/School/Class[Title="CS3A"]')
+        assert [n.dewey for n in classes] == [(0, 1)]
+
+    def test_value_equality_via_descendant(self, school):
+        projects = select(school, '//Project[Member="Sue"]')
+        assert [n.dewey for n in projects] == [(0, 2, 1)]
+
+    def test_position(self, school):
+        second = select(school, "/School/Class[2]")
+        assert [n.dewey for n in second] == [(0, 1)]
+
+    def test_position_out_of_range(self, school):
+        assert select(school, "/School/Class[7]") == []
+
+    def test_chained_predicates(self, school):
+        result = select(school, '/School/Class[Instructor="John"][1]')
+        assert [n.dewey for n in result] == [(0, 0)]
+
+    def test_nested_relative_path_predicate(self, school):
+        result = select(school, '/School[Projects/Project/Member="Ben"]')
+        assert [n.dewey for n in result] == [(0,)]
+
+
+class TestSLCAVerification:
+    """The paper's Figure 2: keyword search vs the structural equivalent."""
+
+    def test_keyword_answers_satisfy_structural_conditions(self, school):
+        from repro.core import slca
+
+        lists = school.keyword_lists()
+        answers = slca([lists["john"], lists["ben"]])
+        # Every answer contains a John and a Ben somewhere below (or at) it.
+        john_nodes = set(select_deweys(school, '//text()'))
+        for answer in answers:
+            subtree = {n.dewey for n in school.node(answer).iter_subtree()}
+            assert subtree & set(lists["john"])
+            assert subtree & set(lists["ben"])
+
+    def test_structural_query_for_specific_answer(self, school):
+        # "Classes where Ben is the TA of John" — structural formulation.
+        result = select(school, '/School/Class[Instructor="John"][TA="Ben"]')
+        assert [n.dewey for n in result] == [(0, 0)]

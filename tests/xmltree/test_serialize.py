@@ -1,0 +1,81 @@
+"""Unit tests for XML serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree.parser import parse
+from repro.xmltree.serialize import escape_attr, escape_text, serialize
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_attr_escapes_quotes(self):
+        assert escape_attr('say "hi" & go') == "say &quot;hi&quot; &amp; go"
+
+    def test_escape_order_no_double_escaping(self):
+        assert escape_text("&lt;") == "&amp;lt;"
+
+
+class TestShapes:
+    def test_empty_element(self):
+        tree = parse("<a/>")
+        assert serialize(tree.root).strip() == "<a/>"
+
+    def test_attributes(self):
+        tree = parse('<a x="1" y="two"/>')
+        assert serialize(tree.root).strip() == '<a x="1" y="two"/>'
+
+    def test_text_only_child_inlined(self):
+        tree = parse("<a>hello</a>")
+        assert serialize(tree.root).strip() == "<a>hello</a>"
+
+    def test_nested_pretty_printed(self):
+        tree = parse("<a><b>x</b></a>")
+        out = serialize(tree.root)
+        assert out == "<a>\n  <b>x</b>\n</a>\n"
+
+    def test_compact_mode(self):
+        tree = parse("<a><b>x</b><c/></a>")
+        assert serialize(tree.root, indent_step=0) == "<a><b>x</b><c/></a>"
+
+    def test_special_chars_roundtrip(self):
+        tree = parse("<a>x &lt; y &amp; z</a>")
+        assert "x &lt; y &amp; z" in serialize(tree.root)
+
+    def test_subtree_serialization(self, school):
+        out = serialize(school.root.children[0])
+        assert out.startswith("<Class>")
+        assert "John" in out and "Ben" in out
+
+
+class TestRoundTrip:
+    def test_parse_serialize_parse_preserves_structure(self, school):
+        text = serialize(school.root)
+        again = parse(text)
+        assert [n.dewey for n in again] == [n.dewey for n in school]
+        assert [n.tag for n in again] == [n.tag for n in school]
+
+    @given(
+        words=st.lists(
+            st.text(alphabet="abcz<>&\"' ", min_size=1, max_size=8),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100)
+    def test_arbitrary_text_roundtrips(self, words):
+        from repro.xmltree.tree import Node, TEXT_TAG, XMLTree
+
+        root = Node("r")
+        root.dewey = (0,)
+        for word in words:
+            element = root.add_child(Node("w"))
+            element.add_child(Node(TEXT_TAG, text=word))
+        text = serialize(root)
+        again = parse(text, keep_whitespace=False)
+        got = [n.text for n in again if n.is_text]
+        # Whitespace-only payloads are dropped by the default policy.
+        want = [w for w in words if w.strip()]
+        assert got == want

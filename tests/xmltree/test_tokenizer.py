@@ -1,0 +1,206 @@
+"""Unit tests for the XML tokenizer."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.tokenizer import Token, TokenType, decode_entities, tokenize
+
+
+def toks(text):
+    return list(tokenize(text))
+
+
+class TestTags:
+    def test_simple_element(self):
+        result = toks("<a></a>")
+        assert [t.type for t in result] == [TokenType.START_TAG, TokenType.END_TAG]
+        assert result[0].value == "a" and result[1].value == "a"
+
+    def test_empty_element(self):
+        (t,) = toks("<a/>")
+        assert t.type is TokenType.EMPTY_TAG and t.value == "a"
+
+    def test_empty_element_with_space(self):
+        (t,) = toks("<a />")
+        assert t.type is TokenType.EMPTY_TAG
+
+    def test_nested(self):
+        result = toks("<a><b/></a>")
+        assert [t.value for t in result] == ["a", "b", "a"]
+
+    def test_name_characters(self):
+        (t,) = toks("<ns:tag-1.x_y/>")
+        assert t.value == "ns:tag-1.x_y"
+
+    def test_end_tag_with_whitespace(self):
+        result = toks("<a></a >")
+        assert result[-1].type is TokenType.END_TAG
+
+    def test_missing_name_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            toks("<1a/>")
+
+    def test_unterminated_start_tag_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            toks("<a")
+
+    def test_malformed_end_tag_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            toks("<a></a b>")
+
+
+class TestAttributes:
+    def test_double_quoted(self):
+        (t,) = toks('<a x="1"/>')
+        assert t.attrs == {"x": "1"}
+
+    def test_single_quoted(self):
+        (t,) = toks("<a x='hi there'/>")
+        assert t.attrs == {"x": "hi there"}
+
+    def test_multiple_attributes(self):
+        (t,) = toks('<a x="1" y="2" z="3"/>')
+        assert t.attrs == {"x": "1", "y": "2", "z": "3"}
+
+    def test_entities_in_attribute_value(self):
+        (t,) = toks('<a x="a&amp;b&lt;c"/>')
+        assert t.attrs == {"x": "a&b<c"}
+
+    def test_spaces_around_equals(self):
+        (t,) = toks('<a x = "1"/>')
+        assert t.attrs == {"x": "1"}
+
+    def test_duplicate_attribute_raises(self):
+        with pytest.raises(XMLSyntaxError, match="duplicate"):
+            toks('<a x="1" x="2"/>')
+
+    def test_unquoted_value_raises(self):
+        with pytest.raises(XMLSyntaxError, match="quoted"):
+            toks("<a x=1/>")
+
+    def test_missing_equals_raises(self):
+        with pytest.raises(XMLSyntaxError, match="'='"):
+            toks('<a x "1"/>')
+
+    def test_unterminated_value_raises(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated"):
+            toks('<a x="1/>')
+
+    def test_missing_whitespace_between_attrs_raises(self):
+        with pytest.raises(XMLSyntaxError, match="whitespace"):
+            toks('<a x="1"y="2"/>')
+
+    def test_lt_in_attribute_value_raises(self):
+        with pytest.raises(XMLSyntaxError, match="not allowed"):
+            toks('<a x="a<b"/>')
+
+
+class TestText:
+    def test_plain_text(self):
+        result = toks("<a>hello world</a>")
+        assert result[1].type is TokenType.TEXT
+        assert result[1].value == "hello world"
+
+    def test_predefined_entities(self):
+        result = toks("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>")
+        assert result[1].value == "<x> & \"y\" 'z'"
+
+    def test_decimal_char_ref(self):
+        result = toks("<a>&#65;</a>")
+        assert result[1].value == "A"
+
+    def test_hex_char_ref(self):
+        result = toks("<a>&#x41;&#X42;</a>")
+        assert result[1].value == "AB"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError, match="unknown entity"):
+            toks("<a>&nope;</a>")
+
+    def test_unterminated_entity_raises(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated entity"):
+            toks("<a>&amp</a>")
+
+    def test_invalid_char_ref_raises(self):
+        with pytest.raises(XMLSyntaxError, match="invalid character"):
+            toks("<a>&#xZZ;</a>")
+
+    def test_decode_entities_no_amp_fast_path(self):
+        assert decode_entities("plain") == "plain"
+
+
+class TestCData:
+    def test_cdata_becomes_text(self):
+        result = toks("<a><![CDATA[<raw> & stuff]]></a>")
+        assert result[1].type is TokenType.TEXT
+        assert result[1].value == "<raw> & stuff"
+
+    def test_cdata_entities_not_decoded(self):
+        result = toks("<a><![CDATA[&amp;]]></a>")
+        assert result[1].value == "&amp;"
+
+    def test_unterminated_cdata_raises(self):
+        with pytest.raises(XMLSyntaxError, match="CDATA"):
+            toks("<a><![CDATA[oops</a>")
+
+
+class TestCommentsAndPIs:
+    def test_comment(self):
+        result = toks("<a><!-- hi --></a>")
+        assert result[1].type is TokenType.COMMENT
+        assert result[1].value == " hi "
+
+    def test_double_dash_in_comment_raises(self):
+        with pytest.raises(XMLSyntaxError, match="--"):
+            toks("<a><!-- a -- b --></a>")
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(XMLSyntaxError, match="comment"):
+            toks("<a><!-- oops</a>")
+
+    def test_processing_instruction(self):
+        result = toks("<a><?php echo ?></a>")
+        assert result[1].type is TokenType.PI
+        assert result[1].value == "php"
+
+    def test_pi_without_target_raises(self):
+        with pytest.raises(XMLSyntaxError, match="target"):
+            toks("<a><? ?></a>")
+
+
+class TestProlog:
+    def test_xml_declaration_skipped(self):
+        result = toks('<?xml version="1.0" encoding="utf-8"?>\n<a/>')
+        assert len(result) == 1 and result[0].value == "a"
+
+    def test_doctype_skipped(self):
+        result = toks("<!DOCTYPE a SYSTEM 'a.dtd'>\n<a/>")
+        assert len(result) == 1
+
+    def test_doctype_with_internal_subset(self):
+        result = toks("<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]>\n<a/>")
+        assert len(result) == 1
+
+    def test_unterminated_doctype_raises(self):
+        with pytest.raises(XMLSyntaxError, match="DOCTYPE"):
+            toks("<!DOCTYPE a")
+
+    def test_unterminated_declaration_raises(self):
+        with pytest.raises(XMLSyntaxError, match="declaration"):
+            toks("<?xml version='1.0'")
+
+
+class TestPositions:
+    def test_error_carries_line_and_column(self):
+        try:
+            toks("<a>\n  <b x=1/>\n</a>")
+        except XMLSyntaxError as exc:
+            assert exc.line == 2
+            assert exc.column > 1
+        else:
+            pytest.fail("expected XMLSyntaxError")
+
+    def test_token_positions(self):
+        result = toks("<a>\n<b/></a>")
+        b = result[2]
+        assert (b.line, b.column) == (2, 1)

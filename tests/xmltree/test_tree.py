@@ -1,0 +1,103 @@
+"""Unit tests for the labeled-tree model."""
+
+import pytest
+
+from repro.xmltree.parser import parse
+from repro.xmltree.tree import Node, TEXT_TAG, XMLTree, extract_keywords
+
+
+class TestExtractKeywords:
+    def test_lowercases(self):
+        assert extract_keywords("John Ben") == ["john", "ben"]
+
+    def test_splits_on_punctuation(self):
+        assert extract_keywords("data-base, query.") == ["data", "base", "query"]
+
+    def test_keeps_digits_and_underscore(self):
+        assert extract_keywords("xk10_3 v2") == ["xk10_3", "v2"]
+
+    def test_empty(self):
+        assert extract_keywords("  ... ") == []
+
+
+class TestNode:
+    def test_add_child_assigns_dewey_and_parent(self):
+        root = Node("r")
+        root.dewey = (0,)
+        a = root.add_child(Node("a"))
+        b = root.add_child(Node("b"))
+        assert a.dewey == (0, 0) and b.dewey == (0, 1)
+        assert a.parent is root
+
+    def test_label_of_element_includes_attrs(self):
+        node = Node("paper", attrs={"year": "2005"})
+        assert extract_keywords(node.label) == ["paper", "year", "2005"]
+
+    def test_label_of_text_node(self):
+        node = Node(TEXT_TAG, text="Hello World")
+        assert node.is_text
+        assert node.keywords() == ["hello", "world"]
+
+    def test_iter_subtree_is_preorder(self):
+        tree = parse("<a><b><c/></b><d/></a>")
+        tags = [n.tag for n in tree.root.iter_subtree()]
+        assert tags == ["a", "b", "c", "d"]
+
+    def test_repr_mentions_dewey(self):
+        tree = parse("<a><b/></a>")
+        assert "0.0" in repr(tree.root.children[0])
+
+
+class TestXMLTree:
+    def test_iteration_in_document_order(self):
+        tree = parse("<a><b>x</b><c/></a>")
+        deweys = [n.dewey for n in tree]
+        assert deweys == sorted(deweys)
+
+    def test_len(self):
+        tree = parse("<a><b/><c/></a>")
+        assert len(tree) == 3
+
+    def test_depth(self):
+        tree = parse("<a><b><c>t</c></b></a>")
+        assert tree.depth == 4
+
+    def test_node_lookup(self):
+        tree = parse("<a><b/><c><d/></c></a>")
+        assert tree.node((0, 1, 0)).tag == "d"
+
+    def test_node_lookup_missing_raises(self):
+        tree = parse("<a/>")
+        with pytest.raises(KeyError):
+            tree.node((0, 7))
+
+    def test_has_node(self):
+        tree = parse("<a><b/></a>")
+        assert tree.has_node((0, 0))
+        assert not tree.has_node((0, 1))
+
+    def test_keyword_lists_sorted_and_complete(self, school):
+        lists = school.keyword_lists()
+        assert lists["john"] == sorted(lists["john"])
+        assert len(lists["john"]) == 3
+        assert len(lists["ben"]) == 3
+        # Element tags are searchable too.
+        assert len(lists["class"]) == 2
+
+    def test_keyword_appears_once_per_node(self):
+        tree = parse("<a>spam spam spam</a>")
+        assert len(tree.keyword_lists()["spam"]) == 1
+
+    def test_level_fanouts(self):
+        tree = parse("<a><b><c/><c/><c/></b><b/></a>")
+        assert tree.level_fanouts() == [2, 3, 0]
+
+    def test_subtree_text(self):
+        tree = parse("<a><b>one</b><c>two <d>three</d></c></a>")
+        assert tree.subtree_text((0, 1)) == "two  three"
+        assert tree.subtree_text((0,)) == "one two  three"
+
+    def test_root_dewey_autoassigned(self):
+        root = Node("r")
+        tree = XMLTree(root)
+        assert tree.root.dewey == (0,)
