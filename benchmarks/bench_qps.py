@@ -1,0 +1,238 @@
+"""Serving-layer throughput benchmark: Zipf-skewed replay over HTTP.
+
+Real keyword workloads are heavily skewed — the same popular keyword
+combinations recur — which is exactly what the serving layer's result
+cache exploits.  This benchmark measures that end to end:
+
+1. build a planted corpus (equal-frequency keyword pairs, so planning
+   picks Scan Eager and every miss pays a real multi-millisecond scan),
+2. start the **threaded** demo server in-process,
+3. replay a Zipf-distributed sequence of queries from N client threads
+   against ``/api/search``, once with the result cache disabled and once
+   with it enabled (same process, same index, warmed buffer pool),
+4. report QPS, p50/p99 latency and the cache hit rate, and write
+   ``BENCH_qps.json`` so later PRs can track the trajectory.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_qps.py            # full
+    PYTHONPATH=src python benchmarks/bench_qps.py --smoke    # CI-sized
+
+The full run fails (exit 1) if the cache does not deliver the expected
+>= 2x QPS on this workload; ``--smoke`` only exercises the path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+import urllib.parse
+import urllib.request
+
+from repro.index.builder import build_index
+from repro.workloads.datasets import PlantedCorpus, keyword_name
+from repro.xksearch.cache import QueryCache
+from repro.xksearch.server import ServerMetrics, make_server
+from repro.xksearch.system import XKSearch
+
+
+def build_query_pool(frequency: int, variants: int, distinct: int):
+    """Distinct two-keyword queries over the planted keywords."""
+    names = [keyword_name(frequency, v) for v in range(variants)]
+    pool = [f"{a} {b}" for a, b in itertools.combinations(names, 2)]
+    if len(pool) < distinct:
+        raise SystemExit(
+            f"only {len(pool)} distinct pairs from {variants} variants; "
+            f"need {distinct} (raise --variants)"
+        )
+    return pool[:distinct]
+
+
+def zipf_sequence(pool, total: int, skew: float, seed: int):
+    """A Zipf(skew)-distributed replay sequence over the query pool."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank ** skew) for rank in range(1, len(pool) + 1)]
+    return rng.choices(pool, weights=weights, k=total)
+
+
+def replay(base_url: str, sequence, threads: int):
+    """Fire the sequence from N client threads; returns (wall_s, latencies_ms).
+
+    The sequence is dealt round-robin so every thread sees the same query
+    mix; each request is one HTTP GET against ``/api/search``.
+    """
+    shards = [sequence[i::threads] for i in range(threads)]
+    latencies = [[] for _ in range(threads)]
+    errors = []
+
+    def client(shard, out):
+        for query in shard:
+            url = f"{base_url}/api/search?q={urllib.parse.quote(query)}"
+            started = time.perf_counter()
+            try:
+                with urllib.request.urlopen(url, timeout=60) as response:
+                    response.read()
+            except Exception as exc:  # pragma: no cover - diagnostics only
+                errors.append(f"{query}: {exc}")
+                continue
+            out.append((time.perf_counter() - started) * 1000)
+
+    workers = [
+        threading.Thread(target=client, args=(shard, out), daemon=True)
+        for shard, out in zip(shards, latencies)
+    ]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise SystemExit(f"{len(errors)} request(s) failed; first: {errors[0]}")
+    return wall, sorted(lat for out in latencies for lat in out)
+
+
+def percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def phase_report(name: str, wall: float, latencies) -> dict:
+    report = {
+        "requests": len(latencies),
+        "wall_s": round(wall, 3),
+        "qps": round(len(latencies) / wall, 1),
+        "p50_ms": round(percentile(latencies, 0.50), 3),
+        "p99_ms": round(percentile(latencies, 0.99), 3),
+        "mean_ms": round(sum(latencies) / len(latencies), 3),
+    }
+    print(
+        f"  {name:9s}  {report['qps']:8.1f} qps   "
+        f"p50 {report['p50_ms']:8.3f} ms   p99 {report['p99_ms']:8.3f} ms"
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick run")
+    parser.add_argument("--requests", type=int, default=None, help="replay length")
+    parser.add_argument("--threads", type=int, default=None, help="client threads")
+    parser.add_argument("--workers", type=int, default=None, help="server worker cap")
+    parser.add_argument("--frequency", type=int, default=None, help="keyword list size")
+    parser.add_argument("--variants", type=int, default=None, help="planted keywords")
+    parser.add_argument("--distinct", type=int, default=None, help="distinct queries")
+    parser.add_argument("--zipf", type=float, default=1.1, help="Zipf exponent")
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--cache-size", type=int, default=1024)
+    parser.add_argument("--out", default="BENCH_qps.json", help="JSON report path")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail below this cache-on/off QPS ratio (default: 2.0 full, off for --smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        defaults = dict(requests=150, threads=4, workers=4, frequency=200, variants=6, distinct=10)
+    else:
+        defaults = dict(requests=600, threads=8, workers=8, frequency=3000, variants=10, distinct=40)
+    for key, value in defaults.items():
+        if getattr(args, key) is None:
+            setattr(args, key, value)
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        min_speedup = 0.0 if args.smoke else 2.0
+
+    pool = build_query_pool(args.frequency, args.variants, args.distinct)
+    sequence = zipf_sequence(pool, args.requests, args.zipf, args.seed)
+
+    print(
+        f"workload: {args.requests} requests over {len(pool)} distinct queries "
+        f"(Zipf s={args.zipf}), keyword lists of {args.frequency}, "
+        f"{args.threads} client threads"
+    )
+    corpus = PlantedCorpus.for_frequencies([(args.frequency, args.variants)], seed=args.seed)
+    with tempfile.TemporaryDirectory(prefix="xk_qps_") as tmp:
+        index_dir = f"{tmp}/idx"
+        started = time.perf_counter()
+        build_index(corpus.lists, index_dir, level_table=corpus.level_table())
+        print(f"index built in {time.perf_counter() - started:.1f}s at {index_dir}")
+
+        with XKSearch.open(index_dir, load_document=False) as system:
+            metrics = ServerMetrics()
+            server = make_server(
+                system, port=0, max_workers=args.workers, metrics=metrics
+            )
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            host, port = server.server_address
+            base_url = f"http://{host}:{port}"
+            try:
+                # Warm the buffer pool (unmeasured) so both phases run hot
+                # and the only difference is the result cache.
+                replay(base_url, pool, args.threads)
+
+                system.engine.cache = None
+                wall_off, lat_off = replay(base_url, sequence, args.threads)
+                off = phase_report("cache off", wall_off, lat_off)
+
+                cache = QueryCache(result_capacity=args.cache_size)
+                system.engine.cache = cache
+                wall_on, lat_on = replay(base_url, sequence, args.threads)
+                on = phase_report("cache on", wall_on, lat_on)
+                cache_stats = cache.stats()
+                on["hit_rate"] = round(cache_stats["results"]["hit_rate"], 4)
+
+                with urllib.request.urlopen(f"{base_url}/statz", timeout=10) as resp:
+                    statz = json.loads(resp.read())
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+
+    speedup = round(on["qps"] / off["qps"], 2) if off["qps"] else float("inf")
+    print(
+        f"  speedup   {speedup:.2f}x QPS with cache "
+        f"(hit rate {on['hit_rate']:.1%}, server saw {statz['server']['requests']} requests)"
+    )
+
+    report = {
+        "benchmark": "bench_qps",
+        "workload": {
+            "requests": args.requests,
+            "distinct_queries": len(pool),
+            "zipf_exponent": args.zipf,
+            "keyword_frequency": args.frequency,
+            "client_threads": args.threads,
+            "server_workers": args.workers,
+            "cache_size": args.cache_size,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "cache_off": off,
+        "cache_on": on,
+        "speedup_qps": speedup,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required {min_speedup:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,12 +16,23 @@ primitives over the B+trees:
 
 ``sources_for`` wires keyword lists into the algorithm layer: indexed
 sources for IL, lazy cursor sources for Scan Eager, plain scans for Stack.
+
+Concurrency: the read path is thread-safe — every page access is
+serialized by the buffer pool's lock, and the remaining per-query state
+(sources, cursors, codecs) is private to each call — so one
+:class:`DiskKeywordIndex` may serve any number of query threads (this is
+what the threaded demo server relies on).  Writes are not concurrent:
+:class:`~repro.index.updates.IndexUpdater` must run with no in-flight
+queries on the same directory; afterwards, open handles observe the bumped
+index *generation* (see :mod:`repro.xksearch.cache`) and transparently
+reload their on-disk state.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.counters import OpCounters
@@ -32,6 +43,7 @@ from repro.index.builder import (
     FREQUENCY_NAME,
     INDEX_FILE_NAME,
     LEVEL_TABLE_NAME,
+    MANIFEST_NAME,
     TAGS_NAME,
     load_manifest,
     make_codec,
@@ -90,14 +102,37 @@ class DiskKeywordIndex:
         pool_capacity: int = 4096,
         pin_internal: bool = True,
     ):
+        # Imported lazily: repro.xksearch imports this module at package
+        # init, so a top-level import here would be circular.
+        from repro.xksearch.cache import seed_generation
+
         self.index_dir = os.fspath(index_dir)
         self.manifest = load_manifest(self.index_dir)
+        self._pin_internal = pin_internal
+        self._refresh_lock = threading.RLock()
+        self._manifest_path = os.path.join(self.index_dir, MANIFEST_NAME)
+        self._manifest_mtime_ns = self._stat_manifest()
+        self._seen_generation = seed_generation(
+            self.index_dir, self.manifest.get("generation", 0)
+        )
         level_path = os.path.join(self.index_dir, LEVEL_TABLE_NAME)
         if not os.path.exists(level_path):
             raise IndexNotFoundError(f"missing level table at {level_path}")
         with open(level_path, "r", encoding="utf-8") as fh:
             self.level_table = LevelTable.from_json(fh.read())
         self.codec = make_codec(self.manifest["codec"], self.level_table)
+        self._load_metadata()
+        index_file = os.path.join(self.index_dir, INDEX_FILE_NAME)
+        if not os.path.exists(index_file):
+            # The pager would silently create an empty file, turning a
+            # damaged installation into silently-empty search results.
+            raise IndexNotFoundError(f"missing index file at {index_file}")
+        self.pager = Pager(index_file)
+        self.pool = BufferPool(self.pager, capacity=pool_capacity)
+        self._open_trees()
+
+    def _load_metadata(self) -> None:
+        """(Re)load the frequency table and tag dictionary from disk."""
         self.frequency_table = FrequencyTable.load(
             os.path.join(self.index_dir, FREQUENCY_NAME)
         )
@@ -108,19 +143,69 @@ class DiskKeywordIndex:
         else:
             self.tags = [""]
         self._tag_ids = {tag: i for i, tag in enumerate(self.tags)}
-        index_file = os.path.join(self.index_dir, INDEX_FILE_NAME)
-        if not os.path.exists(index_file):
-            # The pager would silently create an empty file, turning a
-            # damaged installation into silently-empty search results.
-            raise IndexNotFoundError(f"missing index file at {index_file}")
-        self.pager = Pager(index_file)
-        self.pool = BufferPool(self.pager, capacity=pool_capacity)
+
+    def _open_trees(self) -> None:
+        """(Re)open the B+trees over the pool, honoring the pin policy."""
         self.il_tree = BPlusTree(self.pool, "il")
         self.scan_tree = BPlusTree(self.pool, "scan")
-        if pin_internal:
+        if self._pin_internal:
             self.pool.pin_many(self.il_tree.internal_page_ids())
             self.pool.pin_many(self.scan_tree.internal_page_ids())
             self.pager.stats.reset()
+
+    # -- generations ---------------------------------------------------------
+
+    def _stat_manifest(self) -> Optional[int]:
+        try:
+            return os.stat(self._manifest_path).st_mtime_ns
+        except OSError:
+            return None
+
+    def generation(self) -> int:
+        """Current mutation generation of this index directory.
+
+        Query caches stamp entries with this value (see
+        :mod:`repro.xksearch.cache`): an :class:`IndexUpdater` mutation
+        bumps it, instantly staling every cached result.  If the counter
+        has advanced since this handle last looked, the handle reloads its
+        on-disk state first so subsequent reads see the new contents.
+        """
+        from repro.xksearch.cache import current_generation, seed_generation
+
+        # An updater in this process bumps the registry directly; one in
+        # *another* process only persists its bump to the manifest on
+        # close.  One stat per query detects that cheaply.
+        mtime = self._stat_manifest()
+        if mtime != self._manifest_mtime_ns:
+            with self._refresh_lock:
+                if mtime != self._manifest_mtime_ns:
+                    self._manifest_mtime_ns = mtime
+                    seed_generation(
+                        self.index_dir,
+                        load_manifest(self.index_dir).get("generation", 0),
+                    )
+        generation = current_generation(self.index_dir)
+        if generation != self._seen_generation:
+            with self._refresh_lock:
+                if generation != self._seen_generation:
+                    self.refresh()
+                    self._seen_generation = generation
+        return generation
+
+    def refresh(self) -> None:
+        """Reload header, trees and metadata after an out-of-band update.
+
+        Must not race in-flight queries on this handle: an updater rewrote
+        pages under us, so cached pages (including pinned internals) and
+        tree root pointers are re-read from disk.
+        """
+        with self._refresh_lock:
+            self.manifest = load_manifest(self.index_dir)
+            self._manifest_mtime_ns = self._stat_manifest()
+            self.pager.reload_header()
+            self.pool.clear(keep_pinned=False)
+            self._load_metadata()
+            self._open_trees()
 
     # -- catalogue -----------------------------------------------------------
 

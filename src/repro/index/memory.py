@@ -57,6 +57,10 @@ class MemoryKeywordIndex:
 
     # -- catalogue ------------------------------------------------------------
 
+    def generation(self) -> int:
+        """In-memory indexes are immutable: one generation, forever valid."""
+        return 0
+
     def frequency(self, keyword: str) -> int:
         return self.frequency_table.frequency(keyword)
 

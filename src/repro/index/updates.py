@@ -50,6 +50,7 @@ from repro.storage.records import (
     pack_tagged_block,
     posting_key,
 )
+from repro.xksearch.cache import bump_generation, current_generation, seed_generation
 from repro.xmltree.dewey import DeweyTuple
 from repro.xmltree.level_table import LevelTable
 from repro.xmltree.tree import Node, TEXT_TAG
@@ -93,6 +94,9 @@ class IndexUpdater:
         self._budget = _default_block_budget(self.manifest["page_size"])
         self._closed = False
         self._postings_delta = 0
+        # Join the process-wide generation domain for this index directory,
+        # starting from whatever the manifest last persisted.
+        seed_generation(self.index_dir, self.manifest.get("generation", 0))
 
     # -- change application ------------------------------------------------------
 
@@ -119,6 +123,10 @@ class IndexUpdater:
             self._rewrite_scan_blocks(kw)
             self._refresh_frequency(kw)
         self._postings_delta += added
+        if added:
+            # Stale every cached query result computed against the old
+            # contents (see repro.xksearch.cache).
+            bump_generation(self.index_dir)
         return added
 
     def remove_postings(
@@ -138,6 +146,8 @@ class IndexUpdater:
             self._rewrite_scan_blocks(kw)
             self._refresh_frequency(kw)
         self._postings_delta -= removed
+        if removed:
+            bump_generation(self.index_dir)
         return removed
 
     def add_subtree(self, node: Node) -> int:
@@ -236,6 +246,7 @@ class IndexUpdater:
             json.dump(self._tags, fh)
         self.manifest["keywords"] = len(self.frequency)
         self.manifest["postings"] = self.manifest.get("postings", 0) + self._postings_delta
+        self.manifest["generation"] = current_generation(self.index_dir)
         document_path = os.path.join(self.index_dir, DOCUMENT_NAME)
         if self._postings_delta != 0 and os.path.exists(document_path):
             # The stored document no longer matches the index contents.

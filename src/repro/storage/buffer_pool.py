@@ -8,10 +8,19 @@ becomes a counted physical read.
 Pages may be *pinned*: pinned pages are never evicted.  The XKSearch disk
 analysis assumes the B+tree's non-leaf pages stay cached; the index layer
 pins them to realize that assumption explicitly.
+
+The pool is the serialization point of the concurrent read path: every
+page access (and therefore every pager ``seek``/``read`` and every stats
+update) happens under the pool's reentrant lock, so any number of threads
+may execute queries against one :class:`~repro.index.inverted.DiskKeywordIndex`
+concurrently.  The lock is per-access, not per-query — tree descents from
+different threads interleave freely, which is safe because queries never
+mutate pages.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Set
@@ -55,34 +64,37 @@ class BufferPool:
         self.pager = pager
         self.capacity = capacity
         self.stats = PoolStats()
+        self.lock = threading.RLock()
         self._lru: "OrderedDict[int, bytes]" = OrderedDict()
         self._pinned: dict = {}
 
     def get_page(self, pid: int) -> bytes:
-        """Page contents, from cache when possible."""
-        if pid in self._pinned:
-            self.stats.hits += 1
-            return self._pinned[pid]
-        if pid in self._lru:
-            self.stats.hits += 1
-            self._lru.move_to_end(pid)
-            return self._lru[pid]
-        self.stats.misses += 1
-        data = self.pager.read_page(pid)
-        self._insert(pid, data)
-        return data
+        """Page contents, from cache when possible (thread-safe)."""
+        with self.lock:
+            if pid in self._pinned:
+                self.stats.hits += 1
+                return self._pinned[pid]
+            if pid in self._lru:
+                self.stats.hits += 1
+                self._lru.move_to_end(pid)
+                return self._lru[pid]
+            self.stats.misses += 1
+            data = self.pager.read_page(pid)
+            self._insert(pid, data)
+            return data
 
     def put_page(self, pid: int, data: bytes) -> None:
         """Write-through: update the pager and the cached copy."""
-        self.pager.write_page(pid, data)
-        if pid in self._pinned:
-            self._pinned[pid] = data
-            return
-        if pid in self._lru:
-            self._lru[pid] = data
-            self._lru.move_to_end(pid)
-        else:
-            self._insert(pid, data)
+        with self.lock:
+            self.pager.write_page(pid, data)
+            if pid in self._pinned:
+                self._pinned[pid] = data
+                return
+            if pid in self._lru:
+                self._lru[pid] = data
+                self._lru.move_to_end(pid)
+            else:
+                self._insert(pid, data)
 
     def _insert(self, pid: int, data: bytes) -> None:
         self._lru[pid] = data
@@ -94,47 +106,54 @@ class BufferPool:
 
     def pin(self, pid: int) -> None:
         """Keep *pid* cached permanently (read now if not cached)."""
-        if pid in self._pinned:
-            return
-        if pid in self._lru:
-            self._pinned[pid] = self._lru.pop(pid)
-        else:
-            self._pinned[pid] = self.pager.read_page(pid)
+        with self.lock:
+            if pid in self._pinned:
+                return
+            if pid in self._lru:
+                self._pinned[pid] = self._lru.pop(pid)
+            else:
+                self._pinned[pid] = self.pager.read_page(pid)
 
     def pin_many(self, pids: Iterable[int]) -> None:
-        for pid in pids:
-            self.pin(pid)
+        with self.lock:
+            for pid in pids:
+                self.pin(pid)
 
     def unpin_all(self) -> None:
         """Demote every pinned page out of the cache entirely."""
-        self._pinned.clear()
+        with self.lock:
+            self._pinned.clear()
 
     @property
     def pinned_pages(self) -> Set[int]:
-        return set(self._pinned)
+        with self.lock:
+            return set(self._pinned)
 
     # -- cache temperature ----------------------------------------------------
 
     def clear(self, keep_pinned: bool = True) -> None:
         """Cold cache: drop cached pages (pinned pages survive by default)."""
-        self._lru.clear()
-        if not keep_pinned:
-            self._pinned.clear()
-        self.pager.reset_read_sequence()
+        with self.lock:
+            self._lru.clear()
+            if not keep_pinned:
+                self._pinned.clear()
+            self.pager.reset_read_sequence()
 
     def warm(self, pids: Iterable[int]) -> None:
         """Hot cache: pre-load the given pages without counting stats."""
-        saved = (self.stats.hits, self.stats.misses)
-        reads_before = self.pager.stats.snapshot()
-        for pid in pids:
-            self.get_page(pid)
-        self.stats.hits, self.stats.misses = saved
-        # Warm-up I/O is setup cost, not query cost: roll it back.
-        self.pager.stats.reads = reads_before.reads
-        self.pager.stats.sequential_reads = reads_before.sequential_reads
-        self.pager.stats.random_reads = reads_before.random_reads
-        self.pager.reset_read_sequence()
+        with self.lock:
+            saved = (self.stats.hits, self.stats.misses)
+            reads_before = self.pager.stats.snapshot()
+            for pid in pids:
+                self.get_page(pid)
+            self.stats.hits, self.stats.misses = saved
+            # Warm-up I/O is setup cost, not query cost: roll it back.
+            self.pager.stats.reads = reads_before.reads
+            self.pager.stats.sequential_reads = reads_before.sequential_reads
+            self.pager.stats.random_reads = reads_before.random_reads
+            self.pager.reset_read_sequence()
 
     @property
     def cached_pages(self) -> int:
-        return len(self._lru) + len(self._pinned)
+        with self.lock:
+            return len(self._lru) + len(self._pinned)

@@ -136,6 +136,19 @@ class Pager:
         meta_len = int.from_bytes(raw[10:14], "big")
         self._meta = json.loads(raw[14:14 + meta_len].decode("utf-8"))
 
+    def reload_header(self) -> None:
+        """Re-read the header page (and file size) from disk.
+
+        Used when another pager instance — e.g. an
+        :class:`~repro.index.updates.IndexUpdater` — has modified the same
+        file: picks up the new metadata (B+tree root pointers) and any
+        pages appended since this pager was opened.
+        """
+        self._read_header()
+        size = os.fstat(self._file.fileno()).st_size
+        self._num_pages = max(1, size // self.page_size)
+        self._last_read_pid = None
+
     def get_meta(self, key: str, default=None):
         """Read a metadata entry from the header page."""
         return self._meta.get(key, default)

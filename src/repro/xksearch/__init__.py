@@ -1,5 +1,6 @@
 """The XKSearch system: query engine, result rendering, collections, CLI."""
 
+from repro.xksearch.cache import CacheStats, LRUCache, QueryCache
 from repro.xksearch.collection import CollectionResult, XMLCollection
 from repro.xksearch.engine import (
     ExecutionStats,
@@ -13,8 +14,11 @@ from repro.xksearch.results import SearchResult, decorate_result
 from repro.xksearch.system import XKSearch
 
 __all__ = [
+    "CacheStats",
     "CollectionResult",
     "ExecutionStats",
+    "LRUCache",
+    "QueryCache",
     "QueryEngine",
     "QueryAtom",
     "QueryPlan",

@@ -122,7 +122,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.xksearch.server import serve
 
-    serve(args.index_dir, host=args.host, port=args.port)
+    serve(
+        args.index_dir,
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        cache_size=args.cache_size,
+    )
     return 0
 
 
@@ -190,6 +196,18 @@ def make_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("index_dir")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="cap on concurrently executing requests (default 8)",
+    )
+    p_serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="result-cache capacity in entries; 0 disables caching",
+    )
     p_serve.set_defaults(func=_cmd_serve)
     return parser
 

@@ -19,13 +19,14 @@ an empty keyword list admits no answer subtree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core import eager_slca, find_all_lcas, stack_elca, stack_slca
 from repro.core.counters import OpCounters
 from repro.errors import QueryError
 from repro.index.inverted import DiskKeywordIndex
 from repro.index.memory import MemoryKeywordIndex
+from repro.xksearch.cache import QueryCache, normalize_key
 from repro.xmltree.dewey import DeweyTuple
 from repro.xmltree.tree import extract_keywords
 
@@ -113,36 +114,86 @@ class QueryPlan:
 
 @dataclass
 class ExecutionStats:
-    """What one execution cost."""
+    """What one execution cost.
+
+    The ``cache_*`` fields are only populated when the engine runs with a
+    :class:`~repro.xksearch.cache.QueryCache`: ``cache_hits`` /
+    ``cache_misses`` count this call's result-cache lookups (a plain
+    ``execute`` makes exactly one; ``execute_many`` makes one per distinct
+    query in the batch), ``cache_evictions`` counts entries this call's
+    stores pushed out, and ``result_from_cache`` is true when the answer
+    was served without touching the index at all.
+    """
 
     counters: OpCounters = field(default_factory=OpCounters)
     page_reads: int = 0
     sequential_reads: int = 0
     random_reads: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    result_from_cache: bool = False
 
 
 class QueryEngine:
-    """Plans and executes keyword queries against an index."""
+    """Plans and executes keyword queries against an index.
+
+    With a :class:`~repro.xksearch.cache.QueryCache` attached, plans and
+    result tuples are memoized under a key that is insensitive to keyword
+    order, and entries are stamped with the index's mutation *generation*
+    so an :class:`~repro.index.updates.IndexUpdater` run invalidates them.
+    Caching is opt-in: benchmarks measuring raw algorithm cost construct
+    engines without one.
+    """
 
     def __init__(
         self,
         index: AnyIndex,
         skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
+        cache: Optional[QueryCache] = None,
     ):
         self.index = index
         self.skew_threshold = skew_threshold
+        self.cache = cache
+
+    def generation(self) -> int:
+        """The index's current mutation generation (0 for static indexes)."""
+        generation = getattr(self.index, "generation", None)
+        return generation() if callable(generation) else 0
 
     def plan(
         self,
         query: Union[str, Sequence[str]],
         algorithm: str = "auto",
     ) -> QueryPlan:
-        """Resolve keyword order and algorithm without executing."""
+        """Resolve keyword order and algorithm without executing.
+
+        With a cache attached the plan may come from the plan cache; a
+        cached plan's keyword order can differ from a freshly computed one
+        only between atoms of equal frequency (the cache key is
+        order-insensitive), which never changes the result set.
+        """
         if algorithm not in ALGORITHMS:
             raise QueryError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
-        atoms = parse_query(query)
+        return self._plan_atoms(parse_query(query), algorithm)
+
+    def _plan_atoms(self, atoms: List[QueryAtom], algorithm: str) -> QueryPlan:
+        if self.cache is not None:
+            key = normalize_key(
+                (a.display for a in atoms), algorithm, semantics="plan"
+            )
+            generation = self.generation()
+            hit, plan = self.cache.lookup_plan(key, generation)
+            if hit:
+                return plan
+            plan = self._build_plan(atoms, algorithm)
+            self.cache.store_plan(key, generation, plan)
+            return plan
+        return self._build_plan(atoms, algorithm)
+
+    def _build_plan(self, atoms: List[QueryAtom], algorithm: str) -> QueryPlan:
         filtered: Dict[QueryAtom, List[DeweyTuple]] = {}
         frequencies_by_atom: Dict[QueryAtom, int] = {}
         for atom in atoms:
@@ -179,9 +230,98 @@ class QueryEngine:
         algorithm: str = "auto",
         stats: Optional[ExecutionStats] = None,
     ) -> Iterator[DeweyTuple]:
-        """SLCAs of the query, streamed in document order."""
-        plan = self.plan(query, algorithm)
-        return self.execute_plan(plan, stats)
+        """SLCAs of the query, streamed in document order.
+
+        With a cache attached, repeats of a query (in any keyword order)
+        are answered from memory; the result is then an iterator over the
+        memoized tuple rather than a pipelined computation.
+        """
+        if algorithm not in ALGORITHMS:
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        stats = stats if stats is not None else ExecutionStats()
+        return self._execute_cached(
+            parse_query(query), algorithm, "slca", stats, self.execute_plan
+        )
+
+    def _execute_cached(
+        self,
+        atoms: List[QueryAtom],
+        algorithm: str,
+        semantics: str,
+        stats: ExecutionStats,
+        runner: Callable[[QueryPlan, ExecutionStats], Iterator[DeweyTuple]],
+    ) -> Iterator[DeweyTuple]:
+        """Run (or recall) one query under one result semantics."""
+        if self.cache is None:
+            return runner(self._plan_atoms(atoms, algorithm), stats)
+        key = normalize_key((a.display for a in atoms), algorithm, semantics)
+        generation = self.generation()
+        hit, value = self.cache.lookup_result(key, generation)
+        if hit:
+            stats.cache_hits += 1
+            stats.result_from_cache = True
+            return iter(value)
+        stats.cache_misses += 1
+        value = tuple(runner(self._plan_atoms(atoms, algorithm), stats))
+        evictions_before = self.cache.results.stats.evictions
+        self.cache.store_result(key, generation, value)
+        stats.cache_evictions += self.cache.results.stats.evictions - evictions_before
+        return iter(value)
+
+    def execute_many(
+        self,
+        queries: Sequence[Union[str, Sequence[str]]],
+        algorithm: str = "auto",
+        stats: Optional[ExecutionStats] = None,
+    ) -> List[List[DeweyTuple]]:
+        """Execute a batch of queries; results align with the input order.
+
+        The batch path plans everything first, then executes: queries that
+        normalize to the same atom set (regardless of keyword order) are
+        deduplicated and computed once, and — with a cache attached — only
+        the cache-misses are executed at all.  Shared ``stats`` accumulate
+        over the distinct executions.
+        """
+        if algorithm not in ALGORITHMS:
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        stats = stats if stats is not None else ExecutionStats()
+        generation = self.generation() if self.cache is not None else 0
+        parsed = [parse_query(query) for query in queries]
+        keys = [
+            normalize_key((a.display for a in atoms), algorithm, "slca")
+            for atoms in parsed
+        ]
+        # Phase 1 — resolve repeats and cached entries, plan the misses.
+        resolved: Dict[tuple, tuple] = {}
+        pending: List[tuple] = []
+        pending_plans: Dict[tuple, QueryPlan] = {}
+        for atoms, key in zip(parsed, keys):
+            if key in resolved or key in pending_plans:
+                continue
+            if self.cache is not None:
+                hit, value = self.cache.lookup_result(key, generation)
+                if hit:
+                    stats.cache_hits += 1
+                    resolved[key] = value
+                    continue
+                stats.cache_misses += 1
+            pending.append(key)
+            pending_plans[key] = self._plan_atoms(atoms, algorithm)
+        # Phase 2 — execute each distinct miss once.
+        for key in pending:
+            value = tuple(self.execute_plan(pending_plans[key], stats))
+            if self.cache is not None:
+                evictions_before = self.cache.results.stats.evictions
+                self.cache.store_result(key, generation, value)
+                stats.cache_evictions += (
+                    self.cache.results.stats.evictions - evictions_before
+                )
+            resolved[key] = value
+        return [list(resolved[key]) for key in keys]
 
     def execute_plan(
         self,
@@ -226,15 +366,18 @@ class QueryEngine:
         stats: Optional[ExecutionStats] = None,
     ) -> Iterator[DeweyTuple]:
         """All LCAs (Section 5), pipelined via Algorithm 3 over IL."""
-        plan = self.plan(query, algorithm="il")
         stats = stats if stats is not None else ExecutionStats()
-        if plan.empty:
-            return iter(())
-        sources = [
-            self._atom_source(plan, atom, "indexed", stats.counters)
-            for atom in plan.atoms
-        ]
-        return find_all_lcas(sources, stats.counters)
+
+        def run(plan: QueryPlan, stats: ExecutionStats) -> Iterator[DeweyTuple]:
+            if plan.empty:
+                return iter(())
+            sources = [
+                self._atom_source(plan, atom, "indexed", stats.counters)
+                for atom in plan.atoms
+            ]
+            return find_all_lcas(sources, stats.counters)
+
+        return self._execute_cached(parse_query(query), "il", "lca", stats, run)
 
     def execute_elca(
         self,
@@ -244,9 +387,12 @@ class QueryEngine:
         """Exclusive LCAs — XRANK's original semantics, via the sort-merge
         stack over sequential list scans.  SLCA ⊆ ELCA ⊆ LCA.  Yields in
         bottom-up pop order (sort for document order)."""
-        plan = self.plan(query, algorithm="stack")
         stats = stats if stats is not None else ExecutionStats()
-        if plan.empty:
-            return iter(())
-        lists = [self._atom_scan(plan, atom) for atom in plan.atoms]
-        return stack_elca(lists, stats.counters)
+
+        def run(plan: QueryPlan, stats: ExecutionStats) -> Iterator[DeweyTuple]:
+            if plan.empty:
+                return iter(())
+            lists = [self._atom_scan(plan, atom) for atom in plan.atoms]
+            return stack_elca(lists, stats.counters)
+
+        return self._execute_cached(parse_query(query), "stack", "elca", stats, run)

@@ -1,61 +1,145 @@
-"""A small demo web server — the paper's servlet, in stdlib Python.
+"""The demo web server, grown into a small serving layer.
 
 The original XKSearch demo ran as a Java Servlet under Tomcat; this is the
-equivalent zero-dependency demo: ``xksearch serve <index_dir>`` starts an
-HTTP server whose ``/search?q=…`` endpoint runs the engine and renders the
-results page from :mod:`repro.xksearch.html`.
+equivalent zero-dependency server: ``xksearch serve <index_dir>`` starts a
+**threaded** HTTP server whose ``/search?q=…`` endpoint runs the engine and
+renders the results page from :mod:`repro.xksearch.html`.
+
+Serving-layer features (beyond the paper's demo):
+
+* **concurrency** — requests are handled on worker threads
+  (``ThreadingHTTPServer``); the number of concurrently *executing*
+  requests is capped by a semaphore (``max_workers``).  The underlying
+  index read path is thread-safe (the buffer pool serializes page
+  access), so queries genuinely overlap;
+* **caching** — the system is normally opened with a
+  :class:`~repro.xksearch.cache.QueryCache`, so repeated queries are
+  answered from memory (``xksearch serve --cache-size``);
+* **observability** — every request is timed; ``/statz`` returns request
+  counts, latency percentiles, cache stats and the index generation as
+  JSON, and search responses carry an ``X-Response-Time-Ms`` header;
+* **a JSON API** — ``GET /api/search?q=…`` returns bare Dewey ids plus
+  plan/timing metadata, the endpoint load generators and programmatic
+  clients (``benchmarks/bench_qps.py``) use.
 
 Endpoints:
 
 * ``GET /`` — search form;
-* ``GET /search?q=<keywords>[&algorithm=auto|il|scan|stack]`` — results;
+* ``GET /search?q=<keywords>[&algorithm=auto|il|scan|stack]`` — HTML results;
+* ``GET /api/search?q=<keywords>[&algorithm=…][&limit=N]`` — JSON results;
+* ``GET /statz`` — serving metrics (JSON);
 * ``GET /healthz`` — liveness (plain text).
-
-The server is single-purpose demo infrastructure: synchronous,
-single-threaded handler (the underlying index is not thread-safe by
-design), bound to localhost by default.
 """
 
 from __future__ import annotations
 
+import json
+import threading
 import time
-from http.server import BaseHTTPRequestHandler, HTTPServer
-from typing import Optional
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ReproError
+from repro.xksearch.cache import QueryCache
+from repro.xksearch.engine import ExecutionStats
 from repro.xksearch.html import render_page
 from repro.xksearch.system import XKSearch
 
+#: Default cap on concurrently executing requests.
+DEFAULT_MAX_WORKERS = 8
+
+#: Per-request latencies kept for the /statz percentiles (ring buffer).
+_LATENCY_WINDOW = 4096
+
+
+class ServerMetrics:
+    """Thread-safe request counters and latency percentiles."""
+
+    def __init__(self, window: int = _LATENCY_WINDOW):
+        self._lock = threading.Lock()
+        self._window = window
+        self._latencies_ms: List[float] = []
+        self.requests = 0
+        self.errors = 0
+
+    def record(self, elapsed_ms: float, error: bool = False) -> None:
+        with self._lock:
+            self.requests += 1
+            if error:
+                self.errors += 1
+            self._latencies_ms.append(elapsed_ms)
+            if len(self._latencies_ms) > self._window:
+                del self._latencies_ms[: -self._window]
+
+    @staticmethod
+    def _percentile(sorted_values: List[float], q: float) -> float:
+        if not sorted_values:
+            return 0.0
+        index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+        return sorted_values[index]
+
+    def summary(self) -> dict:
+        with self._lock:
+            latencies = sorted(self._latencies_ms)
+            requests, errors = self.requests, self.errors
+        return {
+            "requests": requests,
+            "errors": errors,
+            "window": len(latencies),
+            "latency_ms": {
+                "p50": round(self._percentile(latencies, 0.50), 3),
+                "p90": round(self._percentile(latencies, 0.90), 3),
+                "p99": round(self._percentile(latencies, 0.99), 3),
+                "mean": round(sum(latencies) / len(latencies), 3) if latencies else 0.0,
+            },
+        }
+
 
 class _Handler(BaseHTTPRequestHandler):
-    system: XKSearch = None  # injected by make_server
+    # Injected by make_server onto a per-server subclass:
+    system: XKSearch = None
+    metrics: ServerMetrics = None
     quiet: bool = True
+    protocol_version = "HTTP/1.1"
 
     def log_message(self, fmt, *args):  # noqa: N802 (stdlib naming)
         if not self.quiet:
             super().log_message(fmt, *args)
 
     def do_GET(self):  # noqa: N802 (stdlib naming)
+        started = time.perf_counter()
         url = urlparse(self.path)
-        if url.path == "/healthz":
-            self._send(200, "ok", content_type="text/plain; charset=utf-8")
-            return
-        if url.path == "/":
-            self._send(200, render_page("", []))
-            return
-        if url.path == "/search":
-            self._handle_search(url)
-            return
-        self._send(404, render_page("", []), status_only_body="not found")
+        error = False
+        try:
+            if url.path == "/healthz":
+                self._send(200, "ok", content_type="text/plain; charset=utf-8")
+            elif url.path == "/statz":
+                self._send_json(200, self._statz())
+            elif url.path == "/":
+                self._send(200, render_page("", []))
+            elif url.path == "/search":
+                error = self._handle_search(url)
+            elif url.path == "/api/search":
+                error = self._handle_api_search(url)
+            else:
+                error = True
+                self._send(404, render_page("", []), status_only_body="not found")
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000
+            if self.metrics is not None:
+                self.metrics.record(elapsed_ms, error=error)
 
-    def _handle_search(self, url):
+    # -- endpoints -----------------------------------------------------------
+
+    def _handle_search(self, url) -> bool:
+        """HTML results page; returns True when the request errored."""
         params = parse_qs(url.query)
         query = (params.get("q") or [""])[0].strip()
         algorithm = (params.get("algorithm") or ["auto"])[0]
         if not query:
             self._send(200, render_page("", []))
-            return
+            return False
         try:
             plan = self.system.explain(query, algorithm=algorithm)
             started = time.perf_counter()
@@ -63,16 +147,106 @@ class _Handler(BaseHTTPRequestHandler):
             elapsed_ms = (time.perf_counter() - started) * 1000
         except ReproError as exc:
             self._send(400, render_page(query, [], title=f"error: {exc}"))
-            return
-        self._send(200, render_page(query, results, plan=plan, elapsed_ms=elapsed_ms))
+            return True
+        self._send(
+            200,
+            render_page(query, results, plan=plan, elapsed_ms=elapsed_ms),
+            elapsed_ms=elapsed_ms,
+        )
+        return False
 
-    def _send(self, status: int, body: str, content_type: str = "text/html; charset=utf-8", status_only_body: Optional[str] = None):
+    def _handle_api_search(self, url) -> bool:
+        """JSON results; returns True when the request errored."""
+        params = parse_qs(url.query)
+        query = (params.get("q") or [""])[0].strip()
+        algorithm = (params.get("algorithm") or ["auto"])[0]
+        limit_raw = (params.get("limit") or [""])[0]
+        if not query:
+            self._send_json(400, {"error": "missing query parameter q"})
+            return True
+        try:
+            limit = int(limit_raw) if limit_raw else None
+        except ValueError:
+            self._send_json(400, {"error": f"bad limit {limit_raw!r}"})
+            return True
+        stats = ExecutionStats()
+        try:
+            started = time.perf_counter()
+            ids = list(self.system.search_ids(query, algorithm=algorithm, stats=stats))
+            elapsed_ms = (time.perf_counter() - started) * 1000
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return True
+        if limit is not None:
+            ids = ids[:limit]
+        payload = {
+            "query": query,
+            "algorithm": algorithm,
+            "count": len(ids),
+            "ids": [".".join(str(c) for c in dewey) for dewey in ids],
+            "elapsed_ms": round(elapsed_ms, 3),
+            "cached": stats.result_from_cache,
+        }
+        self._send_json(200, payload, elapsed_ms=elapsed_ms)
+        return False
+
+    def _statz(self) -> dict:
+        engine = self.system.engine
+        payload = {
+            "server": self.metrics.summary() if self.metrics else {},
+            "generation": engine.generation(),
+            "cache": engine.cache.stats() if engine.cache is not None else None,
+        }
+        return payload
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(
+        self,
+        status: int,
+        body: str,
+        content_type: str = "text/html; charset=utf-8",
+        status_only_body: Optional[str] = None,
+        elapsed_ms: Optional[float] = None,
+    ):
         payload = (status_only_body or body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        if elapsed_ms is not None:
+            self.send_header("X-Response-Time-Ms", f"{elapsed_ms:.3f}")
         self.end_headers()
         self.wfile.write(payload)
+
+    def _send_json(self, status: int, payload: dict, elapsed_ms: Optional[float] = None):
+        self._send(
+            status,
+            json.dumps(payload),
+            content_type="application/json; charset=utf-8",
+            elapsed_ms=elapsed_ms,
+        )
+
+
+class XKSearchServer(ThreadingHTTPServer):
+    """Threaded HTTP server with a cap on concurrently executing requests.
+
+    ``ThreadingHTTPServer`` spawns one thread per connection; the semaphore
+    bounds how many of them execute queries at once, so a traffic burst
+    degrades into queueing rather than into unbounded thread contention.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, max_workers: int = DEFAULT_MAX_WORKERS):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        super().__init__(address, handler)
+        self.max_workers = max_workers
+        self._slots = threading.BoundedSemaphore(max_workers)
+
+    def process_request_thread(self, request, client_address):
+        with self._slots:
+            super().process_request_thread(request, client_address)
 
 
 def make_server(
@@ -80,20 +254,41 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
-) -> HTTPServer:
-    """An HTTP server bound to *host:port* (port 0 = ephemeral), serving
-    queries against *system*.  Caller owns the lifecycle
+    max_workers: int = DEFAULT_MAX_WORKERS,
+    metrics: Optional[ServerMetrics] = None,
+) -> XKSearchServer:
+    """A threaded HTTP server bound to *host:port* (port 0 = ephemeral),
+    serving queries against *system*.  Caller owns the lifecycle
     (``serve_forever`` / ``shutdown`` / ``server_close``)."""
-    handler = type("XKSearchHandler", (_Handler,), {"system": system, "quiet": quiet})
-    return HTTPServer((host, port), handler)
+    handler = type(
+        "XKSearchHandler",
+        (_Handler,),
+        {
+            "system": system,
+            "quiet": quiet,
+            "metrics": metrics if metrics is not None else ServerMetrics(),
+        },
+    )
+    return XKSearchServer((host, port), handler, max_workers=max_workers)
 
 
-def serve(index_dir: str, host: str = "127.0.0.1", port: int = 8080) -> None:
+def serve(
+    index_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_workers: int = DEFAULT_MAX_WORKERS,
+    cache_size: int = 1024,
+) -> None:
     """Blocking entry point used by ``xksearch serve``."""
-    with XKSearch.open(index_dir) as system:
-        server = make_server(system, host=host, port=port, quiet=False)
+    cache = QueryCache(result_capacity=cache_size) if cache_size > 0 else None
+    with XKSearch.open(index_dir, cache=cache) as system:
+        server = make_server(system, host=host, port=port, quiet=False, max_workers=max_workers)
         actual_port = server.server_address[1]
-        print(f"XKSearch demo at http://{host}:{actual_port}/  (Ctrl-C to stop)")
+        print(
+            f"XKSearch demo at http://{host}:{actual_port}/  "
+            f"({max_workers} workers, cache={'off' if cache is None else cache_size}; "
+            f"Ctrl-C to stop)"
+        )
         try:
             server.serve_forever()
         except KeyboardInterrupt:

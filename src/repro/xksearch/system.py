@@ -25,6 +25,7 @@ from repro.index.builder import build_index
 from repro.index.inverted import DiskKeywordIndex
 from repro.index.memory import MemoryKeywordIndex
 from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.xksearch.cache import QueryCache
 from repro.xksearch.engine import ExecutionStats, QueryEngine, QueryPlan
 from repro.xksearch.results import SearchResult, decorate_result
 from repro.xmltree.dewey import DeweyTuple
@@ -40,10 +41,11 @@ class XKSearch:
         index: Union[DiskKeywordIndex, MemoryKeywordIndex],
         tree: Optional[XMLTree] = None,
         skew_threshold: float = 10.0,
+        cache: Optional[QueryCache] = None,
     ):
         self.index = index
         self.tree = tree
-        self.engine = QueryEngine(index, skew_threshold=skew_threshold)
+        self.engine = QueryEngine(index, skew_threshold=skew_threshold, cache=cache)
         self._keyword_postings = (
             tree.keyword_postings() if tree is not None else None
         )
@@ -76,11 +78,14 @@ class XKSearch:
         index_dir: Union[str, os.PathLike],
         load_document: bool = True,
         pool_capacity: int = 4096,
+        cache: Optional[QueryCache] = None,
     ) -> "XKSearch":
         """Open an existing index directory.
 
         With ``load_document`` (and a stored document) results carry paths
-        and snippets; otherwise they are bare Dewey numbers.
+        and snippets; otherwise they are bare Dewey numbers.  Pass a
+        :class:`QueryCache` to memoize repeated queries (the serving path
+        does; see docs/PERFORMANCE.md).
         """
         index = DiskKeywordIndex(index_dir, pool_capacity=pool_capacity)
         tree = None
@@ -88,7 +93,7 @@ class XKSearch:
             path = index.document_path()
             if path is not None:
                 tree = parse_file(path)
-        return cls(index, tree=tree)
+        return cls(index, tree=tree, cache=cache)
 
     @classmethod
     def from_tree(cls, tree: XMLTree) -> "XKSearch":

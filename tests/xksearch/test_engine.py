@@ -110,3 +110,33 @@ class TestExecution:
     def test_results_streamed(self, engine):
         stream = engine.execute("john ben", "il")
         assert next(stream) == (0, 0)
+
+
+class TestTypeHints:
+    def test_queryplan_annotations_resolve(self):
+        # Regression: QueryPlan's annotations reference Dict; the module
+        # must import every name its annotations use, or postponed
+        # evaluation (PEP 563) blows up on resolution.
+        from typing import get_type_hints
+
+        import repro.xksearch.engine as engine_module
+        from repro.xksearch.engine import QueryPlan
+
+        hints = get_type_hints(QueryPlan, vars(engine_module))
+        assert "filtered" in hints and "keywords" in hints
+
+
+class TestExecuteMany:
+    def test_batch_matches_singles(self, engine):
+        queries = ["john ben", "class smith", "john", "ben john"]
+        batch = engine.execute_many(queries)
+        assert batch == [list(engine.execute(q)) for q in queries]
+
+    def test_batch_rejects_unknown_algorithm(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute_many(["john"], algorithm="warp")
+
+    def test_batch_accumulates_stats(self, engine):
+        stats = ExecutionStats()
+        engine.execute_many(["john ben", "ben john"], stats=stats)
+        assert stats.counters.lca_ops > 0

@@ -1,12 +1,14 @@
 """Integration tests for the demo web server (real HTTP over localhost)."""
 
+import json
 import threading
 import urllib.request
 import urllib.error
 
 import pytest
 
-from repro.xksearch.server import make_server
+from repro.xksearch.cache import QueryCache
+from repro.xksearch.server import ServerMetrics, make_server
 from repro.xksearch.system import XKSearch
 from repro.xmltree.generate import school_tree
 
@@ -24,9 +26,29 @@ def server_url():
     thread.join(timeout=5)
 
 
+@pytest.fixture(scope="module")
+def cached_server_url():
+    """A second server whose engine has a result cache attached."""
+    system = XKSearch.from_tree(school_tree())
+    system.engine.cache = QueryCache()
+    server = make_server(system, port=0, metrics=ServerMetrics())
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
 def fetch(url):
     with urllib.request.urlopen(url, timeout=10) as response:
         return response.status, response.read().decode("utf-8")
+
+
+def fetch_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, dict(response.headers), json.loads(response.read())
 
 
 class TestEndpoints:
@@ -78,3 +100,61 @@ class TestEndpoints:
         )
         assert status == 200
         assert "<script>" not in body
+
+
+class TestJsonApi:
+    def test_api_search_payload(self, server_url):
+        status, headers, payload = fetch_json(f"{server_url}/api/search?q=John+Ben")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        assert payload["count"] == 3 and len(payload["ids"]) == 3
+        assert "0.2.0" in payload["ids"]
+        assert payload["algorithm"] == "auto"
+        assert payload["elapsed_ms"] >= 0
+        assert payload["cached"] is False  # this server has no cache
+
+    def test_api_search_limit(self, server_url):
+        _, _, payload = fetch_json(f"{server_url}/api/search?q=John+Ben&limit=1")
+        assert payload["count"] == 1 and len(payload["ids"]) == 1
+
+    def test_api_search_timing_header(self, server_url):
+        _, headers, _ = fetch_json(f"{server_url}/api/search?q=John+Ben")
+        assert float(headers["X-Response-Time-Ms"]) >= 0
+
+    def test_api_search_missing_query_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{server_url}/api/search")
+        assert excinfo.value.code == 400
+
+    def test_api_search_bad_limit_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{server_url}/api/search?q=john&limit=lots")
+        assert excinfo.value.code == 400
+
+    def test_api_search_bad_algorithm_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{server_url}/api/search?q=john&algorithm=warp")
+        assert excinfo.value.code == 400
+
+
+class TestCachedServing:
+    def test_repeat_query_served_from_cache(self, cached_server_url):
+        _, _, first = fetch_json(f"{cached_server_url}/api/search?q=John+Ben")
+        _, _, second = fetch_json(f"{cached_server_url}/api/search?q=ben+john")
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert first["ids"] == second["ids"]
+
+    def test_statz_reports_metrics_and_cache(self, cached_server_url):
+        fetch_json(f"{cached_server_url}/api/search?q=John+Ben")
+        _, _, statz = fetch_json(f"{cached_server_url}/statz")
+        assert statz["server"]["requests"] >= 1
+        assert statz["server"]["latency_ms"]["p50"] >= 0
+        assert statz["generation"] == 0  # in-memory index never mutates
+        assert statz["cache"]["results"]["hits"] >= 1
+
+
+class TestStatzWithoutCache:
+    def test_statz_cache_is_null(self, server_url):
+        _, _, statz = fetch_json(f"{server_url}/statz")
+        assert statz["cache"] is None

@@ -36,6 +36,39 @@ class TestOrdering:
             assert (a < b) == (a[i] < b[i])
 
 
+class TestCommonPrefixLen:
+    # Exercises both branches of the fast path: the one-shot slice compare
+    # for prefix (ancestor/descendant) pairs, and the per-component walk
+    # for mismatching pairs.
+
+    def test_equal_tuples(self):
+        assert dw.common_prefix_len((0, 1, 2), (0, 1, 2)) == 3
+
+    def test_ancestor_prefix_short_first(self):
+        assert dw.common_prefix_len((0, 1), (0, 1, 2, 3)) == 2
+
+    def test_ancestor_prefix_long_first(self):
+        assert dw.common_prefix_len((0, 1, 2, 3), (0, 1)) == 2
+
+    def test_mismatch_midway(self):
+        assert dw.common_prefix_len((0, 1, 2, 9), (0, 1, 3, 9)) == 2
+
+    def test_mismatch_at_first_component(self):
+        assert dw.common_prefix_len((0,), (1,)) == 0
+
+    def test_mismatch_at_last_shared_component(self):
+        assert dw.common_prefix_len((0, 1, 2), (0, 1, 3, 4)) == 2
+
+    @given(dewey_st, dewey_st)
+    def test_matches_naive_definition(self, a, b):
+        expected = 0
+        for x, y in zip(a, b):
+            if x != y:
+                break
+            expected += 1
+        assert dw.common_prefix_len(a, b) == expected
+
+
 class TestLCA:
     def test_lca_of_siblings_is_parent(self):
         assert dw.lca((0, 1, 0), (0, 1, 2)) == (0, 1)
