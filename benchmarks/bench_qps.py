@@ -36,6 +36,7 @@ import urllib.parse
 import urllib.request
 
 from repro.index.builder import build_index
+from repro.obs.metrics import set_instrumentation_enabled
 from repro.workloads.datasets import PlantedCorpus, keyword_name
 from repro.xksearch.cache import QueryCache
 from repro.xksearch.server import ServerMetrics, make_server
@@ -193,6 +194,18 @@ def main(argv=None) -> int:
                 cache_stats = cache.stats()
                 on["hit_rate"] = round(cache_stats["results"]["hit_rate"], 4)
 
+                # Instrumentation overhead: same warmed, cached configuration
+                # (the highest-QPS shape, so per-request counter cost is most
+                # visible), replayed with metrics/counters off and then on.
+                set_instrumentation_enabled(False)
+                try:
+                    wall, lat = replay(base_url, sequence, args.threads)
+                    instr_off = phase_report("instr off", wall, lat)
+                finally:
+                    set_instrumentation_enabled(True)
+                wall, lat = replay(base_url, sequence, args.threads)
+                instr_on = phase_report("instr on", wall, lat)
+
                 with urllib.request.urlopen(f"{base_url}/statz", timeout=10) as resp:
                     statz = json.loads(resp.read())
             finally:
@@ -204,6 +217,15 @@ def main(argv=None) -> int:
     print(
         f"  speedup   {speedup:.2f}x QPS with cache "
         f"(hit rate {on['hit_rate']:.1%}, server saw {statz['server']['requests']} requests)"
+    )
+    overhead_pct = (
+        round((instr_off["qps"] - instr_on["qps"]) / instr_off["qps"] * 100, 2)
+        if instr_off["qps"]
+        else 0.0
+    )
+    print(
+        f"  instrumentation overhead: {overhead_pct:+.2f}% QPS "
+        f"({instr_off['qps']:.1f} qps off -> {instr_on['qps']:.1f} qps on)"
     )
 
     report = {
@@ -222,6 +244,11 @@ def main(argv=None) -> int:
         "cache_off": off,
         "cache_on": on,
         "speedup_qps": speedup,
+        "instrumentation": {
+            "qps_instr_off": instr_off["qps"],
+            "qps_instr_on": instr_on["qps"],
+            "overhead_pct": overhead_pct,
+        },
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)

@@ -1,0 +1,116 @@
+"""CI smoke test for the observability surface.
+
+Builds a tiny index, starts the demo server in-process, exercises the
+search API, then asserts that:
+
+* ``GET /metrics`` returns Prometheus-text-format output that a strict
+  line grammar accepts, and that the core metric families (server,
+  engine, cache, buffer pool, pager, B+tree) are all present;
+* one CLI ``search --explain`` invocation prints the answer line plus a
+  valid JSON profile with phases, counters and an algorithm.
+
+Run::
+
+    PYTHONPATH=src python scripts/ci_obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import re
+import sys
+import tempfile
+import threading
+import urllib.request
+
+from repro.xksearch.cache import QueryCache
+from repro.xksearch.cli import main as cli_main
+from repro.xksearch.server import ServerMetrics, make_server
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import school_tree
+
+# One exposition line: "name{labels} value" or a # HELP / # TYPE comment.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\")*\})?"
+    r" (\+Inf|-Inf|-?[0-9.e+-]+)$"
+)
+_COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+
+CORE_METRICS = (
+    "xks_http_requests_total",
+    "xks_http_request_ms_bucket",
+    "xks_queries_total",
+    "xks_algo_ops_total",
+    "xks_query_cache_hits_total",
+    "xks_buffer_pool_hits_total",
+    "xks_pager_reads_total",
+    "xks_bptree_node_reads_total",
+    "xks_index_generation",
+)
+
+
+def check_metrics_endpoint(index_dir: str) -> None:
+    with XKSearch.open(index_dir, cache=QueryCache()) as system:
+        server = make_server(system, port=0, metrics=ServerMetrics())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        try:
+            for query in ("John+Ben", "John+Ben", "class+smith"):
+                with urllib.request.urlopen(
+                    f"{base}/api/search?q={query}", timeout=10
+                ) as resp:
+                    json.loads(resp.read())
+            with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
+                content_type = resp.headers["Content-Type"]
+                body = resp.read().decode("utf-8")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    assert content_type.startswith("text/plain"), content_type
+    assert body.endswith("\n"), "exposition must end with a newline"
+    for line in body.rstrip("\n").split("\n"):
+        assert _SAMPLE_LINE.match(line) or _COMMENT_LINE.match(line), (
+            f"unparseable exposition line: {line!r}"
+        )
+    for name in CORE_METRICS:
+        assert name in body, f"missing core metric {name}"
+    print(f"/metrics OK: {len(body.splitlines())} lines, all core metrics present")
+
+
+def check_cli_explain(index_dir: str) -> None:
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = cli_main(["search", index_dir, "John Ben", "--explain"])
+    assert code == 0, f"explain CLI exited {code}"
+    lines = stdout.getvalue().splitlines()
+    assert lines and "SLCA answer(s)" in lines[0], lines[:1]
+    profile = json.loads("\n".join(lines[1:]))
+    assert profile["algorithm"] in ("il", "scan", "stack")
+    assert [phase["name"] for phase in profile["phases"]]
+    assert profile["counters"]["lca_ops"] >= 0
+    print(
+        f"--explain OK: {lines[0]} "
+        f"(phases: {[phase['name'] for phase in profile['phases']]})"
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="xk_obs_smoke_") as tmp:
+        index_dir = f"{tmp}/idx"
+        XKSearch.build(school_tree(), index_dir).close()
+        check_metrics_endpoint(index_dir)
+        check_cli_explain(index_dir)
+    print("observability smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,17 @@ class OpCounters:
     def as_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def add(self, other: "OpCounters") -> None:
+        """Accumulate *other* into this instance in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def delta(self, before: "OpCounters") -> "OpCounters":
+        """Counters accumulated since the *before* snapshot."""
+        return OpCounters(
+            **{f.name: getattr(self, f.name) - getattr(before, f.name) for f in fields(self)}
+        )
+
     def __add__(self, other: "OpCounters") -> "OpCounters":
         return OpCounters(
             **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}

@@ -299,6 +299,23 @@ class DiskKeywordIndex:
     def io_snapshot(self):
         return self.pager.stats.snapshot()
 
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Storage-layer stats: buffer pool, pager I/O, B+tree node touches.
+
+        This is what the serving layer folds into ``/statz`` and mirrors at
+        ``GET /metrics`` — the paper's disk-access cost dimension, live.
+        """
+        return {
+            "buffer_pool": self.pool.stats.as_dict(),
+            "pager": self.pager.stats.as_dict(),
+            "bptree": {
+                "il_node_reads": self.il_tree.node_reads,
+                "scan_node_reads": self.scan_tree.node_reads,
+            },
+        }
+
     # -- documents -----------------------------------------------------------------
 
     def document_path(self) -> Optional[str]:

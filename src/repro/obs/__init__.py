@@ -1,0 +1,52 @@
+"""Cross-layer observability: metrics, tracing, and query profiling.
+
+The paper's entire argument is a cost model — match operations, main-memory
+operations, and disk accesses (Table 1, Figures 8-13) — and the layers of
+this repo each count their share in isolation: :class:`~repro.core.counters.
+OpCounters` at the algorithm layer, :class:`~repro.storage.buffer_pool.
+PoolStats` and pager :class:`~repro.storage.pager.IOStats` at the storage
+layer, :class:`~repro.xksearch.cache.CacheStats` at the serving layer.
+This package connects them:
+
+* :mod:`repro.obs.metrics` — a process-global, thread-safe
+  :class:`MetricsRegistry` (counters, gauges, log-bucketed histograms)
+  with Prometheus text-format exposition;
+* :mod:`repro.obs.tracing` — span-based query traces with per-request
+  trace ids and a bounded slow-query log;
+* :mod:`repro.obs.profile` — the EXPLAIN/profile breakdown
+  (:class:`QueryProfile`) attached to an execution on request.
+
+See docs/OBSERVABILITY.md for the metric catalog and schemas.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    exponential_buckets,
+    get_registry,
+    instrumentation_enabled,
+    set_instrumentation_enabled,
+)
+from repro.obs.profile import Phase, QueryProfile
+from repro.obs.tracing import Span, Trace, Tracer, new_trace_id
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "exponential_buckets",
+    "get_registry",
+    "instrumentation_enabled",
+    "set_instrumentation_enabled",
+    "Phase",
+    "QueryProfile",
+    "Span",
+    "Trace",
+    "Tracer",
+    "new_trace_id",
+]

@@ -1,0 +1,95 @@
+"""EXPLAIN/profile mode: per-query timing, op-count and I/O attribution.
+
+A :class:`QueryProfile` is the structured answer to "where did this query's
+time go?", in the paper's own cost dimensions: wall time per phase
+(parse → plan → cache lookup → execute), match-operation counts
+(:class:`~repro.core.counters.OpCounters`), and physical I/O attribution
+(buffer-pool hits/misses, pager sequential/random reads).
+
+The engine fills one in when asked (``engine.execute(..., profile=True)``);
+the CLI's ``--explain`` flag and the server's ``/api/search?explain=1``
+parameter surface it as JSON.  Profiling materializes the result tuple (a
+lazy pipeline cannot be timed honestly), but the answer itself is
+byte-identical to the non-profiled path — tested.
+
+I/O attribution caveat: pager and pool counters are per-index, not
+per-query, so under concurrent load the deltas attribute *somebody's* I/O
+to this query.  Single-query contexts (CLI ``--explain``, benchmarks)
+attribute exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Phase:
+    """One timed phase of a query's execution."""
+
+    __slots__ = ("name", "ms", "detail")
+
+    def __init__(self, name: str, ms: float = 0.0, detail: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.ms = ms
+        self.detail: Dict[str, Any] = detail or {}
+
+    def as_dict(self) -> dict:
+        entry = {"name": self.name, "ms": round(self.ms, 3)}
+        if self.detail:
+            entry["detail"] = self.detail
+        return entry
+
+
+class QueryProfile:
+    """The EXPLAIN breakdown of one query execution."""
+
+    def __init__(self, query: str, algorithm_requested: str = "auto", semantics: str = "slca"):
+        self.query = query
+        self.algorithm_requested = algorithm_requested
+        self.algorithm: Optional[str] = None  # resolved by planning
+        self.semantics = semantics
+        self.phases: List[Phase] = []
+        self.cache_hit = False
+        self.result_count: Optional[int] = None
+        self.plan: Optional[Dict[str, Any]] = None
+        self.counters: Optional[Dict[str, int]] = None
+        self.io: Optional[Dict[str, Any]] = None
+        self.total_ms: float = 0.0
+
+    @contextmanager
+    def phase(self, name: str, **detail: Any) -> Iterator[Phase]:
+        """Time a phase; the yielded :class:`Phase` accepts extra detail."""
+        entry = Phase(name, detail=dict(detail))
+        started = time.perf_counter()
+        try:
+            yield entry
+        finally:
+            entry.ms = (time.perf_counter() - started) * 1000
+            self.phases.append(entry)
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "semantics": self.semantics,
+            "algorithm_requested": self.algorithm_requested,
+            "algorithm": self.algorithm,
+            "cache_hit": self.cache_hit,
+            "result_count": self.result_count,
+            "total_ms": round(self.total_ms, 3),
+            "phases": [phase.as_dict() for phase in self.phases],
+            "plan": self.plan,
+            "counters": self.counters,
+            "io": self.io,
+        }
+
+
+@contextmanager
+def maybe_phase(profile: Optional[QueryProfile], name: str, **detail: Any):
+    """``profile.phase(...)`` when profiling, a no-op context otherwise."""
+    if profile is None:
+        yield None
+    else:
+        with profile.phase(name, **detail) as entry:
+            yield entry

@@ -1,0 +1,175 @@
+"""Span-based query tracing and the bounded slow-query log.
+
+A :class:`Trace` is a tree of :class:`Span` objects — query → plan
+selection → index work → candidate pruning — identified by a 16-hex-digit
+trace id.  The serving layer generates one id per request (or adopts the
+client's ``X-Trace-Id`` header) and echoes it back, so a slow response can
+be matched to its recorded trace.
+
+Tracing is sampled/opt-in (counters are always on; spans are not): the
+:class:`Tracer` records a trace when the client forces one (explain
+requests, an explicit ``X-Trace-Id``) or when the sample rate fires.
+Independently of sampling, every request whose latency crosses
+``slow_threshold_ms`` lands in a bounded in-memory slow-query log, which
+``GET /debug/slow`` exposes as JSON — the entry carries the full span tree
+when the request happened to be traced, and a flat summary otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Default latency threshold above which a query enters the slow log.
+DEFAULT_SLOW_THRESHOLD_MS = 100.0
+
+#: Default bound on retained slow-query entries.
+DEFAULT_SLOW_LOG_SIZE = 128
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed operation; children are sub-operations."""
+
+    __slots__ = ("name", "attrs", "children", "_started", "duration_ms")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self._started = time.perf_counter()
+        self.duration_ms: Optional[float] = None
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def finish(self) -> None:
+        if self.duration_ms is None:
+            self.duration_ms = (time.perf_counter() - self._started) * 1000
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 3) if self.duration_ms is not None else None,
+            "attrs": self.attrs,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Trace:
+    """A span tree under one trace id.
+
+    Spans are opened with the :meth:`span` context manager; nesting follows
+    the runtime call structure.  One trace belongs to one request thread —
+    the span stack is not shared across threads.
+    """
+
+    def __init__(self, name: str, trace_id: Optional[str] = None):
+        self.trace_id = trace_id or new_trace_id()
+        self.root = Span(name)
+        self._stack: List[Span] = [self.root]
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        span = Span(name, attrs)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.finish()
+            self._stack.pop()
+
+    def annotate(self, **attrs: Any) -> None:
+        self._stack[-1].annotate(**attrs)
+
+    def finish(self) -> None:
+        self.root.finish()
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        return self.root.duration_ms
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, **self.root.to_dict()}
+
+
+class Tracer:
+    """Sampling policy plus the slow-query log.
+
+    ``sample_rate`` is the fraction of un-forced requests that get a span
+    tree (0.0 = only forced traces).  ``record_slow`` is decoupled from
+    sampling: the serving layer calls it for any request over the
+    threshold, traced or not.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 0.0,
+        slow_threshold_ms: float = DEFAULT_SLOW_THRESHOLD_MS,
+        slow_log_size: int = DEFAULT_SLOW_LOG_SIZE,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        if slow_log_size < 1:
+            raise ValueError("slow_log_size must be at least 1")
+        self.sample_rate = sample_rate
+        self.slow_threshold_ms = slow_threshold_ms
+        self._lock = threading.Lock()
+        self._slow: "deque[dict]" = deque(maxlen=slow_log_size)
+        self._rng = random.Random()
+
+    def start(
+        self, name: str, trace_id: Optional[str] = None, force: bool = False
+    ) -> Optional[Trace]:
+        """A new :class:`Trace`, or ``None`` when sampling declines.
+
+        A caller-provided ``trace_id`` forces the trace (the client asked
+        to follow this request), as does ``force``.
+        """
+        if trace_id is not None or force:
+            return Trace(name, trace_id)
+        if self.sample_rate > 0.0 and self._rng.random() < self.sample_rate:
+            return Trace(name)
+        return None
+
+    # -- slow-query log ------------------------------------------------------
+
+    def note(
+        self,
+        elapsed_ms: float,
+        entry: Dict[str, Any],
+        trace: Optional[Trace] = None,
+    ) -> bool:
+        """Admit *entry* to the slow log if *elapsed_ms* crosses the
+        threshold; attaches the span tree when a trace was recorded.
+        Returns whether the entry was admitted."""
+        if elapsed_ms < self.slow_threshold_ms:
+            return False
+        record = dict(entry)
+        record["elapsed_ms"] = round(elapsed_ms, 3)
+        record["recorded_at"] = time.time()
+        if trace is not None:
+            record["trace_id"] = trace.trace_id
+            record["trace"] = trace.to_dict()
+        with self._lock:
+            self._slow.appendleft(record)
+        return True
+
+    def slow_queries(self) -> List[dict]:
+        """Slow-log entries, most recent first."""
+        with self._lock:
+            return list(self._slow)
+
+    def clear_slow_log(self) -> None:
+        with self._lock:
+            self._slow.clear()

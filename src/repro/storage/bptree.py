@@ -136,6 +136,11 @@ class BPlusTree:
         self.name = name
         self._meta_key = f"bptree.{name}.root"
         self._decoded_cache: dict = {}
+        # Node touches (every _read_node call, cached or not) — the tree-level
+        # work counter /statz and /metrics report.  A plain int under the GIL:
+        # a lost increment under thread races is tolerable for a stats counter
+        # and keeps the descent hot path lock-free.
+        self.node_reads = 0
         root = self.pool.pager.get_meta(self._meta_key)
         if root is None:
             pid = self.pool.pager.allocate()
@@ -147,6 +152,7 @@ class BPlusTree:
     # -- node I/O -------------------------------------------------------------
 
     def _read_node(self, pid: int):
+        self.node_reads += 1
         data = self.pool.get_page(pid)
         cached = self._decoded_cache.get(pid)
         if cached is not None and cached[0] is data:

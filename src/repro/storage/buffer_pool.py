@@ -49,6 +49,14 @@ class PoolStats:
         self.misses = 0
         self.evictions = 0
 
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class BufferPool:
     """Write-through LRU page cache with pinning.

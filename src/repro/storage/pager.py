@@ -54,6 +54,14 @@ class IOStats:
         self.sequential_reads = 0
         self.random_reads = 0
 
+    def as_dict(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "sequential_reads": self.sequential_reads,
+            "random_reads": self.random_reads,
+        }
+
 
 @dataclass
 class CostModel:

@@ -45,6 +45,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     with XKSearch.open(args.index_dir, load_document=not args.ids_only) as system:
+        if args.explain:
+            return _search_explain(system, args)
         plan = system.explain(args.query, algorithm=args.algorithm)
         stats = ExecutionStats()
         started = time.perf_counter()
@@ -67,6 +69,29 @@ def _cmd_search(args: argparse.Namespace) -> int:
             print(f"--- {result}")
             if result.snippet and not args.ids_only:
                 print(result.snippet.rstrip())
+    return 0
+
+
+def _search_explain(system: XKSearch, args: argparse.Namespace) -> int:
+    """EXPLAIN mode: run the query profiled, print the JSON breakdown.
+
+    The answer is computed by the same engine path as a plain search (the
+    profile rides along in ``stats.profile``), so the printed ids are
+    byte-identical to what the non-explain search returns.
+    """
+    import json
+
+    stats = ExecutionStats()
+    ids = list(
+        system.search_ids(
+            args.query, algorithm=args.algorithm, stats=stats, profile=True
+        )
+    )
+    if args.limit is not None:
+        ids = ids[: args.limit]
+    dotted = [".".join(map(str, dewey)) for dewey in ids]
+    print(f"{len(dotted)} SLCA answer(s): {dotted}")
+    print(json.dumps(stats.profile.as_dict(), indent=2))
     return 0
 
 
@@ -128,6 +153,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_workers=args.workers,
         cache_size=args.cache_size,
+        slow_ms=args.slow_ms,
+        trace_sample=args.trace_sample,
     )
     return 0
 
@@ -169,6 +196,11 @@ def make_parser() -> argparse.ArgumentParser:
     p_search.add_argument(
         "--ids-only", action="store_true", help="print Dewey ids without snippets"
     )
+    p_search.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a per-phase timing/op-count/I-O breakdown as JSON",
+    )
     p_search.set_defaults(func=_cmd_search)
 
     p_stats = sub.add_parser("stats", help="show index statistics")
@@ -207,6 +239,18 @@ def make_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="result-cache capacity in entries; 0 disables caching",
+    )
+    p_serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=100.0,
+        help="latency threshold for the /debug/slow log (default 100 ms)",
+    )
+    p_serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        help="fraction of requests to span-trace (0.0 = only forced traces)",
     )
     p_serve.set_defaults(func=_cmd_serve)
     return parser

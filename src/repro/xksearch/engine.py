@@ -18,6 +18,9 @@ an empty keyword list admits no answer subtree.
 
 from __future__ import annotations
 
+import math
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
@@ -26,6 +29,8 @@ from repro.core.counters import OpCounters
 from repro.errors import QueryError
 from repro.index.inverted import DiskKeywordIndex
 from repro.index.memory import MemoryKeywordIndex
+from repro.obs.metrics import exponential_buckets, get_registry, instrumentation_enabled
+from repro.obs.profile import QueryProfile, maybe_phase
 from repro.xksearch.cache import QueryCache, normalize_key
 from repro.xmltree.dewey import DeweyTuple
 from repro.xmltree.tree import extract_keywords
@@ -37,6 +42,9 @@ ALGORITHMS = ("auto", "il", "scan", "stack")
 #: Default largest/smallest frequency ratio above which auto planning
 #: prefers Indexed Lookup Eager.
 DEFAULT_SKEW_THRESHOLD = 10.0
+
+#: Engine execution-time histogram buckets: 0.01 ms … ~5 s, factor 2.
+_EXEC_BUCKETS_MS = exponential_buckets(0.01, 2.0, 20)
 
 
 @dataclass(frozen=True)
@@ -111,6 +119,17 @@ class QueryPlan:
             return float("inf")
         return max(self.frequencies) / min(self.frequencies)
 
+    def summary(self) -> dict:
+        """JSON-friendly plan description (EXPLAIN output, trace attrs)."""
+        skew = self.skew
+        return {
+            "keywords": list(self.keywords),
+            "frequencies": list(self.frequencies),
+            "algorithm": self.algorithm,
+            "empty": self.empty,
+            "skew": None if math.isinf(skew) else round(skew, 2),
+        }
+
 
 @dataclass
 class ExecutionStats:
@@ -133,6 +152,18 @@ class ExecutionStats:
     cache_misses: int = 0
     cache_evictions: int = 0
     result_from_cache: bool = False
+    #: EXPLAIN breakdown, set by ``execute(..., profile=True)``.
+    profile: Optional[QueryProfile] = None
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether the answer came from the result cache.
+
+        Cache hits are stamped with the cached entry's *original* execution
+        counters (merged into :attr:`counters`), so a hit is distinguishable
+        from a genuinely free query rather than returning zeroed counters.
+        """
+        return self.result_from_cache
 
 
 class QueryEngine:
@@ -155,6 +186,83 @@ class QueryEngine:
         self.index = index
         self.skew_threshold = skew_threshold
         self.cache = cache
+        # Per-algorithm OpCounters aggregates over this engine's lifetime
+        # (the /statz "counters" section); registry metrics mirror them.
+        self._totals: Dict[str, OpCounters] = {}
+        self._totals_lock = threading.Lock()
+
+    # -- observability -------------------------------------------------------
+
+    def counter_totals(self) -> Dict[str, dict]:
+        """Accumulated :class:`OpCounters` per executed algorithm."""
+        with self._totals_lock:
+            totals = {alg: c.snapshot() for alg, c in self._totals.items()}
+        merged = OpCounters()
+        for counters in totals.values():
+            merged.add(counters)
+        out = {alg: counters.as_dict() for alg, counters in sorted(totals.items())}
+        out["_total"] = merged.as_dict()
+        return out
+
+    def _note_query(
+        self,
+        semantics: str,
+        cache_state: str,
+        algorithm: str,
+        delta: Optional[OpCounters],
+        exec_ms: Optional[float],
+    ) -> None:
+        """Record one query against the engine totals and the registry.
+
+        ``cache_state`` is ``hit``/``miss``/``off``; ``delta`` and
+        ``exec_ms`` are only present when an actual execution happened.
+        """
+        if not instrumentation_enabled():
+            return
+        registry = get_registry()
+        registry.counter(
+            "xks_queries_total",
+            "Queries executed or answered from cache.",
+            labelnames=("semantics", "algorithm", "cache"),
+        ).labels(semantics=semantics, algorithm=algorithm, cache=cache_state).inc()
+        if delta is not None:
+            with self._totals_lock:
+                totals = self._totals.get(algorithm)
+                if totals is None:
+                    totals = self._totals[algorithm] = OpCounters()
+                totals.add(delta)
+            ops = registry.counter(
+                "xks_algo_ops_total",
+                "Algorithm-level operation counts (the paper's cost model).",
+                labelnames=("algorithm", "op"),
+            )
+            for op, value in delta.as_dict().items():
+                if value:
+                    ops.labels(algorithm=algorithm, op=op).inc(value)
+        if exec_ms is not None:
+            registry.histogram(
+                "xks_query_exec_ms",
+                "Engine execution time of non-cached queries (ms).",
+                buckets=_EXEC_BUCKETS_MS,
+            ).observe(exec_ms)
+
+    def _accounted(
+        self,
+        iterator: Iterator[DeweyTuple],
+        stats: ExecutionStats,
+        semantics: str,
+        algorithm: str,
+    ) -> Iterator[DeweyTuple]:
+        """Wrap a lazy execution so counters flush once it is consumed."""
+        before = stats.counters.snapshot()
+        started = time.perf_counter()
+        try:
+            yield from iterator
+        finally:
+            exec_ms = (time.perf_counter() - started) * 1000
+            self._note_query(
+                semantics, "off", algorithm, stats.counters.delta(before), exec_ms
+            )
 
     def generation(self) -> int:
         """The index's current mutation generation (0 for static indexes)."""
@@ -229,21 +337,70 @@ class QueryEngine:
         query: Union[str, Sequence[str]],
         algorithm: str = "auto",
         stats: Optional[ExecutionStats] = None,
+        profile: bool = False,
     ) -> Iterator[DeweyTuple]:
         """SLCAs of the query, streamed in document order.
 
         With a cache attached, repeats of a query (in any keyword order)
         are answered from memory; the result is then an iterator over the
         memoized tuple rather than a pipelined computation.
+
+        With ``profile=True`` the execution is materialized and a
+        :class:`~repro.obs.profile.QueryProfile` (per-phase timings,
+        op-count deltas, I/O attribution) is attached to ``stats.profile``.
+        The answer is byte-identical to the non-profiled path.
         """
         if algorithm not in ALGORITHMS:
             raise QueryError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
         stats = stats if stats is not None else ExecutionStats()
-        return self._execute_cached(
-            parse_query(query), algorithm, "slca", stats, self.execute_plan
+        if not profile:
+            return self._execute_cached(
+                parse_query(query), algorithm, "slca", stats, self.execute_plan
+            )
+        query_text = query if isinstance(query, str) else " ".join(query)
+        prof = QueryProfile(query_text, algorithm, "slca")
+        stats.profile = prof
+        started = time.perf_counter()
+        counters_before = stats.counters.snapshot()
+        io_before = self._io_state()
+        with maybe_phase(prof, "parse"):
+            atoms = parse_query(query)
+        result = self._execute_cached(
+            atoms, algorithm, "slca", stats, self.execute_plan, prof=prof
         )
+        prof.total_ms = (time.perf_counter() - started) * 1000
+        prof.counters = stats.counters.delta(counters_before).as_dict()
+        prof.io = self._io_delta(io_before)
+        return result
+
+    def _io_state(self) -> Optional[dict]:
+        """Snapshot of pager/pool counters (None for in-memory indexes)."""
+        pager = getattr(self.index, "pager", None)
+        pool = getattr(self.index, "pool", None)
+        if pager is None or pool is None:
+            return None
+        return {"pager": pager.stats.as_dict(), "pool": pool.stats.as_dict()}
+
+    def _io_delta(self, before: Optional[dict]) -> Optional[dict]:
+        """Pager/pool counter movement since :meth:`_io_state`.
+
+        Per-index counters, so concurrent queries' I/O folds in; exact in
+        single-query contexts (CLI ``--explain``, benchmarks).
+        """
+        after = self._io_state()
+        if before is None or after is None:
+            return None
+        return {
+            "page_reads": after["pager"]["reads"] - before["pager"]["reads"],
+            "sequential_reads": after["pager"]["sequential_reads"]
+            - before["pager"]["sequential_reads"],
+            "random_reads": after["pager"]["random_reads"]
+            - before["pager"]["random_reads"],
+            "pool_hits": after["pool"]["hits"] - before["pool"]["hits"],
+            "pool_misses": after["pool"]["misses"] - before["pool"]["misses"],
+        }
 
     def _execute_cached(
         self,
@@ -252,22 +409,92 @@ class QueryEngine:
         semantics: str,
         stats: ExecutionStats,
         runner: Callable[[QueryPlan, ExecutionStats], Iterator[DeweyTuple]],
+        prof: Optional[QueryProfile] = None,
     ) -> Iterator[DeweyTuple]:
-        """Run (or recall) one query under one result semantics."""
+        """Run (or recall) one query under one result semantics.
+
+        Cache entries are ``(ids, counters)`` pairs — the SLCA tuple plus
+        the operation counters of the execution that computed it — so a
+        cache hit can stamp :class:`ExecutionStats` with the original cost
+        instead of returning indistinguishable zeroes.
+        """
         if self.cache is None:
-            return runner(self._plan_atoms(atoms, algorithm), stats)
+            with maybe_phase(prof, "plan") as phase:
+                plan = self._plan_atoms(atoms, algorithm)
+            if prof is None:
+                return self._accounted(
+                    runner(plan, stats), stats, semantics, plan.algorithm
+                )
+            prof.algorithm = plan.algorithm
+            prof.plan = plan.summary()
+            if phase is not None:
+                phase.detail["algorithm"] = plan.algorithm
+            return self._run_profiled(plan, semantics, "off", stats, runner, prof)
         key = normalize_key((a.display for a in atoms), algorithm, semantics)
         generation = self.generation()
-        hit, value = self.cache.lookup_result(key, generation)
+        with maybe_phase(prof, "cache_lookup"):
+            hit, entry = self.cache.lookup_result(key, generation)
         if hit:
+            ids, cached_counters = entry
             stats.cache_hits += 1
             stats.result_from_cache = True
-            return iter(value)
+            if cached_counters is not None:
+                stats.counters.add(cached_counters)
+            self._note_query(semantics, "hit", algorithm, None, None)
+            if prof is not None:
+                prof.cache_hit = True
+                prof.result_count = len(ids)
+                # Plans are cheap; re-derive one so EXPLAIN on a hit still
+                # shows what an execution would have run.
+                with maybe_phase(prof, "plan"):
+                    plan = self._plan_atoms(atoms, algorithm)
+                prof.algorithm = plan.algorithm
+                prof.plan = plan.summary()
+            return iter(ids)
         stats.cache_misses += 1
-        value = tuple(runner(self._plan_atoms(atoms, algorithm), stats))
-        evictions_before = self.cache.results.stats.evictions
-        self.cache.store_result(key, generation, value)
-        stats.cache_evictions += self.cache.results.stats.evictions - evictions_before
+        with maybe_phase(prof, "plan") as phase:
+            plan = self._plan_atoms(atoms, algorithm)
+        if prof is not None:
+            prof.algorithm = plan.algorithm
+            prof.plan = plan.summary()
+            if phase is not None:
+                phase.detail["algorithm"] = plan.algorithm
+        before = stats.counters.snapshot()
+        exec_started = time.perf_counter()
+        with maybe_phase(prof, "execute", algorithm=plan.algorithm):
+            value = tuple(runner(plan, stats))
+        exec_ms = (time.perf_counter() - exec_started) * 1000
+        delta = stats.counters.delta(before)
+        self._note_query(semantics, "miss", plan.algorithm, delta, exec_ms)
+        with maybe_phase(prof, "cache_store"):
+            evictions_before = self.cache.results.stats.evictions
+            self.cache.store_result(key, generation, (value, delta))
+            stats.cache_evictions += (
+                self.cache.results.stats.evictions - evictions_before
+            )
+        if prof is not None:
+            prof.result_count = len(value)
+        return iter(value)
+
+    def _run_profiled(
+        self,
+        plan: QueryPlan,
+        semantics: str,
+        cache_state: str,
+        stats: ExecutionStats,
+        runner: Callable[[QueryPlan, ExecutionStats], Iterator[DeweyTuple]],
+        prof: QueryProfile,
+    ) -> Iterator[DeweyTuple]:
+        """Materialized, timed execution for the EXPLAIN path (no cache)."""
+        before = stats.counters.snapshot()
+        exec_started = time.perf_counter()
+        with maybe_phase(prof, "execute", algorithm=plan.algorithm):
+            value = tuple(runner(plan, stats))
+        exec_ms = (time.perf_counter() - exec_started) * 1000
+        self._note_query(
+            semantics, cache_state, plan.algorithm, stats.counters.delta(before), exec_ms
+        )
+        prof.result_count = len(value)
         return iter(value)
 
     def execute_many(
@@ -303,20 +530,36 @@ class QueryEngine:
             if key in resolved or key in pending_plans:
                 continue
             if self.cache is not None:
-                hit, value = self.cache.lookup_result(key, generation)
+                hit, entry = self.cache.lookup_result(key, generation)
                 if hit:
+                    ids, cached_counters = entry
                     stats.cache_hits += 1
-                    resolved[key] = value
+                    if cached_counters is not None:
+                        stats.counters.add(cached_counters)
+                    self._note_query("slca", "hit", algorithm, None, None)
+                    resolved[key] = ids
                     continue
                 stats.cache_misses += 1
             pending.append(key)
             pending_plans[key] = self._plan_atoms(atoms, algorithm)
         # Phase 2 — execute each distinct miss once.
         for key in pending:
-            value = tuple(self.execute_plan(pending_plans[key], stats))
+            plan = pending_plans[key]
+            before = stats.counters.snapshot()
+            exec_started = time.perf_counter()
+            value = tuple(self.execute_plan(plan, stats))
+            exec_ms = (time.perf_counter() - exec_started) * 1000
+            delta = stats.counters.delta(before)
+            self._note_query(
+                "slca",
+                "miss" if self.cache is not None else "off",
+                plan.algorithm,
+                delta,
+                exec_ms,
+            )
             if self.cache is not None:
                 evictions_before = self.cache.results.stats.evictions
-                self.cache.store_result(key, generation, value)
+                self.cache.store_result(key, generation, (value, delta))
                 stats.cache_evictions += (
                     self.cache.results.stats.evictions - evictions_before
                 )

@@ -15,9 +15,14 @@ Serving-layer features (beyond the paper's demo):
 * **caching** — the system is normally opened with a
   :class:`~repro.xksearch.cache.QueryCache`, so repeated queries are
   answered from memory (``xksearch serve --cache-size``);
-* **observability** — every request is timed; ``/statz`` returns request
-  counts, latency percentiles, cache stats and the index generation as
-  JSON, and search responses carry an ``X-Response-Time-Ms`` header;
+* **observability** (see docs/OBSERVABILITY.md) — every request is timed
+  and counted in the process-global metrics registry; ``GET /metrics``
+  exposes Prometheus text format covering server, cache, buffer-pool,
+  pager and algorithm-counter metrics; ``/statz`` returns the same as
+  structured JSON plus latency percentiles; every search response carries
+  ``X-Response-Time-Ms`` and an ``X-Trace-Id`` (client-provided or
+  generated), slow requests land in ``/debug/slow``, and
+  ``/api/search?explain=1`` returns the per-phase EXPLAIN breakdown;
 * **a JSON API** — ``GET /api/search?q=…`` returns bare Dewey ids plus
   plan/timing metadata, the endpoint load generators and programmatic
   clients (``benchmarks/bench_qps.py``) use.
@@ -26,8 +31,11 @@ Endpoints:
 
 * ``GET /`` — search form;
 * ``GET /search?q=<keywords>[&algorithm=auto|il|scan|stack]`` — HTML results;
-* ``GET /api/search?q=<keywords>[&algorithm=…][&limit=N]`` — JSON results;
+* ``GET /api/search?q=<keywords>[&algorithm=…][&limit=N][&explain=1]`` —
+  JSON results (+ EXPLAIN breakdown with ``explain=1``);
 * ``GET /statz`` — serving metrics (JSON);
+* ``GET /metrics`` — Prometheus text exposition;
+* ``GET /debug/slow`` — bounded slow-query log (JSON);
 * ``GET /healthz`` — liveness (plain text).
 """
 
@@ -41,6 +49,13 @@ from typing import List, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ReproError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    Sample,
+    exponential_buckets,
+    get_registry,
+)
+from repro.obs.tracing import Span, Trace, Tracer, new_trace_id
 from repro.xksearch.cache import QueryCache
 from repro.xksearch.engine import ExecutionStats
 from repro.xksearch.html import render_page
@@ -51,6 +66,21 @@ DEFAULT_MAX_WORKERS = 8
 
 #: Per-request latencies kept for the /statz percentiles (ring buffer).
 _LATENCY_WINDOW = 4096
+
+#: HTTP latency histogram buckets: 0.05 ms … ~26 s, factor 2.
+_HTTP_BUCKETS_MS = exponential_buckets(0.05, 2.0, 20)
+
+#: Endpoints that get their own label value; everything else is "other"
+#: so label cardinality stays bounded.
+_KNOWN_ENDPOINTS = (
+    "/",
+    "/search",
+    "/api/search",
+    "/statz",
+    "/metrics",
+    "/debug/slow",
+    "/healthz",
+)
 
 
 class ServerMetrics:
@@ -96,10 +126,115 @@ class ServerMetrics:
         }
 
 
+def system_collector(system: XKSearch):
+    """A scrape-time collector mirroring one system's component stats.
+
+    Buffer pool, pager and B+tree counters exist only for disk-backed
+    indexes; cache metrics only when the engine has a
+    :class:`~repro.xksearch.cache.QueryCache`.  Registered by
+    :func:`make_server`, unregistered on ``server_close``.
+    """
+
+    def collect():
+        storage = system.storage_stats()
+        if storage is not None:
+            pool = storage["buffer_pool"]
+            yield Sample(
+                "xks_buffer_pool_hits_total", pool["hits"], kind="counter",
+                help="Buffer-pool page hits.",
+            )
+            yield Sample(
+                "xks_buffer_pool_misses_total", pool["misses"], kind="counter",
+                help="Buffer-pool page misses (physical reads).",
+            )
+            yield Sample(
+                "xks_buffer_pool_evictions_total", pool["evictions"], kind="counter",
+                help="Buffer-pool LRU evictions.",
+            )
+            yield Sample(
+                "xks_buffer_pool_hit_rate", pool["hit_rate"],
+                help="Buffer-pool hit rate over process lifetime.",
+            )
+            pager = storage["pager"]
+            yield Sample(
+                "xks_pager_reads_total", pager["sequential_reads"],
+                {"kind": "sequential"}, kind="counter",
+                help="Physical page reads by access pattern.",
+            )
+            yield Sample(
+                "xks_pager_reads_total", pager["random_reads"], {"kind": "random"},
+                kind="counter",
+            )
+            yield Sample(
+                "xks_pager_writes_total", pager["writes"], kind="counter",
+                help="Physical page writes.",
+            )
+            for tree, reads in (
+                ("il", storage["bptree"]["il_node_reads"]),
+                ("scan", storage["bptree"]["scan_node_reads"]),
+            ):
+                yield Sample(
+                    "xks_bptree_node_reads_total", reads, {"tree": tree},
+                    kind="counter", help="B+tree node touches per tree.",
+                )
+        cache = system.engine.cache
+        if cache is not None:
+            for name, stats in (("results", cache.results.stats), ("plans", cache.plans.stats)):
+                yield Sample(
+                    "xks_query_cache_hits_total", stats.hits, {"cache": name},
+                    kind="counter", help="Query-cache hits.",
+                )
+                yield Sample(
+                    "xks_query_cache_misses_total", stats.misses, {"cache": name},
+                    kind="counter", help="Query-cache misses.",
+                )
+                yield Sample(
+                    "xks_query_cache_evictions_total", stats.evictions, {"cache": name},
+                    kind="counter", help="Query-cache LRU evictions.",
+                )
+                yield Sample(
+                    "xks_query_cache_invalidations_total", stats.invalidations,
+                    {"cache": name}, kind="counter",
+                    help="Query-cache generation invalidations.",
+                )
+            yield Sample(
+                "xks_query_cache_entries", len(cache.results), {"cache": "results"},
+                help="Live query-cache entries.",
+            )
+            yield Sample(
+                "xks_query_cache_entries", len(cache.plans), {"cache": "plans"},
+            )
+        yield Sample(
+            "xks_index_generation", system.engine.generation(),
+            help="Current index mutation generation.",
+        )
+
+    return collect
+
+
+def _attach_profile_spans(trace: Trace, profile) -> None:
+    """Graft the engine's EXPLAIN phases onto a request trace as spans."""
+    parent = Span("engine")
+    parent.duration_ms = profile.total_ms
+    for phase in profile.phases:
+        child = Span(phase.name, phase.detail)
+        child.duration_ms = phase.ms
+        parent.children.append(child)
+    trace.root.children.append(parent)
+    trace.annotate(
+        query=profile.query,
+        algorithm=profile.algorithm,
+        cache_hit=profile.cache_hit,
+        result_count=profile.result_count,
+    )
+
+
 class _Handler(BaseHTTPRequestHandler):
     # Injected by make_server onto a per-server subclass:
     system: XKSearch = None
     metrics: ServerMetrics = None
+    tracer: Tracer = None
+    registry: MetricsRegistry = None
     quiet: bool = True
     protocol_version = "HTTP/1.1"
 
@@ -111,11 +246,33 @@ class _Handler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         url = urlparse(self.path)
         error = False
+        self._trace: Optional[Trace] = None
+        self._trace_id: Optional[str] = None
+        self._slow_entry: Optional[dict] = None
+        if url.path in ("/search", "/api/search"):
+            client_trace_id = self.headers.get("X-Trace-Id")
+            explain = self._wants_explain(url)
+            if self.tracer is not None:
+                self._trace = self.tracer.start(
+                    "request", trace_id=client_trace_id, force=explain
+                )
+            self._trace_id = (
+                self._trace.trace_id if self._trace is not None
+                else (client_trace_id or new_trace_id())
+            )
         try:
             if url.path == "/healthz":
                 self._send(200, "ok", content_type="text/plain; charset=utf-8")
             elif url.path == "/statz":
                 self._send_json(200, self._statz())
+            elif url.path == "/metrics":
+                self._send(
+                    200,
+                    (self.registry or get_registry()).render(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif url.path == "/debug/slow":
+                self._send_json(200, self._debug_slow())
             elif url.path == "/":
                 self._send(200, render_page("", []))
             elif url.path == "/search":
@@ -129,6 +286,31 @@ class _Handler(BaseHTTPRequestHandler):
             elapsed_ms = (time.perf_counter() - started) * 1000
             if self.metrics is not None:
                 self.metrics.record(elapsed_ms, error=error)
+            self._record_request(url.path, elapsed_ms, error)
+
+    def _record_request(self, path: str, elapsed_ms: float, error: bool) -> None:
+        registry = self.registry or get_registry()
+        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+        registry.counter(
+            "xks_http_requests_total",
+            "HTTP requests served, by endpoint and outcome.",
+            labelnames=("endpoint", "status"),
+        ).labels(endpoint=endpoint, status="error" if error else "ok").inc()
+        registry.histogram(
+            "xks_http_request_ms",
+            "End-to-end HTTP request latency (ms).",
+            labelnames=("endpoint",),
+            buckets=_HTTP_BUCKETS_MS,
+        ).labels(endpoint=endpoint).observe(elapsed_ms)
+        if self.tracer is not None and self._slow_entry is not None:
+            if self._trace is not None:
+                self._trace.finish()
+            self.tracer.note(elapsed_ms, self._slow_entry, self._trace)
+
+    @staticmethod
+    def _wants_explain(url) -> bool:
+        value = (parse_qs(url.query).get("explain") or [""])[0].lower()
+        return value in ("1", "true", "yes")
 
     # -- endpoints -----------------------------------------------------------
 
@@ -148,6 +330,9 @@ class _Handler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send(400, render_page(query, [], title=f"error: {exc}"))
             return True
+        self._slow_entry = {"path": "/search", "query": query, "algorithm": plan.algorithm}
+        if self._trace is not None:
+            self._trace.annotate(query=query, algorithm=plan.algorithm)
         self._send(
             200,
             render_page(query, results, plan=plan, elapsed_ms=elapsed_ms),
@@ -161,6 +346,7 @@ class _Handler(BaseHTTPRequestHandler):
         query = (params.get("q") or [""])[0].strip()
         algorithm = (params.get("algorithm") or ["auto"])[0]
         limit_raw = (params.get("limit") or [""])[0]
+        explain = self._wants_explain(url)
         if not query:
             self._send_json(400, {"error": "missing query parameter q"})
             return True
@@ -170,9 +356,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": f"bad limit {limit_raw!r}"})
             return True
         stats = ExecutionStats()
+        profiled = explain or self._trace is not None
         try:
             started = time.perf_counter()
-            ids = list(self.system.search_ids(query, algorithm=algorithm, stats=stats))
+            ids = list(
+                self.system.search_ids(
+                    query, algorithm=algorithm, stats=stats, profile=profiled
+                )
+            )
             elapsed_ms = (time.perf_counter() - started) * 1000
         except ReproError as exc:
             self._send_json(400, {"error": str(exc)})
@@ -186,7 +377,20 @@ class _Handler(BaseHTTPRequestHandler):
             "ids": [".".join(str(c) for c in dewey) for dewey in ids],
             "elapsed_ms": round(elapsed_ms, 3),
             "cached": stats.result_from_cache,
+            "cache_hit": stats.cache_hit,
+            "counters": stats.counters.as_dict(),
+            "trace_id": self._trace_id,
         }
+        if explain and stats.profile is not None:
+            payload["explain"] = stats.profile.as_dict()
+        self._slow_entry = {
+            "path": "/api/search",
+            "query": query,
+            "algorithm": algorithm,
+            "cache_hit": stats.cache_hit,
+        }
+        if self._trace is not None and stats.profile is not None:
+            _attach_profile_spans(self._trace, stats.profile)
         self._send_json(200, payload, elapsed_ms=elapsed_ms)
         return False
 
@@ -196,8 +400,26 @@ class _Handler(BaseHTTPRequestHandler):
             "server": self.metrics.summary() if self.metrics else {},
             "generation": engine.generation(),
             "cache": engine.cache.stats() if engine.cache is not None else None,
+            "storage": self.system.storage_stats(),
+            "counters": engine.counter_totals(),
         }
+        if self.tracer is not None:
+            payload["tracing"] = {
+                "sample_rate": self.tracer.sample_rate,
+                "slow_threshold_ms": self.tracer.slow_threshold_ms,
+                "slow_log_entries": len(self.tracer.slow_queries()),
+            }
         return payload
+
+    def _debug_slow(self) -> dict:
+        if self.tracer is None:
+            return {"threshold_ms": None, "entries": []}
+        entries = self.tracer.slow_queries()
+        return {
+            "threshold_ms": self.tracer.slow_threshold_ms,
+            "count": len(entries),
+            "entries": entries,
+        }
 
     # -- plumbing ------------------------------------------------------------
 
@@ -215,6 +437,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(payload)))
         if elapsed_ms is not None:
             self.send_header("X-Response-Time-Ms", f"{elapsed_ms:.3f}")
+        if self._trace_id is not None:
+            self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -243,10 +467,18 @@ class XKSearchServer(ThreadingHTTPServer):
         super().__init__(address, handler)
         self.max_workers = max_workers
         self._slots = threading.BoundedSemaphore(max_workers)
+        self._obs_registry: Optional[MetricsRegistry] = None
+        self._obs_collector = None
 
     def process_request_thread(self, request, client_address):
         with self._slots:
             super().process_request_thread(request, client_address)
+
+    def server_close(self):
+        if self._obs_registry is not None and self._obs_collector is not None:
+            self._obs_registry.unregister_collector(self._obs_collector)
+            self._obs_collector = None
+        super().server_close()
 
 
 def make_server(
@@ -256,10 +488,18 @@ def make_server(
     quiet: bool = True,
     max_workers: int = DEFAULT_MAX_WORKERS,
     metrics: Optional[ServerMetrics] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> XKSearchServer:
     """A threaded HTTP server bound to *host:port* (port 0 = ephemeral),
     serving queries against *system*.  Caller owns the lifecycle
-    (``serve_forever`` / ``shutdown`` / ``server_close``)."""
+    (``serve_forever`` / ``shutdown`` / ``server_close``).
+
+    The system's component stats (buffer pool, pager, caches) are
+    registered as a collector on *registry* (default: the process-global
+    one) for the lifetime of the server; ``server_close`` unregisters it.
+    """
+    registry = registry if registry is not None else get_registry()
     handler = type(
         "XKSearchHandler",
         (_Handler,),
@@ -267,9 +507,16 @@ def make_server(
             "system": system,
             "quiet": quiet,
             "metrics": metrics if metrics is not None else ServerMetrics(),
+            "tracer": tracer if tracer is not None else Tracer(),
+            "registry": registry,
         },
     )
-    return XKSearchServer((host, port), handler, max_workers=max_workers)
+    server = XKSearchServer((host, port), handler, max_workers=max_workers)
+    collector = system_collector(system)
+    registry.register_collector(collector)
+    server._obs_registry = registry
+    server._obs_collector = collector
+    return server
 
 
 def serve(
@@ -278,16 +525,26 @@ def serve(
     port: int = 8080,
     max_workers: int = DEFAULT_MAX_WORKERS,
     cache_size: int = 1024,
+    slow_ms: float = 100.0,
+    trace_sample: float = 0.0,
 ) -> None:
     """Blocking entry point used by ``xksearch serve``."""
     cache = QueryCache(result_capacity=cache_size) if cache_size > 0 else None
+    tracer = Tracer(sample_rate=trace_sample, slow_threshold_ms=slow_ms)
     with XKSearch.open(index_dir, cache=cache) as system:
-        server = make_server(system, host=host, port=port, quiet=False, max_workers=max_workers)
+        server = make_server(
+            system,
+            host=host,
+            port=port,
+            quiet=False,
+            max_workers=max_workers,
+            tracer=tracer,
+        )
         actual_port = server.server_address[1]
         print(
             f"XKSearch demo at http://{host}:{actual_port}/  "
-            f"({max_workers} workers, cache={'off' if cache is None else cache_size}; "
-            f"Ctrl-C to stop)"
+            f"({max_workers} workers, cache={'off' if cache is None else cache_size}, "
+            f"slow log at /debug/slow >= {slow_ms:.0f} ms; Ctrl-C to stop)"
         )
         try:
             server.serve_forever()

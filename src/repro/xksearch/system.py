@@ -121,9 +121,22 @@ class XKSearch:
         query: Union[str, Sequence[str]],
         algorithm: str = "auto",
         stats: Optional[ExecutionStats] = None,
+        profile: bool = False,
     ) -> Iterator[DeweyTuple]:
-        """SLCAs as raw Dewey tuples, streamed (the pipelined answer)."""
-        return self.engine.execute(query, algorithm=algorithm, stats=stats)
+        """SLCAs as raw Dewey tuples, streamed (the pipelined answer).
+
+        With ``profile=True`` (EXPLAIN mode) the run is materialized and a
+        per-phase breakdown lands on ``stats.profile``; the answer itself
+        is byte-identical.
+        """
+        return self.engine.execute(
+            query, algorithm=algorithm, stats=stats, profile=profile
+        )
+
+    def storage_stats(self) -> Optional[dict]:
+        """Buffer-pool/pager/B+tree stats (None for in-memory indexes)."""
+        stats = getattr(self.index, "stats", None)
+        return stats() if callable(stats) else None
 
     def search_all_lcas(
         self,

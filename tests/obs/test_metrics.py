@@ -1,0 +1,234 @@
+"""Metrics registry: concurrency exactness, histograms, exposition format."""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    exponential_buckets,
+    get_registry,
+    instrumentation_enabled,
+    set_instrumentation_enabled,
+)
+
+# One exposition line: "name{labels} value" or a comment.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\")*\})?"
+    r" (\+Inf|-Inf|-?[0-9.e+-]+)$"
+)
+_COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
+
+
+def assert_prometheus_parseable(text):
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").split("\n"):
+        assert _SAMPLE_LINE.match(line) or _COMMENT_LINE.match(line), (
+            f"unparseable exposition line: {line!r}"
+        )
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_disabled_instrumentation_skips_updates(self):
+        counter = Counter()
+        assert instrumentation_enabled()
+        set_instrumentation_enabled(False)
+        try:
+            counter.inc(100)
+            assert counter.value == 0
+        finally:
+            set_instrumentation_enabled(True)
+        counter.inc()
+        assert counter.value == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+    def test_callback_gauge(self):
+        gauge = Gauge(callback=lambda: 42)
+        assert gauge.value == 42
+        with pytest.raises(ValueError):
+            gauge.set(1)
+
+
+class TestHistogram:
+    def test_exact_count_and_sum(self):
+        hist = Histogram(buckets=exponential_buckets(1, 2, 8))
+        for value in (0.5, 1, 3, 300, 10_000):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(10_304.5)
+
+    def test_buckets_are_cumulative_in_exposition(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5, 50):
+            hist.observe(value)
+        samples = dict()
+        for name, labels, value in hist._samples("h"):
+            samples[(name, tuple(sorted(labels.items())))] = value
+        assert samples[("h_bucket", (("le", "1"),))] == 1
+        assert samples[("h_bucket", (("le", "10"),))] == 2
+        assert samples[("h_bucket", (("le", "+Inf"),))] == 3
+        assert samples[("h_count", ())] == 3
+
+    @pytest.mark.parametrize("q", [0.0, 0.25, 0.5, 0.9, 0.99, 1.0])
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_percentile_against_sorted_oracle(self, q, seed):
+        import random
+
+        rng = random.Random(seed)
+        values = [rng.lognormvariate(2.0, 1.5) for _ in range(5000)]
+        hist = Histogram(buckets=exponential_buckets(0.05, 2, 24))
+        for value in values:
+            hist.observe(value)
+        oracle = sorted(values)[min(len(values) - 1, round(q * (len(values) - 1)))]
+        estimate = hist.percentile(q)
+        # The estimate must land in (or at the edge of) the log-bucket that
+        # contains the exact order statistic, i.e. bounded relative error.
+        from bisect import bisect_left
+
+        i = bisect_left(hist.bounds, oracle)
+        lower = hist.bounds[i - 1] if i > 0 else 0.0
+        upper = hist.bounds[i] if i < len(hist.bounds) else max(values)
+        assert lower * 0.999 <= estimate <= upper * 1.001
+
+    def test_percentile_empty(self):
+        assert Histogram().percentile(0.5) == 0.0
+
+    def test_summary_keys(self):
+        hist = Histogram()
+        hist.observe(3.0)
+        summary = hist.summary()
+        assert set(summary) == {"count", "p50", "p90", "p99", "mean"}
+        assert summary["count"] == 1 and summary["mean"] == 3.0
+
+
+class TestConcurrency:
+    """8 threads hammering shared metrics must produce exact totals."""
+
+    THREADS = 8
+    PER_THREAD = 5_000
+
+    def _hammer(self, work):
+        barrier = threading.Barrier(self.THREADS)
+
+        def run():
+            barrier.wait()
+            for i in range(self.PER_THREAD):
+                work(i)
+
+        threads = [threading.Thread(target=run) for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_totals_exact(self):
+        counter = Counter()
+        self._hammer(lambda i: counter.inc())
+        assert counter.value == self.THREADS * self.PER_THREAD
+
+    def test_labeled_counter_totals_exact(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("shard",))
+        self._hammer(lambda i: family.labels(shard=str(i % 4)).inc())
+        total = sum(family.labels(shard=str(s)).value for s in range(4))
+        assert total == self.THREADS * self.PER_THREAD
+
+    def test_histogram_totals_exact(self):
+        hist = Histogram(buckets=exponential_buckets(1, 2, 10))
+        self._hammer(lambda i: hist.observe(float(i % 100)))
+        assert hist.count == self.THREADS * self.PER_THREAD
+        assert hist.sum == self.THREADS * sum(i % 100 for i in range(self.PER_THREAD))
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("y_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("y_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labelnames=("bad-label",))
+
+    def test_render_is_parseable(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests.").inc(3)
+        registry.gauge("temp", "Temperature.").set(21.5)
+        hist = registry.histogram("lat_ms", "Latency.", buckets=(1.0, 10.0))
+        hist.observe(0.2)
+        registry.counter("by_kind_total", labelnames=("kind",)).labels(
+            kind='we"ird\nvalue'
+        ).inc()
+        text = registry.render()
+        assert "# TYPE req_total counter" in text
+        assert "req_total 3" in text
+        assert "temp 21.5" in text
+        assert 'lat_ms_bucket{le="1"} 1' in text
+        assert "lat_ms_count 1" in text
+        assert_prometheus_parseable(text)
+
+    def test_collector_samples_rendered_and_grouped(self):
+        registry = MetricsRegistry()
+
+        def collector():
+            yield Sample("pool_hits_total", 7, kind="counter", help="Pool hits.")
+            yield Sample("pool_reads_total", 1, {"kind": "seq"}, kind="counter")
+            yield Sample("pool_reads_total", 2, {"kind": "rand"}, kind="counter")
+
+        registry.register_collector(collector)
+        text = registry.render()
+        assert "pool_hits_total 7" in text
+        assert 'pool_reads_total{kind="seq"} 1' in text
+        assert text.count("# TYPE pool_reads_total counter") == 1
+        assert_prometheus_parseable(text)
+        registry.unregister_collector(collector)
+        assert "pool_hits_total" not in registry.render()
+
+    def test_collector_collision_with_metric_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("dup_total")
+        registry.register_collector(lambda: [Sample("dup_total", 1)])
+        with pytest.raises(ValueError):
+            registry.render()
+
+    def test_global_registry_is_singleton(self):
+        assert get_registry() is get_registry()

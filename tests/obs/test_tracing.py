@@ -1,0 +1,112 @@
+"""Tracer, span trees, and the bounded slow-query log."""
+
+import re
+
+import pytest
+
+from repro.obs.tracing import Span, Trace, Tracer, new_trace_id
+
+
+class TestTraceIds:
+    def test_format(self):
+        trace_id = new_trace_id()
+        assert re.fullmatch(r"[0-9a-f]{16}", trace_id)
+
+    def test_unique(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+
+class TestSpans:
+    def test_nesting_follows_call_structure(self):
+        trace = Trace("request")
+        with trace.span("plan", algorithm="il"):
+            pass
+        with trace.span("execute"):
+            with trace.span("prune"):
+                pass
+        trace.finish()
+        tree = trace.to_dict()
+        assert tree["name"] == "request"
+        assert [child["name"] for child in tree["children"]] == ["plan", "execute"]
+        assert tree["children"][0]["attrs"] == {"algorithm": "il"}
+        assert tree["children"][1]["children"][0]["name"] == "prune"
+        assert tree["trace_id"] == trace.trace_id
+
+    def test_durations_recorded(self):
+        trace = Trace("request")
+        with trace.span("work"):
+            pass
+        trace.finish()
+        span = trace.root.children[0]
+        assert span.duration_ms is not None and span.duration_ms >= 0
+        assert trace.duration_ms >= span.duration_ms
+
+    def test_annotate_targets_current_span(self):
+        trace = Trace("request")
+        with trace.span("inner"):
+            trace.annotate(rows=3)
+        trace.annotate(query="john ben")
+        assert trace.root.children[0].attrs == {"rows": 3}
+        assert trace.root.attrs == {"query": "john ben"}
+
+    def test_span_error_still_finishes(self):
+        trace = Trace("request")
+        with pytest.raises(RuntimeError):
+            with trace.span("boom"):
+                raise RuntimeError("nope")
+        assert trace.root.children[0].duration_ms is not None
+
+
+class TestSampling:
+    def test_rate_zero_records_nothing_unforced(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.start("request") is None
+
+    def test_forced_and_client_id_always_trace(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert tracer.start("request", force=True) is not None
+        trace = tracer.start("request", trace_id="deadbeefdeadbeef")
+        assert trace is not None and trace.trace_id == "deadbeefdeadbeef"
+
+    def test_rate_one_always_traces(self):
+        tracer = Tracer(sample_rate=1.0)
+        assert tracer.start("request") is not None
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestSlowLog:
+    def test_threshold_gate(self):
+        tracer = Tracer(slow_threshold_ms=50)
+        assert not tracer.note(10, {"query": "fast"})
+        assert tracer.note(51, {"query": "slow"})
+        entries = tracer.slow_queries()
+        assert len(entries) == 1
+        assert entries[0]["query"] == "slow"
+        assert entries[0]["elapsed_ms"] == 51
+
+    def test_bounded_most_recent_first(self):
+        tracer = Tracer(slow_threshold_ms=0, slow_log_size=3)
+        for i in range(5):
+            tracer.note(float(i + 1), {"query": f"q{i}"})
+        entries = tracer.slow_queries()
+        assert [entry["query"] for entry in entries] == ["q4", "q3", "q2"]
+
+    def test_trace_attached_when_present(self):
+        tracer = Tracer(slow_threshold_ms=0)
+        trace = tracer.start("request", force=True)
+        with trace.span("execute"):
+            pass
+        trace.finish()
+        tracer.note(5.0, {"query": "john"}, trace)
+        entry = tracer.slow_queries()[0]
+        assert entry["trace_id"] == trace.trace_id
+        assert entry["trace"]["children"][0]["name"] == "execute"
+
+    def test_clear(self):
+        tracer = Tracer(slow_threshold_ms=0)
+        tracer.note(1.0, {})
+        tracer.clear_slow_log()
+        assert tracer.slow_queries() == []

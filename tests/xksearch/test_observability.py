@@ -1,0 +1,219 @@
+"""Cross-layer observability: EXPLAIN/profile mode, /metrics, tracing.
+
+The acceptance contract: ``GET /metrics`` is valid Prometheus text covering
+server, cache, buffer-pool, pager and algorithm-counter metrics, and the
+``explain=1`` answer is byte-identical to the plain one.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.index.memory import MemoryKeywordIndex
+from repro.obs.tracing import Tracer
+from repro.xksearch.cache import QueryCache
+from repro.xksearch.engine import ExecutionStats, QueryEngine
+from repro.xksearch.server import ServerMetrics, make_server
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import school_tree
+from tests.obs.test_metrics import assert_prometheus_parseable
+
+
+@pytest.fixture
+def memory_index(school):
+    return MemoryKeywordIndex.from_tree(school)
+
+
+@pytest.fixture(scope="module")
+def disk_system(tmp_path_factory):
+    """A disk-backed system with a cache — the production serving shape."""
+    index_dir = tmp_path_factory.mktemp("obs") / "idx"
+    XKSearch.build(school_tree(), index_dir).close()
+    system = XKSearch.open(index_dir, cache=QueryCache())
+    yield system
+    system.close()
+
+
+@pytest.fixture(scope="module")
+def obs_server(disk_system):
+    """A server over the disk system, with an always-slow-logging tracer."""
+    tracer = Tracer(sample_rate=0.0, slow_threshold_ms=0.0)
+    server = make_server(disk_system, port=0, metrics=ServerMetrics(), tracer=tracer)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def fetch(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read().decode("utf-8")
+
+
+class TestEngineProfile:
+    def test_profiled_answer_is_byte_identical(self, memory_index):
+        plain = QueryEngine(memory_index)
+        for query in ("John Ben", "class smith", "john zebra"):
+            expected = list(plain.execute(query))
+            stats = ExecutionStats()
+            assert list(plain.execute(query, stats=stats, profile=True)) == expected
+            assert stats.profile is not None
+
+    def test_profile_phases_and_counters(self, memory_index):
+        engine = QueryEngine(memory_index)
+        stats = ExecutionStats()
+        ids = list(engine.execute("John Ben", stats=stats, profile=True))
+        prof = stats.profile
+        assert [phase.name for phase in prof.phases] == ["parse", "plan", "execute"]
+        assert prof.algorithm in ("il", "scan")
+        assert prof.result_count == len(ids)
+        assert prof.counters["lca_ops"] > 0
+        assert prof.plan["keywords"] and prof.plan["frequencies"]
+        assert prof.total_ms >= sum(phase.ms for phase in prof.phases) * 0.5
+        # In-memory index: no I/O attribution.
+        assert prof.io is None
+        # The whole breakdown serializes to JSON.
+        json.dumps(prof.as_dict())
+
+    def test_profile_cache_hit_path(self, memory_index):
+        engine = QueryEngine(memory_index, cache=QueryCache())
+        first = list(engine.execute("John Ben"))
+        stats = ExecutionStats()
+        again = list(engine.execute("ben john", stats=stats, profile=True))
+        assert again == first
+        prof = stats.profile
+        assert prof.cache_hit and stats.cache_hit
+        assert "cache_lookup" in [phase.name for phase in prof.phases]
+        assert prof.algorithm in ("il", "scan")  # plan re-derived for EXPLAIN
+        # Stamped with the original execution's counters, not zeroes.
+        assert stats.counters.lca_ops > 0
+
+    def test_profile_io_attribution_on_disk(self, disk_system):
+        disk_system.index.make_cold()
+        stats = ExecutionStats()
+        list(disk_system.search_ids("john xyznotthere", stats=stats, profile=True))
+        # Even an empty-result query planned against disk has an io block.
+        assert stats.profile.io is not None
+        stats = ExecutionStats()
+        ids = list(disk_system.search_ids("John Ben", stats=stats, profile=True))
+        io = stats.profile.io
+        if not stats.cache_hit:
+            assert io["pool_hits"] + io["pool_misses"] > 0
+        assert set(io) == {
+            "page_reads", "sequential_reads", "random_reads", "pool_hits", "pool_misses",
+        }
+        assert ids == list(disk_system.search_ids("John Ben"))
+
+
+class TestEngineTotals:
+    def test_counter_totals_accumulate_per_algorithm(self, memory_index):
+        engine = QueryEngine(memory_index, cache=QueryCache())
+        list(engine.execute("John Ben", algorithm="scan"))
+        list(engine.execute("John Ben", algorithm="stack"))
+        totals = engine.counter_totals()
+        assert totals["scan"]["lca_ops"] > 0
+        assert totals["stack"]["nodes_merged"] > 0
+        assert totals["_total"]["results"] >= totals["scan"]["results"]
+
+    def test_cache_hits_do_not_double_count_totals(self, memory_index):
+        engine = QueryEngine(memory_index, cache=QueryCache())
+        list(engine.execute("John Ben"))
+        once = engine.counter_totals()["_total"]["lca_ops"]
+        list(engine.execute("John Ben"))  # hit: no new execution
+        assert engine.counter_totals()["_total"]["lca_ops"] == once
+
+
+class TestMetricsEndpoint:
+    CORE_METRICS = (
+        "xks_http_requests_total",       # server
+        "xks_http_request_ms_bucket",    # server latency histogram
+        "xks_queries_total",             # engine
+        "xks_algo_ops_total",            # algorithm counters
+        "xks_query_cache_hits_total",    # cache
+        "xks_buffer_pool_hits_total",    # buffer pool
+        "xks_pager_reads_total",         # pager
+        "xks_bptree_node_reads_total",   # B+tree node touches
+        "xks_index_generation",
+    )
+
+    def test_metrics_parseable_and_covering(self, obs_server):
+        fetch(f"{obs_server}/api/search?q=John+Ben")
+        fetch(f"{obs_server}/api/search?q=John+Ben")  # second → cache hit
+        status, headers, body = fetch(f"{obs_server}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert_prometheus_parseable(body)
+        for name in self.CORE_METRICS:
+            assert name in body, f"missing core metric {name}"
+
+    def test_statz_enriched(self, obs_server):
+        fetch(f"{obs_server}/api/search?q=John+Ben")
+        _, _, body = fetch(f"{obs_server}/statz")
+        statz = json.loads(body)
+        storage = statz["storage"]
+        assert {"hits", "misses", "evictions", "hit_rate"} <= set(storage["buffer_pool"])
+        assert {"reads", "sequential_reads", "random_reads"} <= set(storage["pager"])
+        assert storage["bptree"]["il_node_reads"] >= 0
+        assert statz["counters"]["_total"]["lm_ops"] >= 0
+        assert statz["cache"]["results"]["hits"] >= 1
+        assert statz["tracing"]["slow_threshold_ms"] == 0.0
+
+
+class TestExplainApi:
+    def test_explain_breakdown_and_identical_ids(self, obs_server):
+        _, _, plain = fetch(f"{obs_server}/api/search?q=John+Ben")
+        _, _, explained = fetch(f"{obs_server}/api/search?q=John+Ben&explain=1")
+        plain, explained = json.loads(plain), json.loads(explained)
+        assert explained["ids"] == plain["ids"]
+        assert "explain" not in plain
+        breakdown = explained["explain"]
+        assert breakdown["phases"] and all("ms" in phase for phase in breakdown["phases"])
+        assert breakdown["algorithm"] in ("il", "scan", "stack")
+        assert "counters" in breakdown
+        assert explained["cache_hit"] in (True, False)
+        assert explained["counters"]["lca_ops"] >= 0
+
+    def test_cache_hit_stamped_in_api(self, obs_server):
+        fetch(f"{obs_server}/api/search?q=John+Ben")  # ensure cached
+        _, _, body = fetch(f"{obs_server}/api/search?q=ben+john")
+        payload = json.loads(body)
+        assert payload["cache_hit"] is True and payload["cached"] is True
+        assert sum(payload["counters"].values()) > 0  # original cost, not zeroes
+
+
+class TestTraceIds:
+    def test_trace_id_generated_and_echoed(self, obs_server):
+        _, headers, _ = fetch(f"{obs_server}/api/search?q=John+Ben")
+        assert len(headers["X-Trace-Id"]) == 16
+
+    def test_client_trace_id_propagated(self, obs_server):
+        _, headers, body = fetch(
+            f"{obs_server}/api/search?q=John+Ben",
+            headers={"X-Trace-Id": "feedfacefeedface"},
+        )
+        assert headers["X-Trace-Id"] == "feedfacefeedface"
+        assert json.loads(body)["trace_id"] == "feedfacefeedface"
+
+
+class TestSlowLog:
+    def test_slow_log_captures_requests(self, obs_server):
+        fetch(f"{obs_server}/api/search?q=John+Ben&explain=1")
+        _, _, body = fetch(f"{obs_server}/debug/slow")
+        slow = json.loads(body)
+        assert slow["threshold_ms"] == 0.0
+        assert slow["count"] >= 1
+        entry = slow["entries"][0]
+        assert entry["path"] in ("/search", "/api/search")
+        assert entry["elapsed_ms"] >= 0
+        # Forced (explain) requests carry a span tree in the slow log.
+        traced = [e for e in slow["entries"] if "trace" in e]
+        assert traced, "explain request should have attached a trace"
+        engine_span = traced[0]["trace"]["children"][0]
+        assert engine_span["name"] == "engine"
+        assert {child["name"] for child in engine_span["children"]} >= {"plan"}
