@@ -4,10 +4,18 @@ Builds a tiny index, starts the demo server in-process, exercises the
 search API, then asserts that:
 
 * ``GET /metrics`` returns Prometheus-text-format output that a strict
-  line grammar accepts, and that the core metric families (server,
-  engine, cache, buffer pool, pager, B+tree) are all present;
+  line grammar (including optional OpenMetrics exemplar suffixes)
+  accepts, and that the core metric families (server, engine, cache,
+  buffer pool, pager, B+tree) are all present — with band/algorithm
+  labels and an exemplar on the execution histogram;
+* a server run with a JSONL trace exporter attached exports exactly the
+  traces it served: every exported trace id matches an ``X-Trace-Id``
+  response header (the artifact is kept via ``--trace-out`` for upload);
 * one CLI ``search --explain`` invocation prints the answer line plus a
-  valid JSON profile with phases, counters and an algorithm.
+  valid JSON profile with phases, counters and an algorithm;
+* the committed full-run ``BENCH_qps.json`` (``--bench-report``) keeps
+  total instrumentation overhead within ``--max-overhead-pct`` (skipped
+  with a notice when the report is absent).
 
 Run::
 
@@ -16,27 +24,39 @@ Run::
 
 from __future__ import annotations
 
+import argparse
 import contextlib
 import io
 import json
+import os
 import re
+import shutil
 import sys
 import tempfile
 import threading
 import urllib.request
 
+from repro.obs.export import JsonlFileSink, TraceExporter
+from repro.obs.tracing import Tracer
 from repro.xksearch.cache import QueryCache
 from repro.xksearch.cli import main as cli_main
 from repro.xksearch.server import ServerMetrics, make_server
 from repro.xksearch.system import XKSearch
 from repro.xmltree.generate import school_tree
 
-# One exposition line: "name{labels} value" or a # HELP / # TYPE comment.
+# One exposition line: "name{labels} value", optionally followed by an
+# OpenMetrics exemplar ("# {labels} value [timestamp]"), or a # HELP /
+# # TYPE comment.
+_LABELS = (
+    r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\")*\}"
+)
+_NUMBER = r"(\+Inf|-Inf|NaN|-?[0-9.e+-]+)"
 _SAMPLE_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
-    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\""
-    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\")*\})?"
-    r" (\+Inf|-Inf|-?[0-9.e+-]+)$"
+    rf"({_LABELS})?"
+    rf" {_NUMBER}"
+    rf"( # {_LABELS} {_NUMBER}( {_NUMBER})?)?$"
 )
 _COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
 
@@ -44,6 +64,7 @@ CORE_METRICS = (
     "xks_http_requests_total",
     "xks_http_request_ms_bucket",
     "xks_queries_total",
+    "xks_query_exec_ms_bucket",
     "xks_algo_ops_total",
     "xks_query_cache_hits_total",
     "xks_buffer_pool_hits_total",
@@ -54,6 +75,7 @@ CORE_METRICS = (
 
 
 def check_metrics_endpoint(index_dir: str) -> None:
+    forced_trace_id = "f005ba1100c0ffee"
     with XKSearch.open(index_dir, cache=QueryCache()) as system:
         server = make_server(system, port=0, metrics=ServerMetrics())
         thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -66,9 +88,19 @@ def check_metrics_endpoint(index_dir: str) -> None:
                     f"{base}/api/search?q={query}", timeout=10
                 ) as resp:
                     json.loads(resp.read())
+            # A traced request (explicit X-Trace-Id) must leave an exemplar
+            # on the execution histogram.
+            request = urllib.request.Request(
+                f"{base}/api/search?q=John+Smith",
+                headers={"X-Trace-Id": forced_trace_id},
+            )
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                json.loads(resp.read())
             with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
                 content_type = resp.headers["Content-Type"]
                 body = resp.read().decode("utf-8")
+            with urllib.request.urlopen(f"{base}/debug/slow", timeout=10) as resp:
+                slow = json.loads(resp.read())
         finally:
             server.shutdown()
             server.server_close()
@@ -82,7 +114,90 @@ def check_metrics_endpoint(index_dir: str) -> None:
         )
     for name in CORE_METRICS:
         assert name in body, f"missing core metric {name}"
-    print(f"/metrics OK: {len(body.splitlines())} lines, all core metrics present")
+    exec_lines = [
+        line for line in body.splitlines() if line.startswith("xks_query_exec_ms_bucket")
+    ]
+    assert exec_lines and all(
+        'band="' in line and 'algorithm="' in line for line in exec_lines
+    ), "xks_query_exec_ms must carry band and algorithm labels"
+    exemplar_lines = [line for line in exec_lines if f'trace_id="{forced_trace_id}"' in line]
+    assert exemplar_lines, "traced request left no exemplar on xks_query_exec_ms"
+    # The exemplar's trace id must resolve via /debug/slow's exemplar echo.
+    assert any(
+        entry["trace_id"] == forced_trace_id for entry in slow.get("exemplars", [])
+    ), f"exemplar trace id absent from /debug/slow: {slow.get('exemplars')}"
+    print(
+        f"/metrics OK: {len(body.splitlines())} lines, all core metrics present, "
+        f"banded exec histogram with resolvable exemplar"
+    )
+
+
+def check_export_pipeline(index_dir: str, trace_out: str = None) -> None:
+    """Serve with a JSONL trace exporter; exported ids must match served ids."""
+    trace_path = os.path.join(index_dir, "..", "traces.jsonl")
+    exporter = TraceExporter(JsonlFileSink(trace_path), flush_interval=0.05)
+    served_ids = []
+    with XKSearch.open(index_dir, cache=QueryCache()) as system:
+        server = make_server(
+            system,
+            port=0,
+            metrics=ServerMetrics(),
+            tracer=Tracer(sample_rate=1.0),
+            exporter=exporter,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        try:
+            for i, query in enumerate(("John+Ben", "class+smith", "John+Smith")):
+                request = urllib.request.Request(
+                    f"{base}/api/search?q={query}",
+                    headers={"X-Trace-Id": f"{i:016x}"},
+                )
+                with urllib.request.urlopen(request, timeout=10) as resp:
+                    json.loads(resp.read())
+                    served_ids.append(resp.headers["X-Trace-Id"])
+        finally:
+            server.shutdown()
+            server.server_close()  # closes the exporter (flush-on-shutdown)
+            thread.join(timeout=5)
+
+    with open(trace_path, encoding="utf-8") as fh:
+        exported = [json.loads(line) for line in fh]
+    exported_ids = [record["trace_id"] for record in exported]
+    assert sorted(exported_ids) == sorted(served_ids), (
+        f"exported {exported_ids} != served {served_ids}"
+    )
+    stats = exporter.stats.as_dict()
+    assert stats["submitted"] == stats["sent"] + stats["dropped_total"], stats
+    assert all(record["kind"] == "trace" for record in exported)
+    if trace_out:
+        shutil.copyfile(trace_path, trace_out)
+    print(
+        f"export OK: {len(exported)} traces exported, ids match X-Trace-Id headers"
+        + (f", artifact at {trace_out}" if trace_out else "")
+    )
+
+
+def check_overhead_guard(report_path: str, max_overhead_pct: float) -> None:
+    """Fail when the committed full-run bench shows excess total overhead."""
+    if not os.path.exists(report_path):
+        print(f"overhead guard SKIPPED: no {report_path}")
+        return
+    with open(report_path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    instr = report.get("instrumentation", {})
+    if report.get("workload", {}).get("smoke"):
+        print(f"overhead guard SKIPPED: {report_path} is a smoke run (too noisy)")
+        return
+    overhead = instr.get("total_overhead_pct", instr.get("overhead_pct"))
+    assert overhead is not None, f"no overhead figures in {report_path}"
+    assert overhead <= max_overhead_pct, (
+        f"instrumentation overhead {overhead:+.2f}% exceeds "
+        f"{max_overhead_pct:.1f}% budget ({report_path})"
+    )
+    print(f"overhead guard OK: {overhead:+.2f}% <= {max_overhead_pct:.1f}%")
 
 
 def check_cli_explain(index_dir: str) -> None:
@@ -102,12 +217,32 @@ def check_cli_explain(index_dir: str) -> None:
     )
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="keep the exported JSONL trace stream at this path (CI artifact)",
+    )
+    parser.add_argument(
+        "--bench-report",
+        default="BENCH_qps.json",
+        help="full-run bench report for the overhead guard (default BENCH_qps.json)",
+    )
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=3.0,
+        help="fail when total instrumentation overhead exceeds this (%% QPS)",
+    )
+    args = parser.parse_args(argv)
     with tempfile.TemporaryDirectory(prefix="xk_obs_smoke_") as tmp:
         index_dir = f"{tmp}/idx"
         XKSearch.build(school_tree(), index_dir).close()
         check_metrics_endpoint(index_dir)
+        check_export_pipeline(index_dir, trace_out=args.trace_out)
         check_cli_explain(index_dir)
+    check_overhead_guard(args.bench_report, args.max_overhead_pct)
     print("observability smoke test passed")
     return 0
 

@@ -27,6 +27,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from repro.errors import IndexFormatError
 from repro.index.frequency import FrequencyTable
+from repro.obs.logging import get_logger
 from repro.storage.bptree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
@@ -44,6 +45,8 @@ TAGS_NAME = "tags.json"
 INDEX_FILE_NAME = "index.db"
 DOCUMENT_NAME = "document.xml"
 FORMAT_VERSION = 1
+
+_log = get_logger("index")
 
 #: Tag id reserved for postings without a known context tag (e.g. indexes
 #: built from raw keyword lists).
@@ -160,6 +163,14 @@ def build_index(
     if document_text is not None:
         with open(os.path.join(index_dir, DOCUMENT_NAME), "w", encoding="utf-8") as fh:
             fh.write(document_text)
+    _log.info(
+        "index_built",
+        index_dir=os.fspath(index_dir),
+        keywords=report.keywords,
+        postings=report.postings,
+        pages=report.pages,
+        codec=report.codec,
+    )
     return report
 
 

@@ -49,12 +49,15 @@ from repro.index.builder import (
     make_codec,
 )
 from repro.index.frequency import FrequencyTable
+from repro.obs.logging import get_logger
 from repro.storage.bptree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pager import Pager
 from repro.storage.records import keyword_range, posting_key, unpack_tagged_block
 from repro.xmltree.dewey import DeweyTuple
 from repro.xmltree.level_table import LevelTable
+
+_log = get_logger("index")
 
 
 class DiskIndexedSource:
@@ -206,6 +209,12 @@ class DiskKeywordIndex:
             self.pool.clear(keep_pinned=False)
             self._load_metadata()
             self._open_trees()
+        _log.info(
+            "index_refreshed",
+            index_dir=self.index_dir,
+            generation=self.manifest.get("generation", 0),
+            keywords=self.manifest.get("keywords"),
+        )
 
     # -- catalogue -----------------------------------------------------------
 

@@ -41,6 +41,7 @@ from repro.index.builder import (
     make_codec,
 )
 from repro.index.frequency import FrequencyTable
+from repro.obs.logging import get_logger
 from repro.storage.bptree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pager import Pager
@@ -57,6 +58,8 @@ from repro.xmltree.tree import Node, TEXT_TAG
 
 #: A change set: keyword → postings, each (dewey, context tag).
 TaggedPostings = Mapping[str, Sequence[Tuple[DeweyTuple, str]]]
+
+_log = get_logger("index")
 
 
 class IndexUpdater:
@@ -126,7 +129,13 @@ class IndexUpdater:
         if added:
             # Stale every cached query result computed against the old
             # contents (see repro.xksearch.cache).
-            bump_generation(self.index_dir)
+            generation = bump_generation(self.index_dir)
+            _log.info(
+                "postings_added",
+                added=added,
+                keywords=len(changes),
+                generation=generation,
+            )
         return added
 
     def remove_postings(
@@ -147,7 +156,13 @@ class IndexUpdater:
             self._refresh_frequency(kw)
         self._postings_delta -= removed
         if removed:
-            bump_generation(self.index_dir)
+            generation = bump_generation(self.index_dir)
+            _log.info(
+                "postings_removed",
+                removed=removed,
+                keywords=len(changes),
+                generation=generation,
+            )
         return removed
 
     def add_subtree(self, node: Node) -> int:
@@ -257,6 +272,12 @@ class IndexUpdater:
         self._pager.sync()
         self._pager.close()
         self._closed = True
+        _log.info(
+            "updater_closed",
+            index_dir=self.index_dir,
+            postings_delta=self._postings_delta,
+            generation=self.manifest["generation"],
+        )
 
     def __enter__(self) -> "IndexUpdater":
         return self

@@ -9,16 +9,35 @@ layer, :class:`~repro.xksearch.cache.CacheStats` at the serving layer.
 This package connects them:
 
 * :mod:`repro.obs.metrics` — a process-global, thread-safe
-  :class:`MetricsRegistry` (counters, gauges, log-bucketed histograms)
-  with Prometheus text-format exposition;
+  :class:`MetricsRegistry` (counters, gauges, log-bucketed histograms
+  with OpenMetrics exemplars) and Prometheus text-format exposition;
 * :mod:`repro.obs.tracing` — span-based query traces with per-request
   trace ids and a bounded slow-query log;
 * :mod:`repro.obs.profile` — the EXPLAIN/profile breakdown
-  (:class:`QueryProfile`) attached to an execution on request.
+  (:class:`QueryProfile`) attached to an execution on request;
+* :mod:`repro.obs.export` — trace/metrics export to JSONL files or an
+  HTTP collector through a bounded background queue;
+* :mod:`repro.obs.logging` — trace-id-correlated structured JSON logs.
 
 See docs/OBSERVABILITY.md for the metric catalog and schemas.
 """
 
+from repro.obs.export import (
+    BackgroundExporter,
+    ExportSink,
+    HttpCollectorSink,
+    JsonlFileSink,
+    MemorySink,
+    MetricsExporter,
+    TraceExporter,
+)
+from repro.obs.logging import (
+    configure_logging,
+    current_trace_id,
+    get_logger,
+    reset_current_trace_id,
+    set_current_trace_id,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,9 +50,21 @@ from repro.obs.metrics import (
     set_instrumentation_enabled,
 )
 from repro.obs.profile import Phase, QueryProfile
-from repro.obs.tracing import Span, Trace, Tracer, new_trace_id
+from repro.obs.tracing import Span, Trace, Tracer, new_trace_id, valid_trace_id
 
 __all__ = [
+    "BackgroundExporter",
+    "ExportSink",
+    "HttpCollectorSink",
+    "JsonlFileSink",
+    "MemorySink",
+    "MetricsExporter",
+    "TraceExporter",
+    "configure_logging",
+    "current_trace_id",
+    "get_logger",
+    "reset_current_trace_id",
+    "set_current_trace_id",
     "Counter",
     "Gauge",
     "Histogram",
@@ -49,4 +80,5 @@ __all__ = [
     "Trace",
     "Tracer",
     "new_trace_id",
+    "valid_trace_id",
 ]

@@ -33,6 +33,7 @@ from __future__ import annotations
 import math
 import re
 import threading
+import time
 from bisect import bisect_left
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -118,6 +119,15 @@ def _format_labels(labels: Dict[str, str]) -> str:
     return "{" + body + "}"
 
 
+def _format_exemplar(exemplar: Tuple[str, float, float]) -> str:
+    """OpenMetrics exemplar suffix: ``# {trace_id="…"} value timestamp``."""
+    trace_id, value, ts = exemplar
+    return (
+        f' # {{trace_id="{_escape_label_value(str(trace_id))}"}} '
+        f"{_format_value(value)} {ts:.3f}"
+    )
+
+
 class Counter:
     """Monotonically increasing value (one lock, one addition per update)."""
 
@@ -184,12 +194,23 @@ class Histogram:
     """Log-bucketed distribution with exact count/sum and cumulative buckets.
 
     ``counts[i]`` counts observations ``<= bounds[i]`` exclusive of earlier
-    buckets; the final slot is the ``+Inf`` overflow.  ``observe`` is one
-    ``bisect`` plus three additions under one lock, so 8 threads hammering
-    the same histogram still produce exact totals (tested).
+    buckets; the final slot is the ``+Inf`` overflow (anything strictly
+    above the top finite bound, including ``inf``, lands there; ``NaN``
+    observations are ignored).  ``observe`` is one ``bisect`` plus three
+    additions under one lock, so 8 threads hammering the same histogram
+    still produce exact totals (tested).
+
+    **Exemplars**: ``observe(value, trace_id=...)`` additionally records a
+    ``(trace_id, value, unix_ts)`` exemplar for the bucket the value lands
+    in (latest per bucket wins — the cheapest sampling policy that still
+    links every bucket to a recent, replayable trace).  The registry
+    renders them in OpenMetrics exemplar syntax on ``/metrics``.
     """
 
-    __slots__ = ("_lock", "bounds", "_counts", "_sum", "_count", "_min", "_max")
+    __slots__ = (
+        "_lock", "bounds", "_counts", "_sum", "_count", "_min", "_max",
+        "_le_strings", "_exemplars",
+    )
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS):
         bounds = tuple(sorted(float(b) for b in buckets))
@@ -204,9 +225,13 @@ class Histogram:
         self._count = 0
         self._min = math.inf
         self._max = -math.inf
+        self._le_strings = tuple(_format_value(b) for b in bounds) + ("+Inf",)
+        self._exemplars: Dict[str, Tuple[str, float, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None) -> None:
         if not _enabled:
+            return
+        if value != value:  # NaN cannot be bucketed meaningfully
             return
         i = bisect_left(self.bounds, value)
         with self._lock:
@@ -217,6 +242,27 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if trace_id is not None:
+                self._exemplars[self._le_strings[i]] = (
+                    trace_id, value, time.time()
+                )
+
+    def exemplars(self) -> Dict[str, Tuple[str, float, float]]:
+        """``le-string → (trace_id, value, unix_ts)``, latest per bucket."""
+        with self._lock:
+            return dict(self._exemplars)
+
+    def exemplar_for(
+        self, sample_name: str, labels: Dict[str, str]
+    ) -> Optional[Tuple[str, float, float]]:
+        """The exemplar for one exposition sample (``*_bucket`` lines only)."""
+        if not sample_name.endswith("_bucket"):
+            return None
+        le = labels.get("le")
+        if le is None:
+            return None
+        with self._lock:
+            return self._exemplars.get(le)
 
     @property
     def count(self) -> int:
@@ -249,16 +295,24 @@ class Histogram:
             if bucket_count == 0:
                 continue
             if cumulative + bucket_count >= rank:
-                lower = self.bounds[i - 1] if i > 0 else min(lo_seen, self.bounds[0])
-                upper = self.bounds[i] if i < len(self.bounds) else hi_seen
-                lower = max(lower, lo_seen) if i == 0 else lower
-                upper = min(upper, hi_seen) if i == len(self.bounds) else upper
+                # Interpolation bounds: the bucket's range clamped to the
+                # observed min/max, so the estimate never leaves
+                # [min seen, max seen].  (The global min always lives in the
+                # lowest non-empty bucket, so `lower = lo_seen` is exact
+                # there; elsewhere lo_seen can only tighten the bound.)
+                lower = lo_seen if i == 0 else max(self.bounds[i - 1], lo_seen)
+                upper = hi_seen if i == len(self.bounds) else min(self.bounds[i], hi_seen)
+                if math.isinf(upper):
+                    # Observations at +Inf: clamp to the top finite bound.
+                    if math.isinf(lower):
+                        return self.bounds[-1]
+                    return max(lower, self.bounds[-1])
                 if upper <= lower:
                     return upper
                 fraction = (rank - cumulative) / bucket_count
                 return lower + (upper - lower) * min(1.0, fraction)
             cumulative += bucket_count
-        return hi_seen
+        return self.bounds[-1] if math.isinf(hi_seen) else hi_seen
 
     def summary(self) -> dict:
         """JSON-friendly p50/p90/p99/mean block for /statz-style output."""
@@ -309,6 +363,21 @@ class _Family:
                 child = self._factory()
                 self._children[key] = child
             return child
+
+    def items(self) -> List[Tuple[Dict[str, str], object]]:
+        """``(labels dict, child metric)`` pairs — read-side introspection
+        (the band-attribution report walks these)."""
+        with self._lock:
+            children = list(self._children.items())
+        return [(dict(zip(self.labelnames, key)), child) for key, child in children]
+
+    def exemplar_for(self, sample_name: str, labels: Dict[str, str]):
+        """Dispatch an exemplar lookup to the child the labels identify."""
+        key = tuple(labels.get(n) for n in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+        lookup = getattr(child, "exemplar_for", None)
+        return lookup(sample_name, labels) if lookup is not None else None
 
     def _samples(self, name: str) -> Iterable[Tuple[str, Dict[str, str], float]]:
         with self._lock:
@@ -411,10 +480,35 @@ class MetricsRegistry:
             self._collectors.clear()
             self._help.clear()
 
+    def get_metric(self, name: str):
+        """The registered metric object (or family) for *name*, else None."""
+        with self._lock:
+            entry = self._metrics.get(name)
+            return entry[1] if entry is not None else None
+
+    def collect(self) -> List[Sample]:
+        """Every current sample — registered metrics plus collector output.
+
+        The flat-snapshot twin of :meth:`render`; the metrics exporter
+        ships these as JSON instead of Prometheus text.
+        """
+        with self._lock:
+            metrics = list(self._metrics.items())
+            collectors = list(self._collectors)
+        samples: List[Sample] = []
+        for name, (kind, metric) in sorted(metrics):
+            for sample_name, labels, value in metric._samples(name):
+                samples.append(Sample(sample_name, value, dict(labels), kind=kind))
+        for collector in collectors:
+            samples.extend(collector())
+        return samples
+
     # -- exposition ----------------------------------------------------------
 
     def render(self) -> str:
-        """The registry in Prometheus text exposition format (version 0.0.4)."""
+        """The registry in Prometheus text exposition format (version 0.0.4),
+        with OpenMetrics exemplar suffixes on histogram bucket lines that
+        have one (see :meth:`Histogram.observe`)."""
         with self._lock:
             metrics = list(self._metrics.items())
             collectors = list(self._collectors)
@@ -425,10 +519,14 @@ class MetricsRegistry:
             if help_text:
                 lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
+            exemplar_for = getattr(metric, "exemplar_for", None)
             for sample_name, labels, value in metric._samples(name):
-                lines.append(
-                    f"{sample_name}{_format_labels(labels)} {_format_value(value)}"
-                )
+                line = f"{sample_name}{_format_labels(labels)} {_format_value(value)}"
+                if exemplar_for is not None:
+                    exemplar = exemplar_for(sample_name, labels)
+                    if exemplar is not None:
+                        line += _format_exemplar(exemplar)
+                lines.append(line)
         # Samples of one name must be contiguous in the exposition, so
         # collector output is buffered and grouped before rendering.
         grouped: "Dict[str, Tuple[str, str, List[Sample]]]" = {}

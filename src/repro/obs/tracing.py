@@ -18,6 +18,7 @@ when the request happened to be traced, and a flat summary otherwise.
 from __future__ import annotations
 
 import random
+import re
 import threading
 import time
 import uuid
@@ -31,10 +32,20 @@ DEFAULT_SLOW_THRESHOLD_MS = 100.0
 #: Default bound on retained slow-query entries.
 DEFAULT_SLOW_LOG_SIZE = 128
 
+#: The only shape a trace id may take — 16 lowercase hex digits.  Inbound
+#: ``X-Trace-Id`` headers are validated against this before they can reach
+#: the slow log, the exposition (exemplars) or the export stream.
+TRACE_ID_RE = re.compile(r"[0-9a-f]{16}\Z")
+
 
 def new_trace_id() -> str:
     """A fresh 16-hex-digit trace id."""
     return uuid.uuid4().hex[:16]
+
+
+def valid_trace_id(trace_id: Optional[str]) -> bool:
+    """Whether *trace_id* is a well-formed 16-hex-digit id."""
+    return bool(trace_id) and TRACE_ID_RE.match(trace_id) is not None
 
 
 class Span:

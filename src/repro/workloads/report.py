@@ -128,6 +128,52 @@ def io_table(
     return format_table(title, headers, rows)
 
 
+def band_attribution_table(
+    registry=None,
+    title: str = "Latency attribution by smallest-list frequency band",
+) -> str:
+    """Per-{band, algorithm} latency summary from ``xks_query_exec_ms``.
+
+    The paper sweeps the smallest keyword list in decades (Figures 8-13);
+    the engine labels its execution histogram the same way, so this table
+    reads the live registry and answers "are we slow, or are the queries
+    just big?" without re-running a sweep.
+    """
+    from repro.obs.metrics import get_registry
+    from repro.xksearch.engine import FREQUENCY_BANDS
+
+    headers = ["band", "algorithm", "queries", "mean ms", "p50 ms", "p99 ms"]
+    registry = registry if registry is not None else get_registry()
+    metric = registry.get_metric("xks_query_exec_ms")
+    items = getattr(metric, "items", None) if metric is not None else None
+    if not callable(items):
+        return format_table(title, headers, [])
+    band_order = {band: i for i, band in enumerate(FREQUENCY_BANDS)}
+    rows: List[List[str]] = []
+    entries = sorted(
+        items(),
+        key=lambda kv: (
+            band_order.get(kv[0].get("band", ""), len(band_order)),
+            kv[0].get("algorithm", ""),
+        ),
+    )
+    for labels, child in entries:
+        count = child.count
+        if not count:
+            continue
+        rows.append(
+            [
+                labels.get("band", "?"),
+                labels.get("algorithm", "?"),
+                str(count),
+                _fmt_ms(child.sum / count),
+                _fmt_ms(child.percentile(0.50)),
+                _fmt_ms(child.percentile(0.99)),
+            ]
+        )
+    return format_table(title, headers, rows)
+
+
 def ops_table(
     title: str,
     x_label: str,

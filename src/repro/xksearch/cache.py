@@ -30,10 +30,14 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Tuple
 
+from repro.obs.logging import get_logger
+
 #: Default number of cached query results (each a tuple of Dewey numbers).
 DEFAULT_RESULT_CAPACITY = 1024
 #: Default number of cached query plans (plans are tiny; keep more).
 DEFAULT_PLAN_CAPACITY = 4096
+
+_log = get_logger("cache")
 
 
 @dataclass
@@ -113,6 +117,7 @@ class LRUCache:
         """Lookup of a ``(generation, value)`` entry stored by
         :meth:`put_stamped`: an entry stamped with a different generation is
         a miss — it is dropped and counted as an invalidation."""
+        stale_generation = None
         with self._lock:
             entry = self._map.get(key)
             if entry is not None and entry[0] == generation:
@@ -123,7 +128,14 @@ class LRUCache:
             if entry is not None:
                 del self._map[key]
                 self.stats.invalidations += 1
-            return False, None
+                stale_generation = entry[0]
+        if stale_generation is not None and _log.enabled_for("debug"):
+            _log.debug(
+                "cache_entry_invalidated",
+                stale_generation=stale_generation,
+                current_generation=generation,
+            )
+        return False, None
 
     def put_stamped(self, key: Hashable, generation: int, value: Any) -> None:
         self.put(key, (generation, value))

@@ -147,6 +147,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.xksearch.server import serve
 
+    if args.export_jsonl and args.export_url:
+        print("error: choose one of --export-jsonl / --export-url", file=sys.stderr)
+        return 2
     serve(
         args.index_dir,
         host=args.host,
@@ -155,6 +158,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         slow_ms=args.slow_ms,
         trace_sample=args.trace_sample,
+        export_jsonl=args.export_jsonl,
+        export_url=args.export_url,
+        log_json=args.log_json,
+        log_level=args.log_level,
     )
     return 0
 
@@ -251,6 +258,29 @@ def make_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="fraction of requests to span-trace (0.0 = only forced traces)",
+    )
+    p_serve.add_argument(
+        "--export-jsonl",
+        default=None,
+        metavar="FILE",
+        help="append finished request traces to FILE as JSON lines",
+    )
+    p_serve.add_argument(
+        "--export-url",
+        default=None,
+        metavar="URL",
+        help="POST finished request traces to an HTTP collector at URL",
+    )
+    p_serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs to stderr (one object per line)",
+    )
+    p_serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="log level (default: REPRO_LOG_LEVEL, else info)",
     )
     p_serve.set_defaults(func=_cmd_serve)
     return parser

@@ -29,6 +29,7 @@ from repro.core.counters import OpCounters
 from repro.errors import QueryError
 from repro.index.inverted import DiskKeywordIndex
 from repro.index.memory import MemoryKeywordIndex
+from repro.obs.logging import current_trace_id, get_logger
 from repro.obs.metrics import exponential_buckets, get_registry, instrumentation_enabled
 from repro.obs.profile import QueryProfile, maybe_phase
 from repro.xksearch.cache import QueryCache, normalize_key
@@ -45,6 +46,31 @@ DEFAULT_SKEW_THRESHOLD = 10.0
 
 #: Engine execution-time histogram buckets: 0.01 ms … ~5 s, factor 2.
 _EXEC_BUCKETS_MS = exponential_buckets(0.01, 2.0, 20)
+
+#: Log-spaced |S1| bands, matching the paper's 10/100/1000 frequency axis
+#: (Figures 8-13 sweep the smallest-list size in decades).  Every executed
+#: query is attributed to one band via its plan's smallest keyword list.
+FREQUENCY_BANDS = ("0", "1-9", "10-99", "100-999", "1000+")
+
+_log = get_logger("engine")
+
+
+def frequency_band(frequency: int) -> str:
+    """The log-spaced band a smallest-list frequency falls into.
+
+    All the paper's complexity bounds are driven by ``|S1|``, so latency
+    attribution by this band separates "slow because the query is large"
+    from "slow because the system regressed".
+    """
+    if frequency <= 0:
+        return FREQUENCY_BANDS[0]
+    if frequency < 10:
+        return FREQUENCY_BANDS[1]
+    if frequency < 100:
+        return FREQUENCY_BANDS[2]
+    if frequency < 1000:
+        return FREQUENCY_BANDS[3]
+    return FREQUENCY_BANDS[4]
 
 
 @dataclass(frozen=True)
@@ -119,6 +145,11 @@ class QueryPlan:
             return float("inf")
         return max(self.frequencies) / min(self.frequencies)
 
+    @property
+    def band(self) -> str:
+        """Frequency band of the smallest keyword list (``|S1|``)."""
+        return frequency_band(min(self.frequencies) if self.frequencies else 0)
+
     def summary(self) -> dict:
         """JSON-friendly plan description (EXPLAIN output, trace attrs)."""
         skew = self.skew
@@ -127,6 +158,7 @@ class QueryPlan:
             "frequencies": list(self.frequencies),
             "algorithm": self.algorithm,
             "empty": self.empty,
+            "band": self.band,
             "skew": None if math.isinf(skew) else round(skew, 2),
         }
 
@@ -211,11 +243,13 @@ class QueryEngine:
         algorithm: str,
         delta: Optional[OpCounters],
         exec_ms: Optional[float],
+        band: Optional[str] = None,
     ) -> None:
         """Record one query against the engine totals and the registry.
 
-        ``cache_state`` is ``hit``/``miss``/``off``; ``delta`` and
-        ``exec_ms`` are only present when an actual execution happened.
+        ``cache_state`` is ``hit``/``miss``/``off``; ``delta``, ``exec_ms``
+        and ``band`` (the plan's smallest-list frequency band) are only
+        present when an actual execution happened.
         """
         if not instrumentation_enabled():
             return
@@ -242,9 +276,22 @@ class QueryEngine:
         if exec_ms is not None:
             registry.histogram(
                 "xks_query_exec_ms",
-                "Engine execution time of non-cached queries (ms).",
+                "Engine execution time of non-cached queries (ms), by "
+                "smallest-list frequency band and algorithm.",
                 buckets=_EXEC_BUCKETS_MS,
-            ).observe(exec_ms)
+                labelnames=("band", "algorithm"),
+            ).labels(band=band or "0", algorithm=algorithm).observe(
+                exec_ms, trace_id=current_trace_id()
+            )
+            if _log.enabled_for("debug"):
+                _log.debug(
+                    "query_executed",
+                    semantics=semantics,
+                    algorithm=algorithm,
+                    band=band or "0",
+                    cache=cache_state,
+                    exec_ms=round(exec_ms, 3),
+                )
 
     def _accounted(
         self,
@@ -252,6 +299,7 @@ class QueryEngine:
         stats: ExecutionStats,
         semantics: str,
         algorithm: str,
+        band: Optional[str] = None,
     ) -> Iterator[DeweyTuple]:
         """Wrap a lazy execution so counters flush once it is consumed."""
         before = stats.counters.snapshot()
@@ -261,7 +309,8 @@ class QueryEngine:
         finally:
             exec_ms = (time.perf_counter() - started) * 1000
             self._note_query(
-                semantics, "off", algorithm, stats.counters.delta(before), exec_ms
+                semantics, "off", algorithm, stats.counters.delta(before), exec_ms,
+                band=band,
             )
 
     def generation(self) -> int:
@@ -423,7 +472,8 @@ class QueryEngine:
                 plan = self._plan_atoms(atoms, algorithm)
             if prof is None:
                 return self._accounted(
-                    runner(plan, stats), stats, semantics, plan.algorithm
+                    runner(plan, stats), stats, semantics, plan.algorithm,
+                    band=plan.band,
                 )
             prof.algorithm = plan.algorithm
             prof.plan = plan.summary()
@@ -465,7 +515,9 @@ class QueryEngine:
             value = tuple(runner(plan, stats))
         exec_ms = (time.perf_counter() - exec_started) * 1000
         delta = stats.counters.delta(before)
-        self._note_query(semantics, "miss", plan.algorithm, delta, exec_ms)
+        self._note_query(
+            semantics, "miss", plan.algorithm, delta, exec_ms, band=plan.band
+        )
         with maybe_phase(prof, "cache_store"):
             evictions_before = self.cache.results.stats.evictions
             self.cache.store_result(key, generation, (value, delta))
@@ -492,7 +544,8 @@ class QueryEngine:
             value = tuple(runner(plan, stats))
         exec_ms = (time.perf_counter() - exec_started) * 1000
         self._note_query(
-            semantics, cache_state, plan.algorithm, stats.counters.delta(before), exec_ms
+            semantics, cache_state, plan.algorithm, stats.counters.delta(before),
+            exec_ms, band=plan.band,
         )
         prof.result_count = len(value)
         return iter(value)
@@ -556,6 +609,7 @@ class QueryEngine:
                 plan.algorithm,
                 delta,
                 exec_ms,
+                band=plan.band,
             )
             if self.cache is not None:
                 evictions_before = self.cache.results.stats.evictions

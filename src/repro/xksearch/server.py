@@ -34,9 +34,19 @@ Endpoints:
 * ``GET /api/search?q=<keywords>[&algorithm=…][&limit=N][&explain=1]`` —
   JSON results (+ EXPLAIN breakdown with ``explain=1``);
 * ``GET /statz`` — serving metrics (JSON);
-* ``GET /metrics`` — Prometheus text exposition;
-* ``GET /debug/slow`` — bounded slow-query log (JSON);
+* ``GET /metrics`` — Prometheus text exposition (with OpenMetrics
+  exemplars on histogram buckets that saw a traced request);
+* ``GET /debug/slow[?limit=N][&clear=1]`` — bounded slow-query log plus
+  current execution-histogram exemplars (JSON); ``clear`` returns the
+  entries it removes;
 * ``GET /healthz`` — liveness (plain text).
+
+With an exporter attached (``serve --export-jsonl FILE`` or
+``--export-url URL``) every finished request trace is enqueued to a
+background flusher; delivery failures retry with backoff and are
+eventually dropped and counted — the request path never blocks on the
+collector.  ``--log-json`` (or ``REPRO_LOG_LEVEL``) turns on structured
+logs correlated to ``X-Trace-Id`` (see :mod:`repro.obs.logging`).
 """
 
 from __future__ import annotations
@@ -49,13 +59,24 @@ from typing import List, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ReproError
+from repro.obs.export import (
+    HttpCollectorSink,
+    JsonlFileSink,
+    TraceExporter,
+)
+from repro.obs.logging import (
+    configure_logging,
+    get_logger,
+    reset_current_trace_id,
+    set_current_trace_id,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     Sample,
     exponential_buckets,
     get_registry,
 )
-from repro.obs.tracing import Span, Trace, Tracer, new_trace_id
+from repro.obs.tracing import Span, Trace, Tracer, new_trace_id, valid_trace_id
 from repro.xksearch.cache import QueryCache
 from repro.xksearch.engine import ExecutionStats
 from repro.xksearch.html import render_page
@@ -81,6 +102,8 @@ _KNOWN_ENDPOINTS = (
     "/debug/slow",
     "/healthz",
 )
+
+_log = get_logger("server")
 
 
 class ServerMetrics:
@@ -235,6 +258,7 @@ class _Handler(BaseHTTPRequestHandler):
     metrics: ServerMetrics = None
     tracer: Tracer = None
     registry: MetricsRegistry = None
+    exporter: Optional[TraceExporter] = None
     quiet: bool = True
     protocol_version = "HTTP/1.1"
 
@@ -249,8 +273,16 @@ class _Handler(BaseHTTPRequestHandler):
         self._trace: Optional[Trace] = None
         self._trace_id: Optional[str] = None
         self._slow_entry: Optional[dict] = None
+        context_token = None
         if url.path in ("/search", "/api/search"):
             client_trace_id = self.headers.get("X-Trace-Id")
+            if client_trace_id is not None and not valid_trace_id(client_trace_id):
+                # A malformed id must not reach the slow log, exemplars or
+                # the export stream — regenerate instead of adopting it.
+                _log.warning(
+                    "invalid_trace_id", header=client_trace_id[:64], path=url.path
+                )
+                client_trace_id = None
             explain = self._wants_explain(url)
             if self.tracer is not None:
                 self._trace = self.tracer.start(
@@ -260,6 +292,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._trace.trace_id if self._trace is not None
                 else (client_trace_id or new_trace_id())
             )
+            # Everything downstream (engine histograms/exemplars, cache and
+            # engine log lines) correlates through this binding.
+            context_token = set_current_trace_id(self._trace_id)
         try:
             if url.path == "/healthz":
                 self._send(200, "ok", content_type="text/plain; charset=utf-8")
@@ -272,7 +307,7 @@ class _Handler(BaseHTTPRequestHandler):
                     content_type="text/plain; version=0.0.4; charset=utf-8",
                 )
             elif url.path == "/debug/slow":
-                self._send_json(200, self._debug_slow())
+                error = self._handle_debug_slow(url)
             elif url.path == "/":
                 self._send(200, render_page("", []))
             elif url.path == "/search":
@@ -287,6 +322,8 @@ class _Handler(BaseHTTPRequestHandler):
             if self.metrics is not None:
                 self.metrics.record(elapsed_ms, error=error)
             self._record_request(url.path, elapsed_ms, error)
+            if context_token is not None:
+                reset_current_trace_id(context_token)
 
     def _record_request(self, path: str, elapsed_ms: float, error: bool) -> None:
         registry = self.registry or get_registry()
@@ -302,10 +339,21 @@ class _Handler(BaseHTTPRequestHandler):
             labelnames=("endpoint",),
             buckets=_HTTP_BUCKETS_MS,
         ).labels(endpoint=endpoint).observe(elapsed_ms)
+        if self._trace is not None:
+            self._trace.finish()
         if self.tracer is not None and self._slow_entry is not None:
-            if self._trace is not None:
-                self._trace.finish()
             self.tracer.note(elapsed_ms, self._slow_entry, self._trace)
+        if self.exporter is not None and self._trace is not None:
+            # Non-blocking: a full queue or a dead collector drops the span
+            # (counted in xks_export_dropped_total), never the request.
+            self.exporter.export_trace(self._trace)
+        if _log.enabled_for("info"):
+            _log.info(
+                "request",
+                path=endpoint,
+                status="error" if error else "ok",
+                elapsed_ms=round(elapsed_ms, 3),
+            )
 
     @staticmethod
     def _wants_explain(url) -> bool:
@@ -411,15 +459,66 @@ class _Handler(BaseHTTPRequestHandler):
             }
         return payload
 
-    def _debug_slow(self) -> dict:
+    def _handle_debug_slow(self, url) -> bool:
+        """Slow-log JSON; supports ``?limit=N`` and ``?clear=1``.
+
+        ``clear`` returns the entries it removed, so a scrape-and-reset
+        consumer never loses a window.  Returns True on a bad request.
+        """
+        params = parse_qs(url.query)
+        limit_raw = (params.get("limit") or [""])[0]
+        clear = (params.get("clear") or [""])[0].lower() in ("1", "true", "yes")
+        limit: Optional[int] = None
+        if limit_raw:
+            try:
+                limit = int(limit_raw)
+                if limit < 0:
+                    raise ValueError
+            except ValueError:
+                self._send_json(400, {"error": f"bad limit {limit_raw!r}"})
+                return True
         if self.tracer is None:
-            return {"threshold_ms": None, "entries": []}
+            self._send_json(200, {"threshold_ms": None, "count": 0, "entries": []})
+            return False
         entries = self.tracer.slow_queries()
-        return {
+        if clear:
+            self.tracer.clear_slow_log()
+        payload = {
             "threshold_ms": self.tracer.slow_threshold_ms,
             "count": len(entries),
-            "entries": entries,
+            "entries": entries if limit is None else entries[:limit],
+            "exemplars": self._exec_exemplars(),
         }
+        if clear:
+            payload["cleared"] = True
+        self._send_json(200, payload)
+        return False
+
+    def _exec_exemplars(self) -> List[dict]:
+        """Current xks_query_exec_ms exemplars — the same (trace_id, value)
+        pairs the /metrics exposition renders, as JSON for correlation."""
+        registry = self.registry or get_registry()
+        metric = registry.get_metric("xks_query_exec_ms")
+        out: List[dict] = []
+        if metric is None:
+            return out
+        items = getattr(metric, "items", None)
+        children = items() if callable(items) else [({}, metric)]
+        for labels, child in children:
+            exemplars = getattr(child, "exemplars", None)
+            if not callable(exemplars):
+                continue
+            for le, (trace_id, value, ts) in sorted(exemplars().items()):
+                out.append(
+                    {
+                        "labels": labels,
+                        "le": le,
+                        "trace_id": trace_id,
+                        "value": round(value, 6),
+                        "ts": round(ts, 3),
+                    }
+                )
+        return out
 
     # -- plumbing ------------------------------------------------------------
 
@@ -469,6 +568,7 @@ class XKSearchServer(ThreadingHTTPServer):
         self._slots = threading.BoundedSemaphore(max_workers)
         self._obs_registry: Optional[MetricsRegistry] = None
         self._obs_collector = None
+        self._obs_exporter: Optional[TraceExporter] = None
 
     def process_request_thread(self, request, client_address):
         with self._slots:
@@ -478,6 +578,11 @@ class XKSearchServer(ThreadingHTTPServer):
         if self._obs_registry is not None and self._obs_collector is not None:
             self._obs_registry.unregister_collector(self._obs_collector)
             self._obs_collector = None
+        if self._obs_exporter is not None:
+            # Flush-on-shutdown: drain whatever the queue still holds,
+            # then account the rest as dropped (reason="shutdown").
+            self._obs_exporter.close()
+            self._obs_exporter = None
         super().server_close()
 
 
@@ -490,6 +595,7 @@ def make_server(
     metrics: Optional[ServerMetrics] = None,
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    exporter: Optional[TraceExporter] = None,
 ) -> XKSearchServer:
     """A threaded HTTP server bound to *host:port* (port 0 = ephemeral),
     serving queries against *system*.  Caller owns the lifecycle
@@ -498,6 +604,8 @@ def make_server(
     The system's component stats (buffer pool, pager, caches) are
     registered as a collector on *registry* (default: the process-global
     one) for the lifetime of the server; ``server_close`` unregisters it.
+    An *exporter* receives every finished request trace (asynchronously —
+    the request path only enqueues) and is closed with the server.
     """
     registry = registry if registry is not None else get_registry()
     handler = type(
@@ -509,6 +617,7 @@ def make_server(
             "metrics": metrics if metrics is not None else ServerMetrics(),
             "tracer": tracer if tracer is not None else Tracer(),
             "registry": registry,
+            "exporter": exporter,
         },
     )
     server = XKSearchServer((host, port), handler, max_workers=max_workers)
@@ -516,6 +625,7 @@ def make_server(
     registry.register_collector(collector)
     server._obs_registry = registry
     server._obs_collector = collector
+    server._obs_exporter = exporter
     return server
 
 
@@ -527,10 +637,30 @@ def serve(
     cache_size: int = 1024,
     slow_ms: float = 100.0,
     trace_sample: float = 0.0,
+    export_jsonl: Optional[str] = None,
+    export_url: Optional[str] = None,
+    log_json: bool = False,
+    log_level: Optional[str] = None,
 ) -> None:
-    """Blocking entry point used by ``xksearch serve``."""
+    """Blocking entry point used by ``xksearch serve``.
+
+    ``export_jsonl``/``export_url`` (mutually exclusive) attach a trace
+    exporter writing finished request traces to a JSONL file or POSTing
+    them to a collector.  ``log_json`` switches structured logs on in JSON
+    mode; ``log_level`` (or ``REPRO_LOG_LEVEL``) sets the level, in text
+    mode unless ``log_json`` is also given.
+    """
+    if export_jsonl and export_url:
+        raise ValueError("choose one of export_jsonl / export_url, not both")
+    if log_json or log_level is not None:
+        configure_logging(level=log_level, json_mode=log_json)
     cache = QueryCache(result_capacity=cache_size) if cache_size > 0 else None
     tracer = Tracer(sample_rate=trace_sample, slow_threshold_ms=slow_ms)
+    exporter: Optional[TraceExporter] = None
+    if export_jsonl:
+        exporter = TraceExporter(JsonlFileSink(export_jsonl))
+    elif export_url:
+        exporter = TraceExporter(HttpCollectorSink(export_url))
     with XKSearch.open(index_dir, cache=cache) as system:
         server = make_server(
             system,
@@ -539,12 +669,16 @@ def serve(
             quiet=False,
             max_workers=max_workers,
             tracer=tracer,
+            exporter=exporter,
         )
         actual_port = server.server_address[1]
+        export_note = ""
+        if exporter is not None:
+            export_note = f", exporting traces to {exporter.sink.describe()}"
         print(
             f"XKSearch demo at http://{host}:{actual_port}/  "
             f"({max_workers} workers, cache={'off' if cache is None else cache_size}, "
-            f"slow log at /debug/slow >= {slow_ms:.0f} ms; Ctrl-C to stop)"
+            f"slow log at /debug/slow >= {slow_ms:.0f} ms{export_note}; Ctrl-C to stop)"
         )
         try:
             server.serve_forever()

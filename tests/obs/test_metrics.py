@@ -17,12 +17,18 @@ from repro.obs.metrics import (
     set_instrumentation_enabled,
 )
 
-# One exposition line: "name{labels} value" or a comment.
+# One exposition line: "name{labels} value", optionally followed by an
+# OpenMetrics exemplar ("# {labels} value [timestamp]"), or a comment.
+_LABELS = (
+    r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\")*\}"
+)
+_NUMBER = r"(\+Inf|-Inf|NaN|-?[0-9.e+-]+)"
 _SAMPLE_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
-    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\""
-    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:\\.|[^\"\\])*\")*\})?"
-    r" (\+Inf|-Inf|-?[0-9.e+-]+)$"
+    rf"({_LABELS})?"
+    rf" {_NUMBER}"
+    rf"( # {_LABELS} {_NUMBER}( {_NUMBER})?)?$"
 )
 _COMMENT_LINE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$")
 
@@ -124,6 +130,155 @@ class TestHistogram:
         summary = hist.summary()
         assert set(summary) == {"count", "p50", "p90", "p99", "mean"}
         assert summary["count"] == 1 and summary["mean"] == 3.0
+
+
+class TestHistogramEdgeCases:
+    """Bucketing and percentile oracles at the boundaries."""
+
+    def _bucket_counts(self, hist):
+        counts = {}
+        for name, labels, value in hist._samples("h"):
+            if name == "h_bucket":
+                counts[labels["le"]] = value
+        return counts
+
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(10.0)
+        counts = self._bucket_counts(hist)
+        assert counts == {"1": 0, "10": 1, "+Inf": 1}
+
+    def test_value_above_top_bound_counts_only_in_inf(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(10.000001)
+        hist.observe(50)
+        counts = self._bucket_counts(hist)
+        assert counts == {"1": 0, "10": 0, "+Inf": 2}
+        assert counts["+Inf"] == hist.count
+
+    def test_nan_is_ignored(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(float("nan"))
+        assert hist.count == 0
+        assert hist.sum == 0.0
+
+    def test_percentile_clamped_to_observed_range(self):
+        # Both observations share the (1, 10] bucket; naive interpolation
+        # over the full bucket would wander outside [5, 6].
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(5)
+        hist.observe(6)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert 5.0 <= hist.percentile(q) <= 6.0
+        assert hist.percentile(1.0) == pytest.approx(6.0)
+
+    def test_percentile_in_overflow_bucket_stays_in_seen_range(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(50)
+        hist.observe(60)
+        for q in (0.0, 0.5, 1.0):
+            assert 50.0 <= hist.percentile(q) <= 60.0
+
+    def test_percentile_of_inf_observation_clamps_to_top_bound(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(float("inf"))
+        assert hist.percentile(1.0) == 10.0
+        assert self._bucket_counts(hist)["+Inf"] == 1
+
+    def test_percentile_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(1.5)
+        with pytest.raises(ValueError):
+            Histogram().percentile(-0.1)
+
+
+class TestExemplars:
+    def test_no_trace_id_records_no_exemplar(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        assert hist.exemplars() == {}
+
+    def test_exemplar_keyed_by_bucket_latest_wins(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(0.5, trace_id="a" * 16)
+        hist.observe(0.7, trace_id="b" * 16)
+        hist.observe(5.0, trace_id="c" * 16)
+        exemplars = hist.exemplars()
+        assert set(exemplars) == {"1", "10"}
+        trace_id, value, ts = exemplars["1"]
+        assert trace_id == "b" * 16 and value == 0.7 and ts > 0
+
+    def test_exemplar_for_only_answers_bucket_samples(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5, trace_id="a" * 16)
+        assert hist.exemplar_for("h_bucket", {"le": "1"}) is not None
+        assert hist.exemplar_for("h_bucket", {"le": "+Inf"}) is None
+        assert hist.exemplar_for("h_count", {}) is None
+        assert hist.exemplar_for("h_bucket", {}) is None
+
+    def test_family_dispatches_exemplar_lookup_to_child(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "exec_ms", buckets=(1.0,), labelnames=("band", "algorithm")
+        )
+        family.labels(band="1-9", algorithm="il").observe(0.5, trace_id="d" * 16)
+        hit = family.exemplar_for(
+            "exec_ms_bucket", {"band": "1-9", "algorithm": "il", "le": "1"}
+        )
+        assert hit[0] == "d" * 16
+        miss = family.exemplar_for(
+            "exec_ms_bucket", {"band": "1000+", "algorithm": "il", "le": "1"}
+        )
+        assert miss is None
+
+    def test_render_appends_openmetrics_exemplar_suffix(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_ms", "Latency.", buckets=(1.0, 10.0))
+        hist.observe(0.5, trace_id="cafebabecafebabe")
+        text = registry.render()
+        line = next(
+            l for l in text.splitlines() if l.startswith('lat_ms_bucket{le="1"}')
+        )
+        assert ' # {trace_id="cafebabecafebabe"} 0.5 ' in line
+        assert_prometheus_parseable(text)
+
+
+class TestExpositionEscaping:
+    """Label values survive render() intact under the exposition grammar."""
+
+    GNARLY = [
+        'plain',
+        'back\\slash',
+        'quo"te',
+        'new\nline',
+        'all\\three\n"of them"',
+    ]
+
+    @staticmethod
+    def _unescape(text):
+        return re.sub(
+            r"\\(.)", lambda m: {"n": "\n"}.get(m.group(1), m.group(1)), text
+        )
+
+    def test_label_values_round_trip_through_render(self):
+        registry = MetricsRegistry()
+        family = registry.counter("esc_total", "Escaping.", labelnames=("v",))
+        for value in self.GNARLY:
+            family.labels(v=value).inc()
+        text = registry.render()
+        assert_prometheus_parseable(text)
+        rendered = [
+            m.group(1)
+            for m in re.finditer(r'^esc_total\{v="((?:\\.|[^"\\])*)"\} 1$', text, re.M)
+        ]
+        assert sorted(self._unescape(v) for v in rendered) == sorted(self.GNARLY)
+
+    def test_help_text_newlines_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("h_total", "line one\nline two")
+        text = registry.render()
+        assert "# HELP h_total line one\\nline two" in text
+        assert_prometheus_parseable(text)
 
 
 class TestConcurrency:

@@ -81,3 +81,38 @@ class TestBreakdownTables:
     def test_ops_table_columns(self):
         out = ops_table("Ops", "x", fake_sweep())
         assert "IL match" in out and "Stack merged" in out
+
+
+class TestBandAttributionTable:
+    def _populated_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.xksearch.engine import _EXEC_BUCKETS_MS
+
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "xks_query_exec_ms",
+            "exec",
+            buckets=_EXEC_BUCKETS_MS,
+            labelnames=("band", "algorithm"),
+        )
+        for value in (0.5, 1.5, 2.5):
+            family.labels(band="10-99", algorithm="il").observe(value)
+        family.labels(band="1000+", algorithm="scan").observe(40.0)
+        return registry
+
+    def test_rows_grouped_by_band_then_algorithm(self):
+        from repro.workloads.report import band_attribution_table
+
+        out = band_attribution_table(registry=self._populated_registry())
+        lines = out.splitlines()
+        assert any("10-99" in line and "il" in line and "3" in line for line in lines)
+        assert any("1000+" in line and "scan" in line for line in lines)
+        # Band order follows the frequency axis, not lexicographic order.
+        assert out.index("10-99") < out.index("1000+")
+
+    def test_empty_registry_renders_header_only(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.workloads.report import band_attribution_table
+
+        out = band_attribution_table(registry=MetricsRegistry())
+        assert "band" in out and "p99 ms" in out

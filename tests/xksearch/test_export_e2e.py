@@ -1,0 +1,148 @@
+"""End-to-end export proof: the collector dies mid-run, serving survives.
+
+The acceptance contract for the trace export pipeline:
+
+* every client request succeeds even while the collector is down —
+  export is fully decoupled from the serving path;
+* the exporter retries with backoff (retry counter > 0);
+* after shutdown the accounting is exact — drop counters account for
+  every span that was not delivered (``submitted == sent + dropped``);
+* the trace ids that did reach the collector match the ``X-Trace-Id``
+  headers the server returned for those requests.
+"""
+
+import http.server
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.obs.export import HttpCollectorSink, TraceExporter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.xksearch.cache import QueryCache
+from repro.xksearch.server import ServerMetrics, make_server
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import school_tree
+
+
+class _CollectorHandler(http.server.BaseHTTPRequestHandler):
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length", 0))
+        payload = json.loads(self.rfile.read(length))
+        self.server.received.extend(payload["records"])
+        body = b'{"ok": true}'
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+
+class StubCollector:
+    """An in-process trace collector that can be killed mid-run."""
+
+    def __init__(self):
+        self.server = http.server.ThreadingHTTPServer(
+            ("127.0.0.1", 0), _CollectorHandler
+        )
+        self.server.received = []
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        host, port = self.server.server_address
+        self.url = f"http://{host}:{port}/v1/traces"
+
+    @property
+    def received(self):
+        return self.server.received
+
+    def kill(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self._thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("export_e2e") / "idx"
+    XKSearch.build(school_tree(), path).close()
+    return path
+
+
+def test_collector_killed_mid_run(index_dir):
+    collector = StubCollector()
+    exporter = TraceExporter(
+        HttpCollectorSink(collector.url, timeout=1.0),
+        flush_interval=0.02,
+        max_retries=2,
+        backoff_base=0.005,
+        backoff_max=0.02,
+        jitter=0.0,
+        registry=MetricsRegistry(),
+    )
+    served_up, served_down = [], []
+    with XKSearch.open(index_dir, cache=QueryCache()) as system:
+        server = make_server(
+            system,
+            port=0,
+            metrics=ServerMetrics(),
+            tracer=Tracer(sample_rate=1.0),
+            exporter=exporter,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+
+        def search(query, trace_id):
+            request = urllib.request.Request(
+                f"{base}/api/search?q={query}",
+                headers={"X-Trace-Id": trace_id},
+            )
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                assert resp.status == 200
+                json.loads(resp.read())
+                return resp.headers["X-Trace-Id"]
+
+        try:
+            # Phase 1: collector healthy — traces flow through.
+            for i, query in enumerate(("John+Ben", "class+smith", "John+Smith")):
+                served_up.append(search(query, f"aaaaaaaa{i:08x}"))
+            # The handler submits the trace right after writing the response;
+            # wait for all three submissions before flushing.
+            deadline = time.monotonic() + 5.0
+            while (
+                time.monotonic() < deadline
+                and exporter.stats.as_dict()["submitted"] < len(served_up)
+            ):
+                time.sleep(0.01)
+            assert exporter.flush(timeout=5.0), "healthy-phase flush timed out"
+
+            # Phase 2: the collector dies. Requests must keep succeeding.
+            collector.kill()
+            for i, query in enumerate(("John+Ben", "smith+zebra", "class+ben")):
+                served_down.append(search(query, f"bbbbbbbb{i:08x}"))
+        finally:
+            server.shutdown()
+            server.server_close()  # closes the exporter (flush-on-shutdown)
+            thread.join(timeout=5)
+
+    stats = exporter.stats.as_dict()
+    # Every span is accounted for: sent or in a named drop bucket.
+    assert stats["submitted"] == len(served_up) + len(served_down)
+    assert stats["submitted"] == stats["sent"] + stats["dropped_total"], stats
+    # The dead collector forced retries with backoff, then drops.
+    assert stats["retries"] > 0, stats
+    assert stats["dropped_total"] == len(served_down), stats
+    assert stats["sent"] == len(served_up), stats
+    # Surviving traces correlate with the served X-Trace-Id headers.
+    exported_ids = [record["trace_id"] for record in collector.received]
+    assert sorted(exported_ids) == sorted(served_up)
+    assert all(record["kind"] == "trace" for record in collector.received)
+    assert not set(exported_ids) & set(served_down)

@@ -6,13 +6,15 @@ server, cache, buffer-pool, pager and algorithm-counter metrics, and the
 """
 
 import json
+import re
 import threading
+import urllib.error
 import urllib.request
 
 import pytest
 
 from repro.index.memory import MemoryKeywordIndex
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import Tracer, valid_trace_id
 from repro.xksearch.cache import QueryCache
 from repro.xksearch.engine import ExecutionStats, QueryEngine
 from repro.xksearch.server import ServerMetrics, make_server
@@ -217,3 +219,110 @@ class TestSlowLog:
         engine_span = traced[0]["trace"]["children"][0]
         assert engine_span["name"] == "engine"
         assert {child["name"] for child in engine_span["children"]} >= {"plan"}
+
+
+class TestTraceIdValidation:
+    def test_valid_trace_id_predicate(self):
+        assert valid_trace_id("0123456789abcdef")
+        assert not valid_trace_id(None)
+        assert not valid_trace_id("")
+        assert not valid_trace_id("0123456789ABCDEF")  # lowercase only
+        assert not valid_trace_id("0123456789abcde")   # too short
+        assert not valid_trace_id("0123456789abcdef0")  # too long
+        assert not valid_trace_id("g123456789abcdef")  # not hex
+
+    @pytest.mark.parametrize(
+        "bad", ["not-a-trace-id!", "ABCDEF0123456789", "0123", "0" * 17]
+    )
+    def test_invalid_client_trace_id_is_regenerated(self, obs_server, bad):
+        _, headers, body = fetch(
+            f"{obs_server}/api/search?q=John+Ben", headers={"X-Trace-Id": bad}
+        )
+        echoed = headers["X-Trace-Id"]
+        assert echoed != bad
+        assert re.fullmatch(r"[0-9a-f]{16}", echoed)
+        assert json.loads(body)["trace_id"] == echoed
+
+
+class TestFrequencyBands:
+    def test_band_boundaries(self):
+        from repro.xksearch.engine import FREQUENCY_BANDS, frequency_band
+
+        assert [frequency_band(f) for f in (0, 1, 9, 10, 99, 100, 999, 1000, 5000)] == [
+            "0", "1-9", "1-9", "10-99", "10-99", "100-999", "100-999", "1000+", "1000+"
+        ]
+        assert set(FREQUENCY_BANDS) == {"0", "1-9", "10-99", "100-999", "1000+"}
+
+    def test_plan_carries_band(self, memory_index):
+        engine = QueryEngine(memory_index)
+        stats = ExecutionStats()
+        list(engine.execute("John Ben", stats=stats, profile=True))
+        plan = stats.profile.plan
+        assert plan["band"] in ("0", "1-9", "10-99", "100-999", "1000+")
+
+    def test_exec_histogram_labeled_by_band_and_algorithm(self, obs_server):
+        from repro.xksearch.engine import FREQUENCY_BANDS
+
+        fetch(f"{obs_server}/api/search?q=John+Smith")
+        _, _, body = fetch(f"{obs_server}/metrics")
+        exec_lines = [
+            line for line in body.splitlines()
+            if line.startswith("xks_query_exec_ms_bucket")
+        ]
+        assert exec_lines
+        for line in exec_lines:
+            band = re.search(r'band="([^"]*)"', line)
+            assert band and band.group(1) in FREQUENCY_BANDS, line
+            assert re.search(r'algorithm="[^"]+"', line), line
+
+
+class TestSlowLogControls:
+    def test_limit_truncates_entries_not_count(self, obs_server):
+        for query in ("John+Ben", "class+smith", "John+Smith"):
+            fetch(f"{obs_server}/api/search?q={query}")
+        _, _, body = fetch(f"{obs_server}/debug/slow?limit=1")
+        slow = json.loads(body)
+        assert len(slow["entries"]) == 1
+        assert slow["count"] >= 3
+        _, _, body = fetch(f"{obs_server}/debug/slow?limit=0")
+        assert json.loads(body)["entries"] == []
+
+    def test_bad_limit_is_a_400(self, obs_server):
+        for bad in ("nope", "-1", "1.5"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(f"{obs_server}/debug/slow?limit={bad}")
+            assert excinfo.value.code == 400
+            assert "bad limit" in json.loads(excinfo.value.read())["error"]
+
+    def test_clear_returns_the_removed_window(self, obs_server):
+        for query in ("John+Ben", "class+smith", "John+Smith"):
+            fetch(f"{obs_server}/api/search?q={query}")
+        _, _, body = fetch(f"{obs_server}/debug/slow?clear=1")
+        cleared = json.loads(body)
+        assert cleared["cleared"] is True
+        assert cleared["count"] >= 3  # scrape-and-reset loses no entries
+        _, _, body = fetch(f"{obs_server}/debug/slow")
+        # Only the clear request itself (and nothing older) can remain.
+        assert json.loads(body)["count"] <= 2
+
+
+class TestExemplarResolution:
+    def test_metrics_exemplar_resolves_via_debug_slow(self, obs_server):
+        trace_id = "0123456789abcdef"
+        # A fresh (uncached) query executes the engine under this trace id.
+        fetch(
+            f"{obs_server}/api/search?q=smith+exemplarprobe",
+            headers={"X-Trace-Id": trace_id},
+        )
+        _, _, metrics_body = fetch(f"{obs_server}/metrics")
+        exemplar_lines = [
+            line for line in metrics_body.splitlines()
+            if line.startswith("xks_query_exec_ms_bucket")
+            and f'trace_id="{trace_id}"' in line
+        ]
+        assert exemplar_lines, "traced execution left no exemplar"
+        _, _, slow_body = fetch(f"{obs_server}/debug/slow")
+        exemplars = json.loads(slow_body)["exemplars"]
+        hits = [e for e in exemplars if e["trace_id"] == trace_id]
+        assert hits, exemplars
+        assert {"labels", "le", "trace_id", "value", "ts"} <= set(hits[0])
