@@ -10,7 +10,12 @@ cache exploits.  This benchmark measures that end to end:
 3. replay a Zipf-distributed sequence of queries from N client threads
    against ``/api/search``, once with the result cache disabled and once
    with it enabled (same process, same index, warmed buffer pool),
-4. report QPS, p50/p99 latency and the cache hit rate, and write
+4. replay the cache-off workload again at several **process-pool** sizes
+   (1/2/4/8 forked workers over mmap'd indexes — the "past the GIL"
+   path; pools are created before the server thread starts, because
+   forking a threaded process is unsafe).  Parallel efficiency is
+   bounded by ``os.cpu_count()``, which the report records,
+5. report QPS, p50/p99 latency and the cache hit rate, and write
    ``BENCH_qps.json`` so later PRs can track the trajectory.
 
 Run::
@@ -27,7 +32,9 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
+import os
 import random
+import statistics
 import sys
 import tempfile
 import threading
@@ -35,12 +42,14 @@ import time
 import urllib.parse
 import urllib.request
 
+from repro.errors import PoolError
 from repro.index.builder import build_index
 from repro.obs.export import JsonlFileSink, TraceExporter
 from repro.obs.metrics import set_instrumentation_enabled
 from repro.obs.tracing import Tracer
 from repro.workloads.datasets import PlantedCorpus, keyword_name
 from repro.xksearch.cache import QueryCache
+from repro.xksearch.parallel import WorkerPool
 from repro.xksearch.server import ServerMetrics, make_server
 from repro.xksearch.system import XKSearch
 
@@ -136,6 +145,12 @@ def main(argv=None) -> int:
     parser.add_argument("--zipf", type=float, default=1.1, help="Zipf exponent")
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--cache-size", type=int, default=1024)
+    parser.add_argument(
+        "--scale-procs",
+        default=None,
+        help="comma-separated process-pool sizes for the scaling phase "
+        "(default: 1,2,4,8 full / 1,2 smoke; empty string skips it)",
+    )
     parser.add_argument("--out", default="BENCH_qps.json", help="JSON report path")
     parser.add_argument(
         "--min-speedup",
@@ -155,6 +170,9 @@ def main(argv=None) -> int:
     min_speedup = args.min_speedup
     if min_speedup is None:
         min_speedup = 0.0 if args.smoke else 2.0
+    if args.scale_procs is None:
+        args.scale_procs = "1,2" if args.smoke else "1,2,4,8"
+    proc_counts = [int(n) for n in args.scale_procs.split(",") if n.strip()]
 
     pool = build_query_pool(args.frequency, args.variants, args.distinct)
     sequence = zipf_sequence(pool, args.requests, args.zipf, args.seed)
@@ -172,6 +190,18 @@ def main(argv=None) -> int:
         print(f"index built in {time.perf_counter() - started:.1f}s at {index_dir}")
 
         with XKSearch.open(index_dir, load_document=False) as system:
+            # Worker pools for the scaling phase fork NOW, before any
+            # server thread exists (fork from a threaded process can clone
+            # held locks into the children).
+            proc_pools = {}
+            scaling_note = None
+            for count in proc_counts:
+                try:
+                    proc_pools[count] = WorkerPool(index_dir, workers=count)
+                except PoolError as exc:
+                    scaling_note = f"process pool unavailable: {exc}"
+                    proc_pools = {}
+                    break
             metrics = ServerMetrics()
             server = make_server(
                 system, port=0, max_workers=args.workers, metrics=metrics
@@ -189,6 +219,24 @@ def main(argv=None) -> int:
                 wall_off, lat_off = replay(base_url, sequence, args.threads)
                 off = phase_report("cache off", wall_off, lat_off)
 
+                # Process-pool scaling: the same cache-off workload with
+                # execution dispatched to 1/2/4/8 forked workers.  The
+                # ceiling is os.cpu_count() — on a 1-core box the phase
+                # measures dispatch overhead, not parallelism.
+                scaling = {}
+                for count, worker_pool in proc_pools.items():
+                    system.engine.attach_pool(worker_pool)
+                    try:
+                        wall_n, lat_n = replay(base_url, sequence, args.threads)
+                    finally:
+                        system.engine.detach_pool()
+                    scaling[str(count)] = phase_report(
+                        f"{count} procs", wall_n, lat_n
+                    )
+                    scaling[str(count)]["pool"] = worker_pool.stats_dict()
+                for worker_pool in proc_pools.values():
+                    worker_pool.close()
+
                 cache = QueryCache(result_capacity=args.cache_size)
                 system.engine.cache = cache
                 wall_on, lat_on = replay(base_url, sequence, args.threads)
@@ -205,47 +253,100 @@ def main(argv=None) -> int:
                 # exemplar, so their cost scales with the rate).
                 #
                 # The three configurations are interleaved over several
-                # rounds and each keeps its best run: a transient load
-                # spike on a shared box lands on one round, not on one
-                # configuration, so best-of-N compares least-disturbed
-                # measurements instead of whichever phase got unlucky.
+                # rounds, and the guarded overhead numbers are the MEDIAN
+                # of PER-ROUND PAIRED ratios: within one round the
+                # off/on/export replays run back-to-back, so the slow
+                # load drift of a shared box hits all three roughly
+                # equally and cancels in the ratio.  (Comparing best-of
+                # across rounds pairs an "off" from a quiet round with an
+                # "on" from a busy one — on a 1-CPU box that produced
+                # ±20% phantom "overhead" either direction.)  Each
+                # configuration's median and min/max spread is also
+                # reported, so the CI guard tests a number whose
+                # stability is itself measured.  Dedicated warmup rounds
+                # run first: the first replay after a configuration flip
+                # pays one-time costs (metric-family allocation,
+                # code-path warmup) that used to leak into the
+                # measurement as negative "overhead".
                 handler = server.RequestHandlerClass
                 exporter = TraceExporter(JsonlFileSink(f"{tmp}/traces.jsonl"))
                 saved_tracer = handler.tracer
-                instr_rounds = 1 if args.smoke else 3
-                best = {}
+                instr_rounds = 1 if args.smoke else 5
+                warmup_rounds = 1 if args.smoke else 2
+                rounds = {"off": [], "on": [], "export": []}
 
                 def measure(key, wall, lat):
-                    if key not in best or wall < best[key][0]:
-                        best[key] = (wall, lat)
+                    rounds[key].append((wall, len(lat)))
 
                 try:
-                    for _ in range(instr_rounds):
+                    for round_no in range(warmup_rounds + instr_rounds):
+                        warmup = round_no < warmup_rounds
                         set_instrumentation_enabled(False)
                         try:
-                            measure("off", *replay(base_url, sequence, args.threads))
+                            result = replay(base_url, sequence, args.threads)
                         finally:
                             set_instrumentation_enabled(True)
-                        measure("on", *replay(base_url, sequence, args.threads))
+                        if not warmup:
+                            measure("off", *result)
+                        result = replay(base_url, sequence, args.threads)
+                        if not warmup:
+                            measure("on", *result)
                         handler.tracer = Tracer(sample_rate=0.01)
                         handler.exporter = exporter
                         try:
-                            measure(
-                                "export", *replay(base_url, sequence, args.threads)
-                            )
+                            result = replay(base_url, sequence, args.threads)
                         finally:
                             handler.exporter = None
                             handler.tracer = saved_tracer
+                        if not warmup:
+                            measure("export", *result)
                 finally:
                     exporter.close()
-                instr_off = phase_report("instr off", *best["off"])
-                instr_on = phase_report("instr on", *best["on"])
-                export_on = phase_report("export on", *best["export"])
+
+                round_qps = {
+                    key: [n / wall for wall, n in rounds[key]] for key in rounds
+                }
+
+                def summarize(key):
+                    qps = sorted(round_qps[key])
+                    median_qps = statistics.median(qps)
+                    spread_pct = (
+                        round((qps[-1] - qps[0]) / median_qps * 100, 2)
+                        if median_qps
+                        else 0.0
+                    )
+                    print(
+                        f"  instr {key:7s} best {qps[-1]:8.1f} qps   "
+                        f"median {median_qps:8.1f} qps   spread {spread_pct:5.2f}%"
+                    )
+                    return {
+                        "qps": round(median_qps, 1),
+                        "qps_best": round(qps[-1], 1),
+                        "spread_pct": spread_pct,
+                        "rounds": [round(v, 1) for v in qps],
+                    }
+
+                def paired_pct(base_key, other_key):
+                    # Per-round paired overheads; drift cancels within a
+                    # round because the two replays ran back-to-back.
+                    return [
+                        round((base - other) / base * 100, 2)
+                        for base, other in zip(
+                            round_qps[base_key], round_qps[other_key]
+                        )
+                        if base
+                    ]
+
+                instr_off = summarize("off")
+                instr_on = summarize("on")
+                export_on = summarize("export")
                 export_stats = exporter.stats.as_dict()
 
                 with urllib.request.urlopen(f"{base_url}/statz", timeout=10) as resp:
                     statz = json.loads(resp.read())
             finally:
+                for worker_pool in proc_pools.values():
+                    worker_pool.close()  # idempotent; normally closed above
                 server.shutdown()
                 server.server_close()
                 thread.join(timeout=5)
@@ -255,28 +356,39 @@ def main(argv=None) -> int:
         f"  speedup   {speedup:.2f}x QPS with cache "
         f"(hit rate {on['hit_rate']:.1%}, server saw {statz['server']['requests']} requests)"
     )
+    cpus = os.cpu_count() or 1
+    proc_speedup = None
+    if scaling:
+        lowest, highest = str(min(proc_counts)), str(max(proc_counts))
+        if lowest in scaling and highest in scaling and scaling[lowest]["qps"]:
+            proc_speedup = round(scaling[highest]["qps"] / scaling[lowest]["qps"], 2)
+            print(
+                f"  proc scaling: {proc_speedup:.2f}x QPS at {highest} workers vs "
+                f"{lowest} ({cpus} CPU core(s) available — parallel speedup is "
+                f"bounded by cores)"
+            )
+    elif scaling_note:
+        print(f"  proc scaling skipped: {scaling_note}")
+    overhead_rounds = paired_pct("off", "on")
     overhead_pct = (
-        round((instr_off["qps"] - instr_on["qps"]) / instr_off["qps"] * 100, 2)
-        if instr_off["qps"]
-        else 0.0
+        round(statistics.median(overhead_rounds), 2) if overhead_rounds else 0.0
     )
     print(
         f"  instrumentation overhead: {overhead_pct:+.2f}% QPS "
-        f"({instr_off['qps']:.1f} qps off -> {instr_on['qps']:.1f} qps on)"
+        f"(median of {len(overhead_rounds)} paired rounds {overhead_rounds}; "
+        f"{instr_off['qps']:.1f} qps off -> {instr_on['qps']:.1f} qps on by medians)"
     )
+    export_rounds = paired_pct("on", "export")
     export_overhead_pct = (
-        round((instr_on["qps"] - export_on["qps"]) / instr_on["qps"] * 100, 2)
-        if instr_on["qps"]
-        else 0.0
+        round(statistics.median(export_rounds), 2) if export_rounds else 0.0
     )
+    total_rounds = paired_pct("off", "export")
     total_overhead_pct = (
-        round((instr_off["qps"] - export_on["qps"]) / instr_off["qps"] * 100, 2)
-        if instr_off["qps"]
-        else 0.0
+        round(statistics.median(total_rounds), 2) if total_rounds else 0.0
     )
     print(
         f"  export+exemplar overhead: {export_overhead_pct:+.2f}% QPS "
-        f"(total vs bare: {total_overhead_pct:+.2f}%; "
+        f"(total vs bare: {total_overhead_pct:+.2f}%, paired rounds {total_rounds}; "
         f"{export_stats['sent']}/{export_stats['submitted']} traces exported, "
         f"{export_stats['dropped_total']} dropped)"
     )
@@ -297,14 +409,28 @@ def main(argv=None) -> int:
         "cache_off": off,
         "cache_on": on,
         "speedup_qps": speedup,
+        "scaling_procs": {
+            "cpus": cpus,
+            "phases": scaling,
+            "speedup_max_vs_1": proc_speedup,
+            "note": scaling_note,
+        },
         "instrumentation": {
             "rounds": instr_rounds,
+            "warmup_rounds": warmup_rounds,
             "qps_instr_off": instr_off["qps"],
             "qps_instr_on": instr_on["qps"],
             "overhead_pct": overhead_pct,
+            "overhead_pct_rounds": overhead_rounds,
+            "spread_pct": {
+                "instr_off": instr_off["spread_pct"],
+                "instr_on": instr_on["spread_pct"],
+                "export_on": export_on["spread_pct"],
+            },
             "qps_export_on": export_on["qps"],
             "export_overhead_pct": export_overhead_pct,
             "total_overhead_pct": total_overhead_pct,
+            "total_overhead_pct_rounds": total_rounds,
             "export": export_stats,
         },
     }

@@ -13,6 +13,11 @@ search API, then asserts that:
   response header (the artifact is kept via ``--trace-out`` for upload);
 * one CLI ``search --explain`` invocation prints the answer line plus a
   valid JSON profile with phases, counters and an algorithm;
+* a server backed by a 2-process worker pool returns answers identical
+  to the in-thread server, ``/metrics`` carries per-worker
+  ``xks_pool_tasks_total`` labels, and — after every worker is killed —
+  requests still succeed in-thread with the fallback counter raised
+  (skipped where ``fork`` is unavailable);
 * the committed full-run ``BENCH_qps.json`` (``--bench-report``) keeps
   total instrumentation overhead within ``--max-overhead-pct`` (skipped
   with a notice when the report is absent).
@@ -180,6 +185,93 @@ def check_export_pipeline(index_dir: str, trace_out: str = None) -> None:
     )
 
 
+def check_parallel_smoke(index_dir: str) -> None:
+    """Serve over a 2-process pool: identical answers, per-worker metrics,
+    and in-thread fallback after every worker dies."""
+    import multiprocessing
+
+    from repro.xksearch.parallel import WorkerPool
+    from repro.xksearch.shared_cache import SharedResultCache
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("parallel smoke SKIPPED: no fork start method")
+        return
+
+    # All keywords exist in school_tree, so no plan is empty and every
+    # request reaches the pool (empty plans short-circuit in-thread).
+    queries = ("John+Ben", "class+john", "ben+sue", "databases+search")
+
+    def serve_and_fetch(system, base_actions):
+        server = make_server(system, port=0, metrics=ServerMetrics())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        try:
+            return base_actions(base)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def fetch_ids(base, query):
+        with urllib.request.urlopen(f"{base}/api/search?q={query}", timeout=10) as resp:
+            return json.loads(resp.read())["ids"]
+
+    # Reference answers from a plain in-thread server.
+    with XKSearch.open(index_dir) as system:
+        reference = serve_and_fetch(
+            system, lambda base: {q: fetch_ids(base, q) for q in queries}
+        )
+
+    # Pool and shared cache fork BEFORE the server thread starts.  The
+    # parent engine runs cache-less so every request — including the
+    # post-crash ones — actually reaches the pool dispatch path.
+    shared = SharedResultCache()
+    pool = WorkerPool(index_dir, workers=2, shared_cache=shared, max_respawns=0)
+    try:
+        with XKSearch.open(index_dir) as system:
+            system.engine.attach_pool(pool)
+
+            def actions(base):
+                # Sequential distinct queries round-robin the idle queue,
+                # so both workers execute at least one task.
+                answers = {q: fetch_ids(base, q) for q in queries}
+                with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
+                    metrics_body = resp.read().decode("utf-8")
+                # Crash injection: kill every worker, then keep serving.
+                for handle in list(pool._workers):
+                    handle.process.kill()
+                    handle.process.join(timeout=5)
+                after_crash = {q: fetch_ids(base, q) for q in queries}
+                with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
+                    metrics_after = resp.read().decode("utf-8")
+                return answers, metrics_body, after_crash, metrics_after
+
+            answers, metrics_body, after_crash, metrics_after = serve_and_fetch(
+                system, actions
+            )
+    finally:
+        pool.close()
+        shared.close()
+
+    assert answers == reference, f"pooled {answers} != in-thread {reference}"
+    assert after_crash == reference, (
+        f"fallback answers {after_crash} != in-thread {reference}"
+    )
+    for worker in ("0", "1"):
+        assert f'xks_pool_tasks_total{{worker="{worker}"}}' in metrics_body, (
+            f"no per-worker tasks metric for worker {worker}"
+        )
+    assert "xks_pool_fallback_total" in metrics_after, (
+        "pool crash produced no xks_pool_fallback_total"
+    )
+    print(
+        f"parallel smoke OK: {len(queries)} queries byte-identical over 2 "
+        f"proc workers, per-worker metrics present, crash fell back in-thread"
+    )
+
+
 def check_overhead_guard(report_path: str, max_overhead_pct: float) -> None:
     """Fail when the committed full-run bench shows excess total overhead."""
     if not os.path.exists(report_path):
@@ -242,6 +334,7 @@ def main(argv=None) -> int:
         check_metrics_endpoint(index_dir)
         check_export_pipeline(index_dir, trace_out=args.trace_out)
         check_cli_explain(index_dir)
+        check_parallel_smoke(index_dir)
     check_overhead_guard(args.bench_report, args.max_overhead_pct)
     print("observability smoke test passed")
     return 0

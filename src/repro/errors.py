@@ -61,3 +61,15 @@ class IndexFormatError(IndexError_):
 
 class QueryError(ReproError):
     """The keyword query was malformed (e.g. empty keyword list)."""
+
+
+class PoolError(ReproError):
+    """A process-pool dispatch failed (dead worker, timeout, closed pool).
+
+    The engine treats this as a signal to execute in-thread instead — a
+    pool failure degrades a request, it never fails one.
+    """
+
+
+class PoolUnavailableError(PoolError):
+    """The platform cannot run the process pool (no ``fork`` start method)."""

@@ -97,13 +97,23 @@ class DiskIndexedSource:
 
 
 class DiskKeywordIndex:
-    """An opened XKSearch index directory."""
+    """An opened XKSearch index directory.
+
+    ``mmap_mode=True`` opens the page file readonly through a shared
+    memory mapping (see :class:`~repro.storage.pager.Pager`): page reads
+    come from the OS page cache — one physical copy shared by every
+    process mapping the index — and the handle carries no file-offset
+    state, making it the read mode for forked worker processes
+    (:mod:`repro.xksearch.parallel`).  The API is identical; only writes
+    (which this class never performs) are forbidden underneath.
+    """
 
     def __init__(
         self,
         index_dir: Union[str, os.PathLike],
         pool_capacity: int = 4096,
         pin_internal: bool = True,
+        mmap_mode: bool = False,
     ):
         # Imported lazily: repro.xksearch imports this module at package
         # init, so a top-level import here would be circular.
@@ -111,6 +121,7 @@ class DiskKeywordIndex:
 
         self.index_dir = os.fspath(index_dir)
         self.manifest = load_manifest(self.index_dir)
+        self.mmap_mode = mmap_mode
         self._pin_internal = pin_internal
         self._refresh_lock = threading.RLock()
         self._manifest_path = os.path.join(self.index_dir, MANIFEST_NAME)
@@ -130,8 +141,8 @@ class DiskKeywordIndex:
             # The pager would silently create an empty file, turning a
             # damaged installation into silently-empty search results.
             raise IndexNotFoundError(f"missing index file at {index_file}")
-        self.pager = Pager(index_file)
-        self.pool = BufferPool(self.pager, capacity=pool_capacity)
+        self.pager = Pager(index_file, readonly=mmap_mode)
+        self.pool = BufferPool(self.pager, capacity=pool_capacity, direct=mmap_mode)
         self._open_trees()
 
     def _load_metadata(self) -> None:
@@ -323,6 +334,7 @@ class DiskKeywordIndex:
                 "il_node_reads": self.il_tree.node_reads,
                 "scan_node_reads": self.scan_tree.node_reads,
             },
+            "mmap_mode": self.mmap_mode,
         }
 
     # -- documents -----------------------------------------------------------------

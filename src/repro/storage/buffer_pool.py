@@ -64,13 +64,23 @@ class BufferPool:
     ``capacity`` counts unpinned cacheable pages; pinned pages live outside
     the LRU budget (they model the "non-leaf nodes cached in main memory"
     assumption of the paper's disk analysis and are typically few).
+
+    With ``direct=True`` the LRU layer is bypassed entirely: every
+    ``get_page`` goes straight to the pager.  This is the mode for
+    readonly **mmap** pagers, where the OS page cache already *is* the
+    buffer pool (shared across every process mapping the file) and a
+    per-process LRU would only duplicate those pages into private heap
+    memory.  Pinning still works (pinned pages are private copies), and
+    accesses count as pool hits — in mmap mode a page access never costs
+    a physical read.
     """
 
-    def __init__(self, pager: Pager, capacity: int = 1024):
+    def __init__(self, pager: Pager, capacity: int = 1024, direct: bool = False):
         if capacity < 1:
             raise ValueError("buffer pool capacity must be at least 1")
         self.pager = pager
         self.capacity = capacity
+        self.direct = direct
         self.stats = PoolStats()
         self.lock = threading.RLock()
         self._lru: "OrderedDict[int, bytes]" = OrderedDict()
@@ -82,6 +92,9 @@ class BufferPool:
             if pid in self._pinned:
                 self.stats.hits += 1
                 return self._pinned[pid]
+            if self.direct:
+                self.stats.hits += 1
+                return self.pager.read_page(pid)
             if pid in self._lru:
                 self.stats.hits += 1
                 self._lru.move_to_end(pid)

@@ -10,11 +10,25 @@ pager records every physical read and write and classifies reads as
 Page 0 is a header page owned by the pager itself: it stores a magic
 number, the page size, and a small JSON metadata dictionary used by higher
 layers (the B+tree keeps its root pointer there).
+
+**Read-only mmap mode** (``Pager(path, readonly=True)``) maps the file
+instead of streaming it through a seekable descriptor.  Page reads slice
+the mapping, so the bytes come straight out of the OS page cache — one
+physical copy of the index shared by every process that maps it — and the
+pager carries no file-offset state, which makes a handle safe to use after
+``fork()`` (a plain ``seek``/``read`` pager shares its offset with the
+child and the two interleave destructively).  This is the read path the
+process-pool workers use (:mod:`repro.xksearch.parallel`): N workers cost
+one buffer pool's worth of physical memory, not N.  All mutating
+operations raise :class:`~repro.errors.StorageError` in this mode, and
+``stats.reads`` counts page *touches* rather than physical I/O (the page
+cache makes true disk reads unobservable through a mapping).
 """
 
 from __future__ import annotations
 
 import json
+import mmap
 import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
@@ -94,12 +108,28 @@ class Pager:
         path: Union[str, os.PathLike],
         page_size: int = DEFAULT_PAGE_SIZE,
         create: bool = False,
+        readonly: bool = False,
     ):
         self.path = os.fspath(path)
         self.page_size = page_size
+        self.readonly = readonly
         self.stats = IOStats()
         self._meta: Dict[str, object] = {}
         self._last_read_pid: Optional[int] = None
+        self._map: Optional[mmap.mmap] = None
+        if readonly:
+            if create:
+                raise StorageError("cannot create a pager file in readonly mode")
+            if not os.path.exists(self.path):
+                raise PageError(f"{self.path}: no such pager file")
+            self._file = open(self.path, "rb")
+            self._read_header()
+            size = os.fstat(self._file.fileno()).st_size
+            if size % self.page_size:
+                raise PageError(f"file size {size} is not a multiple of page size")
+            self._num_pages = max(1, size // self.page_size)
+            self._remap()
+            return
         if create or not os.path.exists(self.path):
             self._file = open(self.path, "w+b")
             self._num_pages = 1
@@ -112,9 +142,16 @@ class Pager:
                 raise PageError(f"file size {size} is not a multiple of page size")
             self._num_pages = max(1, size // self.page_size)
 
+    def _remap(self) -> None:
+        """(Re)map the whole file for the readonly read path."""
+        if self._map is not None:
+            self._map.close()
+        self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+
     # -- header ------------------------------------------------------------
 
     def _write_header(self) -> None:
+        self._check_writable()
         meta_bytes = json.dumps(self._meta).encode("utf-8")
         header = (
             _MAGIC
@@ -130,8 +167,9 @@ class Pager:
         self.stats.writes += 1
 
     def _read_header(self) -> None:
-        self._file.seek(0)
-        raw = self._file.read(self.page_size or DEFAULT_PAGE_SIZE)
+        # os.pread carries no file-offset state, so re-reading the header
+        # (generation refresh) stays safe for handles shared across fork.
+        raw = os.pread(self._file.fileno(), self.page_size or DEFAULT_PAGE_SIZE, 0)
         if raw[:4] != _MAGIC:
             raise PageError(f"{self.path}: not a pager file (bad magic)")
         version = int.from_bytes(raw[4:6], "big")
@@ -139,8 +177,7 @@ class Pager:
             raise PageError(f"{self.path}: unsupported format version {version}")
         self.page_size = int.from_bytes(raw[6:10], "big")
         if len(raw) < self.page_size:
-            self._file.seek(0)
-            raw = self._file.read(self.page_size)
+            raw = os.pread(self._file.fileno(), self.page_size, 0)
         meta_len = int.from_bytes(raw[10:14], "big")
         self._meta = json.loads(raw[14:14 + meta_len].decode("utf-8"))
 
@@ -156,6 +193,8 @@ class Pager:
         size = os.fstat(self._file.fileno()).st_size
         self._num_pages = max(1, size // self.page_size)
         self._last_read_pid = None
+        if self.readonly:
+            self._remap()
 
     def get_meta(self, key: str, default=None):
         """Read a metadata entry from the header page."""
@@ -174,6 +213,7 @@ class Pager:
 
     def allocate(self) -> int:
         """Reserve a fresh page id (contents undefined until written)."""
+        self._check_writable()
         pid = self._num_pages
         self._num_pages += 1
         return pid
@@ -181,8 +221,16 @@ class Pager:
     def read_page(self, pid: int) -> bytes:
         """Physically read page *pid*, updating the I/O counters."""
         self._check_pid(pid)
-        self._file.seek(pid * self.page_size)
-        data = self._file.read(self.page_size)
+        if self._map is not None:
+            offset = pid * self.page_size
+            if offset + self.page_size > len(self._map):
+                # The file grew since the mapping was made (an updater
+                # appended pages); remap to cover the new tail.
+                self._remap()
+            data = self._map[offset:offset + self.page_size]
+        else:
+            self._file.seek(pid * self.page_size)
+            data = self._file.read(self.page_size)
         if len(data) < self.page_size:
             data = data.ljust(self.page_size, b"\x00")
         self.stats.reads += 1
@@ -195,6 +243,7 @@ class Pager:
 
     def write_page(self, pid: int, data: bytes) -> None:
         """Physically write page *pid* (data padded/validated to page size)."""
+        self._check_writable()
         self._check_pid(pid)
         if len(data) > self.page_size:
             raise PageError(
@@ -208,6 +257,10 @@ class Pager:
         if pid < 1 or pid >= self._num_pages:
             raise PageError(f"page id {pid} out of range [1, {self._num_pages})")
 
+    def _check_writable(self) -> None:
+        if self.readonly:
+            raise StorageError(f"{self.path}: pager opened readonly (mmap mode)")
+
     def reset_read_sequence(self) -> None:
         """Forget the last-read page so the next read counts as random."""
         self._last_read_pid = None
@@ -215,12 +268,17 @@ class Pager:
     # -- lifecycle ----------------------------------------------------------
 
     def sync(self) -> None:
+        self._check_writable()
         self._file.flush()
         os.fsync(self._file.fileno())
 
     def close(self) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
         if not self._file.closed:
-            self._file.flush()
+            if not self.readonly:
+                self._file.flush()
             self._file.close()
 
     def __enter__(self) -> "Pager":

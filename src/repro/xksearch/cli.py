@@ -162,6 +162,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         export_url=args.export_url,
         log_json=args.log_json,
         log_level=args.log_level,
+        workers_proc=args.workers_proc,
     )
     return 0
 
@@ -240,6 +241,15 @@ def make_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="cap on concurrently executing requests (default 8)",
+    )
+    p_serve.add_argument(
+        "--workers-proc",
+        type=int,
+        default=0,
+        metavar="N",
+        help="execute cache-miss queries in N forked worker processes over "
+        "mmap'd indexes (0 = in-thread; falls back in-thread if fork is "
+        "unavailable)",
     )
     p_serve.add_argument(
         "--cache-size",

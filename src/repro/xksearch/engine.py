@@ -26,13 +26,14 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core import eager_slca, find_all_lcas, stack_elca, stack_slca
 from repro.core.counters import OpCounters
-from repro.errors import QueryError
+from repro.errors import PoolError, QueryError
 from repro.index.inverted import DiskKeywordIndex
 from repro.index.memory import MemoryKeywordIndex
 from repro.obs.logging import current_trace_id, get_logger
 from repro.obs.metrics import exponential_buckets, get_registry, instrumentation_enabled
 from repro.obs.profile import QueryProfile, maybe_phase
 from repro.xksearch.cache import QueryCache, normalize_key
+from repro.xksearch.shared_cache import SharedResultCache
 from repro.xmltree.dewey import DeweyTuple
 from repro.xmltree.tree import extract_keywords
 
@@ -184,6 +185,12 @@ class ExecutionStats:
     cache_misses: int = 0
     cache_evictions: int = 0
     result_from_cache: bool = False
+    #: Hits against the cross-process shared result cache, whether the
+    #: lookup happened in this process or inside a pool worker.
+    shared_hits: int = 0
+    #: Admission decision of this call's shared-cache store, if one
+    #: happened ("admit"/"evict"/"reject"/"oversize").
+    shared_admission: Optional[str] = None
     #: EXPLAIN breakdown, set by ``execute(..., profile=True)``.
     profile: Optional[QueryProfile] = None
 
@@ -207,6 +214,21 @@ class QueryEngine:
     so an :class:`~repro.index.updates.IndexUpdater` run invalidates them.
     Caching is opt-in: benchmarks measuring raw algorithm cost construct
     engines without one.
+
+    Two optional cross-process layers compose with the local cache:
+
+    * a :class:`~repro.xksearch.shared_cache.SharedResultCache` is
+      consulted after a local miss and fed after every execution, so a
+      result computed anywhere (this process or any pool worker) is a
+      hit everywhere, under the same generation stamps;
+    * a :class:`~repro.xksearch.parallel.WorkerPool` (attached via
+      :meth:`attach_pool`) moves cache-miss execution into worker
+      processes.  Answers are byte-identical to in-thread execution —
+      workers run the same planner over the same index — and any
+      dispatch failure falls back to executing in-thread (counted by
+      ``xks_pool_fallback_total``), never failing the request.  The
+      EXPLAIN path (``profile=True``) always runs in-thread so its
+      phase timings and I/O attribution describe *this* process.
     """
 
     def __init__(
@@ -214,14 +236,30 @@ class QueryEngine:
         index: AnyIndex,
         skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
         cache: Optional[QueryCache] = None,
+        shared_cache: Optional[SharedResultCache] = None,
     ):
         self.index = index
         self.skew_threshold = skew_threshold
         self.cache = cache
+        self.shared = shared_cache
+        self.pool = None
         # Per-algorithm OpCounters aggregates over this engine's lifetime
         # (the /statz "counters" section); registry metrics mirror them.
         self._totals: Dict[str, OpCounters] = {}
         self._totals_lock = threading.Lock()
+
+    def attach_pool(self, pool) -> None:
+        """Route cache-miss execution through a worker pool.
+
+        ``pool`` needs the :class:`~repro.xksearch.parallel.WorkerPool`
+        interface (``execute(semantics, tokens, algorithm, generation)``
+        and ``size``); it should have been created against the same index
+        directory, before any server threads started.
+        """
+        self.pool = pool
+
+    def detach_pool(self) -> None:
+        self.pool = None
 
     # -- observability -------------------------------------------------------
 
@@ -247,9 +285,10 @@ class QueryEngine:
     ) -> None:
         """Record one query against the engine totals and the registry.
 
-        ``cache_state`` is ``hit``/``miss``/``off``; ``delta``, ``exec_ms``
-        and ``band`` (the plan's smallest-list frequency band) are only
-        present when an actual execution happened.
+        ``cache_state`` is ``hit`` (local cache), ``shared`` (cross-process
+        cache, possibly observed inside a pool worker), ``miss`` or ``off``;
+        ``delta``, ``exec_ms`` and ``band`` (the plan's smallest-list
+        frequency band) are only present when an actual execution happened.
         """
         if not instrumentation_enabled():
             return
@@ -451,6 +490,71 @@ class QueryEngine:
             "pool_misses": after["pool"]["misses"] - before["pool"]["misses"],
         }
 
+    # -- cross-process layers ------------------------------------------------
+
+    def _pool_execute(self, semantics, plan, algorithm, generation):
+        """Try to run one planned query in a pool worker.
+
+        Returns ``(ids, delta, exec_ms, shared_hit)`` on success, or
+        ``None`` when the pool is absent, the plan is trivially empty, or
+        the dispatch failed — the caller then executes in-thread.  The
+        worker re-plans from the same atom displays and the *requested*
+        algorithm, so its planning (and its shared-cache key) matches this
+        process exactly.
+        """
+        pool = self.pool
+        if pool is None or plan.empty:
+            return None
+        tokens = [a.display for a in plan.atoms]
+        try:
+            ids, counters_dict, exec_ms, shared_hit, admission = pool.execute(
+                semantics, tokens, algorithm, generation
+            )
+        except PoolError as exc:
+            self._note_fallback(exc)
+            return None
+        delta = OpCounters(**counters_dict)
+        if admission is not None:
+            # The worker stored the result; mirror its admission decision
+            # into this process's registry (worker registries are private).
+            self._count_admission(admission)
+        return tuple(ids), delta, exec_ms, bool(shared_hit)
+
+    def _note_fallback(self, exc: PoolError) -> None:
+        _log.warning("pool_fallback", error=repr(exc))
+        if instrumentation_enabled():
+            get_registry().counter(
+                "xks_pool_fallback_total",
+                "Queries executed in-thread after a pool dispatch failure.",
+                labelnames=("reason",),
+            ).labels(reason=type(exc).__name__).inc()
+
+    def _count_admission(self, decision: str) -> None:
+        if instrumentation_enabled():
+            get_registry().counter(
+                "xks_cache_admission_total",
+                "Shared-cache admission decisions (cost-aware policy).",
+                labelnames=("decision",),
+            ).labels(decision=decision).inc()
+
+    def _shared_lookup(self, key, generation, semantics, algorithm, stats):
+        """Consult the shared cache; on a hit, stamp stats, warm the local
+        cache, and return the ids tuple (``None`` on a miss)."""
+        hit, entry = self.shared.lookup(key, generation)
+        if not hit:
+            return None
+        ids, counters_dict = entry
+        ids = tuple(ids)
+        delta = OpCounters(**counters_dict) if counters_dict else None
+        stats.shared_hits += 1
+        stats.result_from_cache = True
+        if delta is not None:
+            stats.counters.add(delta)
+        if self.cache is not None:
+            self.cache.store_result(key, generation, (ids, delta))
+        self._note_query(semantics, "shared", algorithm, None, None)
+        return ids
+
     def _execute_cached(
         self,
         atoms: List[QueryAtom],
@@ -466,11 +570,37 @@ class QueryEngine:
         the operation counters of the execution that computed it — so a
         cache hit can stamp :class:`ExecutionStats` with the original cost
         instead of returning indistinguishable zeroes.
+
+        Lookup order is local cache → shared cache → execute, and the
+        execution goes to the worker pool when one is attached (falling
+        back in-thread on any :class:`~repro.errors.PoolError`).  Profiled
+        (EXPLAIN) calls bypass the shared cache and the pool entirely so
+        the profile describes an execution in this process.
         """
-        if self.cache is None:
+        # The cross-process layers are bypassed under EXPLAIN (see above).
+        shared = self.shared if prof is None else None
+        pooled_ok = prof is None and self.pool is not None
+        if self.cache is None and shared is None:
             with maybe_phase(prof, "plan") as phase:
                 plan = self._plan_atoms(atoms, algorithm)
             if prof is None:
+                if pooled_ok:
+                    pooled = self._pool_execute(
+                        semantics, plan, algorithm, self.generation()
+                    )
+                    if pooled is not None:
+                        ids, delta, exec_ms, shared_hit = pooled
+                        stats.counters.add(delta)
+                        if shared_hit:
+                            stats.shared_hits += 1
+                            stats.result_from_cache = True
+                            self._note_query(semantics, "shared", algorithm, None, None)
+                        else:
+                            self._note_query(
+                                semantics, "off", plan.algorithm, delta, exec_ms,
+                                band=plan.band,
+                            )
+                        return iter(ids)
                 return self._accounted(
                     runner(plan, stats), stats, semantics, plan.algorithm,
                     band=plan.band,
@@ -482,26 +612,31 @@ class QueryEngine:
             return self._run_profiled(plan, semantics, "off", stats, runner, prof)
         key = normalize_key((a.display for a in atoms), algorithm, semantics)
         generation = self.generation()
-        with maybe_phase(prof, "cache_lookup"):
-            hit, entry = self.cache.lookup_result(key, generation)
-        if hit:
-            ids, cached_counters = entry
-            stats.cache_hits += 1
-            stats.result_from_cache = True
-            if cached_counters is not None:
-                stats.counters.add(cached_counters)
-            self._note_query(semantics, "hit", algorithm, None, None)
-            if prof is not None:
-                prof.cache_hit = True
-                prof.result_count = len(ids)
-                # Plans are cheap; re-derive one so EXPLAIN on a hit still
-                # shows what an execution would have run.
-                with maybe_phase(prof, "plan"):
-                    plan = self._plan_atoms(atoms, algorithm)
-                prof.algorithm = plan.algorithm
-                prof.plan = plan.summary()
-            return iter(ids)
-        stats.cache_misses += 1
+        if self.cache is not None:
+            with maybe_phase(prof, "cache_lookup"):
+                hit, entry = self.cache.lookup_result(key, generation)
+            if hit:
+                ids, cached_counters = entry
+                stats.cache_hits += 1
+                stats.result_from_cache = True
+                if cached_counters is not None:
+                    stats.counters.add(cached_counters)
+                self._note_query(semantics, "hit", algorithm, None, None)
+                if prof is not None:
+                    prof.cache_hit = True
+                    prof.result_count = len(ids)
+                    # Plans are cheap; re-derive one so EXPLAIN on a hit still
+                    # shows what an execution would have run.
+                    with maybe_phase(prof, "plan"):
+                        plan = self._plan_atoms(atoms, algorithm)
+                    prof.algorithm = plan.algorithm
+                    prof.plan = plan.summary()
+                return iter(ids)
+            stats.cache_misses += 1
+        if shared is not None:
+            ids = self._shared_lookup(key, generation, semantics, algorithm, stats)
+            if ids is not None:
+                return iter(ids)
         with maybe_phase(prof, "plan") as phase:
             plan = self._plan_atoms(atoms, algorithm)
         if prof is not None:
@@ -509,21 +644,47 @@ class QueryEngine:
             prof.plan = plan.summary()
             if phase is not None:
                 phase.detail["algorithm"] = plan.algorithm
-        before = stats.counters.snapshot()
-        exec_started = time.perf_counter()
-        with maybe_phase(prof, "execute", algorithm=plan.algorithm):
-            value = tuple(runner(plan, stats))
-        exec_ms = (time.perf_counter() - exec_started) * 1000
-        delta = stats.counters.delta(before)
-        self._note_query(
-            semantics, "miss", plan.algorithm, delta, exec_ms, band=plan.band
+        pooled = (
+            self._pool_execute(semantics, plan, algorithm, generation)
+            if pooled_ok
+            else None
         )
-        with maybe_phase(prof, "cache_store"):
-            evictions_before = self.cache.results.stats.evictions
-            self.cache.store_result(key, generation, (value, delta))
-            stats.cache_evictions += (
-                self.cache.results.stats.evictions - evictions_before
+        if pooled is not None:
+            value, delta, exec_ms, shared_hit = pooled
+            stats.counters.add(delta)
+            if shared_hit:
+                stats.shared_hits += 1
+                stats.result_from_cache = True
+        else:
+            before = stats.counters.snapshot()
+            exec_started = time.perf_counter()
+            with maybe_phase(prof, "execute", algorithm=plan.algorithm):
+                value = tuple(runner(plan, stats))
+            exec_ms = (time.perf_counter() - exec_started) * 1000
+            delta = stats.counters.delta(before)
+            shared_hit = False
+            if shared is not None:
+                stats.shared_admission = shared.store(
+                    key, generation, (value, delta.as_dict()), exec_ms
+                )
+        if shared_hit:
+            self._note_query(semantics, "shared", algorithm, None, None)
+        else:
+            self._note_query(
+                semantics,
+                "miss" if self.cache is not None else "off",
+                plan.algorithm,
+                delta,
+                exec_ms,
+                band=plan.band,
             )
+        if self.cache is not None:
+            with maybe_phase(prof, "cache_store"):
+                evictions_before = self.cache.results.stats.evictions
+                self.cache.store_result(key, generation, (value, delta))
+                stats.cache_evictions += (
+                    self.cache.results.stats.evictions - evictions_before
+                )
         if prof is not None:
             prof.result_count = len(value)
         return iter(value)
@@ -563,13 +724,27 @@ class QueryEngine:
         deduplicated and computed once, and — with a cache attached — only
         the cache-misses are executed at all.  Shared ``stats`` accumulate
         over the distinct executions.
+
+        Every returned list is a **fresh, caller-owned copy**: two input
+        queries that deduplicate to the same answer get independent lists,
+        and cached entries stay immutable tuples internally, so mutating
+        one returned list can never corrupt another query's answer or a
+        future cache hit.
+
+        With a worker pool attached, the distinct misses fan out across
+        the pool concurrently (one dispatching thread per worker) — this
+        is the batch analogue of the server's parallel read path, and the
+        only place a single call exploits more than one worker at once.
         """
         if algorithm not in ALGORITHMS:
             raise QueryError(
                 f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
             )
         stats = stats if stats is not None else ExecutionStats()
-        generation = self.generation() if self.cache is not None else 0
+        use_generation = (
+            self.cache is not None or self.shared is not None or self.pool is not None
+        )
+        generation = self.generation() if use_generation else 0
         parsed = [parse_query(query) for query in queries]
         keys = [
             normalize_key((a.display for a in atoms), algorithm, "slca")
@@ -593,24 +768,59 @@ class QueryEngine:
                     resolved[key] = ids
                     continue
                 stats.cache_misses += 1
+            if self.shared is not None:
+                ids = self._shared_lookup(key, generation, "slca", algorithm, stats)
+                if ids is not None:
+                    resolved[key] = ids
+                    continue
             pending.append(key)
             pending_plans[key] = self._plan_atoms(atoms, algorithm)
-        # Phase 2 — execute each distinct miss once.
-        for key in pending:
+
+        # Phase 2 — execute each distinct miss once.  Each execution gets
+        # its own ExecutionStats (OpCounters.add is not atomic) and the
+        # deltas merge under this thread after the fan-out joins.
+        def run_one(key: tuple):
             plan = pending_plans[key]
-            before = stats.counters.snapshot()
-            exec_started = time.perf_counter()
-            value = tuple(self.execute_plan(plan, stats))
-            exec_ms = (time.perf_counter() - exec_started) * 1000
-            delta = stats.counters.delta(before)
-            self._note_query(
-                "slca",
-                "miss" if self.cache is not None else "off",
-                plan.algorithm,
-                delta,
-                exec_ms,
-                band=plan.band,
+            pooled = (
+                self._pool_execute("slca", plan, algorithm, generation)
+                if self.pool is not None
+                else None
             )
+            if pooled is not None:
+                return key, pooled
+            local = ExecutionStats()
+            exec_started = time.perf_counter()
+            value = tuple(self.execute_plan(plan, local))
+            exec_ms = (time.perf_counter() - exec_started) * 1000
+            delta = local.counters
+            if self.shared is not None:
+                self.shared.store(key, generation, (value, delta.as_dict()), exec_ms)
+            return key, (value, delta, exec_ms, False)
+
+        if self.pool is not None and len(pending) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=min(len(pending), self.pool.size)
+            ) as dispatchers:
+                outcomes = list(dispatchers.map(run_one, pending))
+        else:
+            outcomes = [run_one(key) for key in pending]
+        for key, (value, delta, exec_ms, shared_hit) in outcomes:
+            plan = pending_plans[key]
+            stats.counters.add(delta)
+            if shared_hit:
+                stats.shared_hits += 1
+                self._note_query("slca", "shared", algorithm, None, None)
+            else:
+                self._note_query(
+                    "slca",
+                    "miss" if self.cache is not None else "off",
+                    plan.algorithm,
+                    delta,
+                    exec_ms,
+                    band=plan.band,
+                )
             if self.cache is not None:
                 evictions_before = self.cache.results.stats.evictions
                 self.cache.store_result(key, generation, (value, delta))

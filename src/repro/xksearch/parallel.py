@@ -1,0 +1,389 @@
+"""Process-pool query execution: pushing CPU-bound SLCA scans past the GIL.
+
+The paper's algorithms are pure-Python Dewey-comparison loops, so a
+threaded server executes cache-miss queries one at a time no matter how
+many worker threads it has — the GIL serializes them.  This module moves
+execution into a pool of **forked worker processes**:
+
+* each worker opens the index in **mmap mode**
+  (:class:`~repro.index.inverted.DiskKeywordIndex` with ``mmap_mode=True``),
+  so all workers read the same OS page-cache copy of the posting lists —
+  no per-worker buffer pool, no pickled posting lists crossing the pipe;
+  only the query tokens go down and the (small) answer comes back;
+* workers share the parent's :class:`~repro.xksearch.shared_cache.SharedResultCache`
+  (forked after it is created), so a result computed by any process is a
+  hit in every other one, under the same generation stamps;
+* generation-based invalidation stays intact: every task carries the
+  parent's current generation, the worker max-merges it into its own
+  registry, and its :meth:`DiskKeywordIndex.generation` check reloads the
+  on-disk state if an updater ran — exactly the single-process protocol;
+* failure degrades, never fails: a dead worker is retired (and respawned,
+  up to a budget), and any dispatch error raises
+  :class:`~repro.errors.PoolError`, which the engine answers by executing
+  the query in-thread and counting ``xks_pool_fallback_total``.
+
+Fork discipline: create the pool (and the shared cache) **before**
+starting server threads.  ``fork()`` from a multi-threaded parent can
+clone held locks into the child; at startup the parent is single-threaded
+and the workers inherit a quiescent world.  Platforms without the
+``fork`` start method get :class:`~repro.errors.PoolUnavailableError`
+at construction, which callers treat as "serve in-thread".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PoolError, PoolUnavailableError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry, instrumentation_enabled
+
+#: Semantics a worker knows how to execute (engine entry point per value).
+SEMANTICS = ("slca", "lca", "elca")
+
+#: Default ceiling on one task's round trip before the worker is retired.
+DEFAULT_TASK_TIMEOUT_S = 120.0
+
+_log = get_logger("parallel")
+
+
+def _worker_main(worker_id, index_dir, conn, skew_threshold, shared_cache):
+    """Worker process body: open the index in mmap mode, serve tasks.
+
+    Runs in the forked child.  The index handle is private to this
+    process (its own fd, its own mapping of the shared page cache); the
+    ``shared_cache`` segment and its lock are the parent's, inherited
+    through fork.
+    """
+    # Imported here so the symbols resolve in the child without making
+    # this module depend on the engine at import time (the engine is what
+    # imports the pool's error types).
+    from repro.index.inverted import DiskKeywordIndex
+    from repro.xksearch.cache import seed_generation
+    from repro.xksearch.engine import ExecutionStats, QueryEngine
+
+    try:
+        index = DiskKeywordIndex(index_dir, mmap_mode=True)
+        engine = QueryEngine(
+            index, skew_threshold=skew_threshold, shared_cache=shared_cache
+        )
+        conn.send(("ready", os.getpid()))
+    except Exception as exc:  # surfaced to the parent as a failed spawn
+        try:
+            conn.send(("init_error", repr(exc)))
+        finally:
+            conn.close()
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        except KeyboardInterrupt:
+            # A terminal Ctrl-C reaches the whole foreground process
+            # group; the parent's shutdown path closes the pipe anyway,
+            # so exit quietly instead of spraying a traceback per worker.
+            break
+        if message is None:
+            break
+        task_id, semantics, tokens, algorithm, generation = message
+        started = time.perf_counter()
+        try:
+            # Adopt the parent's view of the index generation before
+            # executing, so an update the parent has already observed is
+            # never missed here; generation() both stats the manifest for
+            # updates neither process has seen and reloads this handle's
+            # on-disk state (remapping the grown file) when it is behind.
+            seed_generation(index.index_dir, generation)
+            index.generation()
+            stats = ExecutionStats()
+            if semantics == "slca":
+                ids = tuple(engine.execute(tokens, algorithm=algorithm, stats=stats))
+            elif semantics == "lca":
+                ids = tuple(engine.execute_all_lca(tokens, stats=stats))
+            elif semantics == "elca":
+                ids = tuple(engine.execute_elca(tokens, stats=stats))
+            else:
+                raise ValueError(f"unknown semantics {semantics!r}")
+            exec_ms = (time.perf_counter() - started) * 1000
+            conn.send(
+                (
+                    task_id,
+                    "ok",
+                    ids,
+                    stats.counters.as_dict(),
+                    exec_ms,
+                    stats.result_from_cache,
+                    stats.shared_admission,
+                )
+            )
+        except Exception as exc:
+            try:
+                conn.send((task_id, "error", repr(exc)))
+            except (OSError, BrokenPipeError):
+                break
+    conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker process."""
+
+    __slots__ = ("worker_id", "process", "conn", "tasks", "pid")
+
+    def __init__(self, worker_id, process, conn):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.tasks = 0
+        self.pid = process.pid
+
+
+class WorkerPool:
+    """A fixed-size pool of forked query-execution processes.
+
+    Thread-safe: any number of server threads may call :meth:`execute`
+    concurrently; each dispatch checks a worker out of the idle queue for
+    the duration of its task, which both load-balances (FIFO checkout is
+    round-robin under sequential load) and applies backpressure when
+    every worker is busy.
+    """
+
+    def __init__(
+        self,
+        index_dir,
+        workers: int = 2,
+        skew_threshold: float = 10.0,
+        shared_cache=None,
+        task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S,
+        spawn_timeout_s: float = 30.0,
+        max_respawns: Optional[int] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise PoolUnavailableError(
+                "process pool requires the fork start method; "
+                "serve in-thread on this platform"
+            )
+        self.index_dir = os.fspath(index_dir)
+        self.size = workers
+        self.skew_threshold = skew_threshold
+        self.shared_cache = shared_cache
+        self.task_timeout_s = task_timeout_s
+        self.spawn_timeout_s = spawn_timeout_s
+        self.max_respawns = max_respawns if max_respawns is not None else workers * 2
+        self._ctx = multiprocessing.get_context("fork")
+        self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._workers: List[_WorkerHandle] = []
+        self._alive = 0
+        self._closed = False
+        self._next_task_id = 0
+        self._next_worker_id = 0
+        self.respawns = 0
+        self.dispatch_errors = 0
+        for _ in range(workers):
+            self._spawn()
+        _log.info(
+            "pool_started",
+            workers=workers,
+            index_dir=self.index_dir,
+            pids=[handle.pid for handle in self._workers],
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self) -> _WorkerHandle:
+        with self._lock:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self.index_dir,
+                child_conn,
+                self.skew_threshold,
+                self.shared_cache,
+            ),
+            daemon=True,
+            name=f"xks-worker-{worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(self.spawn_timeout_s):
+            process.kill()
+            raise PoolError(f"worker {worker_id} did not report ready")
+        status = parent_conn.recv()
+        if status[0] != "ready":
+            process.join(timeout=1.0)
+            raise PoolError(f"worker {worker_id} failed to start: {status[1]}")
+        handle = _WorkerHandle(worker_id, process, parent_conn)
+        with self._lock:
+            self._workers.append(handle)
+            self._alive += 1
+        self._idle.put(handle)
+        return handle
+
+    def _retire(self, handle: _WorkerHandle, reason: str) -> None:
+        """Drop a failed worker and try to keep the pool at size."""
+        with self._lock:
+            if handle in self._workers:
+                self._workers.remove(handle)
+                self._alive -= 1
+            closed = self._closed
+            can_respawn = not closed and self.respawns < self.max_respawns
+            if can_respawn:
+                self.respawns += 1
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.kill()
+        _log.warning(
+            "pool_worker_retired",
+            worker=handle.worker_id,
+            pid=handle.pid,
+            reason=reason,
+        )
+        if instrumentation_enabled():
+            get_registry().counter(
+                "xks_pool_worker_deaths_total",
+                "Pool workers retired after a dispatch failure.",
+                labelnames=("reason",),
+            ).labels(reason=reason).inc()
+        if can_respawn:
+            try:
+                self._spawn()
+            except (PoolError, OSError) as exc:
+                _log.warning("pool_respawn_failed", error=repr(exc))
+
+    @property
+    def alive(self) -> int:
+        with self._lock:
+            return self._alive
+
+    def close(self) -> None:
+        """Stop every worker (best effort; stragglers are killed)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+            self._workers.clear()
+            self._alive = 0
+        for handle in workers:
+            try:
+                handle.conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for handle in workers:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        _log.info("pool_closed", workers=len(workers))
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def execute(
+        self,
+        semantics: str,
+        tokens: Sequence[str],
+        algorithm: str,
+        generation: int,
+    ) -> Tuple[tuple, dict, float, bool, Optional[str]]:
+        """Run one query in a worker.
+
+        Returns ``(ids, counters_dict, exec_ms, shared_hit, admission)``.
+        Raises :class:`~repro.errors.PoolError` on any dispatch failure —
+        closed pool, no live workers, timeout, dead worker, or an error
+        raised inside the worker — and the caller is expected to fall
+        back to in-thread execution.
+        """
+        if self._closed:
+            raise PoolError("pool is closed")
+        if self.alive == 0:
+            raise PoolError("no live workers")
+        with self._lock:
+            task_id = self._next_task_id
+            self._next_task_id += 1
+        try:
+            handle = self._idle.get(timeout=self.task_timeout_s)
+        except queue.Empty:
+            self.dispatch_errors += 1
+            raise PoolError("no idle worker within timeout")
+        if not handle.process.is_alive():
+            self.dispatch_errors += 1
+            self._retire(handle, "dead_at_checkout")
+            raise PoolError(f"worker {handle.worker_id} died")
+        try:
+            handle.conn.send((task_id, semantics, list(tokens), algorithm, generation))
+            if not handle.conn.poll(self.task_timeout_s):
+                raise PoolError(f"worker {handle.worker_id} timed out")
+            reply = handle.conn.recv()
+        except PoolError:
+            self.dispatch_errors += 1
+            self._retire(handle, "timeout")
+            raise
+        except (OSError, EOFError, BrokenPipeError) as exc:
+            self.dispatch_errors += 1
+            self._retire(handle, "pipe_broken")
+            raise PoolError(f"worker {handle.worker_id} pipe failed: {exc!r}")
+        handle.tasks += 1
+        self._idle.put(handle)
+        self._observe_task(handle.worker_id)
+        if reply[0] != task_id:
+            # A stale reply means request/response framing broke; the
+            # worker was already handed back, but its answer is unusable.
+            raise PoolError(f"worker {handle.worker_id} returned a stale reply")
+        if reply[1] != "ok":
+            raise PoolError(f"worker {handle.worker_id} error: {reply[2]}")
+        _task_id, _status, ids, counters, exec_ms, shared_hit, admission = reply
+        return ids, counters, exec_ms, shared_hit, admission
+
+    def _observe_task(self, worker_id: int) -> None:
+        if not instrumentation_enabled():
+            return
+        get_registry().counter(
+            "xks_pool_tasks_total",
+            "Queries executed by each pool worker.",
+            labelnames=("worker",),
+        ).labels(worker=str(worker_id)).inc()
+
+    # -- observability -------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            workers = [
+                {
+                    "worker": handle.worker_id,
+                    "pid": handle.pid,
+                    "tasks": handle.tasks,
+                    "alive": handle.process.is_alive(),
+                }
+                for handle in self._workers
+            ]
+            return {
+                "size": self.size,
+                "alive": self._alive,
+                "respawns": self.respawns,
+                "dispatch_errors": self.dispatch_errors,
+                "workers": workers,
+            }

@@ -15,6 +15,11 @@ Serving-layer features (beyond the paper's demo):
 * **caching** — the system is normally opened with a
   :class:`~repro.xksearch.cache.QueryCache`, so repeated queries are
   answered from memory (``xksearch serve --cache-size``);
+* **process-pool execution** — ``--workers-proc N`` moves cache-miss
+  query execution past the GIL into N forked worker processes reading
+  the index through shared memory maps, with a cross-process shared
+  result cache (see :mod:`repro.xksearch.parallel` and
+  docs/PERFORMANCE.md, "Scaling past the GIL");
 * **observability** (see docs/OBSERVABILITY.md) — every request is timed
   and counted in the process-global metrics registry; ``GET /metrics``
   exposes Prometheus text format covering server, cache, buffer-pool,
@@ -200,6 +205,32 @@ def system_collector(system: XKSearch):
                     "xks_bptree_node_reads_total", reads, {"tree": tree},
                     kind="counter", help="B+tree node touches per tree.",
                 )
+        shared = system.engine.shared
+        if shared is not None:
+            stats = shared.stats
+            yield Sample(
+                "xks_shared_cache_hits_total", stats.hits, kind="counter",
+                help="Cross-process shared-cache hits (this process's view).",
+            )
+            yield Sample(
+                "xks_shared_cache_misses_total", stats.misses, kind="counter",
+                help="Cross-process shared-cache misses (this process's view).",
+            )
+            yield Sample(
+                "xks_shared_cache_invalidations_total", stats.invalidations,
+                kind="counter",
+                help="Shared-cache entries dropped on a generation mismatch.",
+            )
+        pool = system.engine.pool
+        if pool is not None:
+            yield Sample(
+                "xks_pool_workers", pool.alive,
+                help="Live worker processes in the execution pool.",
+            )
+            yield Sample(
+                "xks_pool_respawns_total", pool.respawns, kind="counter",
+                help="Pool workers respawned after a failure.",
+            )
         cache = system.engine.cache
         if cache is not None:
             for name, stats in (("results", cache.results.stats), ("plans", cache.plans.stats)):
@@ -426,6 +457,7 @@ class _Handler(BaseHTTPRequestHandler):
             "elapsed_ms": round(elapsed_ms, 3),
             "cached": stats.result_from_cache,
             "cache_hit": stats.cache_hit,
+            "shared_hit": stats.shared_hits > 0,
             "counters": stats.counters.as_dict(),
             "trace_id": self._trace_id,
         }
@@ -448,6 +480,10 @@ class _Handler(BaseHTTPRequestHandler):
             "server": self.metrics.summary() if self.metrics else {},
             "generation": engine.generation(),
             "cache": engine.cache.stats() if engine.cache is not None else None,
+            "shared_cache": (
+                engine.shared.stats_dict() if engine.shared is not None else None
+            ),
+            "pool": engine.pool.stats_dict() if engine.pool is not None else None,
             "storage": self.system.storage_stats(),
             "counters": engine.counter_totals(),
         }
@@ -641,6 +677,7 @@ def serve(
     export_url: Optional[str] = None,
     log_json: bool = False,
     log_level: Optional[str] = None,
+    workers_proc: int = 0,
 ) -> None:
     """Blocking entry point used by ``xksearch serve``.
 
@@ -649,6 +686,13 @@ def serve(
     them to a collector.  ``log_json`` switches structured logs on in JSON
     mode; ``log_level`` (or ``REPRO_LOG_LEVEL``) sets the level, in text
     mode unless ``log_json`` is also given.
+
+    ``workers_proc > 0`` adds a pool of that many **worker processes**
+    executing cache-miss queries over mmap'd read-only index handles, with
+    a cross-process shared result cache (docs/PERFORMANCE.md, "Scaling
+    past the GIL").  The pool and cache are created *before* any server
+    thread starts — fork with live threads is unsafe — and a platform
+    without ``fork`` simply serves in-thread (logged, never fatal).
     """
     if export_jsonl and export_url:
         raise ValueError("choose one of export_jsonl / export_url, not both")
@@ -661,28 +705,54 @@ def serve(
         exporter = TraceExporter(JsonlFileSink(export_jsonl))
     elif export_url:
         exporter = TraceExporter(HttpCollectorSink(export_url))
-    with XKSearch.open(index_dir, cache=cache) as system:
-        server = make_server(
-            system,
-            host=host,
-            port=port,
-            quiet=False,
-            max_workers=max_workers,
-            tracer=tracer,
-            exporter=exporter,
-        )
-        actual_port = server.server_address[1]
-        export_note = ""
-        if exporter is not None:
-            export_note = f", exporting traces to {exporter.sink.describe()}"
-        print(
-            f"XKSearch demo at http://{host}:{actual_port}/  "
-            f"({max_workers} workers, cache={'off' if cache is None else cache_size}, "
-            f"slow log at /debug/slow >= {slow_ms:.0f} ms{export_note}; Ctrl-C to stop)"
-        )
+    shared_cache = None
+    pool = None
+    if workers_proc > 0:
+        from repro.errors import PoolError
+        from repro.xksearch.parallel import WorkerPool
+        from repro.xksearch.shared_cache import SharedResultCache
+
+        shared_cache = SharedResultCache()
         try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            pass
-        finally:
-            server.server_close()
+            pool = WorkerPool(
+                index_dir, workers=workers_proc, shared_cache=shared_cache
+            )
+        except PoolError as exc:
+            _log.warning("pool_unavailable", error=repr(exc))
+            print(f"process pool unavailable ({exc}); serving in-thread")
+    try:
+        with XKSearch.open(index_dir, cache=cache, shared_cache=shared_cache) as system:
+            if pool is not None:
+                system.engine.attach_pool(pool)
+            server = make_server(
+                system,
+                host=host,
+                port=port,
+                quiet=False,
+                max_workers=max_workers,
+                tracer=tracer,
+                exporter=exporter,
+            )
+            actual_port = server.server_address[1]
+            export_note = ""
+            if exporter is not None:
+                export_note = f", exporting traces to {exporter.sink.describe()}"
+            pool_note = f", {pool.size} proc workers" if pool is not None else ""
+            print(
+                f"XKSearch demo at http://{host}:{actual_port}/  "
+                f"({max_workers} workers{pool_note}, "
+                f"cache={'off' if cache is None else cache_size}, "
+                f"slow log at /debug/slow >= {slow_ms:.0f} ms{export_note}; "
+                f"Ctrl-C to stop)"
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+    finally:
+        if pool is not None:
+            pool.close()
+        if shared_cache is not None:
+            shared_cache.close()

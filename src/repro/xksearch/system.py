@@ -42,10 +42,16 @@ class XKSearch:
         tree: Optional[XMLTree] = None,
         skew_threshold: float = 10.0,
         cache: Optional[QueryCache] = None,
+        shared_cache=None,
     ):
         self.index = index
         self.tree = tree
-        self.engine = QueryEngine(index, skew_threshold=skew_threshold, cache=cache)
+        self.engine = QueryEngine(
+            index,
+            skew_threshold=skew_threshold,
+            cache=cache,
+            shared_cache=shared_cache,
+        )
         self._keyword_postings = (
             tree.keyword_postings() if tree is not None else None
         )
@@ -79,21 +85,28 @@ class XKSearch:
         load_document: bool = True,
         pool_capacity: int = 4096,
         cache: Optional[QueryCache] = None,
+        mmap_mode: bool = False,
+        shared_cache=None,
     ) -> "XKSearch":
         """Open an existing index directory.
 
         With ``load_document`` (and a stored document) results carry paths
         and snippets; otherwise they are bare Dewey numbers.  Pass a
         :class:`QueryCache` to memoize repeated queries (the serving path
-        does; see docs/PERFORMANCE.md).
+        does; see docs/PERFORMANCE.md).  ``mmap_mode`` opens the index
+        read-only over a shared memory map (what pool workers use);
+        ``shared_cache`` attaches a cross-process
+        :class:`~repro.xksearch.shared_cache.SharedResultCache`.
         """
-        index = DiskKeywordIndex(index_dir, pool_capacity=pool_capacity)
+        index = DiskKeywordIndex(
+            index_dir, pool_capacity=pool_capacity, mmap_mode=mmap_mode
+        )
         tree = None
         if load_document:
             path = index.document_path()
             if path is not None:
                 tree = parse_file(path)
-        return cls(index, tree=tree, cache=cache)
+        return cls(index, tree=tree, cache=cache, shared_cache=shared_cache)
 
     @classmethod
     def from_tree(cls, tree: XMLTree) -> "XKSearch":

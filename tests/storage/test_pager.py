@@ -121,6 +121,73 @@ class TestStats:
         assert pager.stats.writes == start + 1
 
 
+class TestReadonlyMmap:
+    """The zero-copy read mode pool workers use (Pager(readonly=True))."""
+
+    @pytest.fixture
+    def written(self, tmp_path):
+        path = tmp_path / "ro.db"
+        with Pager(path, page_size=256, create=True) as p:
+            pids = [p.allocate() for _ in range(4)]
+            for i, pid in enumerate(pids):
+                p.write_page(pid, bytes([65 + i]) * 100)
+            p.set_meta("root", pids[0])
+        return path, pids
+
+    def test_pages_identical_to_regular_pager(self, written):
+        path, pids = written
+        with Pager(path) as regular, Pager(path, readonly=True) as ro:
+            assert ro.page_size == regular.page_size
+            assert ro.num_pages == regular.num_pages
+            for pid in pids:
+                assert ro.read_page(pid) == regular.read_page(pid)
+            assert ro.get_meta("root") == regular.get_meta("root")
+
+    def test_pages_are_bytes(self, written):
+        # B+tree bisect comparisons require bytes, not memoryview.
+        path, pids = written
+        with Pager(path, readonly=True) as ro:
+            assert type(ro.read_page(pids[0])) is bytes
+
+    def test_writes_rejected(self, written):
+        path, pids = written
+        with Pager(path, readonly=True) as ro:
+            with pytest.raises(StorageError, match="readonly"):
+                ro.write_page(pids[0], b"x")
+            with pytest.raises(StorageError, match="readonly"):
+                ro.allocate()
+            with pytest.raises(StorageError, match="readonly"):
+                ro.set_meta("k", 1)
+            with pytest.raises(StorageError, match="readonly"):
+                ro.sync()
+
+    def test_sees_growth_after_reload(self, written):
+        # An updater appends pages in another handle; the readonly mapping
+        # must pick them up after reload_header (or a read past the map).
+        path, pids = written
+        with Pager(path, readonly=True) as ro:
+            before = ro.num_pages
+            with Pager(path) as writer:
+                new_pid = writer.allocate()
+                writer.write_page(new_pid, b"fresh")
+                writer.sync()
+            ro.reload_header()
+            assert ro.num_pages == before + 1
+            assert ro.read_page(new_pid).startswith(b"fresh")
+
+    def test_read_counters_still_count(self, written):
+        path, pids = written
+        with Pager(path, readonly=True) as ro:
+            ro.stats.reset()
+            ro.read_page(pids[0])
+            ro.read_page(pids[1])
+            assert ro.stats.reads == 2
+
+    def test_readonly_missing_file_fails(self, tmp_path):
+        with pytest.raises(StorageError):
+            Pager(tmp_path / "absent.db", readonly=True)
+
+
 class TestCostModel:
     def test_charges_by_kind(self):
         model = CostModel(random_ms=5.0, sequential_ms=1.0)

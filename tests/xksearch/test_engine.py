@@ -140,3 +140,27 @@ class TestExecuteMany:
         stats = ExecutionStats()
         engine.execute_many(["john ben", "ben john"], stats=stats)
         assert stats.counters.lca_ops > 0
+
+    def test_results_are_defensive_copies(self, engine):
+        # Two queries deduplicating to the same answer must get
+        # independent lists: mutating one cannot corrupt the other.
+        batch = engine.execute_many(["john ben", "ben john", "john ben"])
+        assert batch[0] == batch[1] == batch[2]
+        assert batch[0] is not batch[1] and batch[0] is not batch[2]
+        pristine = list(batch[1])
+        batch[0].append(("poison",))
+        batch[0][0] = ("clobbered",)
+        assert batch[1] == pristine
+        assert batch[2] == pristine
+
+    def test_mutation_does_not_corrupt_cache(self, school):
+        from repro.xksearch.cache import QueryCache
+
+        cached = QueryEngine(MemoryKeywordIndex.from_tree(school), cache=QueryCache())
+        first = cached.execute_many(["john ben"])[0]
+        pristine = list(first)
+        first.append(("poison",))
+        # A later batch served from the cache is unaffected.
+        again = cached.execute_many(["ben john"])[0]
+        assert again == pristine
+        assert list(cached.execute("john ben")) == pristine

@@ -1,0 +1,204 @@
+"""Process-pool execution: byte-identical answers, invalidation, fallback."""
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import PoolError
+from repro.index.builder import build_index
+from repro.index.updates import IndexUpdater
+from repro.xksearch.cache import QueryCache
+from repro.xksearch.engine import ExecutionStats, QueryEngine
+from repro.xksearch.parallel import WorkerPool
+from repro.xksearch.shared_cache import SharedResultCache
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import dblp_like_tree, plant_keywords
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process pool requires the fork start method",
+)
+
+QUERIES = ["xkrare xkbig", "xkmid xkbig", "xkrare xkmid xkbig", "xkmid"]
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory):
+    tree = dblp_like_tree(7, venues=3, years_per_venue=3, papers_per_year=8)
+    plant_keywords(tree, {"xkrare": 4, "xkmid": 18, "xkbig": 50}, seed=11)
+    target = tmp_path_factory.mktemp("parallel") / "idx"
+    build_index(tree, target, page_size=1024)
+    return target
+
+
+@pytest.fixture
+def pooled(index_dir):
+    """(pooled system, reference in-thread system, pool, shared cache)."""
+    shared = SharedResultCache(slot_count=128, slot_size=4096)
+    pool = WorkerPool(index_dir, workers=2, shared_cache=shared)
+    system = XKSearch.open(
+        index_dir, load_document=False, cache=QueryCache(), shared_cache=shared
+    )
+    system.engine.attach_pool(pool)
+    reference = XKSearch.open(index_dir, load_document=False)
+    yield system, reference, pool, shared
+    pool.close()
+    shared.close()
+    system.close()
+    reference.close()
+
+
+class TestByteIdentical:
+    def test_slca_all_algorithms(self, pooled):
+        system, reference, pool, _ = pooled
+        for query in QUERIES:
+            for algorithm in ("auto", "il", "scan", "stack"):
+                got = list(system.search_ids(query, algorithm=algorithm))
+                want = list(reference.search_ids(query, algorithm=algorithm))
+                assert got == want, (query, algorithm)
+        # The queries actually went through the pool, across both workers.
+        stats = pool.stats_dict()
+        assert sum(w["tasks"] for w in stats["workers"]) > 0
+
+    def test_lca_and_elca(self, pooled):
+        system, reference, _, _ = pooled
+        for query in QUERIES:
+            got = list(system.engine.execute_all_lca(query))
+            want = list(reference.engine.execute_all_lca(query))
+            assert got == want, ("lca", query)
+            got = list(system.engine.execute_elca(query))
+            want = list(reference.engine.execute_elca(query))
+            assert got == want, ("elca", query)
+
+    def test_execute_many_matches_sequential(self, pooled):
+        system, reference, _, _ = pooled
+        batch = QUERIES + ["xkbig xkrare", "xkmid"]  # repeats + reorderings
+        got = system.engine.execute_many(batch)
+        want = reference.engine.execute_many(batch)
+        assert got == want
+
+    def test_pool_without_caches(self, index_dir):
+        # A pool attached to a cache-less engine still answers correctly.
+        pool = WorkerPool(index_dir, workers=1)
+        try:
+            system = XKSearch.open(index_dir, load_document=False)
+            system.engine.attach_pool(pool)
+            reference = XKSearch.open(index_dir, load_document=False)
+            for query in QUERIES:
+                got = list(system.search_ids(query))
+                want = list(reference.search_ids(query))
+                assert got == want
+            system.close()
+            reference.close()
+        finally:
+            pool.close()
+
+    def test_shared_cache_round_trip(self, pooled):
+        system, _, _, shared = pooled
+        first = list(system.search_ids("xkrare xkbig"))
+        # A second engine in this process (fresh local cache) must hit the
+        # entry a worker stored in the shared segment.
+        other = QueryEngine(system.index, cache=QueryCache(), shared_cache=shared)
+        stats = ExecutionStats()
+        second = list(other.execute("xkbig xkrare", stats=stats))
+        assert second == first
+        assert stats.shared_hits == 1
+        assert stats.result_from_cache
+
+
+class TestMidRunUpdate:
+    def test_update_invalidates_every_worker(self, tmp_path):
+        tree = dblp_like_tree(6, venues=2, years_per_venue=2, papers_per_year=6)
+        plant_keywords(tree, {"xka": 5, "xkb": 14}, seed=3)
+        target = tmp_path / "idx"
+        build_index(tree, target, page_size=1024)
+        shared = SharedResultCache(slot_count=64)
+        pool = WorkerPool(target, workers=2, shared_cache=shared)
+        system = XKSearch.open(
+            target, load_document=False, cache=QueryCache(), shared_cache=shared
+        )
+        system.engine.attach_pool(pool)
+        try:
+            # Warm both workers (sequential dispatch round-robins the
+            # idle queue) and the caches on the pre-update answer.
+            for _ in range(2):
+                before = list(system.search_ids("xka xkb", algorithm="scan"))
+                system.engine.cache.clear()  # force re-dispatch to the pool
+            # Mutate the index: new postings under a fresh subtree.
+            with IndexUpdater(target) as updater:
+                updater.add_postings(
+                    {
+                        "xka": [((0, 0, 1, 1, 0, 0), "title")],
+                        "xkb": [((0, 0, 1, 1, 1, 0), "title")],
+                    }
+                )
+            reference = XKSearch.open(target, load_document=False)
+            want = list(reference.search_ids("xka xkb", algorithm="scan"))
+            assert want != before  # the update must change the answer
+            # Every worker must now see the new generation: clear the
+            # local cache between calls so each one reaches the pool.
+            for _ in range(pool.size):
+                got = list(system.search_ids("xka xkb", algorithm="scan"))
+                assert got == want
+                system.engine.cache.clear()
+            reference.close()
+        finally:
+            pool.close()
+            shared.close()
+            system.close()
+
+
+class TestDegradation:
+    def test_dead_pool_falls_back_in_thread(self, index_dir):
+        pool = WorkerPool(index_dir, workers=2, max_respawns=0)
+        system = XKSearch.open(index_dir, load_document=False, cache=QueryCache())
+        system.engine.attach_pool(pool)
+        reference = XKSearch.open(index_dir, load_document=False)
+        try:
+            for handle in list(pool._workers):
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            # Requests still succeed, answered in-thread.
+            for query in QUERIES:
+                got = list(system.search_ids(query))
+                want = list(reference.search_ids(query))
+                assert got == want
+            assert pool.dispatch_errors > 0
+        finally:
+            pool.close()
+            system.close()
+            reference.close()
+
+    def test_closed_pool_raises_pool_error(self, index_dir):
+        pool = WorkerPool(index_dir, workers=1)
+        pool.close()
+        with pytest.raises(PoolError):
+            pool.execute("slca", ["xkmid"], "auto", 0)
+
+    def test_worker_respawns_after_crash(self, index_dir):
+        pool = WorkerPool(index_dir, workers=1)
+        try:
+            victim = pool._workers[0]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            with pytest.raises(PoolError):
+                pool.execute("slca", ["xkmid"], "auto", 0)
+            assert pool.respawns == 1
+            assert pool.alive == 1
+            # The respawned worker serves the next request.
+            ids, counters, exec_ms, shared_hit, admission = pool.execute(
+                "slca", ["xkmid"], "auto", 0
+            )
+            assert isinstance(ids, tuple)
+        finally:
+            pool.close()
+
+    def test_worker_error_degrades_not_fails(self, pooled):
+        system, reference, _, _ = pooled
+        # An unknown semantics string makes the worker reply with an
+        # error; pool.execute surfaces it as PoolError.
+        with pytest.raises(PoolError, match="error"):
+            system.engine.pool.execute("bogus", ["xkmid"], "auto", 0)
+        # The pool stays healthy afterwards.
+        got = list(system.search_ids("xkmid"))
+        assert got == list(reference.search_ids("xkmid"))

@@ -1,0 +1,173 @@
+"""Unit tests for the cross-process shared result cache."""
+
+import multiprocessing
+
+import pytest
+
+from repro.xksearch.shared_cache import SharedResultCache
+
+
+@pytest.fixture
+def cache():
+    with SharedResultCache(slot_count=64, slot_size=512, sketch_slots=256) as c:
+        yield c
+
+
+class TestBasics:
+    def test_miss_then_hit(self, cache):
+        key = ("slca", "auto", ("a", "b"))
+        hit, _ = cache.lookup(key, generation=0)
+        assert not hit
+        assert cache.store(key, 0, ((1, 2), {"lca_ops": 3}), exec_ms=5.0) == "admit"
+        hit, value = cache.lookup(key, generation=0)
+        assert hit
+        assert value == ((1, 2), {"lca_ops": 3})
+
+    def test_values_are_fresh_copies(self, cache):
+        # Lookups unpickle per call, so a caller mutating one returned
+        # value can never corrupt the cached entry.
+        key = "k"
+        cache.store(key, 0, [1, 2, 3], exec_ms=1.0)
+        _, first = cache.lookup(key, 0)
+        first.append(99)
+        _, second = cache.lookup(key, 0)
+        assert second == [1, 2, 3]
+
+    def test_len_counts_live_entries(self, cache):
+        assert len(cache) == 0
+        cache.store("a", 0, 1, exec_ms=1.0)
+        cache.store("b", 0, 2, exec_ms=1.0)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_store_refreshes_in_place(self, cache):
+        cache.store("a", 0, "old", exec_ms=1.0)
+        cache.store("a", 0, "new", exec_ms=1.0)
+        _, value = cache.lookup("a", 0)
+        assert value == "new"
+        assert len(cache) == 1
+
+
+class TestGenerations:
+    def test_newer_generation_invalidates(self, cache):
+        cache.store("q", 7, "answer", exec_ms=1.0)
+        hit, _ = cache.lookup("q", 8)
+        assert not hit
+        assert cache.stats.invalidations == 1
+        # The stale entry is gone even for the old generation.
+        hit, _ = cache.lookup("q", 7)
+        assert not hit
+
+    def test_same_generation_hits(self, cache):
+        cache.store("q", 7, "answer", exec_ms=1.0)
+        hit, value = cache.lookup("q", 7)
+        assert hit and value == "answer"
+
+
+class TestAdmission:
+    def test_oversize_rejected(self, cache):
+        big = "x" * 4096
+        assert cache.store("big", 0, big, exec_ms=100.0) == "oversize"
+        hit, _ = cache.lookup("big", 0)
+        assert not hit
+
+    def test_expensive_requested_entry_evicts_cheap_one(self):
+        # One slot, full probe collision: a high-score newcomer must evict.
+        with SharedResultCache(slot_count=1, slot_size=512, sketch_slots=8) as c:
+            assert c.store("cheap", 0, "a", exec_ms=0.1) == "admit"
+            # Ask for the expensive key a few times so its expected reuse
+            # (the request sketch) justifies the eviction.
+            for _ in range(5):
+                c.lookup("pricey", 0)
+            assert c.store("pricey", 0, "b", exec_ms=50.0) == "evict"
+            assert c.lookup("pricey", 0) == (True, "b")
+            assert c.lookup("cheap", 0)[0] is False
+
+    def test_cheap_unrequested_entry_rejected(self):
+        with SharedResultCache(slot_count=1, slot_size=512, sketch_slots=8) as c:
+            for _ in range(10):
+                c.lookup("hot", 0)
+            assert c.store("hot", 0, "a", exec_ms=50.0) == "admit"
+            # A one-off cheap result cannot displace the hot expensive one.
+            assert c.store("coldie", 0, "b", exec_ms=0.01) == "reject"
+            assert c.lookup("hot", 0) == (True, "a")
+
+    def test_hits_raise_the_incumbent_score(self):
+        with SharedResultCache(slot_count=1, slot_size=512, sketch_slots=8) as c:
+            c.store("a", 0, 1, exec_ms=1.0)
+            for _ in range(20):
+                assert c.lookup("a", 0)[0]
+            # score is now cost*(1+hits); a similar-cost newcomer with no
+            # request history loses.
+            assert c.store("b", 0, 2, exec_ms=1.0) == "reject"
+
+    def test_decisions_counted(self, cache):
+        cache.store("a", 0, 1, exec_ms=1.0)
+        cache.store("big", 0, "x" * 4096, exec_ms=1.0)
+        stats = cache.stats_dict()
+        assert stats["admissions"]["admit"] == 1
+        assert stats["admissions"]["oversize"] == 1
+
+
+def _child_store(cache, key, value):
+    cache.store(key, 0, value, exec_ms=9.0)
+
+
+def _child_lookup(cache, key, conn):
+    conn.send(cache.lookup(key, 0))
+    conn.close()
+
+
+class TestCrossProcess:
+    def test_store_in_child_visible_in_parent(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires fork")
+        ctx = multiprocessing.get_context("fork")
+        with SharedResultCache(slot_count=64, slot_size=512) as cache:
+            p = ctx.Process(target=_child_store, args=(cache, "k", ("v", 42)))
+            p.start()
+            p.join()
+            assert p.exitcode == 0
+            hit, value = cache.lookup("k", 0)
+            assert hit and value == ("v", 42)
+
+    def test_store_in_parent_visible_in_child(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires fork")
+        ctx = multiprocessing.get_context("fork")
+        with SharedResultCache(slot_count=64, slot_size=512) as cache:
+            cache.store("k", 0, [1, 2], exec_ms=3.0)
+            parent_conn, child_conn = ctx.Pipe()
+            p = ctx.Process(target=_child_lookup, args=(cache, "k", child_conn))
+            p.start()
+            assert parent_conn.recv() == (True, [1, 2])
+            p.join()
+
+    def test_child_generation_mismatch_clears_entry_for_everyone(self):
+        # A process observing a different generation drops the entry, and
+        # the drop is visible in every other process (shared slots).
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("requires fork")
+        ctx = multiprocessing.get_context("fork")
+        with SharedResultCache(slot_count=64, slot_size=512) as cache:
+            cache.store("k", 1, "stale", exec_ms=3.0)
+            parent_conn, child_conn = ctx.Pipe()
+            # _child_lookup queries generation 0 against a generation-1
+            # entry: a mismatch, so the child must miss and clear the slot.
+            p = ctx.Process(target=_child_lookup, args=(cache, "k", child_conn))
+            p.start()
+            hit, _ = parent_conn.recv()
+            p.join()
+            assert not hit
+            assert cache.lookup("k", 1) == (False, None)
+
+    def test_collision_never_serves_wrong_answer(self, cache):
+        # Same sketch/probe geometry, distinct keys: even when two keys
+        # land on the same slot, the pickled key check keeps answers apart.
+        cache.store(("q", 1), 0, "one", exec_ms=1.0)
+        cache.store(("q", 2), 0, "two", exec_ms=1.0)
+        assert cache.lookup(("q", 1), 0)[1] in ("one", None)
+        hit, value = cache.lookup(("q", 2), 0)
+        if hit:
+            assert value == "two"
