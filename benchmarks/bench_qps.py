@@ -15,7 +15,11 @@ cache exploits.  This benchmark measures that end to end:
    path; pools are created before the server thread starts, because
    forking a threaded process is unsafe).  Parallel efficiency is
    bounded by ``os.cpu_count()``, which the report records,
-5. report QPS, p50/p99 latency and the cache hit rate, and write
+5. measure the posting layer: packed segment vs B+tree lm/rm probes,
+   the single-descent ``neighbors`` vs two separate descents, and the
+   cache-miss replay with segments on vs off (``posting_segments``
+   section of the report),
+6. report QPS, p50/p99 latency and the cache hit rate, and write
    ``BENCH_qps.json`` so later PRs can track the trajectory.
 
 Run::
@@ -129,6 +133,130 @@ def phase_report(name: str, wall: float, latencies) -> dict:
     print(
         f"  {name:9s}  {report['qps']:8.1f} qps   "
         f"p50 {report['p50_ms']:8.3f} ms   p99 {report['p99_ms']:8.3f} ms"
+    )
+    return report
+
+
+def bench_posting_segments(index_dir: str, warm_pool, sequence, args) -> dict:
+    """Posting-layer phase: packed segments vs B+tree, micro and end to end.
+
+    Three measurements, reported as the ``posting_segments`` section:
+
+    * ``lm_rm_micro`` — the IL probe pattern (``lm(x)`` + ``rm(x)`` per
+      candidate, near-ascending) against one planted keyword list,
+      through :class:`PackedListSource` vs :class:`DiskIndexedSource`;
+    * ``neighbors_micro`` — the single-descent
+      :meth:`~repro.storage.bptree.BPlusTree.neighbors` vs the two
+      separate ``floor_entry``/``ceiling_entry`` descents it replaced;
+    * ``end_to_end`` — the cache-miss replay against two live servers
+      (segments on vs off), paired per round so load drift cancels.
+    """
+    from repro.core.counters import OpCounters
+    from repro.index.inverted import DiskKeywordIndex
+    from repro.storage.records import posting_key
+
+    print("posting segments:")
+    keyword = keyword_name(args.frequency, 0)
+    report = {}
+    with DiskKeywordIndex(index_dir) as on, DiskKeywordIndex(
+        index_dir, use_segments=False
+    ) as off:
+        assert on.posting_tier() == "segment", "segments not active after build"
+        nodes = list(off.scan(keyword))
+        target_ops = 20_000 if args.smoke else 100_000
+        repeat = max(1, target_ops // max(1, len(nodes)))
+
+        def time_probes(source):
+            started = time.perf_counter()
+            for _ in range(repeat):
+                for v in nodes:
+                    source.lm(v)
+                    source.rm(v)
+            return time.perf_counter() - started
+
+        seg_s = time_probes(on.sources_for([keyword], "indexed")[0])
+        bpt_s = time_probes(off.sources_for([keyword], "indexed")[0])
+        probes = repeat * len(nodes)
+        report["lm_rm_micro"] = {
+            "keyword_frequency": len(nodes),
+            "probes": probes,
+            "segment_probes_per_s": round(probes / seg_s, 1),
+            "bptree_probes_per_s": round(probes / bpt_s, 1),
+            "speedup": round(bpt_s / seg_s, 2) if seg_s else None,
+        }
+        print(
+            f"  lm/rm     {probes / seg_s:10.0f} probes/s segments   "
+            f"{probes / bpt_s:10.0f} probes/s b+tree   "
+            f"{bpt_s / seg_s:5.2f}x"
+        )
+
+        probe_keys = [posting_key(keyword, off.codec.encode(v)) for v in nodes]
+        tree = off.il_tree
+        started = time.perf_counter()
+        for _ in range(repeat):
+            for key in probe_keys:
+                tree.neighbors(key)
+        single_s = time.perf_counter() - started
+        started = time.perf_counter()
+        for _ in range(repeat):
+            for key in probe_keys:
+                tree.floor_entry(key)
+                tree.ceiling_entry(key)
+        double_s = time.perf_counter() - started
+        report["neighbors_micro"] = {
+            "probes": probes,
+            "neighbors_probes_per_s": round(probes / single_s, 1),
+            "two_descents_probes_per_s": round(probes / double_s, 1),
+            "speedup": round(double_s / single_s, 2) if single_s else None,
+        }
+        print(
+            f"  neighbors {probes / single_s:10.0f} probes/s single    "
+            f"{probes / double_s:10.0f} probes/s twice    "
+            f"{double_s / single_s:5.2f}x"
+        )
+
+    # End to end: the same cache-miss workload against two live servers.
+    rounds = 1 if args.smoke else 3
+    with XKSearch.open(index_dir, load_document=False) as sys_on, XKSearch.open(
+        index_dir, load_document=False, use_segments=False
+    ) as sys_off:
+        servers = []
+        bases = []
+        for system in (sys_on, sys_off):
+            server = make_server(
+                system, port=0, max_workers=args.workers, metrics=ServerMetrics()
+            )
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            servers.append((server, thread))
+            host, port = server.server_address
+            bases.append(f"http://{host}:{port}")
+        try:
+            for base in bases:
+                replay(base, warm_pool, args.threads)  # warm, unmeasured
+            qps = {"on": [], "off": []}
+            for _ in range(rounds):
+                for key, base in zip(("on", "off"), bases):
+                    wall, latencies = replay(base, sequence, args.threads)
+                    qps[key].append(len(latencies) / wall)
+        finally:
+            for server, thread in servers:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+    speedups = sorted(a / b for a, b in zip(qps["on"], qps["off"]) if b)
+    speedup = round(statistics.median(speedups), 2) if speedups else None
+    report["end_to_end"] = {
+        "rounds": rounds,
+        "qps_segments_on": round(statistics.median(qps["on"]), 1),
+        "qps_segments_off": round(statistics.median(qps["off"]), 1),
+        "speedup": speedup,
+        "speedup_rounds": [round(s, 2) for s in speedups],
+    }
+    print(
+        f"  cache-miss QPS: {report['end_to_end']['qps_segments_on']:.1f} segments on, "
+        f"{report['end_to_end']['qps_segments_off']:.1f} off "
+        f"({speedup:.2f}x, {rounds} paired round(s))"
     )
     return report
 
@@ -351,6 +479,10 @@ def main(argv=None) -> int:
                 server.server_close()
                 thread.join(timeout=5)
 
+        # Posting layer: packed segments vs B+tree (needs the index dir,
+        # so it runs inside the tempdir but after the main server stopped).
+        posting_segments = bench_posting_segments(index_dir, pool, sequence, args)
+
     speedup = round(on["qps"] / off["qps"], 2) if off["qps"] else float("inf")
     print(
         f"  speedup   {speedup:.2f}x QPS with cache "
@@ -409,6 +541,7 @@ def main(argv=None) -> int:
         "cache_off": off,
         "cache_on": on,
         "speedup_qps": speedup,
+        "posting_segments": posting_segments,
         "scaling_procs": {
             "cpus": cpus,
             "phases": scaling,

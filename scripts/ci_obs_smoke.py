@@ -18,6 +18,12 @@ search API, then asserts that:
   ``xks_pool_tasks_total`` labels, and — after every worker is killed —
   requests still succeed in-thread with the fallback counter raised
   (skipped where ``fork`` is unavailable);
+* the packed posting segments answer byte-identically to the B+tree
+  tier (all three algorithms, SLCA and ELCA; in-thread and over a
+  2-process pool sharing a posting-block cache), the segment metrics
+  appear on ``/metrics``, and a mid-run :class:`IndexUpdater` bump
+  invalidates segment readers in every worker before the rebuilt
+  segments take over;
 * the committed full-run ``BENCH_qps.json`` (``--bench-report``) keeps
   total instrumentation overhead within ``--max-overhead-pct`` (skipped
   with a notice when the report is absent).
@@ -39,6 +45,7 @@ import shutil
 import sys
 import tempfile
 import threading
+import urllib.parse
 import urllib.request
 
 from repro.obs.export import JsonlFileSink, TraceExporter
@@ -272,6 +279,132 @@ def check_parallel_smoke(index_dir: str) -> None:
     )
 
 
+def check_segments(index_dir: str) -> None:
+    """Packed posting segments: byte-identical answers segments-on vs -off
+    (every algorithm, SLCA and ELCA), segment metrics on /metrics, and a
+    mid-run index update that invalidates segment readers everywhere —
+    including inside forked pool workers."""
+    import multiprocessing
+
+    from repro.index.updates import IndexUpdater
+    from repro.xksearch.parallel import WorkerPool
+    from repro.xksearch.shared_cache import PostingBlockCache
+
+    queries = ("John Ben", "class john", "ben sue", "databases search")
+
+    # Single-thread identity: the segment fast path and the B+tree
+    # fallback must agree on every algorithm and both semantics.
+    with XKSearch.open(index_dir) as on, XKSearch.open(
+        index_dir, use_segments=False
+    ) as off:
+        assert on.index.posting_tier() == "segment", "segments not active after build"
+        assert off.index.posting_tier() == "bptree"
+        for query in queries:
+            for algorithm in ("il", "scan", "stack"):
+                got = list(on.search_ids(query, algorithm=algorithm))
+                want = list(off.search_ids(query, algorithm=algorithm))
+                assert got == want, (query, algorithm, got, want)
+            got = list(on.engine.execute_elca(query))
+            want = list(off.engine.execute_elca(query))
+            assert got == want, ("elca", query, got, want)
+
+    # The serving surface must expose the segment tier.
+    with XKSearch.open(index_dir, cache=QueryCache()) as system:
+        server = make_server(system, port=0, metrics=ServerMetrics())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        try:
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/api/search?q=John+Ben", timeout=10
+            ) as resp:
+                json.loads(resp.read())
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=10
+            ) as resp:
+                body = resp.read().decode("utf-8")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+    assert "xks_segment_active 1" in body, "xks_segment_active gauge not 1"
+    for name in ("xks_segment_keywords", "xks_segment_sources_total"):
+        assert name in body, f"missing segment metric {name}"
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print(
+            "segments OK: byte-identical on/off (3 algorithms + ELCA), metrics "
+            "present; pool phase SKIPPED (no fork)"
+        )
+        return
+
+    # Pool phase: workers read segments through the shared posting-block
+    # cache; a mid-run IndexUpdater bump must stale every worker's
+    # segment reader (answers stay correct via the B+tree fallback, then
+    # the rebuilt segments take over).
+    def fetch_ids(base, query):
+        quoted = urllib.parse.quote(query)
+        with urllib.request.urlopen(
+            f"{base}/api/search?q={quoted}", timeout=10
+        ) as resp:
+            return json.loads(resp.read())["ids"]
+
+    posting = PostingBlockCache()
+    pool = WorkerPool(index_dir, workers=2, posting_cache=posting)
+    try:
+        # A QueryCache makes the engine check the index generation before
+        # planning, so the post-update query replans against the fresh
+        # frequency table (the same protocol the real server uses).
+        with XKSearch.open(index_dir, cache=QueryCache()) as system:
+            system.engine.attach_pool(pool)
+            system.index.attach_posting_cache(posting)
+            server = make_server(system, port=0, metrics=ServerMetrics())
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            host, port = server.server_address
+            base = f"http://{host}:{port}"
+            try:
+                pooled = {q: fetch_ids(base, q) for q in queries}
+                # Mid-run update: plant "zzz" at every "john" occurrence.
+                johns = list(system.index.scan("john"))
+                with IndexUpdater(index_dir) as updater:
+                    updater.add_postings({"zzz": [(d, "") for d in johns]})
+                    # The bump invalidates segments instantly in this process.
+                    assert system.index.posting_tier() == "bptree", (
+                        "generation bump did not stale the parent's segments"
+                    )
+                updated = fetch_ids(base, "john zzz")
+                with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
+                    metrics_body = resp.read().decode("utf-8")
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+    finally:
+        pool.close()
+        posting.close()
+
+    # Reference answers from a segment-less in-thread system (post-update
+    # for the zzz query, which exercises the rebuilt segments' content).
+    def dotted(deweys):
+        return [".".join(map(str, d)) for d in deweys]
+
+    with XKSearch.open(index_dir, use_segments=False) as reference:
+        for query in queries:
+            want = dotted(reference.search_ids(query))
+            assert pooled[query] == want, (query, pooled[query], want)
+        want = dotted(reference.search_ids("john zzz"))
+        assert updated == want, ("john zzz", updated, want)
+        assert want, "planted keyword produced no results"
+    assert "xks_posting_cache_" in metrics_body, (
+        "pooled server exposes no posting-cache metrics"
+    )
+    print(
+        "segments OK: byte-identical on/off (3 algorithms + ELCA), metrics "
+        "present, mid-run update invalidated workers and rebuilt segments"
+    )
+
+
 def check_overhead_guard(report_path: str, max_overhead_pct: float) -> None:
     """Fail when the committed full-run bench shows excess total overhead."""
     if not os.path.exists(report_path):
@@ -335,6 +468,8 @@ def main(argv=None) -> int:
         check_export_pipeline(index_dir, trace_out=args.trace_out)
         check_cli_explain(index_dir)
         check_parallel_smoke(index_dir)
+        # Last: this phase mutates the index (mid-run update).
+        check_segments(index_dir)
     check_overhead_guard(args.bench_report, args.max_overhead_pct)
     print("observability smoke test passed")
     return 0

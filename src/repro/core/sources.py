@@ -13,9 +13,15 @@ through three primitives:
 A :class:`MatchSource` packages one keyword list behind those primitives.
 Two in-memory implementations live here — binary-search lookups for Indexed
 Lookup Eager and forward cursors for Scan Eager; the disk-backed
-implementations in :mod:`repro.index.inverted` expose the same interface
-over the B+trees.  All implementations share an :class:`OpCounters` so a
-query's operation profile can be compared with Table 1.
+implementations in :mod:`repro.index.inverted` (B+tree descents) and
+:mod:`repro.index.segments` (packed posting segments) expose the same
+interface.  All implementations share an :class:`OpCounters` so a query's
+operation profile can be compared with Table 1.
+
+The module also hosts the galloping (exponential) search helpers the
+packed sources use for in-block probes: IL's probes into one list arrive
+in near-ascending order, so searching outward from the previous hit
+costs ``O(log d)`` in the probe distance ``d`` rather than ``O(log n)``.
 """
 
 from __future__ import annotations
@@ -25,6 +31,62 @@ from typing import Iterator, List, Optional, Protocol, Sequence
 
 from repro.core.counters import OpCounters
 from repro.xmltree.dewey import DeweyTuple
+
+
+def gallop_rightmost_le(
+    nodes: Sequence[DeweyTuple], v: DeweyTuple, hint: int = 0
+) -> int:
+    """Index of the rightmost element ``<= v``, or ``-1`` if none.
+
+    Exponential search outward from *hint* (clamped into range), then a
+    bisect within the located bracket.
+    """
+    n = len(nodes)
+    if n == 0:
+        return -1
+    i = min(max(hint, 0), n - 1)
+    if nodes[i] <= v:
+        lo, hi, step = i, i + 1, 1
+        while hi < n and nodes[hi] <= v:
+            lo = hi
+            hi += step
+            step <<= 1
+        hi = min(hi, n)
+    else:
+        hi, lo, step = i, i - 1, 1
+        while lo >= 0 and nodes[lo] > v:
+            hi = lo
+            lo -= step
+            step <<= 1
+        lo = max(lo, -1)
+    # Invariant: nodes[lo] <= v (or lo == -1), nodes[hi] > v (or hi == n).
+    return bisect_right(nodes, v, lo + 1, hi) - 1
+
+
+def gallop_leftmost_ge(
+    nodes: Sequence[DeweyTuple], v: DeweyTuple, hint: int = 0
+) -> int:
+    """Index of the leftmost element ``>= v``, or ``len(nodes)`` if none."""
+    n = len(nodes)
+    if n == 0:
+        return 0
+    i = min(max(hint, 0), n - 1)
+    if nodes[i] >= v:
+        hi, lo, step = i, i - 1, 1
+        while lo >= 0 and nodes[lo] >= v:
+            hi = lo
+            lo -= step
+            step <<= 1
+        lo = max(lo, -1)
+    else:
+        lo, hi, step = i, i + 1, 1
+        while hi < n and nodes[hi] < v:
+            lo = hi
+            hi += step
+            step <<= 1
+        hi = min(hi, n)
+    # Invariant: nodes[lo] < v (or lo == -1), nodes[hi] >= v (or hi == n).
+    return bisect_left(nodes, v, lo + 1, hi)
 
 
 class MatchSource(Protocol):

@@ -10,6 +10,7 @@ from repro.index.builder import (
 from repro.index.frequency import FrequencyTable
 from repro.index.inverted import DiskIndexedSource, DiskKeywordIndex
 from repro.index.memory import MemoryKeywordIndex
+from repro.index.segments import PackedListSource, SegmentReader, write_segments
 from repro.index.updates import IndexUpdater
 from repro.index.verify import VerifyReport, verify_index
 
@@ -21,9 +22,12 @@ __all__ = [
     "IndexBuildReport",
     "IndexUpdater",
     "MemoryKeywordIndex",
+    "PackedListSource",
+    "SegmentReader",
     "VerifyReport",
     "build_index",
     "load_manifest",
     "make_codec",
     "verify_index",
+    "write_segments",
 ]

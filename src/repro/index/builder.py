@@ -89,6 +89,8 @@ def build_index(
     level_table: Optional[LevelTable] = None,
     keep_document: bool = True,
     scan_block_budget: Optional[int] = None,
+    segments: bool = True,
+    segment_block_entries: Optional[int] = None,
 ) -> IndexBuildReport:
     """Build a complete XKSearch index directory.
 
@@ -97,6 +99,11 @@ def build_index(
     themselves) unless given explicitly.  With ``keep_document`` and a tree
     source, the document text is stored alongside the index so search
     results can be rendered as XML snippets.
+
+    With ``segments`` (the default) the builder additionally emits the
+    packed posting-segment sidecar (:mod:`repro.index.segments`) — the
+    zero-copy fast path for ``lm``/``rm``/``scan`` — stamped with the
+    directory's current generation; the B+trees remain ground truth.
     """
     index_dir = os.fspath(index_dir)
     os.makedirs(index_dir, exist_ok=True)
@@ -158,6 +165,33 @@ def build_index(
         "postings": report.postings,
         "has_document": document_text is not None,
     }
+    if segments:
+        # Imported lazily — repro.xksearch imports this module at package
+        # init, so a top-level import would be circular.
+        from repro.index.segments import (
+            DEFAULT_BLOCK_ENTRIES,
+            segments_path,
+            write_segments,
+        )
+        from repro.xksearch.cache import seed_generation
+
+        generation = seed_generation(index_dir, 0)
+        block_entries = segment_block_entries or DEFAULT_BLOCK_ENTRIES
+        write_segments(
+            segments_path(index_dir),
+            (
+                (keyword, [dewey for dewey, _ in tagged[keyword]])
+                for keyword in sorted(tagged, key=lambda kw: kw.encode("utf-8"))
+            ),
+            generation,
+            block_entries=block_entries,
+        )
+        manifest["generation"] = generation
+        manifest["segments"] = {
+            "version": 1,
+            "generation": generation,
+            "block_entries": block_entries,
+        }
     with open(os.path.join(index_dir, MANIFEST_NAME), "w", encoding="utf-8") as fh:
         json.dump(manifest, fh)
     if document_text is not None:

@@ -9,6 +9,12 @@ primitives over the B+trees:
   key range;
 * ``scan`` — stream a keyword's Dewey numbers from the ``scan`` tree's
   packed blocks (sequential leaf I/O);
+* a **segment fast path** — when the packed posting segments
+  (:mod:`repro.index.segments`) are present and current, ``lm``/``rm``
+  are answered by skip-table bisect + in-block galloping over the
+  mmap'd segment file and ``scan`` streams decoded blocks, skipping the
+  B+trees entirely; a generation mismatch (an updater ran) falls back
+  to the trees with byte-identical results;
 * cache-temperature control — ``make_cold()`` empties the buffer pool so
   the next query pays physical reads; by default the B+trees' internal
   pages are pinned, realizing the "non-leaf nodes are cached" assumption of
@@ -37,7 +43,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.counters import OpCounters
 from repro.core.sources import LazyCursorSource
-from repro.errors import IndexNotFoundError
+from repro.errors import IndexFormatError, IndexNotFoundError
 from repro.index.builder import (
     DOCUMENT_NAME,
     FREQUENCY_NAME,
@@ -49,7 +55,9 @@ from repro.index.builder import (
     make_codec,
 )
 from repro.index.frequency import FrequencyTable
+from repro.index.segments import PackedListSource, SegmentReader, segments_path
 from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry, instrumentation_enabled
 from repro.storage.bptree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pager import Pager
@@ -61,30 +69,53 @@ _log = get_logger("index")
 
 
 class DiskIndexedSource:
-    """IL's disk match source: B+tree lookups within one keyword's range."""
+    """IL's disk match source: B+tree lookups within one keyword's range.
+
+    IL probes each list with ``lm(x)`` then ``rm(x)`` at the same value
+    (``slca_candidate``), so both answers are fetched in **one** tree
+    descent (:meth:`~repro.storage.bptree.BPlusTree.neighbors`) and the
+    second call at the same probe is answered from memory — halving
+    descents per candidate while still counting one ``lm_op`` and one
+    ``rm_op``, exactly the paper's cost model.
+    """
 
     def __init__(self, index: "DiskKeywordIndex", keyword: str, counters: OpCounters):
         self._index = index
         self._keyword = keyword
         self._lo, self._hi = keyword_range(keyword)
         self._length = index.frequency(keyword)
+        self._last_probe: Optional[
+            Tuple[DeweyTuple, Optional[DeweyTuple], Optional[DeweyTuple]]
+        ] = None
         self.counters = counters
+
+    def _neighbors(self, v: DeweyTuple) -> Tuple[Optional[DeweyTuple], Optional[DeweyTuple]]:
+        last = self._last_probe
+        if last is not None and last[0] == v:
+            return last[1], last[2]
+        probe = posting_key(self._keyword, self._index.codec.encode(v))
+        floor, ceiling = self._index.il_tree.neighbors(probe)
+        prefix_len = len(self._lo)
+        left = (
+            None
+            if floor is None or floor[0] < self._lo
+            else self._index.codec.decode(floor[0][prefix_len:])
+        )
+        right = (
+            None
+            if ceiling is None or ceiling[0] >= self._hi
+            else self._index.codec.decode(ceiling[0][prefix_len:])
+        )
+        self._last_probe = (v, left, right)
+        return left, right
 
     def lm(self, v: DeweyTuple) -> Optional[DeweyTuple]:
         self.counters.lm_ops += 1
-        probe = posting_key(self._keyword, self._index.codec.encode(v))
-        entry = self._index.il_tree.floor_entry(probe)
-        if entry is None or entry[0] < self._lo:
-            return None
-        return self._index.codec.decode(entry[0][len(self._lo):])
+        return self._neighbors(v)[0]
 
     def rm(self, v: DeweyTuple) -> Optional[DeweyTuple]:
         self.counters.rm_ops += 1
-        probe = posting_key(self._keyword, self._index.codec.encode(v))
-        entry = self._index.il_tree.ceiling_entry(probe)
-        if entry is None or entry[0] >= self._hi:
-            return None
-        return self._index.codec.decode(entry[0][len(self._lo):])
+        return self._neighbors(v)[1]
 
     def scan(self) -> Iterator[DeweyTuple]:
         decode = self._index.codec.decode
@@ -106,6 +137,14 @@ class DiskKeywordIndex:
     state, making it the read mode for forked worker processes
     (:mod:`repro.xksearch.parallel`).  The API is identical; only writes
     (which this class never performs) are forbidden underneath.
+
+    ``use_segments`` (default on) reads ``lm``/``rm``/``scan`` through
+    the packed posting segments (:mod:`repro.index.segments`) whenever
+    the segment file exists and its generation matches the live one;
+    otherwise — no file, a stale file after an updater bump, or
+    ``use_segments=False`` — every read transparently falls back to the
+    B+trees with byte-identical results.  ``xks_segment_sources_total{tier}``
+    counts which tier served each source.
     """
 
     def __init__(
@@ -114,6 +153,7 @@ class DiskKeywordIndex:
         pool_capacity: int = 4096,
         pin_internal: bool = True,
         mmap_mode: bool = False,
+        use_segments: bool = True,
     ):
         # Imported lazily: repro.xksearch imports this module at package
         # init, so a top-level import here would be circular.
@@ -144,6 +184,10 @@ class DiskKeywordIndex:
         self.pager = Pager(index_file, readonly=mmap_mode)
         self.pool = BufferPool(self.pager, capacity=pool_capacity, direct=mmap_mode)
         self._open_trees()
+        self.use_segments = use_segments
+        self._segments: Optional[SegmentReader] = None
+        self._posting_cache = None
+        self._open_segments()
 
     def _load_metadata(self) -> None:
         """(Re)load the frequency table and tag dictionary from disk."""
@@ -166,6 +210,63 @@ class DiskKeywordIndex:
             self.pool.pin_many(self.il_tree.internal_page_ids())
             self.pool.pin_many(self.scan_tree.internal_page_ids())
             self.pager.stats.reset()
+
+    def _open_segments(self) -> None:
+        """(Re)open the packed posting segments, if enabled and present.
+
+        Any failure here downgrades to the B+tree tier rather than
+        failing the open: the segments are an acceleration sidecar, the
+        trees are ground truth.
+        """
+        if self._segments is not None:
+            self._segments.close()
+            self._segments = None
+        if not self.use_segments:
+            return
+        path = segments_path(self.index_dir)
+        if not os.path.exists(path):
+            return
+        try:
+            self._segments = SegmentReader(path, posting_cache=self._posting_cache)
+        except (OSError, IndexFormatError) as exc:
+            _log.warning(
+                "segments_unavailable", index_dir=self.index_dir, error=repr(exc)
+            )
+
+    def attach_posting_cache(self, cache) -> None:
+        """Attach a cross-process :class:`~repro.xksearch.shared_cache.PostingBlockCache`
+        for decoded segment blocks (create it before forking workers)."""
+        self._posting_cache = cache
+        if self._segments is not None:
+            self._segments.posting_cache = cache
+
+    def segments_active(self) -> bool:
+        """Whether reads are currently served from the packed segments.
+
+        True only while the segment file's stamped generation matches the
+        live one; an updater bump flips this to False instantly (in every
+        process observing the bump) until the segments are rebuilt.
+        """
+        segments = self._segments
+        if segments is None:
+            return False
+        from repro.xksearch.cache import current_generation
+
+        return segments.generation == current_generation(self.index_dir)
+
+    def posting_tier(self) -> str:
+        """``"segment"`` or ``"bptree"`` — the tier the next read uses."""
+        return "segment" if self.segments_active() else "bptree"
+
+    @staticmethod
+    def _note_tier(tier: str, count: int = 1) -> None:
+        if count and instrumentation_enabled():
+            get_registry().counter(
+                "xks_segment_sources_total",
+                "Match sources built per posting tier (segment fast path "
+                "vs B+tree fallback).",
+                labelnames=("tier",),
+            ).labels(tier=tier).inc(count)
 
     # -- generations ---------------------------------------------------------
 
@@ -220,6 +321,7 @@ class DiskKeywordIndex:
             self.pool.clear(keep_pinned=False)
             self._load_metadata()
             self._open_trees()
+            self._open_segments()
         _log.info(
             "index_refreshed",
             index_dir=self.index_dir,
@@ -249,9 +351,19 @@ class DiskKeywordIndex:
         return DiskIndexedSource(self, keyword.lower(), OpCounters()).rm(v)
 
     def scan(self, keyword: str) -> Iterator[DeweyTuple]:
-        """All Dewey numbers of *keyword* via the block (scan) tree."""
-        for dewey, _ in self.scan_tagged(keyword):
-            yield dewey
+        """All Dewey numbers of *keyword*, in document order.
+
+        Streams from the packed segments when they are current (decoded
+        blocks come through the posting caches), else from the block
+        (scan) tree — identical output either way.
+        """
+        kw = keyword.lower()
+        segments = self._segments
+        if segments is not None and kw in segments and self.segments_active():
+            self._note_tier("segment")
+            return segments.scan(kw)
+        self._note_tier("bptree")
+        return (dewey for dewey, _ in self.scan_tagged(kw))
 
     def scan_tagged(self, keyword: str) -> Iterator[Tuple[DeweyTuple, str]]:
         """(Dewey, context tag) pairs of *keyword*, in document order."""
@@ -266,13 +378,19 @@ class DiskKeywordIndex:
         self, keyword: str, tag: Optional[str] = None
     ) -> List[DeweyTuple]:
         """Materialized keyword list, optionally restricted to occurrences
-        whose context element is *tag* (the ``tag:word`` query atom)."""
+        whose context element is *tag* (the ``tag:word`` query atom).
+
+        The keyword is normalized exactly once at entry; both branches
+        below receive it already lowercased (the tagged branch used to
+        rely on ``scan_tagged`` normalizing internally).
+        """
+        kw = keyword.lower()
         if tag is None:
-            return list(self.scan(keyword.lower()))
+            return list(self.scan(kw))
         wanted = tag.lower()
         return [
             dewey
-            for dewey, context in self.scan_tagged(keyword)
+            for dewey, context in self.scan_tagged(kw)
             if context == wanted
         ]
 
@@ -284,24 +402,43 @@ class DiskKeywordIndex:
     ) -> List:
         """Match sources for a query, one per keyword.
 
-        ``mode="indexed"`` returns B+tree lookup sources (IL); ``"scan"``
-        returns lazy cursor sources over sequential block reads (Scan
-        Eager).  For IL, the *head* list (first keyword) is also read
-        through the scan tree — IL only ever iterates ``S1``, never probes
-        it — so mixed mode is handled by the engine, not here.
+        ``mode="indexed"`` returns point-lookup sources (IL): packed
+        segment sources when the segments are current
+        (:class:`~repro.index.segments.PackedListSource`), else B+tree
+        sources — byte-identical answers either way.  ``"scan"`` returns
+        lazy cursor sources over sequential reads (Scan Eager); the
+        stream underneath comes from whichever tier :meth:`scan` picks.
+        For IL, the *head* list (first keyword) is also read through the
+        scan path — IL only ever iterates ``S1``, never probes it — so
+        mixed mode is handled by the engine, not here.
         """
         counters = counters if counters is not None else OpCounters()
+        segments = (
+            self._segments
+            if mode == "indexed" and self._segments is not None and self.segments_active()
+            else None
+        )
         sources: List = []
+        segment_count = 0
+        bptree_count = 0
         for keyword in keywords:
             kw = keyword.lower()
             if mode == "indexed":
-                sources.append(DiskIndexedSource(self, kw, counters))
+                if segments is not None and kw in segments:
+                    sources.append(PackedListSource(segments, kw, counters))
+                    segment_count += 1
+                else:
+                    sources.append(DiskIndexedSource(self, kw, counters))
+                    bptree_count += 1
             elif mode == "scan":
+                # scan() notes its own tier choice per keyword.
                 sources.append(
                     LazyCursorSource(self.scan(kw), self.frequency(kw), counters)
                 )
             else:
                 raise ValueError(f"unknown source mode {mode!r}")
+        self._note_tier("segment", segment_count)
+        self._note_tier("bptree", bptree_count)
         return sources
 
     # -- cache temperature ---------------------------------------------------------
@@ -335,6 +472,15 @@ class DiskKeywordIndex:
                 "scan_node_reads": self.scan_tree.node_reads,
             },
             "mmap_mode": self.mmap_mode,
+            "posting_tier": self.posting_tier(),
+            "segments": (
+                self._segments.stats_dict() if self._segments is not None else None
+            ),
+            "posting_cache": (
+                self._posting_cache.stats_dict()
+                if self._posting_cache is not None
+                else None
+            ),
         }
 
     # -- documents -----------------------------------------------------------------
@@ -346,6 +492,9 @@ class DiskKeywordIndex:
     # -- lifecycle -------------------------------------------------------------------
 
     def close(self) -> None:
+        if self._segments is not None:
+            self._segments.close()
+            self._segments = None
         self.pager.close()
 
     def __enter__(self) -> "DiskKeywordIndex":

@@ -1,0 +1,521 @@
+"""Packed posting segments: zero-copy compressed keyword lists.
+
+The B+trees are the index's ground truth, but answering ``lm``/``rm``
+through them costs a tree descent per probe and ``scan`` pays per-entry
+leaf iteration.  This module adds a read-optimized sidecar — one
+immutable **segment file** (``segments.dat``) per index directory — that
+the hot path reads instead whenever it is current:
+
+* each keyword's Dewey ids are **delta + varint encoded** into
+  self-contained blocks of at most ``block_entries`` ids: the first id of
+  a block is stored in full, every later id as (common-prefix length,
+  suffix length, suffix components), each number a 7-bit LEB128 varint;
+* a per-keyword **skip table** records every block's first id, byte span
+  and entry count, so a probe bisects the skip table, decodes (at most)
+  one block, and gallops inside it;
+* the file is opened **zero-copy via mmap** (the readonly discipline of
+  :func:`repro.storage.pager.open_readonly_mmap`): parent threads and
+  forked pool workers share one physical copy in the OS page cache;
+* the header carries the index **generation** the segments were built
+  from.  Readers use segments only while that matches the live
+  generation (:mod:`repro.xksearch.cache`); after an
+  :class:`~repro.index.updates.IndexUpdater` bump they fall back to the
+  B+trees transparently — results are byte-identical either way — until
+  the updater's ``close()`` rebuilds the file.
+
+File layout (all integers big-endian)::
+
+    header   magic "XKSG" | version u16 | flags u16 | generation u64
+             | dir_offset u64 | dir_count u32 | block_entries u32
+    segment  block_count u32 | skip_bytes u32
+             | skip entries: (rel_off u32 | count u32 | first_len u16
+               | first id as varint tuple) x block_count
+             | block data (rel_off is relative to its start)
+    ...      one segment per keyword, back to back
+    dir      (klen u16 | keyword utf-8 | seg_off u64 | count u32)
+             x dir_count, at dir_offset
+
+Decoded blocks are cached per process (a small LRU on the reader) and,
+when a :class:`~repro.xksearch.shared_cache.PostingBlockCache` is
+attached, across processes — hot keywords are decoded once per machine,
+not once per worker per query.
+
+:class:`PackedListSource` is the :class:`~repro.core.sources.MatchSource`
+over one keyword's segment; its ``lm``/``rm`` counter accounting is
+identical to the B+tree source's (one op per probe), so the paper's
+Table 1 cost profiles are preserved on the fast path.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.counters import OpCounters
+from repro.core.sources import gallop_leftmost_ge, gallop_rightmost_le
+from repro.errors import IndexFormatError
+from repro.storage.pager import open_readonly_mmap
+from repro.xmltree.dewey import DeweyTuple, common_prefix_len
+
+SEGMENTS_NAME = "segments.dat"
+
+#: Ids per block: large enough that skip tables stay tiny, small enough
+#: that a point probe never decodes more than ~one cache line of tuples.
+DEFAULT_BLOCK_ENTRIES = 128
+
+_MAGIC = b"XKSG"
+_VERSION = 1
+_HEADER = struct.Struct(">4sHHQQII")
+_SKIP_ENTRY = struct.Struct(">IIH")
+_DIR_ENTRY_HEAD = struct.Struct(">H")
+_DIR_ENTRY_TAIL = struct.Struct(">QI")
+
+
+# -- varint / delta codec -----------------------------------------------------
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Append *value* as a 7-bit little-endian-group (LEB128) varint."""
+    if value < 0:
+        raise IndexFormatError("varints encode non-negative integers only")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(buf, pos: int) -> Tuple[int, int]:
+    """``(value, next_pos)`` of the varint at *pos*."""
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = buf[pos]
+        except IndexError:
+            raise IndexFormatError("truncated varint in segment data") from None
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def encode_tuple(dewey: DeweyTuple) -> bytes:
+    """One Dewey id in full: varint component count, then components."""
+    out = bytearray()
+    _write_varint(out, len(dewey))
+    for component in dewey:
+        _write_varint(out, component)
+    return bytes(out)
+
+
+def decode_tuple(buf, pos: int = 0) -> Tuple[DeweyTuple, int]:
+    count, pos = _read_varint(buf, pos)
+    components = []
+    for _ in range(count):
+        component, pos = _read_varint(buf, pos)
+        components.append(component)
+    return tuple(components), pos
+
+
+def encode_block(entries: Sequence[DeweyTuple]) -> bytes:
+    """Delta-encode one block of ascending Dewey ids.
+
+    Every entry is (common-prefix-with-previous, suffix length, suffix
+    components); the first entry's previous is the empty tuple, so it is
+    stored in full and the block is self-contained.
+    """
+    out = bytearray()
+    previous: DeweyTuple = ()
+    for dewey in entries:
+        cpl = common_prefix_len(previous, dewey)
+        _write_varint(out, cpl)
+        _write_varint(out, len(dewey) - cpl)
+        for component in dewey[cpl:]:
+            _write_varint(out, component)
+        previous = dewey
+    return bytes(out)
+
+
+def decode_block(buf, start: int, end: int, count: int) -> Tuple[DeweyTuple, ...]:
+    """Decode *count* delta-encoded ids from ``buf[start:end]``."""
+    pos = start
+    previous: DeweyTuple = ()
+    out: List[DeweyTuple] = []
+    for _ in range(count):
+        cpl, pos = _read_varint(buf, pos)
+        suffix_len, pos = _read_varint(buf, pos)
+        components = list(previous[:cpl])
+        for _ in range(suffix_len):
+            component, pos = _read_varint(buf, pos)
+            components.append(component)
+        previous = tuple(components)
+        out.append(previous)
+    if pos != end:
+        raise IndexFormatError(
+            f"segment block decoded to {pos - start} bytes, expected {end - start}"
+        )
+    return tuple(out)
+
+
+# -- writer -------------------------------------------------------------------
+
+
+def segments_path(index_dir: os.PathLike) -> str:
+    return os.path.join(os.fspath(index_dir), SEGMENTS_NAME)
+
+
+def write_segments(
+    path: str,
+    keyword_lists: Iterable[Tuple[str, Sequence[DeweyTuple]]],
+    generation: int,
+    block_entries: int = DEFAULT_BLOCK_ENTRIES,
+) -> int:
+    """Write a segment file; returns the number of keywords written.
+
+    ``keyword_lists`` yields ``(keyword, ascending Dewey ids)``; empty
+    lists are skipped.  The file is written to a temporary sibling and
+    atomically renamed into place, so live readers keep their mapping of
+    the old inode and the swap is crash-safe.
+    """
+    if block_entries < 1:
+        raise ValueError("block_entries must be at least 1")
+    tmp_path = path + ".tmp"
+    directory: List[Tuple[bytes, int, int]] = []
+    offset = _HEADER.size
+    with open(tmp_path, "wb") as fh:
+        fh.write(b"\x00" * _HEADER.size)
+        for keyword, nodes in keyword_lists:
+            nodes = list(nodes)
+            if not nodes:
+                continue
+            skip = bytearray()
+            data_parts: List[bytes] = []
+            rel = 0
+            for start in range(0, len(nodes), block_entries):
+                chunk = nodes[start:start + block_entries]
+                data = encode_block(chunk)
+                first = encode_tuple(chunk[0])
+                skip += _SKIP_ENTRY.pack(rel, len(chunk), len(first))
+                skip += first
+                data_parts.append(data)
+                rel += len(data)
+            fh.write(struct.pack(">II", len(data_parts), len(skip)))
+            fh.write(skip)
+            for data in data_parts:
+                fh.write(data)
+            directory.append((keyword.encode("utf-8"), offset, len(nodes)))
+            offset += 8 + len(skip) + rel
+        for kw_bytes, seg_off, count in directory:
+            fh.write(_DIR_ENTRY_HEAD.pack(len(kw_bytes)))
+            fh.write(kw_bytes)
+            fh.write(_DIR_ENTRY_TAIL.pack(seg_off, count))
+        fh.seek(0)
+        fh.write(
+            _HEADER.pack(
+                _MAGIC, _VERSION, 0, generation, offset, len(directory), block_entries
+            )
+        )
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    return len(directory)
+
+
+# -- reader -------------------------------------------------------------------
+
+
+class _SkipTable:
+    """One keyword's decoded skip table: block bounds and first ids."""
+
+    __slots__ = ("first_ids", "starts", "ends", "counts")
+
+    def __init__(
+        self,
+        first_ids: List[DeweyTuple],
+        starts: List[int],
+        ends: List[int],
+        counts: List[int],
+    ):
+        self.first_ids = first_ids
+        self.starts = starts
+        self.ends = ends
+        self.counts = counts
+
+    def __len__(self) -> int:
+        return len(self.first_ids)
+
+
+class SegmentStats:
+    """Per-process reader effectiveness counters (the mmap is shared;
+    these are not — each process counts what it observed)."""
+
+    def __init__(self) -> None:
+        self.local_hits = 0
+        self.shared_hits = 0
+        self.decodes = 0
+        self.decode_ms = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "local_hits": self.local_hits,
+            "shared_hits": self.shared_hits,
+            "decodes": self.decodes,
+            "decode_ms": round(self.decode_ms, 3),
+        }
+
+
+class SegmentReader:
+    """A segment file opened zero-copy for reading.
+
+    Thread-safe in the same sense as the rest of the read path: the mmap
+    is immutable, and the per-process block LRU / skip-table dict are
+    plain dict operations under the GIL (a lost cache insert under a
+    race costs a redundant decode, never a wrong answer).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        posting_cache=None,
+        local_cache_blocks: int = 256,
+    ):
+        self.path = path
+        self._map = open_readonly_mmap(path)
+        try:
+            magic, version, _flags, generation, dir_offset, dir_count, block_entries = (
+                _HEADER.unpack_from(self._map, 0)
+            )
+        except struct.error:
+            self._map.close()
+            raise IndexFormatError(f"segment file {path} is truncated") from None
+        if magic != _MAGIC:
+            self._map.close()
+            raise IndexFormatError(f"segment file {path} has bad magic {magic!r}")
+        if version != _VERSION:
+            self._map.close()
+            raise IndexFormatError(
+                f"segment format version {version} is not supported"
+            )
+        self.generation = generation
+        self.block_entries = block_entries
+        self.posting_cache = posting_cache
+        self.stats = SegmentStats()
+        self._directory: Dict[str, Tuple[int, int]] = {}
+        self._skip_tables: Dict[str, _SkipTable] = {}
+        self._local: "OrderedDict[Tuple[str, int], Tuple[DeweyTuple, ...]]" = (
+            OrderedDict()
+        )
+        self._local_cap = max(1, local_cache_blocks)
+        pos = dir_offset
+        try:
+            for _ in range(dir_count):
+                (klen,) = _DIR_ENTRY_HEAD.unpack_from(self._map, pos)
+                pos += _DIR_ENTRY_HEAD.size
+                keyword = bytes(self._map[pos:pos + klen]).decode("utf-8")
+                pos += klen
+                seg_off, count = _DIR_ENTRY_TAIL.unpack_from(self._map, pos)
+                pos += _DIR_ENTRY_TAIL.size
+                self._directory[keyword] = (seg_off, count)
+        except (struct.error, IndexError, UnicodeDecodeError):
+            self._map.close()
+            raise IndexFormatError(f"segment directory of {path} is corrupt") from None
+
+    # -- catalogue -----------------------------------------------------------
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._directory
+
+    def count(self, keyword: str) -> int:
+        entry = self._directory.get(keyword)
+        return entry[1] if entry is not None else 0
+
+    def keywords(self) -> List[str]:
+        return sorted(self._directory)
+
+    # -- block access --------------------------------------------------------
+
+    def skip_table(self, keyword: str) -> _SkipTable:
+        table = self._skip_tables.get(keyword)
+        if table is not None:
+            return table
+        try:
+            seg_off, _count = self._directory[keyword]
+        except KeyError:
+            raise KeyError(f"keyword {keyword!r} has no segment") from None
+        block_count, skip_bytes = struct.unpack_from(">II", self._map, seg_off)
+        data_base = seg_off + 8 + skip_bytes
+        pos = seg_off + 8
+        first_ids: List[DeweyTuple] = []
+        starts: List[int] = []
+        counts: List[int] = []
+        for _ in range(block_count):
+            rel_off, count, first_len = _SKIP_ENTRY.unpack_from(self._map, pos)
+            pos += _SKIP_ENTRY.size
+            first, _ = decode_tuple(self._map, pos)
+            pos += first_len
+            first_ids.append(first)
+            starts.append(data_base + rel_off)
+            counts.append(count)
+        # Blocks are laid out contiguously, so each block ends where the
+        # next begins; the last ends where the next segment (or the
+        # directory) starts.
+        ends = starts[1:] + ([self._segment_end(seg_off)] if block_count else [])
+        table = _SkipTable(first_ids, starts, ends, counts)
+        self._skip_tables[keyword] = table
+        return table
+
+    def _segment_end(self, seg_off: int) -> int:
+        """First byte past the segment starting at *seg_off*."""
+        candidates = [
+            other_off for other_off, _ in self._directory.values() if other_off > seg_off
+        ]
+        if candidates:
+            return min(candidates)
+        (_, _, _, _, dir_offset, _, _) = _HEADER.unpack_from(self._map, 0)
+        return dir_offset
+
+    def block(self, keyword: str, index: int) -> Tuple[DeweyTuple, ...]:
+        """One decoded block, through the local then shared caches."""
+        key = (keyword, index)
+        local = self._local
+        nodes = local.get(key)
+        if nodes is not None:
+            local.move_to_end(key)
+            self.stats.local_hits += 1
+            return nodes
+        cache = self.posting_cache
+        if cache is not None:
+            hit, value = cache.lookup(("pblk",) + key, self.generation)
+            if hit:
+                self.stats.shared_hits += 1
+                self._local_put(key, value)
+                return value
+        table = self.skip_table(keyword)
+        started = time.perf_counter()
+        nodes = decode_block(
+            self._map, table.starts[index], table.ends[index], table.counts[index]
+        )
+        cost_ms = (time.perf_counter() - started) * 1000
+        self.stats.decodes += 1
+        self.stats.decode_ms += cost_ms
+        if cache is not None:
+            cache.store(("pblk",) + key, self.generation, nodes, cost_ms)
+        self._local_put(key, nodes)
+        return nodes
+
+    def _local_put(self, key, nodes) -> None:
+        local = self._local
+        local[key] = nodes
+        local.move_to_end(key)
+        while len(local) > self._local_cap:
+            local.popitem(last=False)
+
+    def scan(self, keyword: str) -> Iterator[DeweyTuple]:
+        """All of a keyword's ids in ascending order (streaming decode)."""
+        table = self.skip_table(keyword)
+        for index in range(len(table)):
+            yield from self.block(keyword, index)
+
+    # -- observability -------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        out = self.stats.as_dict()
+        out["keywords"] = len(self._directory)
+        out["generation"] = self.generation
+        out["block_entries"] = self.block_entries
+        out["local_cached_blocks"] = len(self._local)
+        out["shared_cache"] = self.posting_cache is not None
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._map.close()
+
+    def __enter__(self) -> "SegmentReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- match source -------------------------------------------------------------
+
+
+class PackedListSource:
+    """The segment-backed :class:`~repro.core.sources.MatchSource`.
+
+    ``lm``/``rm`` bisect the skip table's first ids to the one candidate
+    block, then gallop inside the decoded block from the previous probe's
+    position — IL's probes into each list arrive in near-ascending order,
+    so the gallop usually settles in a couple of comparisons.  Two
+    structural shortcuts avoid decodes entirely: an ``rm`` that falls off
+    the end of a block answers with the next block's first id straight
+    from the skip table, and an ``rm`` below the whole list answers with
+    the first id of block 0.
+
+    Counter accounting matches :class:`~repro.index.inverted.DiskIndexedSource`
+    exactly — one ``lm_op``/``rm_op`` per probe — so cost-model
+    comparisons against the paper remain valid on the fast path.
+    """
+
+    def __init__(
+        self,
+        reader: SegmentReader,
+        keyword: str,
+        counters: Optional[OpCounters] = None,
+    ):
+        self._reader = reader
+        self._keyword = keyword
+        table = reader.skip_table(keyword)
+        self._first_ids = table.first_ids
+        self._nblocks = len(table)
+        self._length = reader.count(keyword)
+        self._hint_block = 0
+        self._hint_pos = 0
+        self.counters = counters if counters is not None else OpCounters()
+
+    def lm(self, v: DeweyTuple) -> Optional[DeweyTuple]:
+        self.counters.lm_ops += 1
+        block_index = bisect_right(self._first_ids, v) - 1
+        if block_index < 0:
+            return None
+        nodes = self._reader.block(self._keyword, block_index)
+        hint = self._hint_pos if block_index == self._hint_block else 0
+        i = gallop_rightmost_le(nodes, v, hint)
+        # i >= 0 always: the block's first id is <= v by skip-table choice.
+        self._hint_block, self._hint_pos = block_index, i
+        return nodes[i]
+
+    def rm(self, v: DeweyTuple) -> Optional[DeweyTuple]:
+        self.counters.rm_ops += 1
+        if not self._nblocks:
+            return None
+        block_index = bisect_right(self._first_ids, v) - 1
+        if block_index < 0:
+            return self._first_ids[0]
+        nodes = self._reader.block(self._keyword, block_index)
+        hint = self._hint_pos if block_index == self._hint_block else 0
+        i = gallop_leftmost_ge(nodes, v, hint)
+        if i < len(nodes):
+            self._hint_block, self._hint_pos = block_index, i
+            return nodes[i]
+        if block_index + 1 < self._nblocks:
+            self._hint_block, self._hint_pos = block_index + 1, 0
+            return self._first_ids[block_index + 1]
+        return None
+
+    def scan(self) -> Iterator[DeweyTuple]:
+        return self._reader.scan(self._keyword)
+
+    def __len__(self) -> int:
+        return self._length

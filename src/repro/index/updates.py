@@ -11,7 +11,13 @@ existing index directory:
   O(|S_kw|) per touched keyword, the right trade for an index whose reads
   vastly outnumber its writes;
 * the frequency table and tag dictionary are updated and persisted on
-  ``close()``.
+  ``close()``;
+* the packed posting segments (:mod:`repro.index.segments`), when the
+  index carries them, are **rebuilt on** ``close()`` from the
+  authoritative IL tree and stamped with the final generation.  Between
+  the first mutation (which bumps the generation, instantly staling the
+  old segment file in every reader) and the rebuild, readers serve from
+  the B+trees — correct, just not on the fast path.
 
 Two constraints are enforced rather than silently broken:
 
@@ -252,6 +258,36 @@ class IndexUpdater:
 
     # -- lifecycle -----------------------------------------------------------------
 
+    def _rebuild_segments(self, generation: int) -> None:
+        """Rewrite the packed posting segments from the IL tree.
+
+        Written to a temporary sibling and atomically renamed: live
+        readers keep their mapping of the old (now stale-stamped) file
+        and pick up the new one on their next generation-driven refresh.
+        """
+        from repro.index.segments import segments_path, write_segments
+
+        spec = self.manifest.get("segments") or {}
+        block_entries = spec.get("block_entries") or None
+        decode = self.codec.decode
+
+        def lists():
+            for keyword in sorted(
+                self.frequency.keywords(), key=lambda kw: kw.encode("utf-8")
+            ):
+                yield keyword, [
+                    decode(encoded) for encoded, _ in self._il_postings(keyword)
+                ]
+
+        kwargs = {"block_entries": block_entries} if block_entries else {}
+        write_segments(segments_path(self.index_dir), lists(), generation, **kwargs)
+        spec = dict(spec)
+        spec.setdefault("version", 1)
+        spec["generation"] = generation
+        if block_entries:
+            spec["block_entries"] = block_entries
+        self.manifest["segments"] = spec
+
     def close(self) -> None:
         """Persist metadata and release the index file."""
         if self._closed:
@@ -262,6 +298,10 @@ class IndexUpdater:
         self.manifest["keywords"] = len(self.frequency)
         self.manifest["postings"] = self.manifest.get("postings", 0) + self._postings_delta
         self.manifest["generation"] = current_generation(self.index_dir)
+        if "segments" in self.manifest or os.path.exists(
+            os.path.join(self.index_dir, "segments.dat")
+        ):
+            self._rebuild_segments(self.manifest["generation"])
         document_path = os.path.join(self.index_dir, DOCUMENT_NAME)
         if self._postings_delta != 0 and os.path.exists(document_path):
             # The stored document no longer matches the index contents.

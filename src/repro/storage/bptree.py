@@ -243,6 +243,46 @@ class BPlusTree:
                     return entry
         return None
 
+    def neighbors(self, key: bytes) -> Tuple[Optional[Entry], Optional[Entry]]:
+        """``(floor_entry(key), ceiling_entry(key))`` from **one** descent.
+
+        The paper's IL probes each list with ``lm`` then ``rm`` at the
+        same value, which as two independent calls costs two root-to-leaf
+        descents; both answers live in (or next to) the same leaf, so one
+        descent recording the floor branch points serves both.  When the
+        key itself is present, both entries are that key.
+        """
+        node = self._read_node(self._root_pid)
+        branch_points: List[List[int]] = []
+        while isinstance(node, _InternalNode):
+            slot = bisect_right(node.keys, key)
+            if slot > 0:
+                branch_points.append(node.children[:slot])
+            node = self._read_node(node.children[slot])
+        # Ceiling: first entry >= key, walking the forward leaf chain past
+        # leaves emptied by deletions (same loop as ceiling_entry).
+        ceiling: Optional[Entry] = None
+        leaf, i = node, bisect_left(node.keys, key)
+        while True:
+            if i < len(leaf.keys):
+                ceiling = (leaf.keys[i], leaf.values[i])
+                break
+            if not leaf.next_leaf:
+                break
+            leaf = self._read_node(leaf.next_leaf)
+            i = 0
+        # Floor: last entry <= key in the target leaf, else the rightmost
+        # entry among the recorded left subtrees (same as floor_entry).
+        j = bisect_right(node.keys, key)
+        if j > 0:
+            return (node.keys[j - 1], node.values[j - 1]), ceiling
+        for left_children in reversed(branch_points):
+            for child in reversed(left_children):
+                entry = self._rightmost_entry(child)
+                if entry is not None:
+                    return entry, ceiling
+        return None, ceiling
+
     def _rightmost_entry(self, pid: int) -> Optional[Entry]:
         """Largest entry in the subtree at *pid*, skipping leaves emptied by
         deletions (children are tried right to left)."""

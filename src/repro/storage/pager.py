@@ -40,6 +40,24 @@ _MAGIC = b"XKPG"
 _FORMAT_VERSION = 1
 
 
+def open_readonly_mmap(path: Union[str, os.PathLike]) -> mmap.mmap:
+    """Map *path* read-only and return the mapping.
+
+    The readonly-mmap discipline factored out of ``Pager(readonly=True)``
+    so other immutable on-disk structures (the packed posting segments of
+    :mod:`repro.index.segments`) share it: the mapping serves bytes from
+    the OS page cache — one physical copy per machine, shared across
+    threads and forked workers — and holds no descriptor offset state, so
+    it is safe to use after ``fork()``.  The underlying descriptor is
+    closed before returning; the mapping keeps the file alive.
+    """
+    fh = open(os.fspath(path), "rb")
+    try:
+        return mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    finally:
+        fh.close()
+
+
 @dataclass
 class IOStats:
     """Physical I/O counters maintained by the pager."""

@@ -118,8 +118,12 @@ class ExperimentRunner:
                 page_size=self.page_size,
                 level_table=self.corpus.level_table(),
             )
+        # The experiment harness reproduces the paper's disk-access
+        # figures, which model B+tree descents and leaf scans — so the
+        # segment fast path (which never touches the pager) is disabled
+        # here; the serving layer is where segments run.
         self._disk_index = DiskKeywordIndex(
-            self._index_dir, pool_capacity=self.pool_capacity
+            self._index_dir, pool_capacity=self.pool_capacity, use_segments=False
         )
         self._disk_engine = QueryEngine(self._disk_index)
         return self._disk_engine

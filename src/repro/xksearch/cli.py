@@ -163,6 +163,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         log_json=args.log_json,
         log_level=args.log_level,
         workers_proc=args.workers_proc,
+        use_segments=not args.no_segments,
     )
     return 0
 
@@ -280,6 +281,12 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="URL",
         help="POST finished request traces to an HTTP collector at URL",
+    )
+    p_serve.add_argument(
+        "--no-segments",
+        action="store_true",
+        help="disable the packed posting-segment fast path; every keyword "
+        "lookup descends the B+tree (answers are byte-identical)",
     )
     p_serve.add_argument(
         "--log-json",

@@ -357,6 +357,19 @@ class QueryEngine:
         generation = getattr(self.index, "generation", None)
         return generation() if callable(generation) else 0
 
+    def _plan_summary(self, plan: QueryPlan) -> dict:
+        """Plan summary for EXPLAIN, annotated with the posting tier.
+
+        ``posting_tier`` says which physical layer keyword lookups hit:
+        ``"segment"`` (packed posting segments, zero-copy mmap) or
+        ``"bptree"`` (B+tree descents); in-memory indexes report neither.
+        """
+        summary = plan.summary()
+        tier = getattr(self.index, "posting_tier", None)
+        if callable(tier):
+            summary["posting_tier"] = tier()
+        return summary
+
     def plan(
         self,
         query: Union[str, Sequence[str]],
@@ -606,7 +619,7 @@ class QueryEngine:
                     band=plan.band,
                 )
             prof.algorithm = plan.algorithm
-            prof.plan = plan.summary()
+            prof.plan = self._plan_summary(plan)
             if phase is not None:
                 phase.detail["algorithm"] = plan.algorithm
             return self._run_profiled(plan, semantics, "off", stats, runner, prof)
@@ -630,7 +643,7 @@ class QueryEngine:
                     with maybe_phase(prof, "plan"):
                         plan = self._plan_atoms(atoms, algorithm)
                     prof.algorithm = plan.algorithm
-                    prof.plan = plan.summary()
+                    prof.plan = self._plan_summary(plan)
                 return iter(ids)
             stats.cache_misses += 1
         if shared is not None:
@@ -641,7 +654,7 @@ class QueryEngine:
             plan = self._plan_atoms(atoms, algorithm)
         if prof is not None:
             prof.algorithm = plan.algorithm
-            prof.plan = plan.summary()
+            prof.plan = self._plan_summary(plan)
             if phase is not None:
                 phase.detail["algorithm"] = plan.algorithm
         pooled = (

@@ -52,13 +52,22 @@ DEFAULT_TASK_TIMEOUT_S = 120.0
 _log = get_logger("parallel")
 
 
-def _worker_main(worker_id, index_dir, conn, skew_threshold, shared_cache):
+def _worker_main(
+    worker_id,
+    index_dir,
+    conn,
+    skew_threshold,
+    shared_cache,
+    use_segments=True,
+    posting_cache=None,
+):
     """Worker process body: open the index in mmap mode, serve tasks.
 
     Runs in the forked child.  The index handle is private to this
-    process (its own fd, its own mapping of the shared page cache); the
-    ``shared_cache`` segment and its lock are the parent's, inherited
-    through fork.
+    process (its own fd, its own mapping of the shared page cache — and,
+    with segments, its own mapping of the shared segment file); the
+    ``shared_cache`` / ``posting_cache`` segments and their locks are the
+    parent's, inherited through fork.
     """
     # Imported here so the symbols resolve in the child without making
     # this module depend on the engine at import time (the engine is what
@@ -68,7 +77,9 @@ def _worker_main(worker_id, index_dir, conn, skew_threshold, shared_cache):
     from repro.xksearch.engine import ExecutionStats, QueryEngine
 
     try:
-        index = DiskKeywordIndex(index_dir, mmap_mode=True)
+        index = DiskKeywordIndex(index_dir, mmap_mode=True, use_segments=use_segments)
+        if posting_cache is not None:
+            index.attach_posting_cache(posting_cache)
         engine = QueryEngine(
             index, skew_threshold=skew_threshold, shared_cache=shared_cache
         )
@@ -162,6 +173,8 @@ class WorkerPool:
         task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S,
         spawn_timeout_s: float = 30.0,
         max_respawns: Optional[int] = None,
+        use_segments: bool = True,
+        posting_cache=None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -174,6 +187,8 @@ class WorkerPool:
         self.size = workers
         self.skew_threshold = skew_threshold
         self.shared_cache = shared_cache
+        self.use_segments = use_segments
+        self.posting_cache = posting_cache
         self.task_timeout_s = task_timeout_s
         self.spawn_timeout_s = spawn_timeout_s
         self.max_respawns = max_respawns if max_respawns is not None else workers * 2
@@ -211,6 +226,8 @@ class WorkerPool:
                 child_conn,
                 self.skew_threshold,
                 self.shared_cache,
+                self.use_segments,
+                self.posting_cache,
             ),
             daemon=True,
             name=f"xks-worker-{worker_id}",

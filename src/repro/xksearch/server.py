@@ -205,6 +205,58 @@ def system_collector(system: XKSearch):
                     "xks_bptree_node_reads_total", reads, {"tree": tree},
                     kind="counter", help="B+tree node touches per tree.",
                 )
+            yield Sample(
+                "xks_segment_active",
+                1.0 if storage.get("posting_tier") == "segment" else 0.0,
+                help="Whether reads currently use the packed posting "
+                "segments (1) or the B+tree fallback (0).",
+            )
+            segments = storage.get("segments")
+            if segments is not None:
+                yield Sample(
+                    "xks_segment_keywords", segments["keywords"],
+                    help="Keywords with a packed posting segment.",
+                )
+                yield Sample(
+                    "xks_segment_blocks_decoded_total", segments["decodes"],
+                    kind="counter",
+                    help="Posting blocks decoded from the segment mmap "
+                    "(cache misses at both posting-cache layers).",
+                )
+                yield Sample(
+                    "xks_segment_block_hits_total", segments["local_hits"],
+                    {"layer": "local"}, kind="counter",
+                    help="Decoded-block cache hits by layer.",
+                )
+                yield Sample(
+                    "xks_segment_block_hits_total", segments["shared_hits"],
+                    {"layer": "shared"}, kind="counter",
+                )
+            posting_cache = storage.get("posting_cache")
+            if posting_cache is not None:
+                yield Sample(
+                    "xks_posting_cache_hits_total", posting_cache["hits"],
+                    kind="counter",
+                    help="Cross-process posting-block cache hits (this "
+                    "process's view).",
+                )
+                yield Sample(
+                    "xks_posting_cache_misses_total", posting_cache["misses"],
+                    kind="counter",
+                    help="Cross-process posting-block cache misses (this "
+                    "process's view).",
+                )
+                yield Sample(
+                    "xks_posting_cache_invalidations_total",
+                    posting_cache["invalidations"], kind="counter",
+                    help="Posting-block entries dropped on a generation "
+                    "mismatch.",
+                )
+                yield Sample(
+                    "xks_posting_cache_stores_total", posting_cache["stores"],
+                    kind="counter",
+                    help="Posting blocks admitted into the shared cache.",
+                )
         shared = system.engine.shared
         if shared is not None:
             stats = shared.stats
@@ -678,6 +730,7 @@ def serve(
     log_json: bool = False,
     log_level: Optional[str] = None,
     workers_proc: int = 0,
+    use_segments: bool = True,
 ) -> None:
     """Blocking entry point used by ``xksearch serve``.
 
@@ -689,10 +742,13 @@ def serve(
 
     ``workers_proc > 0`` adds a pool of that many **worker processes**
     executing cache-miss queries over mmap'd read-only index handles, with
-    a cross-process shared result cache (docs/PERFORMANCE.md, "Scaling
-    past the GIL").  The pool and cache are created *before* any server
-    thread starts — fork with live threads is unsafe — and a platform
-    without ``fork`` simply serves in-thread (logged, never fatal).
+    a cross-process shared result cache *and* a cross-process posting-block
+    cache under it (docs/PERFORMANCE.md, "Scaling past the GIL" and
+    "Posting segments").  The pool and caches are created *before* any
+    server thread starts — fork with live threads is unsafe — and a
+    platform without ``fork`` simply serves in-thread (logged, never
+    fatal).  ``use_segments=False`` pins every process to the B+tree
+    posting tier (byte-identical answers; for A/B comparison).
     """
     if export_jsonl and export_url:
         raise ValueError("choose one of export_jsonl / export_url, not both")
@@ -706,22 +762,36 @@ def serve(
     elif export_url:
         exporter = TraceExporter(HttpCollectorSink(export_url))
     shared_cache = None
+    posting_cache = None
     pool = None
     if workers_proc > 0:
         from repro.errors import PoolError
         from repro.xksearch.parallel import WorkerPool
-        from repro.xksearch.shared_cache import SharedResultCache
+        from repro.xksearch.shared_cache import PostingBlockCache, SharedResultCache
 
         shared_cache = SharedResultCache()
+        if use_segments:
+            posting_cache = PostingBlockCache()
         try:
             pool = WorkerPool(
-                index_dir, workers=workers_proc, shared_cache=shared_cache
+                index_dir,
+                workers=workers_proc,
+                shared_cache=shared_cache,
+                use_segments=use_segments,
+                posting_cache=posting_cache,
             )
         except PoolError as exc:
             _log.warning("pool_unavailable", error=repr(exc))
             print(f"process pool unavailable ({exc}); serving in-thread")
     try:
-        with XKSearch.open(index_dir, cache=cache, shared_cache=shared_cache) as system:
+        with XKSearch.open(
+            index_dir,
+            cache=cache,
+            shared_cache=shared_cache,
+            use_segments=use_segments,
+        ) as system:
+            if posting_cache is not None:
+                system.index.attach_posting_cache(posting_cache)
             if pool is not None:
                 system.engine.attach_pool(pool)
             server = make_server(
@@ -742,6 +812,7 @@ def serve(
                 f"XKSearch demo at http://{host}:{actual_port}/  "
                 f"({max_workers} workers{pool_note}, "
                 f"cache={'off' if cache is None else cache_size}, "
+                f"segments={'on' if use_segments else 'off'}, "
                 f"slow log at /debug/slow >= {slow_ms:.0f} ms{export_note}; "
                 f"Ctrl-C to stop)"
             )
@@ -756,3 +827,5 @@ def serve(
             pool.close()
         if shared_cache is not None:
             shared_cache.close()
+        if posting_cache is not None:
+            posting_cache.close()

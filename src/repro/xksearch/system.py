@@ -87,6 +87,7 @@ class XKSearch:
         cache: Optional[QueryCache] = None,
         mmap_mode: bool = False,
         shared_cache=None,
+        use_segments: bool = True,
     ) -> "XKSearch":
         """Open an existing index directory.
 
@@ -96,10 +97,15 @@ class XKSearch:
         does; see docs/PERFORMANCE.md).  ``mmap_mode`` opens the index
         read-only over a shared memory map (what pool workers use);
         ``shared_cache`` attaches a cross-process
-        :class:`~repro.xksearch.shared_cache.SharedResultCache`.
+        :class:`~repro.xksearch.shared_cache.SharedResultCache`;
+        ``use_segments=False`` forces every read onto the B+tree tier
+        (byte-identical answers, used by A/B checks and benchmarks).
         """
         index = DiskKeywordIndex(
-            index_dir, pool_capacity=pool_capacity, mmap_mode=mmap_mode
+            index_dir,
+            pool_capacity=pool_capacity,
+            mmap_mode=mmap_mode,
+            use_segments=use_segments,
         )
         tree = None
         if load_document:

@@ -103,8 +103,39 @@ class TestQueriesOverDisk:
         with pytest.raises(ValueError, match="mode"):
             index.sources_for(["xkmid"], "hash")
 
+    def test_keyword_list_mixed_case(self, built):
+        # Regression: the tagged branch used to pass the raw keyword to
+        # scan_tagged (which lowercases internally) while the untagged
+        # branch lowercased first — both must normalize identically.
+        index, _ = built
+        want = index.keyword_list("xkmid")
+        assert want
+        assert index.keyword_list("XKMID") == want
+        assert index.keyword_list("XkMid") == want
+        tag = next(iter(index.scan_tagged("xkmid")))[1]
+        tagged = index.keyword_list("xkmid", tag=tag)
+        assert tagged
+        assert index.keyword_list("XKMID", tag=tag.upper()) == tagged
+
 
 class TestCacheTemperature:
+    """Cache-temperature semantics of the B+tree tier.
+
+    These measure the paper's physical disk-access dimension, which only
+    the tree path exercises — the segment fast path reads an mmap and
+    never touches the pager — so the index is opened with
+    ``use_segments=False``.
+    """
+
+    @pytest.fixture
+    def built(self, tmp_path, planted_dblp):
+        build_index(planted_dblp, tmp_path / "idx", page_size=1024)
+        index = DiskKeywordIndex(
+            tmp_path / "idx", pool_capacity=512, use_segments=False
+        )
+        yield index, planted_dblp
+        index.close()
+
     def test_hot_run_reads_nothing(self, built):
         index, _ = built
         list(eager_slca(index.sources_for(self.q(), "indexed")))

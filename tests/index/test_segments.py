@@ -1,0 +1,468 @@
+"""Packed posting segments: codec, reader, oracle properties, invalidation.
+
+The packed-segment tier must be indistinguishable from the B+tree tier in
+every answer it produces — these tests pin that down against the
+:class:`~repro.core.sources.SortedListSource` oracle (randomized and
+hypothesis-driven), through the full engine (segments on vs off across
+all three algorithms and all three semantics), across the generation
+protocol (an updater bump stales segments instantly; close rebuilds
+them), and through the cross-process posting-block cache.
+"""
+
+import multiprocessing
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counters import OpCounters
+from repro.core.sources import SortedListSource, gallop_leftmost_ge, gallop_rightmost_le
+from repro.errors import IndexFormatError
+from repro.index.builder import build_index
+from repro.index.inverted import DiskKeywordIndex
+from repro.index.segments import (
+    DEFAULT_BLOCK_ENTRIES,
+    PackedListSource,
+    SegmentReader,
+    decode_block,
+    decode_tuple,
+    encode_block,
+    encode_tuple,
+    segments_path,
+    write_segments,
+)
+from repro.index.updates import IndexUpdater
+from repro.xksearch.cache import bump_generation, current_generation
+from repro.xksearch.shared_cache import PostingBlockCache
+from repro.xksearch.system import XKSearch
+
+# -- strategies ---------------------------------------------------------------
+
+#: Dewey components stress the varint codec: multi-byte values at every
+#: LEB128 boundary, plus genuinely large ids.
+component_st = st.one_of(
+    st.integers(min_value=0, max_value=300),
+    st.sampled_from([127, 128, 16383, 16384, 2**21, 2**28, 2**40]),
+)
+
+#: Deep, shared-prefix-rich Dewey numbers (up to depth 12).
+deep_dewey_st = st.lists(
+    st.integers(min_value=0, max_value=2), min_size=0, max_size=11
+).map(lambda tail: (0, *tail))
+
+wide_dewey_st = st.lists(component_st, min_size=1, max_size=6).map(tuple)
+
+
+def sorted_list(deweys):
+    return sorted(set(deweys))
+
+
+# -- codec --------------------------------------------------------------------
+
+
+class TestCodec:
+    @given(dewey=wide_dewey_st)
+    @settings(max_examples=300, deadline=None)
+    def test_tuple_round_trip(self, dewey):
+        buf = encode_tuple(dewey)
+        decoded, pos = decode_tuple(buf)
+        assert decoded == dewey
+        assert pos == len(buf)
+
+    @given(deweys=st.lists(deep_dewey_st, min_size=1, max_size=40))
+    @settings(max_examples=300, deadline=None)
+    def test_block_round_trip_deep(self, deweys):
+        entries = sorted_list(deweys)
+        buf = encode_block(entries)
+        assert decode_block(buf, 0, len(buf), len(entries)) == tuple(entries)
+
+    @given(deweys=st.lists(wide_dewey_st, min_size=1, max_size=40))
+    @settings(max_examples=300, deadline=None)
+    def test_block_round_trip_wide(self, deweys):
+        entries = sorted_list(deweys)
+        buf = encode_block(entries)
+        assert decode_block(buf, 0, len(buf), len(entries)) == tuple(entries)
+
+    def test_block_round_trip_max_depth(self):
+        # A pathological chain: every entry extends the previous by one
+        # component, maximizing the prefix-sharing the delta codec exploits.
+        entries = [tuple(range(depth + 1)) for depth in range(64)]
+        buf = encode_block(entries)
+        assert decode_block(buf, 0, len(buf), len(entries)) == tuple(entries)
+        # The delta form must actually be smaller than re-encoding each
+        # tuple standalone, or the format is pointless.
+        standalone = sum(len(encode_tuple(e)) for e in entries)
+        assert len(buf) < standalone
+
+    def test_decode_rejects_trailing_garbage(self):
+        entries = [(0, 1), (0, 2)]
+        buf = encode_block(entries) + b"\x00"
+        with pytest.raises(IndexFormatError):
+            decode_block(buf, 0, len(buf), len(entries))
+
+
+class TestGallopHelpers:
+    @given(
+        values=st.lists(st.integers(0, 500), min_size=1, max_size=60),
+        probe=st.integers(-5, 505),
+        hint=st.integers(-3, 70),
+    )
+    @settings(max_examples=400, deadline=None)
+    def test_matches_bisect_oracle(self, values, probe, hint):
+        import bisect
+
+        nodes = sorted(set(values))
+        le = gallop_rightmost_le(nodes, probe, hint)
+        ge = gallop_leftmost_ge(nodes, probe, hint)
+        assert le == bisect.bisect_right(nodes, probe) - 1
+        assert ge == bisect.bisect_left(nodes, probe)
+
+
+# -- writer / reader ----------------------------------------------------------
+
+
+class TestWriterReader:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "segments.dat")
+        lists = {
+            "alpha": [(0,), (0, 1), (0, 1, 2), (0, 5)],
+            "beta": [(0, i) for i in range(500)],
+            "empty": [],
+        }
+        wrote = write_segments(path, sorted(lists.items()), generation=7)
+        assert wrote == 2  # the empty list is skipped
+        with SegmentReader(path) as reader:
+            assert reader.generation == 7
+            assert reader.keywords() == ["alpha", "beta"]
+            assert "empty" not in reader
+            assert reader.count("beta") == 500
+            assert list(reader.scan("alpha")) == lists["alpha"]
+            assert list(reader.scan("beta")) == lists["beta"]
+
+    def test_single_entry_blocks(self, tmp_path):
+        path = str(tmp_path / "segments.dat")
+        nodes = [(0, i, i % 3) for i in range(17)]
+        write_segments(path, [("kw", nodes)], generation=1, block_entries=1)
+        with SegmentReader(path) as reader:
+            assert list(reader.scan("kw")) == nodes
+            table = reader.skip_table("kw")
+            assert len(table) == 17
+            assert table.first_ids == nodes
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = str(tmp_path / "segments.dat")
+        write_segments(path, [("kw", [(0, 1)])], generation=1)
+        with open(path, "r+b") as fh:
+            fh.truncate(10)
+        with pytest.raises(IndexFormatError):
+            SegmentReader(path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = str(tmp_path / "segments.dat")
+        write_segments(path, [("kw", [(0, 1)])], generation=1)
+        with open(path, "r+b") as fh:
+            fh.write(b"NOPE")
+        with pytest.raises(IndexFormatError):
+            SegmentReader(path)
+
+    def test_rejects_zero_block_entries(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_segments(
+                str(tmp_path / "s.dat"), [("kw", [(0,)])], generation=1, block_entries=0
+            )
+
+
+# -- PackedListSource vs the in-memory oracle ---------------------------------
+
+
+def _probe_set(nodes, rng):
+    """Present nodes, absent neighbours, and out-of-range extremes."""
+    probes = list(nodes)
+    probes += [n + (0,) for n in nodes]  # just after (child of) each node
+    probes += [n[:-1] for n in nodes if len(n) > 1]  # just before: the parent
+    probes += [(), (0,), (10**9,), (0, 10**9)]
+    rng.shuffle(probes)
+    return probes
+
+
+class TestPackedSourceOracle:
+    @pytest.mark.parametrize("block_entries", [1, 2, 7, DEFAULT_BLOCK_ENTRIES])
+    def test_randomized_against_sorted_source(self, tmp_path, block_entries):
+        rng = random.Random(block_entries * 7919)
+        path = str(tmp_path / "segments.dat")
+        for trial in range(40):
+            nodes = sorted_list(
+                tuple(rng.randint(0, 3) for _ in range(rng.randint(1, 8)))
+                for _ in range(rng.randint(1, 120))
+            )
+            write_segments(path, [("kw", nodes)], generation=trial, block_entries=block_entries)
+            with SegmentReader(path) as reader:
+                packed = PackedListSource(reader, "kw")
+                oracle = SortedListSource(nodes)
+                assert len(packed) == len(oracle) == len(nodes)
+                assert list(packed.scan()) == nodes
+                for probe in _probe_set(nodes, rng):
+                    assert packed.lm(probe) == oracle.lm(probe), (trial, probe)
+                    assert packed.rm(probe) == oracle.rm(probe), (trial, probe)
+
+    @given(
+        deweys=st.lists(deep_dewey_st, min_size=1, max_size=60),
+        probes=st.lists(deep_dewey_st, min_size=1, max_size=30),
+        block_entries=st.sampled_from([1, 3, 8, 128]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_oracle(self, deweys, probes, block_entries):
+        import tempfile
+
+        nodes = sorted_list(deweys)
+        with tempfile.TemporaryDirectory(prefix="xks-seg-") as tmp:
+            path = os.path.join(tmp, "segments.dat")
+            write_segments(path, [("kw", nodes)], generation=0, block_entries=block_entries)
+            self._check(path, nodes, probes)
+
+    @staticmethod
+    def _check(path, nodes, probes):
+        with SegmentReader(path) as reader:
+            packed = PackedListSource(reader, "kw")
+            oracle = SortedListSource(nodes)
+            for probe in probes:
+                assert packed.lm(probe) == oracle.lm(probe)
+                assert packed.rm(probe) == oracle.rm(probe)
+
+    def test_singleton_list(self, tmp_path):
+        path = str(tmp_path / "segments.dat")
+        write_segments(path, [("kw", [(0, 2)])], generation=0)
+        with SegmentReader(path) as reader:
+            packed = PackedListSource(reader, "kw")
+            assert packed.lm((0, 1)) is None
+            assert packed.lm((0, 2)) == (0, 2)
+            assert packed.rm((0, 3)) is None
+            assert packed.rm((0,)) == (0, 2)
+
+    def test_counter_accounting(self, tmp_path):
+        path = str(tmp_path / "segments.dat")
+        write_segments(path, [("kw", [(0, i) for i in range(40)])], generation=0)
+        with SegmentReader(path) as reader:
+            counters = OpCounters()
+            packed = PackedListSource(reader, "kw", counters)
+            for i in range(10):
+                packed.lm((0, i))
+                packed.rm((0, i))
+            assert counters.lm_ops == 10
+            assert counters.rm_ops == 10
+
+
+# -- tier selection over a real index -----------------------------------------
+
+
+@pytest.fixture
+def built(tmp_path, planted_dblp):
+    build_index(planted_dblp, tmp_path / "idx", page_size=1024)
+    index = DiskKeywordIndex(tmp_path / "idx", pool_capacity=512)
+    yield index, planted_dblp, tmp_path / "idx"
+    index.close()
+
+
+class TestTierSelection:
+    def test_builder_emits_segments(self, built):
+        index, _, index_dir = built
+        assert os.path.exists(segments_path(index_dir))
+        assert index.segments_active()
+        assert index.posting_tier() == "segment"
+        assert "segments" in index.manifest
+
+    def test_indexed_sources_are_packed(self, built):
+        index, _, _ = built
+        sources = index.sources_for(["xkrare", "xkbig"], mode="indexed")
+        assert all(isinstance(s, PackedListSource) for s in sources)
+
+    def test_opt_out_forces_bptree(self, built):
+        _, _, index_dir = built
+        index = DiskKeywordIndex(index_dir, use_segments=False)
+        try:
+            assert not index.segments_active()
+            assert index.posting_tier() == "bptree"
+            sources = index.sources_for(["xkrare"], mode="indexed")
+            assert not isinstance(sources[0], PackedListSource)
+        finally:
+            index.close()
+
+    def test_scan_matches_bptree_scan(self, built):
+        index, tree, _ = built
+        lists = tree.keyword_lists()
+        for kw in ("xkrare", "xkmid", "xkbig"):
+            assert list(index.scan(kw)) == lists[kw]
+            assert index.keyword_list(kw) == lists[kw]
+
+    def test_stats_expose_segment_section(self, built):
+        index, _, _ = built
+        stats = index.stats()
+        assert stats["posting_tier"] == "segment"
+        assert stats["segments"]["keywords"] > 0
+
+
+# -- generation protocol ------------------------------------------------------
+
+
+class TestGenerationInvalidation:
+    def test_bump_stales_segments_instantly(self, built):
+        index, _, index_dir = built
+        assert index.segments_active()
+        bump_generation(index_dir)
+        assert not index.segments_active()
+        assert index.posting_tier() == "bptree"
+        # The fallback still answers correctly.
+        sources = index.sources_for(["xkrare"], mode="indexed")
+        assert not isinstance(sources[0], PackedListSource)
+
+    def test_updater_close_rebuilds_segments(self, built):
+        index, tree, index_dir = built
+        new_posting = ((0, 0, 0, 0, 0, 0), "title")
+        with IndexUpdater(index_dir) as updater:
+            assert updater.add_postings({"xkfresh": [new_posting]}) == 1
+            # Mid-update: segments are stale, B+tree serves reads.
+            assert not index.segments_active()
+        # Close rebuilt segments.dat at the new generation; the reader
+        # handle notices through the usual generation machinery.
+        index.generation()
+        assert index.segments_active()
+        assert list(index.scan("xkfresh")) == [new_posting[0]]
+        sources = index.sources_for(["xkfresh"], mode="indexed")
+        assert isinstance(sources[0], PackedListSource)
+        # Pre-existing lists survived the rebuild byte-identically.
+        assert list(index.scan("xkrare")) == tree.keyword_lists()["xkrare"]
+
+    def test_stamped_generation_matches_registry(self, built):
+        index, _, index_dir = built
+        reader = index._segments
+        assert reader is not None
+        assert reader.generation == current_generation(index_dir)
+
+
+# -- posting-block cache ------------------------------------------------------
+
+
+class TestPostingCache:
+    def test_shared_hits_after_local_eviction(self, tmp_path):
+        path = str(tmp_path / "segments.dat")
+        nodes = [(0, i) for i in range(600)]
+        write_segments(path, [("kw", nodes)], generation=3, block_entries=16)
+        cache = PostingBlockCache(slot_count=64, slot_size=4096)
+        try:
+            # Warm the shared cache with one reader...
+            with SegmentReader(path, posting_cache=cache) as warm:
+                assert list(warm.scan("kw")) == nodes
+                assert warm.stats.decodes > 0
+            # ...then a fresh reader (cold local LRU) should hit it.
+            with SegmentReader(path, posting_cache=cache) as reader:
+                assert list(reader.scan("kw")) == nodes
+                assert reader.stats.shared_hits > 0
+                assert reader.stats.decodes == 0
+        finally:
+            cache.close()
+
+    def test_generation_mismatch_misses(self, tmp_path):
+        path = str(tmp_path / "segments.dat")
+        nodes = [(0, i) for i in range(64)]
+        cache = PostingBlockCache(slot_count=64, slot_size=4096)
+        try:
+            write_segments(path, [("kw", nodes)], generation=1, block_entries=16)
+            with SegmentReader(path, posting_cache=cache) as reader:
+                list(reader.scan("kw"))
+            # Same blocks, new generation: the stamped entries must miss.
+            write_segments(path, [("kw", nodes)], generation=2, block_entries=16)
+            with SegmentReader(path, posting_cache=cache) as reader:
+                assert reader.generation == 2
+                assert list(reader.scan("kw")) == nodes
+                assert reader.stats.shared_hits == 0
+                assert reader.stats.decodes > 0
+        finally:
+            cache.close()
+
+    def test_local_lru_hits(self, tmp_path):
+        path = str(tmp_path / "segments.dat")
+        write_segments(path, [("kw", [(0, i) for i in range(64)])], generation=0, block_entries=8)
+        with SegmentReader(path) as reader:
+            list(reader.scan("kw"))
+            decodes = reader.stats.decodes
+            list(reader.scan("kw"))
+            assert reader.stats.decodes == decodes
+            assert reader.stats.local_hits > 0
+
+
+# -- end-to-end: segments on vs off must be byte-identical --------------------
+
+
+QUERIES = ["xkrare xkbig", "xkmid xkbig", "xkrare xkmid xkbig", "xkmid", "smith"]
+
+
+class TestEngineByteIdentical:
+    @pytest.fixture
+    def systems(self, tmp_path, planted_dblp):
+        build_index(planted_dblp, tmp_path / "idx", page_size=1024)
+        on = XKSearch.open(tmp_path / "idx", load_document=False)
+        off = XKSearch.open(tmp_path / "idx", load_document=False, use_segments=False)
+        assert on.index.posting_tier() == "segment"
+        assert off.index.posting_tier() == "bptree"
+        yield on, off
+        on.close()
+        off.close()
+
+    def test_slca_all_algorithms(self, systems):
+        on, off = systems
+        for query in QUERIES:
+            for algorithm in ("auto", "il", "scan", "stack"):
+                got = list(on.search_ids(query, algorithm=algorithm))
+                want = list(off.search_ids(query, algorithm=algorithm))
+                assert got == want, (query, algorithm)
+
+    def test_elca_and_all_lca(self, systems):
+        on, off = systems
+        for query in QUERIES:
+            assert list(on.engine.execute_elca(query)) == list(
+                off.engine.execute_elca(query)
+            ), ("elca", query)
+            assert list(on.engine.execute_all_lca(query)) == list(
+                off.engine.execute_all_lca(query)
+            ), ("lca", query)
+
+    def test_explain_reports_tier(self, systems):
+        from repro.xksearch.engine import ExecutionStats
+
+        on, off = systems
+        for system, tier in ((on, "segment"), (off, "bptree")):
+            stats = ExecutionStats()
+            list(system.search_ids("xkrare xkbig", algorithm="il", stats=stats, profile=True))
+            assert stats.profile.plan["posting_tier"] == tier
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process pool requires the fork start method",
+)
+class TestPoolWorkers:
+    def test_workers_use_segments_and_match(self, tmp_path, planted_dblp):
+        from repro.xksearch.parallel import WorkerPool
+
+        build_index(planted_dblp, tmp_path / "idx", page_size=1024)
+        cache = PostingBlockCache(slot_count=128, slot_size=8192)
+        pool = WorkerPool(tmp_path / "idx", workers=2, posting_cache=cache)
+        system = XKSearch.open(tmp_path / "idx", load_document=False)
+        system.engine.attach_pool(pool)
+        system.index.attach_posting_cache(cache)
+        reference = XKSearch.open(
+            tmp_path / "idx", load_document=False, use_segments=False
+        )
+        try:
+            for query in QUERIES:
+                got = list(system.search_ids(query, algorithm="il"))
+                want = list(reference.search_ids(query, algorithm="il"))
+                assert got == want, query
+            assert sum(w["tasks"] for w in pool.stats_dict()["workers"]) > 0
+        finally:
+            pool.close()
+            cache.close()
+            system.close()
+            reference.close()

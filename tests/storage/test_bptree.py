@@ -153,6 +153,66 @@ class TestFloorCeiling:
                 assert (got_ceiling[0] if got_ceiling else None) == want_ceiling
 
 
+class TestNeighbors:
+    """``neighbors(key)`` = (floor_entry, ceiling_entry) in one descent."""
+
+    def test_matches_two_calls(self, tree):
+        fill(tree, 300)
+        rng = random.Random(17)
+        probes = [b"k%06d" % rng.randint(-5, 305) for _ in range(60)]
+        probes += [p + b"x" for p in probes[:20]] + [b"a", b"z", b""]
+        for probe in probes:
+            floor, ceiling = tree.neighbors(probe)
+            assert floor == tree.floor_entry(probe), probe
+            assert ceiling == tree.ceiling_entry(probe), probe
+
+    def test_empty_tree(self, tree):
+        assert tree.neighbors(b"x") == (None, None)
+
+    @given(
+        keys=st.sets(st.binary(min_size=1, max_size=6), min_size=1, max_size=120),
+        probes=st.lists(st.binary(min_size=0, max_size=7), max_size=30),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_matches_sorted_list_model(self, tmp_path, keys, probes):
+        import bisect
+        import uuid
+
+        path = tmp_path / f"n{uuid.uuid4().hex}.db"
+        with Pager(path, page_size=256, create=True) as pager:
+            model = sorted(keys)
+            t = BPlusTree(BufferPool(pager, capacity=64), "n")
+            for key in model:
+                t.insert(key, b"")
+            for probe in probes:
+                i = bisect.bisect_right(model, probe)
+                j = bisect.bisect_left(model, probe)
+                floor, ceiling = t.neighbors(probe)
+                assert (floor[0] if floor else None) == (model[i - 1] if i else None)
+                assert (ceiling[0] if ceiling else None) == (
+                    model[j] if j < len(model) else None
+                )
+
+    def test_single_descent_reads_fewer_nodes(self, tree):
+        # The memoized neighbors path must cost at most what the two
+        # separate descents cost (it halves descents on the common
+        # lm(x)+rm(x) probe pattern that IL issues).
+        fill(tree, 2000)
+        probe = b"k000999x"
+        before = tree.node_reads
+        tree.neighbors(probe)
+        combined = tree.node_reads - before
+        before = tree.node_reads
+        tree.floor_entry(probe)
+        tree.ceiling_entry(probe)
+        separate = tree.node_reads - before
+        assert combined <= separate
+
+
 class TestBulkLoad:
     def test_bulk_load_roundtrip(self, tree):
         entries = [(b"%05d" % i, b"v") for i in range(1000)]

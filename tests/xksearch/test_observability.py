@@ -105,7 +105,9 @@ class TestEngineProfile:
         stats = ExecutionStats()
         ids = list(disk_system.search_ids("John Ben", stats=stats, profile=True))
         io = stats.profile.io
-        if not stats.cache_hit:
+        if not stats.cache_hit and disk_system.index.posting_tier() != "segment":
+            # Buffer-pool touches only happen on the B+tree tier; the
+            # segment fast path reads an mmap outside the pool.
             assert io["pool_hits"] + io["pool_misses"] > 0
         assert set(io) == {
             "page_reads", "sequential_reads", "random_reads", "pool_hits", "pool_misses",
