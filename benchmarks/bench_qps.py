@@ -19,7 +19,11 @@ cache exploits.  This benchmark measures that end to end:
    the single-descent ``neighbors`` vs two separate descents, and the
    cache-miss replay with segments on vs off (``posting_segments``
    section of the report),
-6. report QPS, p50/p99 latency and the cache hit rate, and write
+6. measure the SLO engine's whole-process cost: the same cached replay
+   with and without a live :class:`SLOEngine` (burn-rate evaluation
+   thread) plus a timed :class:`SnapshotShipper`, paired per round
+   (``slo_overhead`` section of the report),
+7. report QPS, p50/p99 latency and the cache hit rate, and write
    ``BENCH_qps.json`` so later PRs can track the trajectory.
 
 Run::
@@ -48,8 +52,9 @@ import urllib.request
 
 from repro.errors import PoolError
 from repro.index.builder import build_index
-from repro.obs.export import JsonlFileSink, TraceExporter
+from repro.obs.export import JsonlFileSink, SnapshotShipper, TraceExporter
 from repro.obs.metrics import set_instrumentation_enabled
+from repro.obs.slo import SLOEngine
 from repro.obs.tracing import Tracer
 from repro.workloads.datasets import PlantedCorpus, keyword_name
 from repro.xksearch.cache import QueryCache
@@ -470,6 +475,39 @@ def main(argv=None) -> int:
                 export_on = summarize("export")
                 export_stats = exporter.stats.as_dict()
 
+                # SLO engine + snapshot shipping overhead: the evaluation
+                # thread, ring-window recording and timed full-registry
+                # snapshots all run off the request path, so this phase
+                # measures their whole cost as background contention —
+                # paired per round like the instrumentation phases.
+                slo_round_count = 1 if args.smoke else 3
+                slo_rounds = {"off": [], "on": []}
+                for _ in range(slo_round_count):
+                    wall_b, lat_b = replay(base_url, sequence, args.threads)
+                    slo_rounds["off"].append((wall_b, len(lat_b)))
+                    slo_shipper = SnapshotShipper(
+                        sink=JsonlFileSink(f"{tmp}/snapshots.jsonl"),
+                        interval=1.0,
+                    )
+                    slo_engine = SLOEngine(
+                        eval_interval=0.5, exporter=slo_shipper
+                    ).start()
+                    try:
+                        wall_s, lat_s = replay(base_url, sequence, args.threads)
+                    finally:
+                        slo_engine.close()
+                        slo_shipper.close()
+                    slo_rounds["on"].append((wall_s, len(lat_s)))
+                slo_qps = {
+                    key: [n / wall for wall, n in slo_rounds[key]]
+                    for key in slo_rounds
+                }
+                slo_overhead_rounds = [
+                    round((base - live) / base * 100, 2)
+                    for base, live in zip(slo_qps["off"], slo_qps["on"])
+                    if base
+                ]
+
                 with urllib.request.urlopen(f"{base_url}/statz", timeout=10) as resp:
                     statz = json.loads(resp.read())
             finally:
@@ -524,6 +562,19 @@ def main(argv=None) -> int:
         f"{export_stats['sent']}/{export_stats['submitted']} traces exported, "
         f"{export_stats['dropped_total']} dropped)"
     )
+    slo_overhead_pct = (
+        round(statistics.median(slo_overhead_rounds), 2)
+        if slo_overhead_rounds
+        else 0.0
+    )
+    slo_qps_off = round(statistics.median(slo_qps["off"]), 1)
+    slo_qps_on = round(statistics.median(slo_qps["on"]), 1)
+    print(
+        f"  slo+snapshot overhead: {slo_overhead_pct:+.2f}% QPS "
+        f"(paired rounds {slo_overhead_rounds}; "
+        f"{slo_qps_off:.1f} qps bare -> {slo_qps_on:.1f} qps with evaluation "
+        f"+ shipping by medians)"
+    )
 
     report = {
         "benchmark": "bench_qps",
@@ -565,6 +616,13 @@ def main(argv=None) -> int:
             "total_overhead_pct": total_overhead_pct,
             "total_overhead_pct_rounds": total_rounds,
             "export": export_stats,
+        },
+        "slo_overhead": {
+            "rounds": len(slo_overhead_rounds),
+            "qps_slo_off": slo_qps_off,
+            "qps_slo_on": slo_qps_on,
+            "overhead_pct": slo_overhead_pct,
+            "overhead_pct_rounds": slo_overhead_rounds,
         },
     }
     with open(args.out, "w", encoding="utf-8") as fh:

@@ -24,6 +24,11 @@ search API, then asserts that:
   appear on ``/metrics``, and a mid-run :class:`IndexUpdater` bump
   invalidates segment readers in every worker before the rebuilt
   segments take over;
+* an SLO drill with seconds-scale burn windows and injected execution
+  latency walks a fast-burn alert through ``ok → firing`` on
+  ``/alertz`` (mirrored in ``xks_alert_state``), resolves it on
+  recovery, and ships the snapshots plus both alert transition records
+  to a JSONL sink with exact ``submitted == sent + dropped`` accounting;
 * the committed full-run ``BENCH_qps.json`` (``--bench-report``) keeps
   total instrumentation overhead within ``--max-overhead-pct`` (skipped
   with a notice when the report is absent).
@@ -279,6 +284,109 @@ def check_parallel_smoke(index_dir: str) -> None:
     )
 
 
+def check_slo_alerting(index_dir: str) -> None:
+    """SLO drill: injected latency must walk a fast-burn alert through
+    ``ok → firing`` on ``/alertz`` (mirrored in ``xks_alert_state``),
+    recovery must resolve it, and the snapshot pipeline must deliver the
+    metrics snapshots and both alert transition records to the JSONL sink
+    with exact accounting."""
+    from repro.obs.export import SnapshotShipper
+    from repro.obs.slo import BurnRule, SLOEngine, WindowPolicy, parse_slo
+
+    snapshot_path = os.path.join(index_dir, "..", "snapshots.jsonl")
+    # Seconds-scale windows so the drill fires and resolves within CI
+    # budget; the thresholds are the real 14.4x fast-burn rule.
+    policy = WindowPolicy(
+        rules=(BurnRule(short_s=1.0, long_s=2.0, max_burn=14.4,
+                        severity="fast", for_s=0.2),),
+        resolution_s=0.05,
+    )
+    shipper = SnapshotShipper(
+        sink=JsonlFileSink(snapshot_path), interval=0.2, flush_interval=0.05
+    )
+    slo_engine = SLOEngine(
+        slos=[parse_slo("latency:p99<=5ms:name=ci-latency")],
+        policy=policy,
+        eval_interval=0.05,
+        exporter=shipper,
+    ).start()
+
+    def fetch_alert_state(base):
+        with urllib.request.urlopen(f"{base}/alertz", timeout=10) as resp:
+            payload = json.loads(resp.read())
+        (block,) = payload["slos"]
+        return block["alerts"][0]["state"]
+
+    def drive_until(base, system, delay_ms, want_states, what):
+        import time
+
+        system.engine.debug_latency_ms = delay_ms
+        deadline = time.monotonic() + 20.0
+        state = None
+        while time.monotonic() < deadline:
+            with urllib.request.urlopen(
+                f"{base}/api/search?q=John+Ben", timeout=10
+            ) as resp:
+                json.loads(resp.read())
+            state = fetch_alert_state(base)
+            if state in want_states:
+                return state
+            time.sleep(0.05)
+        raise AssertionError(f"alert never became {what}: last state {state!r}")
+
+    # Cache off: every request must actually execute (and feel the
+    # injected latency), not replay a cached result.
+    with XKSearch.open(index_dir) as system:
+        server = make_server(
+            system,
+            port=0,
+            metrics=ServerMetrics(),
+            slo_engine=slo_engine,
+            shipper=shipper,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        try:
+            drive_until(base, system, 30.0, ("firing",), "firing")
+            with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
+                metrics_body = resp.read().decode("utf-8")
+            # Recovery: no injected latency, bad events age out of both
+            # windows, the alert must leave the firing state.
+            final = drive_until(
+                base, system, 0.0, ("resolved", "ok"), "resolved"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()  # closes the SLO engine, then the shipper
+            thread.join(timeout=5)
+
+    assert 'xks_alert_state{alert="ci-latency:fast"} 2' in metrics_body, (
+        "firing alert not mirrored in xks_alert_state"
+    )
+    assert 'xks_slo_error_budget_remaining{slo="ci-latency"}' in metrics_body, (
+        "no error budget gauge for the drilled SLO"
+    )
+    with open(snapshot_path, encoding="utf-8") as fh:
+        records = [json.loads(line) for line in fh]
+    snapshots = [r for r in records if r["kind"] == "metrics"]
+    alerts = [r for r in records if r["kind"] == "alert"]
+    assert snapshots, "no metrics snapshots reached the sink"
+    transitions = {(r["from"], r["to"]) for r in alerts}
+    assert ("pending", "firing") in transitions, f"no firing record: {transitions}"
+    assert ("firing", "resolved") in transitions, (
+        f"no resolved record: {transitions}"
+    )
+    stats = shipper.stats.as_dict()
+    assert stats["submitted"] == stats["sent"] + stats["dropped_total"], stats
+    print(
+        f"slo alerting OK: fast-burn alert fired then {final}, "
+        f"{len(snapshots)} snapshots + {len(alerts)} alert records shipped, "
+        f"accounting exact ({stats['submitted']} submitted)"
+    )
+
+
 def check_segments(index_dir: str) -> None:
     """Packed posting segments: byte-identical answers segments-on vs -off
     (every algorithm, SLCA and ELCA), segment metrics on /metrics, and a
@@ -468,6 +576,7 @@ def main(argv=None) -> int:
         check_export_pipeline(index_dir, trace_out=args.trace_out)
         check_cli_explain(index_dir)
         check_parallel_smoke(index_dir)
+        check_slo_alerting(index_dir)
         # Last: this phase mutates the index (mid-run update).
         check_segments(index_dir)
     check_overhead_guard(args.bench_report, args.max_overhead_pct)

@@ -16,8 +16,15 @@ This package connects them:
 * :mod:`repro.obs.profile` — the EXPLAIN/profile breakdown
   (:class:`QueryProfile`) attached to an execution on request;
 * :mod:`repro.obs.export` — trace/metrics export to JSONL files or an
-  HTTP collector through a bounded background queue;
-* :mod:`repro.obs.logging` — trace-id-correlated structured JSON logs.
+  HTTP collector through a bounded background queue, including timed
+  full-registry snapshots (:class:`SnapshotShipper`, optionally
+  OTLP-shaped);
+* :mod:`repro.obs.logging` — trace-id-correlated structured JSON logs
+  with load-adaptive token-bucket sampling (:func:`set_log_sampling`);
+* :mod:`repro.obs.slo` — declarative SLOs evaluated over ring-buffer
+  trailing windows, Google-SRE multi-window burn-rate alerting, and the
+  ``ok → pending → firing → resolved`` alert state machine surfaced at
+  ``GET /alertz``.
 
 See docs/OBSERVABILITY.md for the metric catalog and schemas.
 """
@@ -29,19 +36,27 @@ from repro.obs.export import (
     JsonlFileSink,
     MemorySink,
     MetricsExporter,
+    SnapshotShipper,
     TraceExporter,
+    otlp_metrics_record,
 )
 from repro.obs.logging import (
+    LogSampler,
     configure_logging,
     current_trace_id,
+    get_log_sampler,
     get_logger,
     reset_current_trace_id,
     set_current_trace_id,
+    set_log_sampling,
 )
 from repro.obs.metrics import (
     Counter,
+    CounterWindow,
     Gauge,
     Histogram,
+    HistogramSnapshot,
+    HistogramWindow,
     MetricsRegistry,
     Sample,
     exponential_buckets,
@@ -50,6 +65,16 @@ from repro.obs.metrics import (
     set_instrumentation_enabled,
 )
 from repro.obs.profile import Phase, QueryProfile
+from repro.obs.slo import (
+    Alert,
+    AlertManager,
+    BurnRule,
+    SLODefinition,
+    SLOEngine,
+    WindowPolicy,
+    default_slos,
+    parse_slo,
+)
 from repro.obs.tracing import Span, Trace, Tracer, new_trace_id, valid_trace_id
 
 __all__ = [
@@ -59,15 +84,23 @@ __all__ = [
     "JsonlFileSink",
     "MemorySink",
     "MetricsExporter",
+    "SnapshotShipper",
     "TraceExporter",
+    "otlp_metrics_record",
+    "LogSampler",
     "configure_logging",
     "current_trace_id",
+    "get_log_sampler",
     "get_logger",
     "reset_current_trace_id",
     "set_current_trace_id",
+    "set_log_sampling",
     "Counter",
+    "CounterWindow",
     "Gauge",
     "Histogram",
+    "HistogramSnapshot",
+    "HistogramWindow",
     "MetricsRegistry",
     "Sample",
     "exponential_buckets",
@@ -76,6 +109,14 @@ __all__ = [
     "set_instrumentation_enabled",
     "Phase",
     "QueryProfile",
+    "Alert",
+    "AlertManager",
+    "BurnRule",
+    "SLODefinition",
+    "SLOEngine",
+    "WindowPolicy",
+    "default_slos",
+    "parse_slo",
     "Span",
     "Trace",
     "Tracer",

@@ -17,7 +17,9 @@ without ever letting the collector's health affect the serving path:
 * :class:`TraceExporter` ships span trees (the server enqueues one record
   per traced request); :class:`MetricsExporter` snapshots a
   :class:`~repro.obs.metrics.MetricsRegistry` on an interval and ships the
-  samples.
+  samples; :class:`SnapshotShipper` (``serve --snapshot-every``) adds alert
+  transition records and an opt-in OTLP-shaped payload mode
+  (:func:`otlp_metrics_record`).
 
 Every exporter mirrors its accounting into the metrics registry
 (``xks_export_sent_total``, ``xks_export_retries_total``,
@@ -59,6 +61,12 @@ DEFAULT_JITTER = 0.5
 DROP_QUEUE_FULL = "queue_full"
 DROP_SEND_FAILED = "send_failed"
 DROP_SHUTDOWN = "shutdown"
+
+#: Default connect/read timeout for the HTTP sink (seconds).  A sink with
+#: no timeout can hang the flusher thread forever on a stalled collector,
+#: which then backs the bounded queue up into ``queue_full`` drops — so a
+#: finite timeout is enforced, never optional.
+DEFAULT_HTTP_TIMEOUT = 5.0
 
 
 class ExportError(Exception):
@@ -136,16 +144,33 @@ class HttpCollectorSink(ExportSink):
     happens next.  The serving path never sees the exception.
     """
 
-    def __init__(self, url: str, timeout: float = 5.0):
+    def __init__(
+        self,
+        url: str,
+        timeout: float = DEFAULT_HTTP_TIMEOUT,
+        content_type: str = "application/json",
+    ):
+        if timeout is None or timeout <= 0:
+            # timeout=None means "block forever" to urllib — one stalled
+            # collector would wedge the flusher thread and turn every
+            # subsequent submit into a queue_full drop.
+            raise ValueError("HttpCollectorSink timeout must be a positive number")
         self.url = url
-        self.timeout = timeout
+        self.timeout = float(timeout)
+        self.content_type = content_type
 
     def send(self, records: List[dict]) -> None:
         body = json.dumps({"records": records}, default=str).encode("utf-8")
         request = urllib.request.Request(
             self.url,
             data=body,
-            headers={"Content-Type": "application/json"},
+            headers={
+                # Always explicit: urllib would otherwise default POSTed
+                # bytes to x-www-form-urlencoded, which strict collectors
+                # reject.
+                "Content-Type": self.content_type,
+                "Content-Length": str(len(body)),
+            },
             method="POST",
         )
         try:
@@ -159,6 +184,77 @@ class HttpCollectorSink(ExportSink):
 
     def describe(self) -> str:
         return f"http:{self.url}"
+
+
+def otlp_metrics_record(
+    samples: List[Any],
+    ts: float,
+    service_name: str = "xksearch",
+) -> dict:
+    """Shape one registry snapshot as an OTLP-style JSON metrics payload.
+
+    Follows the ``resourceMetrics → scopeMetrics → metrics`` nesting of
+    OTLP/JSON with ``gauge``/``sum`` data points: counters and the
+    flattened histogram series (``*_bucket``/``*_sum``/``*_count``) become
+    cumulative monotonic sums, gauges become gauges.  "OTLP-shaped" — a
+    faithful JSON silhouette for collectors that speak it, produced
+    without an OTLP dependency.
+    """
+    nanos = int(ts * 1e9)
+    by_name: "Dict[str, Tuple[str, List[Any]]]" = {}
+    for sample in samples:
+        entry = by_name.setdefault(sample.name, (sample.kind, []))
+        entry[1].append(sample)
+    metrics = []
+    for name in sorted(by_name):
+        kind, group = by_name[name]
+        points = [
+            {
+                "timeUnixNano": nanos,
+                "asDouble": float(sample.value),
+                "attributes": [
+                    {"key": key, "value": {"stringValue": str(value)}}
+                    for key, value in sorted(sample.labels.items())
+                ],
+            }
+            for sample in group
+        ]
+        if kind in ("counter", "histogram"):
+            metrics.append(
+                {
+                    "name": name,
+                    "sum": {
+                        "dataPoints": points,
+                        "aggregationTemporality": 2,  # CUMULATIVE
+                        "isMonotonic": True,
+                    },
+                }
+            )
+        else:
+            metrics.append({"name": name, "gauge": {"dataPoints": points}})
+    return {
+        "kind": "metrics",
+        "format": "otlp",
+        "ts": ts,
+        "resourceMetrics": [
+            {
+                "resource": {
+                    "attributes": [
+                        {
+                            "key": "service.name",
+                            "value": {"stringValue": service_name},
+                        }
+                    ]
+                },
+                "scopeMetrics": [
+                    {
+                        "scope": {"name": "repro.obs"},
+                        "metrics": metrics,
+                    }
+                ],
+            }
+        ],
+    }
 
 
 class ExportStats:
@@ -496,15 +592,66 @@ class MetricsExporter(BackgroundExporter):
     def snapshot(self) -> bool:
         """Enqueue one snapshot of the source registry now."""
         samples = [
-            {"name": s.name, "labels": s.labels, "value": s.value}
+            s
             for s in self._source.collect()
             # Exporting the export pipeline's own queue depth is noise.
             if not s.name.startswith("xks_export_")
         ]
-        record = {"kind": "metrics", "ts": time.time(), "samples": samples}
+        record = self.build_record(samples, time.time())
         self._last_snapshot = time.monotonic()
         return self.submit(record)
+
+    def build_record(self, samples: List[Any], ts: float) -> dict:
+        """Shape one snapshot's samples into the record to ship
+        (subclasses override the payload format, not the plumbing)."""
+        return {
+            "kind": "metrics",
+            "ts": ts,
+            "samples": [
+                {"name": s.name, "labels": s.labels, "value": s.value}
+                for s in samples
+            ],
+        }
 
     def _tick(self) -> None:
         if time.monotonic() - self._last_snapshot >= self.interval:
             self.snapshot()
+
+
+class SnapshotShipper(MetricsExporter):
+    """Timed full-registry snapshots plus alert records, one pipeline.
+
+    What ``serve --snapshot-every SECS`` runs: every interval the flusher
+    thread snapshots the registry and ships it through the same bounded
+    queue / retry / drop accounting as traces, and the SLO engine routes
+    alert transition records through :meth:`ship_alert` so a collector
+    sees state changes interleaved with the metrics they explain.  With
+    ``otlp=True`` snapshots are shaped by :func:`otlp_metrics_record`
+    instead of the flat ``samples`` list.
+    """
+
+    kind = "snapshot"
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sink: Optional[ExportSink] = None,
+        interval: float = 10.0,
+        otlp: bool = False,
+        service_name: str = "xksearch",
+        **kwargs: Any,
+    ):
+        self.otlp = otlp
+        self.service_name = service_name
+        super().__init__(registry, sink, interval, **kwargs)
+
+    def build_record(self, samples: List[Any], ts: float) -> dict:
+        if self.otlp:
+            return otlp_metrics_record(samples, ts, self.service_name)
+        return super().build_record(samples, ts)
+
+    def ship_alert(self, record: dict) -> bool:
+        """Enqueue one alert transition record (``{"kind": "alert", ...}``)
+        — the :class:`~repro.obs.slo.AlertManager` calls ``submit`` via
+        its attached exporter; this alias just names the intent."""
+        return self.submit(record)

@@ -1,0 +1,796 @@
+"""SLO engine: declarative objectives, burn rates, multi-window alerting.
+
+The paper's evaluation axis — |S1| frequency decades — is already wired
+through ``xks_query_exec_ms{band,algorithm}``; this module is the layer
+that *watches* those series.  It follows the Google SRE workbook's
+multi-window multi-burn-rate recipe, entirely in-process (the windowed
+ring buffers of :mod:`repro.obs.metrics` stand in for a TSDB):
+
+* an :class:`SLODefinition` declares an objective — availability
+  ("99.9% of HTTP search requests succeed") or per-band latency ("99% of
+  band ``1000+`` executions finish within 250 ms"), parsed from a compact
+  spec string (:func:`parse_slo`):
+
+  - ``availability:99.9[:window=30d][:name=...]``
+  - ``latency:p99<=250ms[:band=1000+][:algorithm=il][:window=30d][:name=...]``
+
+* a :class:`WindowPolicy` holds the paired alerting windows.  A burn rate
+  of 1 means the error budget is consumed exactly over the SLO window;
+  the defaults page on 14.4× over (5 m AND 1 h) and warn on 6× over
+  (1 h AND 6 h) — both windows must agree, which is what keeps a single
+  latency spike from paging while still catching fast burns within
+  minutes.  ``scaled()`` shrinks every duration for tests and CI;
+
+* an :class:`AlertManager` runs each alert's state machine
+  (``ok → pending → firing → resolved``): the burn condition must hold
+  for the rule's for-duration before firing (hysteresis), and a resolved
+  alert stays visible for a grace period before returning to ``ok``.
+  Every transition emits a structured log event, updates the
+  ``xks_alert_state{alert}`` gauge, and ships an alert record through
+  the attached :class:`~repro.obs.export.BackgroundExporter`;
+
+* an :class:`SLOEngine` ties it together: one daemon thread ticks every
+  ``eval_interval`` seconds, records the ring-buffer windows, evaluates
+  every SLO, maintains ``xks_slo_error_budget_remaining{slo}``, and
+  serves the ``GET /alertz`` payload via :meth:`SLOEngine.status`.
+
+Error-budget accounting is cumulative-since-start capped at the SLO
+window: the rings hold up to the slow rule's long window (6 h by
+default), so a "30 d" objective's remaining budget is computed over the
+process lifetime — honest for a serving process that restarts on deploy,
+and documented in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import (
+    HistogramSnapshot,
+    HistogramWindow,
+    MetricsRegistry,
+    _RingWindow,
+    get_registry,
+)
+
+_log = get_logger("slo")
+
+#: Endpoints an availability SLO counts by default (the query surface).
+DEFAULT_AVAILABILITY_ENDPOINTS = ("/search", "/api/search")
+
+#: Alert states, in gauge order: ``xks_alert_state`` exposes the index.
+ALERT_STATES = ("ok", "pending", "firing", "resolved")
+STATE_OK, STATE_PENDING, STATE_FIRING, STATE_RESOLVED = ALERT_STATES
+
+_DURATION_RE = re.compile(r"^(\d+(?:\.\d+)?)(s|m|h|d)$")
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+_PERCENTILE_RE = re.compile(r"^p(\d{1,2}(?:\.\d+)?)<=(\d+(?:\.\d+)?)ms$")
+_NAME_RE = re.compile(r"^[a-zA-Z0-9_.:+/-]+$")
+
+
+def parse_duration(text: str) -> float:
+    """``"30d"`` / ``"6h"`` / ``"5m"`` / ``"90s"`` → seconds."""
+    match = _DURATION_RE.match(text.strip())
+    if not match:
+        raise ValueError(f"bad duration {text!r} (want e.g. 30d, 6h, 5m, 90s)")
+    return float(match.group(1)) * _DURATION_UNITS[match.group(2)]
+
+
+@dataclass(frozen=True)
+class SLODefinition:
+    """One objective over one metric stream.
+
+    ``objective`` is the good-event fraction (0.999 = "99.9% good");
+    the error budget is its complement.  ``kind`` selects the source:
+
+    * ``availability`` — ``xks_http_requests_total{endpoint,status}``,
+      good = ``status="ok"``, restricted to ``endpoints``;
+    * ``latency`` — ``xks_query_exec_ms{band,algorithm}``, good =
+      execution time ≤ ``threshold_ms`` (bucket-quantized), optionally
+      restricted to one frequency ``band`` and/or ``algorithm``.
+    """
+
+    name: str
+    kind: str  # "availability" | "latency"
+    objective: float
+    window_s: float = 30 * 86400.0
+    threshold_ms: Optional[float] = None
+    band: Optional[str] = None
+    algorithm: Optional[str] = None
+    endpoints: Tuple[str, ...] = DEFAULT_AVAILABILITY_ENDPOINTS
+
+    def __post_init__(self):
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be a fraction in (0, 1)")
+        if self.kind == "latency" and not self.threshold_ms:
+            raise ValueError("latency SLOs need a threshold_ms")
+        if self.window_s <= 0:
+            raise ValueError("window must be positive")
+        if not _NAME_RE.match(self.name):
+            raise ValueError(f"bad SLO name {self.name!r}")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated bad-event fraction."""
+        return 1.0 - self.objective
+
+    def describe(self) -> dict:
+        out = {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "window_days": round(self.window_s / 86400.0, 4),
+        }
+        if self.kind == "latency":
+            out["threshold_ms"] = self.threshold_ms
+            if self.band is not None:
+                out["band"] = self.band
+            if self.algorithm is not None:
+                out["algorithm"] = self.algorithm
+        else:
+            out["endpoints"] = list(self.endpoints)
+        return out
+
+
+def parse_slo(spec: str) -> SLODefinition:
+    """Parse one compact SLO spec (see module docstring for the grammar).
+
+    Examples::
+
+        availability:99.9
+        availability:99.95:window=7d:name=api-availability
+        latency:p99<=250ms
+        latency:p99<=500ms:band=1000+:window=30d
+        latency:p95<=50ms:algorithm=il:name=il-fast
+    """
+    tokens = [token.strip() for token in spec.split(":") if token.strip()]
+    if not tokens:
+        raise ValueError("empty SLO spec")
+    kind = tokens[0].lower()
+    fields: Dict[str, object] = {"kind": kind}
+    rest = tokens[1:]
+    if kind == "availability":
+        if not rest:
+            raise ValueError("availability SLO needs a target, e.g. 99.9")
+        try:
+            target = float(rest[0])
+        except ValueError:
+            raise ValueError(f"bad availability target {rest[0]!r}") from None
+        if not 0.0 < target < 100.0:
+            raise ValueError("availability target must be in (0, 100) percent")
+        fields["objective"] = target / 100.0
+        rest = rest[1:]
+    elif kind == "latency":
+        if not rest:
+            raise ValueError("latency SLO needs an objective, e.g. p99<=250ms")
+        match = _PERCENTILE_RE.match(rest[0].replace(" ", ""))
+        if not match:
+            raise ValueError(
+                f"bad latency objective {rest[0]!r} (want e.g. p99<=250ms)"
+            )
+        fields["objective"] = float(match.group(1)) / 100.0
+        fields["threshold_ms"] = float(match.group(2))
+        rest = rest[1:]
+    else:
+        raise ValueError(f"unknown SLO kind {kind!r}")
+    for token in rest:
+        if "=" not in token:
+            raise ValueError(f"bad SLO option {token!r} (want key=value)")
+        key, value = token.split("=", 1)
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "window":
+            fields["window_s"] = parse_duration(value)
+        elif key == "name":
+            fields["name"] = value
+        elif key == "band" and kind == "latency":
+            fields["band"] = value
+        elif key == "algorithm" and kind == "latency":
+            fields["algorithm"] = value
+        elif key == "endpoint" and kind == "availability":
+            fields["endpoints"] = tuple(
+                endpoint for endpoint in value.split(",") if endpoint
+            )
+        else:
+            raise ValueError(f"unknown SLO option {key!r} for kind {kind!r}")
+    if "name" not in fields:
+        if kind == "availability":
+            fields["name"] = f"availability-{fields['objective'] * 100:g}"
+        else:
+            parts = [
+                "latency",
+                f"p{fields['objective'] * 100:g}",
+                f"{fields['threshold_ms']:g}ms",
+            ]
+            if fields.get("band"):
+                parts.append(f"band-{fields['band']}")
+            if fields.get("algorithm"):
+                parts.append(str(fields["algorithm"]))
+            fields["name"] = "-".join(parts)
+    return SLODefinition(**fields)  # type: ignore[arg-type]
+
+
+def default_slos() -> List[SLODefinition]:
+    """The objectives ``serve`` evaluates unless ``--slo`` overrides them."""
+    return [
+        parse_slo("availability:99.9:name=search-availability"),
+        parse_slo("latency:p99<=100ms:name=exec-latency"),
+        parse_slo("latency:p99<=250ms:band=1000+:name=exec-latency-heavy"),
+    ]
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One paired-window burn-rate condition.
+
+    The alert condition is ``burn(short) >= max_burn AND burn(long) >=
+    max_burn`` — the long window proves the burn is sustained, the short
+    window makes the alert resolve quickly once the burn stops.
+    """
+
+    short_s: float
+    long_s: float
+    max_burn: float
+    severity: str
+    for_s: float = 0.0
+
+    def scaled(self, factor: float) -> "BurnRule":
+        return replace(
+            self,
+            short_s=self.short_s * factor,
+            long_s=self.long_s * factor,
+            for_s=self.for_s * factor,
+        )
+
+
+@dataclass(frozen=True)
+class WindowPolicy:
+    """The burn-rate rule set plus the ring-buffer geometry."""
+
+    rules: Tuple[BurnRule, ...] = (
+        BurnRule(short_s=300.0, long_s=3600.0, max_burn=14.4,
+                 severity="fast", for_s=60.0),
+        BurnRule(short_s=3600.0, long_s=21600.0, max_burn=6.0,
+                 severity="slow", for_s=300.0),
+    )
+    resolution_s: float = 15.0
+
+    def __post_init__(self):
+        if not self.rules:
+            raise ValueError("a WindowPolicy needs at least one rule")
+        severities = [rule.severity for rule in self.rules]
+        if len(set(severities)) != len(severities):
+            raise ValueError("burn-rule severities must be unique")
+
+    @property
+    def horizon_s(self) -> float:
+        return max(rule.long_s for rule in self.rules)
+
+    def window_lengths(self) -> List[float]:
+        lengths: List[float] = []
+        for rule in self.rules:
+            for window in (rule.short_s, rule.long_s):
+                if window not in lengths:
+                    lengths.append(window)
+        return sorted(lengths)
+
+    def scaled(self, factor: float) -> "WindowPolicy":
+        """Every duration multiplied by *factor* (CI uses tiny factors so
+        a fast burn fires and resolves within seconds)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return WindowPolicy(
+            rules=tuple(rule.scaled(factor) for rule in self.rules),
+            resolution_s=self.resolution_s * factor,
+        )
+
+
+class Alert:
+    """One alert's state machine (per SLO × burn rule).
+
+    ``update`` applies the for-duration hysteresis: the condition must
+    hold continuously for ``rule.for_s`` before ``pending`` promotes to
+    ``firing``, and a ``resolved`` alert stays visible for
+    ``resolved_keep_s`` before returning to ``ok``.  Returns the
+    ``(old_state, new_state)`` transition when one happened.
+    """
+
+    def __init__(self, slo: SLODefinition, rule: BurnRule,
+                 resolved_keep_s: float = 300.0):
+        self.slo = slo
+        self.rule = rule
+        self.name = f"{slo.name}:{rule.severity}"
+        self.state = STATE_OK
+        self.resolved_keep_s = resolved_keep_s
+        self._since: Optional[float] = None  # state entry time (monotonic)
+        self.burn_short = 0.0
+        self.burn_long = 0.0
+
+    def update(
+        self, condition: bool, now: float
+    ) -> Optional[Tuple[str, str]]:
+        old = self.state
+        if condition:
+            if self.state in (STATE_OK, STATE_RESOLVED):
+                self.state = STATE_PENDING
+                self._since = now
+            if (
+                self.state == STATE_PENDING
+                and now - (self._since if self._since is not None else now)
+                >= self.rule.for_s
+            ):
+                self.state = STATE_FIRING
+                self._since = now
+        else:
+            if self.state == STATE_PENDING:
+                self.state = STATE_OK
+                self._since = None
+            elif self.state == STATE_FIRING:
+                self.state = STATE_RESOLVED
+                self._since = now
+            elif (
+                self.state == STATE_RESOLVED
+                and self._since is not None
+                and now - self._since >= self.resolved_keep_s
+            ):
+                self.state = STATE_OK
+                self._since = None
+        return (old, self.state) if self.state != old else None
+
+    def state_index(self) -> int:
+        return ALERT_STATES.index(self.state)
+
+    def describe(self, now: float) -> dict:
+        return {
+            "alert": self.name,
+            "slo": self.slo.name,
+            "severity": self.rule.severity,
+            "state": self.state,
+            "since_s": (
+                round(now - self._since, 3) if self._since is not None else None
+            ),
+            "for_s": self.rule.for_s,
+            "max_burn": self.rule.max_burn,
+            "short_window_s": self.rule.short_s,
+            "long_window_s": self.rule.long_s,
+            "burn_short": round(self.burn_short, 4),
+            "burn_long": round(self.burn_long, 4),
+        }
+
+
+class AlertManager:
+    """Owns every alert, the state gauge, logs, and exported records."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        exporter=None,
+        resolved_keep_s: float = 300.0,
+    ):
+        self._registry = registry
+        self._exporter = exporter
+        self._resolved_keep_s = resolved_keep_s
+        self._alerts: "Dict[str, Alert]" = {}
+        self._state_family = registry.gauge(
+            "xks_alert_state",
+            "Alert state machine position "
+            "(0=ok, 1=pending, 2=firing, 3=resolved).",
+            labelnames=("alert",),
+        )
+        self.transitions = 0
+
+    def attach_exporter(self, exporter) -> None:
+        self._exporter = exporter
+
+    def alert_for(self, slo: SLODefinition, rule: BurnRule) -> Alert:
+        key = f"{slo.name}:{rule.severity}"
+        alert = self._alerts.get(key)
+        if alert is None:
+            alert = Alert(slo, rule, resolved_keep_s=self._resolved_keep_s)
+            self._alerts[key] = alert
+            self._state_family.labels(alert=key).set(0)
+        return alert
+
+    def evaluate(
+        self,
+        slo: SLODefinition,
+        rule: BurnRule,
+        burn_short: float,
+        burn_long: float,
+        budget_remaining: float,
+        now: float,
+    ) -> Optional[dict]:
+        """Feed one rule's burn rates; returns the transition record, if
+        a transition happened (the record was also logged + exported)."""
+        alert = self.alert_for(slo, rule)
+        alert.burn_short = burn_short
+        alert.burn_long = burn_long
+        condition = burn_short >= rule.max_burn and burn_long >= rule.max_burn
+        transition = alert.update(condition, now)
+        self._state_family.labels(alert=alert.name).set(alert.state_index())
+        if transition is None:
+            return None
+        self.transitions += 1
+        old, new = transition
+        record = {
+            "kind": "alert",
+            "ts": time.time(),
+            "alert": alert.name,
+            "slo": slo.name,
+            "severity": rule.severity,
+            "from": old,
+            "to": new,
+            "burn_short": round(burn_short, 4),
+            "burn_long": round(burn_long, 4),
+            "short_window_s": rule.short_s,
+            "long_window_s": rule.long_s,
+            "max_burn": rule.max_burn,
+            "error_budget_remaining": round(budget_remaining, 6),
+        }
+        log = _log.warning if new == STATE_FIRING else _log.info
+        log("alert_transition", **{k: v for k, v in record.items() if k != "kind"})
+        if self._exporter is not None:
+            # Non-blocking: drops are counted by the exporter, never felt
+            # by the evaluation thread.
+            self._exporter.submit(record)
+        return record
+
+    def alerts(self) -> List[Alert]:
+        return list(self._alerts.values())
+
+    def firing(self) -> List[Alert]:
+        return [a for a in self._alerts.values() if a.state == STATE_FIRING]
+
+
+class _PairWindow(_RingWindow):
+    """Ring window whose payload is a ``(bad, total)`` cumulative pair."""
+
+    def __init__(self, source: Callable[[], Tuple[float, float]],
+                 horizon_s: float, resolution_s: float):
+        self._source = source
+        super().__init__(horizon_s, resolution_s)
+
+    def _current(self) -> Tuple[float, float]:
+        return self._source()
+
+    def delta(
+        self, window_s: float, now: Optional[float] = None
+    ) -> Tuple[float, float]:
+        now = time.monotonic() if now is None else now
+        current = self._current()
+        base, _ = self._base_at(now - window_s)
+        if base is None:
+            base = (0.0, 0.0)
+        return (
+            max(0.0, current[0] - base[0]),
+            max(0.0, current[1] - base[1]),
+        )
+
+
+class _SloSource:
+    """Good/total event accounting for one SLO, with trailing windows."""
+
+    def __init__(self, slo: SLODefinition, registry: MetricsRegistry,
+                 horizon_s: float, resolution_s: float):
+        self.slo = slo
+        self._registry = registry
+        if slo.kind == "latency":
+            self._window = HistogramWindow(
+                self._latency_snapshot, horizon_s, resolution_s
+            )
+        else:
+            self._window = _PairWindow(
+                self._availability_snapshot, horizon_s, resolution_s
+            )
+        registry.register_window(self._window)
+
+    def close(self) -> None:
+        self._registry.unregister_window(self._window)
+
+    # -- cumulative snapshots ------------------------------------------------
+
+    def _latency_children(self):
+        metric = self._registry.get_metric("xks_query_exec_ms")
+        items = getattr(metric, "items", None) if metric is not None else None
+        if not callable(items):
+            return []
+        slo = self.slo
+        out = []
+        for labels, child in items():
+            if slo.band is not None and labels.get("band") != slo.band:
+                continue
+            if (
+                slo.algorithm is not None
+                and labels.get("algorithm") != slo.algorithm
+            ):
+                continue
+            out.append(child)
+        return out
+
+    def _latency_snapshot(self) -> HistogramSnapshot:
+        merged: Optional[HistogramSnapshot] = None
+        for child in self._latency_children():
+            snap = child.snapshot()
+            merged = snap if merged is None else merged.add(snap)
+        if merged is None:
+            # No matching child yet: an empty snapshot with canonical
+            # bounds, so diffs stay well-formed once children appear.
+            from repro.xksearch.engine import _EXEC_BUCKETS_MS
+
+            merged = HistogramSnapshot.zero(tuple(_EXEC_BUCKETS_MS))
+        return merged
+
+    def _availability_snapshot(self) -> Tuple[float, float]:
+        metric = self._registry.get_metric("xks_http_requests_total")
+        items = getattr(metric, "items", None) if metric is not None else None
+        bad = 0.0
+        total = 0.0
+        if callable(items):
+            endpoints = set(self.slo.endpoints)
+            for labels, child in items():
+                if labels.get("endpoint") not in endpoints:
+                    continue
+                value = child.value
+                total += value
+                if labels.get("status") != "ok":
+                    bad += value
+        return (bad, total)
+
+    # -- windowed + cumulative good/bad --------------------------------------
+
+    def record(self, now: Optional[float] = None) -> None:
+        self._window.record(now)
+
+    def bad_total(self, window_s: Optional[float],
+                  now: Optional[float] = None) -> Tuple[float, float]:
+        """``(bad, total)`` events — over the trailing window, or
+        cumulative since start when ``window_s`` is None."""
+        slo = self.slo
+        if slo.kind == "latency":
+            snap = (
+                self._latency_snapshot()
+                if window_s is None
+                else self._window.delta(window_s, now)
+            )
+            total = float(snap.count)
+            good = float(snap.count_le(slo.threshold_ms))
+            return (max(0.0, total - good), total)
+        if window_s is None:
+            bad, total = self._availability_snapshot()
+            return (float(bad), float(total))
+        return self._window.delta(window_s, now)
+
+
+class SLOEngine:
+    """Evaluates every SLO on a timer and keeps the alert state current.
+
+    One background daemon thread per engine; ``evaluate()`` can also be
+    called directly (tests, CLI one-shots).  All timing flows through an
+    injectable monotonic ``clock`` so the state machine is deterministic
+    under test.
+    """
+
+    def __init__(
+        self,
+        slos: Optional[Sequence[SLODefinition]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        policy: Optional[WindowPolicy] = None,
+        eval_interval: float = 5.0,
+        exporter=None,
+        resolved_keep_s: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.registry = registry if registry is not None else get_registry()
+        self.policy = policy if policy is not None else WindowPolicy()
+        self.slos: List[SLODefinition] = (
+            list(slos) if slos is not None else default_slos()
+        )
+        names = [slo.name for slo in self.slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.eval_interval = eval_interval
+        self._clock = clock
+        self.alerts = AlertManager(
+            self.registry, exporter=exporter, resolved_keep_s=resolved_keep_s
+        )
+        self._budget_family = self.registry.gauge(
+            "xks_slo_error_budget_remaining",
+            "Fraction of the SLO error budget left "
+            "(1 = untouched, 0 = exhausted; cumulative since start).",
+            labelnames=("slo",),
+        )
+        self._eval_counter = self.registry.counter(
+            "xks_slo_evaluations_total",
+            "SLO evaluation ticks run by the engine.",
+        )
+        self._sources = [
+            _SloSource(slo, self.registry, self.policy.horizon_s,
+                       self.policy.resolution_s)
+            for slo in self.slos
+        ]
+        self._started_monotonic = self._clock()
+        self._lock = threading.Lock()
+        self._last_status: List[dict] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        # Pre-create every alert (and its gauge child) so /alertz and
+        # /metrics show the full surface from the first scrape.
+        for slo in self.slos:
+            for rule in self.policy.rules:
+                self.alerts.alert_for(slo, rule)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SLOEngine":
+        if self._thread is None and not self._closed:
+            self._thread = threading.Thread(
+                target=self._run, name="xks-slo-engine", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.eval_interval):
+            try:
+                self.evaluate()
+            except Exception as exc:  # pragma: no cover - belt and braces
+                _log.error("slo_evaluate_failed", error=repr(exc))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        for source in self._sources:
+            source.close()
+
+    def __enter__(self) -> "SLOEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def attach_exporter(self, exporter) -> None:
+        """Route alert transition records through *exporter* (a
+        :class:`~repro.obs.export.BackgroundExporter`)."""
+        self.alerts.attach_exporter(exporter)
+
+    # -- evaluation ----------------------------------------------------------
+
+    @staticmethod
+    def _burn(bad: float, total: float, budget: float) -> float:
+        """Burn rate: error rate as a multiple of the budget.  No traffic
+        means no burn (an idle service is not failing its users)."""
+        if total <= 0:
+            return 0.0
+        return (bad / total) / budget
+
+    def evaluate(self, now: Optional[float] = None) -> List[dict]:
+        """One tick: snapshot windows, compute burn rates, update alerts.
+
+        Returns the per-SLO status blocks (the ``/alertz`` payload body).
+        """
+        now = self._clock() if now is None else now
+        self._eval_counter.inc()
+        self.registry.record_windows(now)
+        status: List[dict] = []
+        for slo, source in zip(self.slos, self._sources):
+            source.record(now)
+            cum_bad, cum_total = source.bad_total(None)
+            budget = slo.budget
+            # Cumulative-since-start budget, capped at the SLO window by
+            # construction (a process younger than 30 d has seen fewer
+            # than 30 d of events).
+            if cum_total > 0:
+                consumed = (cum_bad / cum_total) / budget
+            else:
+                consumed = 0.0
+            budget_remaining = 1.0 - consumed
+            self._budget_family.labels(slo=slo.name).set(
+                max(0.0, budget_remaining)
+            )
+            burns: Dict[float, float] = {}
+            for window_s in self.policy.window_lengths():
+                bad, total = source.bad_total(window_s, now)
+                burns[window_s] = self._burn(bad, total, budget)
+            alerts = []
+            for rule in self.policy.rules:
+                self.alerts.evaluate(
+                    slo,
+                    rule,
+                    burns[rule.short_s],
+                    burns[rule.long_s],
+                    budget_remaining,
+                    now,
+                )
+                alerts.append(self.alerts.alert_for(slo, rule).describe(now))
+            block = slo.describe()
+            block.update(
+                {
+                    "good": cum_total - cum_bad,
+                    "total": cum_total,
+                    "error_rate": (
+                        round(cum_bad / cum_total, 6) if cum_total else 0.0
+                    ),
+                    "error_budget_remaining": round(budget_remaining, 6),
+                    "burn_rates": {
+                        _format_window(w): round(b, 4)
+                        for w, b in sorted(burns.items())
+                    },
+                    "alerts": alerts,
+                }
+            )
+            status.append(block)
+        with self._lock:
+            self._last_status = status
+        return status
+
+    # -- read side -----------------------------------------------------------
+
+    def status(self, evaluate: bool = False) -> dict:
+        """The ``/alertz`` payload.  Serves the last tick's view by
+        default; ``evaluate=True`` forces a fresh tick first."""
+        with self._lock:
+            cached = list(self._last_status)
+        if evaluate or not cached:
+            cached = self.evaluate()
+        return {
+            "ts": round(time.time(), 3),
+            "enabled": True,
+            "eval_interval_s": self.eval_interval,
+            "uptime_s": round(self._clock() - self._started_monotonic, 3),
+            "policy": {
+                "resolution_s": self.policy.resolution_s,
+                "rules": [
+                    {
+                        "severity": rule.severity,
+                        "short_window_s": rule.short_s,
+                        "long_window_s": rule.long_s,
+                        "max_burn": rule.max_burn,
+                        "for_s": rule.for_s,
+                    }
+                    for rule in self.policy.rules
+                ],
+            },
+            "transitions": self.alerts.transitions,
+            "slos": cached,
+        }
+
+    def summary(self) -> dict:
+        """The compact ``/statz`` section: one line per SLO + alert."""
+        with self._lock:
+            cached = list(self._last_status)
+        return {
+            "slos": {
+                block["name"]: {
+                    "error_budget_remaining": block["error_budget_remaining"],
+                    "total": block["total"],
+                }
+                for block in cached
+            },
+            "alerts": {
+                alert.name: alert.state for alert in self.alerts.alerts()
+            },
+            "transitions": self.alerts.transitions,
+        }
+
+
+def _format_window(seconds: float) -> str:
+    """Seconds → the most readable unit (``300 → "5m"``)."""
+    for unit, factor in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if seconds >= factor and seconds % factor == 0:
+            return f"{int(seconds / factor)}{unit}"
+    if seconds >= 1 and float(seconds).is_integer():
+        return f"{int(seconds)}s"
+    return f"{seconds:g}s"

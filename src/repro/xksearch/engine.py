@@ -243,6 +243,11 @@ class QueryEngine:
         self.cache = cache
         self.shared = shared_cache
         self.pool = None
+        # Debug-only latency injection (ms), added to every in-thread
+        # execution *inside* the timed window so it shows up in
+        # xks_query_exec_ms — how the SLO alerting path is exercised
+        # end-to-end (`serve --debug-latency-ms`, ci_obs_smoke).
+        self.debug_latency_ms = 0.0
         # Per-algorithm OpCounters aggregates over this engine's lifetime
         # (the /statz "counters" section); registry metrics mirror them.
         self._totals: Dict[str, OpCounters] = {}
@@ -344,6 +349,7 @@ class QueryEngine:
         before = stats.counters.snapshot()
         started = time.perf_counter()
         try:
+            self._debug_sleep()
             yield from iterator
         finally:
             exec_ms = (time.perf_counter() - started) * 1000
@@ -351,6 +357,11 @@ class QueryEngine:
                 semantics, "off", algorithm, stats.counters.delta(before), exec_ms,
                 band=band,
             )
+
+    def _debug_sleep(self) -> None:
+        delay = self.debug_latency_ms
+        if delay > 0:
+            time.sleep(delay / 1000.0)
 
     def generation(self) -> int:
         """The index's current mutation generation (0 for static indexes)."""
@@ -671,6 +682,7 @@ class QueryEngine:
         else:
             before = stats.counters.snapshot()
             exec_started = time.perf_counter()
+            self._debug_sleep()
             with maybe_phase(prof, "execute", algorithm=plan.algorithm):
                 value = tuple(runner(plan, stats))
             exec_ms = (time.perf_counter() - exec_started) * 1000
@@ -714,6 +726,7 @@ class QueryEngine:
         """Materialized, timed execution for the EXPLAIN path (no cache)."""
         before = stats.counters.snapshot()
         exec_started = time.perf_counter()
+        self._debug_sleep()
         with maybe_phase(prof, "execute", algorithm=plan.algorithm):
             value = tuple(runner(plan, stats))
         exec_ms = (time.perf_counter() - exec_started) * 1000
@@ -803,6 +816,7 @@ class QueryEngine:
                 return key, pooled
             local = ExecutionStats()
             exec_started = time.perf_counter()
+            self._debug_sleep()
             value = tuple(self.execute_plan(plan, local))
             exec_ms = (time.perf_counter() - exec_started) * 1000
             delta = local.counters

@@ -44,6 +44,10 @@ Endpoints:
 * ``GET /debug/slow[?limit=N][&clear=1]`` — bounded slow-query log plus
   current execution-histogram exemplars (JSON); ``clear`` returns the
   entries it removes;
+* ``GET /alertz`` — SLO status and alert state machines (JSON): per-SLO
+  error budget, burn rates over the paired alerting windows, and every
+  alert's ``ok/pending/firing/resolved`` state (see
+  :mod:`repro.obs.slo` and docs/OBSERVABILITY.md, "SLOs and alerting");
 * ``GET /healthz`` — liveness (plain text).
 
 With an exporter attached (``serve --export-jsonl FILE`` or
@@ -57,16 +61,21 @@ logs correlated to ``X-Trace-Id`` (see :mod:`repro.obs.logging`).
 from __future__ import annotations
 
 import json
+import os
+import platform
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional
+from typing import List, Optional, Sequence
 from urllib.parse import parse_qs, urlparse
 
+from repro import __version__
 from repro.errors import ReproError
 from repro.obs.export import (
+    DEFAULT_HTTP_TIMEOUT,
     HttpCollectorSink,
     JsonlFileSink,
+    SnapshotShipper,
     TraceExporter,
 )
 from repro.obs.logging import (
@@ -74,7 +83,9 @@ from repro.obs.logging import (
     get_logger,
     reset_current_trace_id,
     set_current_trace_id,
+    set_log_sampling,
 )
+from repro.obs.slo import SLOEngine, WindowPolicy, default_slos, parse_slo
 from repro.obs.metrics import (
     MetricsRegistry,
     Sample,
@@ -106,9 +117,48 @@ _KNOWN_ENDPOINTS = (
     "/metrics",
     "/debug/slow",
     "/healthz",
+    "/alertz",
 )
 
 _log = get_logger("server")
+
+#: Process start (wall clock) — the xks_uptime_seconds origin.
+_PROCESS_START = time.time()
+
+
+def build_info_collector():
+    """Scrape-time ``xks_build_info`` / ``xks_uptime_seconds`` samples.
+
+    A module-level function (not a closure) so repeated ``make_server``
+    calls registering it dedup to one — it describes the *process*, not a
+    server instance, and is intentionally never unregistered.
+    """
+    yield Sample(
+        "xks_build_info",
+        1.0,
+        {
+            "version": __version__,
+            "python": platform.python_version(),
+            "pid": str(os.getpid()),
+        },
+        help="Build/runtime identity (value is always 1; the labels carry "
+        "the information).",
+    )
+    yield Sample(
+        "xks_uptime_seconds",
+        time.time() - _PROCESS_START,
+        help="Seconds since process start.",
+    )
+
+
+def build_info_dict() -> dict:
+    """The same identity block as JSON, for /statz."""
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "pid": os.getpid(),
+        "uptime_s": round(time.time() - _PROCESS_START, 3),
+    }
 
 
 class ServerMetrics:
@@ -342,6 +392,7 @@ class _Handler(BaseHTTPRequestHandler):
     tracer: Tracer = None
     registry: MetricsRegistry = None
     exporter: Optional[TraceExporter] = None
+    slo_engine: Optional[SLOEngine] = None
     quiet: bool = True
     protocol_version = "HTTP/1.1"
 
@@ -389,6 +440,8 @@ class _Handler(BaseHTTPRequestHandler):
                     (self.registry or get_registry()).render(),
                     content_type="text/plain; version=0.0.4; charset=utf-8",
                 )
+            elif url.path == "/alertz":
+                self._send_json(200, self._alertz())
             elif url.path == "/debug/slow":
                 error = self._handle_debug_slow(url)
             elif url.path == "/":
@@ -526,9 +579,16 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, payload, elapsed_ms=elapsed_ms)
         return False
 
+    def _alertz(self) -> dict:
+        """The SLO/alert status payload (``GET /alertz``)."""
+        if self.slo_engine is None:
+            return {"enabled": False, "slos": [], "transitions": 0}
+        return self.slo_engine.status()
+
     def _statz(self) -> dict:
         engine = self.system.engine
         payload = {
+            "build": build_info_dict(),
             "server": self.metrics.summary() if self.metrics else {},
             "generation": engine.generation(),
             "cache": engine.cache.stats() if engine.cache is not None else None,
@@ -545,6 +605,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "slow_threshold_ms": self.tracer.slow_threshold_ms,
                 "slow_log_entries": len(self.tracer.slow_queries()),
             }
+        if self.slo_engine is not None:
+            payload["slo"] = self.slo_engine.summary()
         return payload
 
     def _handle_debug_slow(self, url) -> bool:
@@ -657,6 +719,8 @@ class XKSearchServer(ThreadingHTTPServer):
         self._obs_registry: Optional[MetricsRegistry] = None
         self._obs_collector = None
         self._obs_exporter: Optional[TraceExporter] = None
+        self._obs_slo: Optional[SLOEngine] = None
+        self._obs_shipper: Optional[SnapshotShipper] = None
 
     def process_request_thread(self, request, client_address):
         with self._slots:
@@ -666,11 +730,19 @@ class XKSearchServer(ThreadingHTTPServer):
         if self._obs_registry is not None and self._obs_collector is not None:
             self._obs_registry.unregister_collector(self._obs_collector)
             self._obs_collector = None
+        if self._obs_slo is not None:
+            # Stop evaluating before the export pipelines close, so no
+            # transition record races a closing exporter.
+            self._obs_slo.close()
+            self._obs_slo = None
         if self._obs_exporter is not None:
             # Flush-on-shutdown: drain whatever the queue still holds,
             # then account the rest as dropped (reason="shutdown").
             self._obs_exporter.close()
             self._obs_exporter = None
+        if self._obs_shipper is not None:
+            self._obs_shipper.close()
+            self._obs_shipper = None
         super().server_close()
 
 
@@ -684,6 +756,8 @@ def make_server(
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
     exporter: Optional[TraceExporter] = None,
+    slo_engine: Optional[SLOEngine] = None,
+    shipper: Optional[SnapshotShipper] = None,
 ) -> XKSearchServer:
     """A threaded HTTP server bound to *host:port* (port 0 = ephemeral),
     serving queries against *system*.  Caller owns the lifecycle
@@ -693,7 +767,9 @@ def make_server(
     registered as a collector on *registry* (default: the process-global
     one) for the lifetime of the server; ``server_close`` unregisters it.
     An *exporter* receives every finished request trace (asynchronously —
-    the request path only enqueues) and is closed with the server.
+    the request path only enqueues) and is closed with the server.  A
+    *slo_engine* is surfaced on ``/alertz`` + ``/statz`` and closed first
+    on shutdown; a *shipper* (timed metrics snapshots) is closed last.
     """
     registry = registry if registry is not None else get_registry()
     handler = type(
@@ -706,14 +782,18 @@ def make_server(
             "tracer": tracer if tracer is not None else Tracer(),
             "registry": registry,
             "exporter": exporter,
+            "slo_engine": slo_engine,
         },
     )
     server = XKSearchServer((host, port), handler, max_workers=max_workers)
     collector = system_collector(system)
     registry.register_collector(collector)
+    registry.register_collector(build_info_collector)
     server._obs_registry = registry
     server._obs_collector = collector
     server._obs_exporter = exporter
+    server._obs_slo = slo_engine
+    server._obs_shipper = shipper
     return server
 
 
@@ -727,18 +807,39 @@ def serve(
     trace_sample: float = 0.0,
     export_jsonl: Optional[str] = None,
     export_url: Optional[str] = None,
+    export_timeout: float = DEFAULT_HTTP_TIMEOUT,
     log_json: bool = False,
     log_level: Optional[str] = None,
+    log_sample: Optional[float] = None,
     workers_proc: int = 0,
     use_segments: bool = True,
+    snapshot_every: Optional[float] = None,
+    snapshot_otlp: bool = False,
+    slo_specs: Optional[Sequence[str]] = None,
+    slo_enabled: bool = True,
+    slo_window_scale: float = 1.0,
+    debug_latency_ms: float = 0.0,
 ) -> None:
     """Blocking entry point used by ``xksearch serve``.
 
     ``export_jsonl``/``export_url`` (mutually exclusive) attach a trace
     exporter writing finished request traces to a JSONL file or POSTing
-    them to a collector.  ``log_json`` switches structured logs on in JSON
-    mode; ``log_level`` (or ``REPRO_LOG_LEVEL``) sets the level, in text
-    mode unless ``log_json`` is also given.
+    them to a collector (``export_timeout`` bounds each POST).
+    ``log_json`` switches structured logs on in JSON mode; ``log_level``
+    (or ``REPRO_LOG_LEVEL``) sets the level, in text mode unless
+    ``log_json`` is also given; ``log_sample`` rate-limits DEBUG/INFO
+    chatter per (component, event) stream (WARN+ and traced requests
+    always pass — see :func:`repro.obs.logging.set_log_sampling`).
+
+    **SLOs** are evaluated by default (:func:`~repro.obs.slo.default_slos`;
+    override with ``slo_specs`` spec strings, disable with
+    ``slo_enabled=False``): burn rates over the Google-SRE paired windows,
+    alert state on ``/alertz`` + ``/statz`` + gauges, transitions through
+    the snapshot/trace export pipeline.  ``slo_window_scale`` shrinks every
+    alerting window (CI makes hours into seconds).  ``snapshot_every``
+    ships a full metrics snapshot to the export sink on that period
+    (``snapshot_otlp`` shapes it as OTLP-style JSON).  ``debug_latency_ms``
+    injects artificial execution latency — the end-to-end alert drill.
 
     ``workers_proc > 0`` adds a pool of that many **worker processes**
     executing cache-miss queries over mmap'd read-only index handles, with
@@ -754,13 +855,48 @@ def serve(
         raise ValueError("choose one of export_jsonl / export_url, not both")
     if log_json or log_level is not None:
         configure_logging(level=log_level, json_mode=log_json)
+    if log_sample is not None:
+        set_log_sampling(log_sample)
     cache = QueryCache(result_capacity=cache_size) if cache_size > 0 else None
     tracer = Tracer(sample_rate=trace_sample, slow_threshold_ms=slow_ms)
-    exporter: Optional[TraceExporter] = None
+    # The trace exporter and the snapshot shipper share one sink instance
+    # (same file / same collector); both pipelines closing it is safe —
+    # JsonlFileSink reopens lazily and close() is idempotent.
+    sink = None
     if export_jsonl:
-        exporter = TraceExporter(JsonlFileSink(export_jsonl))
+        sink = JsonlFileSink(export_jsonl)
     elif export_url:
-        exporter = TraceExporter(HttpCollectorSink(export_url))
+        sink = HttpCollectorSink(export_url, timeout=export_timeout)
+    exporter: Optional[TraceExporter] = None
+    if sink is not None:
+        exporter = TraceExporter(sink)
+    shipper: Optional[SnapshotShipper] = None
+    if snapshot_every is not None and snapshot_every > 0:
+        if sink is None:
+            raise ValueError(
+                "snapshot shipping needs an export sink "
+                "(--export-jsonl or --export-url)"
+            )
+        shipper = SnapshotShipper(
+            sink=sink, interval=snapshot_every, otlp=snapshot_otlp
+        )
+    slo_engine: Optional[SLOEngine] = None
+    if slo_enabled:
+        slos = (
+            [parse_slo(spec) for spec in slo_specs] if slo_specs else default_slos()
+        )
+        policy = WindowPolicy()
+        if slo_window_scale != 1.0:
+            policy = policy.scaled(slo_window_scale)
+        # Alert records ride the snapshot pipeline when one exists, else
+        # the trace pipeline; with no sink they stay in-process (gauges,
+        # /alertz and logs still work).
+        slo_engine = SLOEngine(
+            slos=slos,
+            policy=policy,
+            eval_interval=min(5.0, max(0.2, policy.resolution_s)),
+            exporter=shipper if shipper is not None else exporter,
+        ).start()
     shared_cache = None
     posting_cache = None
     pool = None
@@ -794,6 +930,9 @@ def serve(
                 system.index.attach_posting_cache(posting_cache)
             if pool is not None:
                 system.engine.attach_pool(pool)
+            if debug_latency_ms > 0:
+                system.engine.debug_latency_ms = debug_latency_ms
+                _log.warning("debug_latency_enabled", ms=debug_latency_ms)
             server = make_server(
                 system,
                 host=host,
@@ -802,18 +941,28 @@ def serve(
                 max_workers=max_workers,
                 tracer=tracer,
                 exporter=exporter,
+                slo_engine=slo_engine,
+                shipper=shipper,
             )
             actual_port = server.server_address[1]
             export_note = ""
             if exporter is not None:
                 export_note = f", exporting traces to {exporter.sink.describe()}"
+            if shipper is not None:
+                export_note += f", snapshots every {snapshot_every:g}s"
+            slo_note = (
+                f", {len(slo_engine.slos)} SLOs at /alertz"
+                if slo_engine is not None
+                else ""
+            )
             pool_note = f", {pool.size} proc workers" if pool is not None else ""
             print(
                 f"XKSearch demo at http://{host}:{actual_port}/  "
                 f"({max_workers} workers{pool_note}, "
                 f"cache={'off' if cache is None else cache_size}, "
                 f"segments={'on' if use_segments else 'off'}, "
-                f"slow log at /debug/slow >= {slow_ms:.0f} ms{export_note}; "
+                f"slow log at /debug/slow >= {slow_ms:.0f} ms"
+                f"{export_note}{slo_note}; "
                 f"Ctrl-C to stop)"
             )
             try:
@@ -823,6 +972,14 @@ def serve(
             finally:
                 server.server_close()
     finally:
+        # Idempotent: server_close() already closed these on the normal
+        # path; this covers a failed open before the server existed.
+        if slo_engine is not None:
+            slo_engine.close()
+        if shipper is not None:
+            shipper.close()
+        if exporter is not None:
+            exporter.close()
         if pool is not None:
             pool.close()
         if shared_cache is not None:

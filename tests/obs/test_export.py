@@ -282,3 +282,154 @@ class TestMetricsExporter:
         assert "demo_total" in names
         # The exporter's own pipeline metrics are excluded from snapshots.
         assert not any(name.startswith("xks_export_") for name in names)
+
+
+class TestOtlpRecord:
+    def _samples(self):
+        from repro.obs.metrics import Sample
+
+        return [
+            Sample("xks_queries_total", 7.0, {"algorithm": "il"}, kind="counter"),
+            Sample("xks_cache_entries", 3.0, {}, kind="gauge"),
+            Sample(
+                "xks_query_exec_ms_bucket", 5.0, {"le": "16"}, kind="histogram"
+            ),
+        ]
+
+    def test_counters_and_histograms_become_monotonic_sums(self):
+        from repro.obs.export import otlp_metrics_record
+
+        record = otlp_metrics_record(self._samples(), ts=100.0)
+        metrics = {
+            m["name"]: m
+            for m in record["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        }
+        for name in ("xks_queries_total", "xks_query_exec_ms_bucket"):
+            sum_block = metrics[name]["sum"]
+            assert sum_block["aggregationTemporality"] == 2  # CUMULATIVE
+            assert sum_block["isMonotonic"] is True
+        assert "gauge" in metrics["xks_cache_entries"]
+        point = metrics["xks_queries_total"]["sum"]["dataPoints"][0]
+        assert point["asDouble"] == 7.0
+        assert point["timeUnixNano"] == int(100.0 * 1e9)
+        assert point["attributes"] == [
+            {"key": "algorithm", "value": {"stringValue": "il"}}
+        ]
+
+    def test_resource_carries_service_name(self):
+        from repro.obs.export import otlp_metrics_record
+
+        record = otlp_metrics_record([], ts=1.0, service_name="svc")
+        attrs = record["resourceMetrics"][0]["resource"]["attributes"]
+        assert {"key": "service.name", "value": {"stringValue": "svc"}} in attrs
+        assert record["format"] == "otlp"
+        json.dumps(record)  # collector-ready JSON
+
+
+class TestSnapshotShipper:
+    def _shipper(self, sink, registry, **kwargs):
+        from repro.obs.export import SnapshotShipper
+
+        kwargs.setdefault("interval", 3600.0)
+        kwargs.setdefault("flush_interval", 0.01)
+        return SnapshotShipper(registry=registry, sink=sink, **kwargs)
+
+    def test_flat_snapshot_record(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "d").inc(2)
+        sink = MemorySink()
+        shipper = self._shipper(sink, registry)
+        shipper.snapshot()
+        shipper.close()
+        (record,) = sink.records
+        assert record["kind"] == "metrics"
+        assert {"name": "demo_total", "labels": {}, "value": 2.0} in record[
+            "samples"
+        ]
+
+    def test_otlp_snapshot_record(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "d").inc(2)
+        sink = MemorySink()
+        shipper = self._shipper(sink, registry, otlp=True)
+        shipper.snapshot()
+        shipper.close()
+        (record,) = sink.records
+        assert record["format"] == "otlp"
+        metrics = record["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        assert any(m["name"] == "demo_total" and "sum" in m for m in metrics)
+
+    def test_alerts_and_snapshots_share_the_pipeline(self):
+        registry = MetricsRegistry()
+        sink = MemorySink()
+        shipper = self._shipper(sink, registry)
+        alert = {"kind": "alert", "alert": "lat:fast", "from": "ok", "to": "firing"}
+        assert shipper.ship_alert(alert)
+        shipper.snapshot()
+        shipper.close()
+        kinds = [record["kind"] for record in sink.records]
+        assert kinds == ["alert", "metrics"]
+        stats = shipper.stats.as_dict()
+        assert stats["submitted"] == 2
+        assert stats["submitted"] == stats["sent"] + stats["dropped_total"]
+
+    def test_timer_ships_without_explicit_snapshot_calls(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "d").inc()
+        sink = MemorySink()
+        shipper = self._shipper(sink, registry, interval=0.02)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and len(sink) < 2:
+            time.sleep(0.01)
+        shipper.close()
+        assert len(sink) >= 2  # the flusher thread snapshots on its own
+
+    def test_pipeline_metrics_use_snapshot_exporter_label(self):
+        registry = MetricsRegistry()
+        sink = MemorySink()
+        shipper = self._shipper(sink, registry)
+        shipper.snapshot()
+        shipper.flush(5.0)
+        shipper.close()
+        rendered = registry.render()
+        assert 'xks_export_sent_total{exporter="snapshot"} 1' in rendered
+
+
+class TestHttpSinkHardening:
+    def test_non_positive_timeout_rejected(self):
+        for bad in (None, 0, -1.0):
+            with pytest.raises(ValueError):
+                HttpCollectorSink("http://localhost:9", timeout=bad)
+
+    def test_default_timeout_is_finite(self):
+        sink = HttpCollectorSink("http://localhost:9")
+        assert sink.timeout > 0
+
+    def test_post_sends_explicit_content_type(self):
+        import http.server
+
+        seen = {}
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_POST(self):
+                seen["content_type"] = self.headers["Content-Type"]
+                length = int(self.headers["Content-Length"])
+                seen["body"] = self.rfile.read(length)
+                self.send_response(204)
+                self.end_headers()
+
+            def log_message(self, *args):
+                pass
+
+        server = http.server.HTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{server.server_address[1]}/v1/records"
+            sink = HttpCollectorSink(url, timeout=5.0)
+            sink.send([{"kind": "alert", "to": "firing"}])
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert seen["content_type"] == "application/json"
+        assert json.loads(seen["body"])["records"][0]["to"] == "firing"

@@ -1,0 +1,337 @@
+"""SLO definitions, burn-rate evaluation, and the alert state machine.
+
+Everything runs against a private registry and an injected fake clock —
+no sleeps, no background threads (``evaluate(now)`` is called directly),
+so every transition is deterministic.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import MemorySink, SnapshotShipper
+from repro.obs.metrics import MetricsRegistry, exponential_buckets
+from repro.obs.slo import (
+    ALERT_STATES,
+    Alert,
+    BurnRule,
+    SLODefinition,
+    SLOEngine,
+    WindowPolicy,
+    default_slos,
+    parse_duration,
+    parse_slo,
+)
+
+EXEC_BUCKETS = exponential_buckets(0.01, 2.0, 20)
+
+
+class TestParsing:
+    def test_duration_units(self):
+        assert parse_duration("90s") == 90.0
+        assert parse_duration("5m") == 300.0
+        assert parse_duration("6h") == 21600.0
+        assert parse_duration("30d") == 30 * 86400.0
+        with pytest.raises(ValueError):
+            parse_duration("5 fortnights")
+
+    def test_availability_spec(self):
+        slo = parse_slo("availability:99.9")
+        assert slo.kind == "availability"
+        assert slo.objective == pytest.approx(0.999)
+        assert slo.budget == pytest.approx(0.001)
+        assert slo.window_s == 30 * 86400.0
+
+    def test_latency_spec_with_options(self):
+        slo = parse_slo("latency:p99<=250ms:band=1000+:window=7d:name=heavy")
+        assert slo.kind == "latency"
+        assert slo.objective == pytest.approx(0.99)
+        assert slo.threshold_ms == 250.0
+        assert slo.band == "1000+"
+        assert slo.window_s == 7 * 86400.0
+        assert slo.name == "heavy"
+
+    def test_generated_names_are_stable(self):
+        assert parse_slo("availability:99.9").name == "availability-99.9"
+        assert "p99" in parse_slo("latency:p99<=50ms").name
+
+    def test_bad_specs_rejected(self):
+        for spec in (
+            "",
+            "availability",
+            "availability:150",
+            "latency:p99<=fastms",
+            "wibble:99",
+            "latency:p99<=50ms:frobnicate=1",
+            "availability:99.9:band=1000+",  # band is a latency-only option
+        ):
+            with pytest.raises(ValueError):
+                parse_slo(spec)
+
+    def test_endpoint_option(self):
+        slo = parse_slo("availability:99.9:endpoint=/api/search")
+        assert slo.endpoints == ("/api/search",)
+
+    def test_default_slos_parse(self):
+        slos = default_slos()
+        assert len(slos) >= 2
+        assert len({slo.name for slo in slos}) == len(slos)
+
+    def test_definition_validation(self):
+        with pytest.raises(ValueError):
+            SLODefinition(name="x", kind="latency", objective=0.99)  # no threshold
+        with pytest.raises(ValueError):
+            SLODefinition(name="x", kind="availability", objective=1.5)
+        with pytest.raises(ValueError):
+            SLODefinition(name="bad name!", kind="availability", objective=0.99)
+
+
+class TestWindowPolicy:
+    def test_default_rules_are_google_sre(self):
+        policy = WindowPolicy()
+        severities = {rule.severity: rule for rule in policy.rules}
+        assert severities["fast"].short_s == 300.0
+        assert severities["fast"].long_s == 3600.0
+        assert severities["fast"].max_burn == pytest.approx(14.4)
+        assert severities["slow"].long_s == 21600.0
+        assert policy.horizon_s == 21600.0
+
+    def test_scaled_shrinks_every_duration(self):
+        scaled = WindowPolicy().scaled(0.01)
+        fast = [rule for rule in scaled.rules if rule.severity == "fast"][0]
+        assert fast.short_s == pytest.approx(3.0)
+        assert fast.long_s == pytest.approx(36.0)
+        assert fast.max_burn == pytest.approx(14.4)  # thresholds unscaled
+        assert scaled.resolution_s == pytest.approx(0.15)
+
+    def test_duplicate_severities_rejected(self):
+        with pytest.raises(ValueError):
+            WindowPolicy(rules=(BurnRule(1, 2, 3, "x"), BurnRule(4, 5, 6, "x")))
+
+
+class TestAlertStateMachine:
+    def mk(self, for_s=2.0, resolved_keep_s=5.0):
+        slo = parse_slo("availability:99:name=t")
+        rule = BurnRule(short_s=1.0, long_s=2.0, max_burn=10.0,
+                        severity="fast", for_s=for_s)
+        return Alert(slo, rule, resolved_keep_s=resolved_keep_s)
+
+    def test_full_lifecycle(self):
+        alert = self.mk()
+        assert alert.update(True, 0.0) == ("ok", "pending")
+        assert alert.update(True, 1.0) is None  # for-duration not yet held
+        assert alert.update(True, 2.0) == ("pending", "firing")
+        assert alert.update(True, 3.0) is None
+        assert alert.update(False, 4.0) == ("firing", "resolved")
+        assert alert.update(False, 5.0) is None  # resolved_keep_s not over
+        assert alert.update(False, 10.0) == ("resolved", "ok")
+
+    def test_pending_cancels_without_firing(self):
+        alert = self.mk(for_s=10.0)
+        alert.update(True, 0.0)
+        assert alert.update(False, 1.0) == ("pending", "ok")
+
+    def test_zero_for_duration_fires_immediately(self):
+        alert = self.mk(for_s=0.0)
+        assert alert.update(True, 0.0) == ("ok", "firing")
+
+    def test_refire_from_resolved(self):
+        alert = self.mk(for_s=0.0)
+        alert.update(True, 0.0)
+        alert.update(False, 1.0)
+        assert alert.state == "resolved"
+        assert alert.update(True, 2.0) == ("resolved", "firing")
+
+    def test_state_indexes_match_gauge_doc(self):
+        assert ALERT_STATES == ("ok", "pending", "firing", "resolved")
+
+
+def make_engine(registry, *, exporter=None, resolved_keep_s=5.0, clock):
+    policy = WindowPolicy(
+        rules=(BurnRule(short_s=5.0, long_s=20.0, max_burn=14.4,
+                        severity="fast", for_s=2.0),),
+        resolution_s=1.0,
+    )
+    return SLOEngine(
+        slos=[
+            parse_slo("latency:p99<=5ms:name=lat"),
+            parse_slo("availability:99:name=avail"),
+        ],
+        registry=registry,
+        policy=policy,
+        exporter=exporter,
+        resolved_keep_s=resolved_keep_s,
+        clock=clock,
+    )
+
+
+class TestSLOEngine:
+    def setup_method(self):
+        self.now = 0.0
+        self.registry = MetricsRegistry()
+        self.exec_ms = self.registry.histogram(
+            "xks_query_exec_ms", labelnames=("band", "algorithm"),
+            buckets=EXEC_BUCKETS,
+        )
+        self.http = self.registry.counter(
+            "xks_http_requests_total", labelnames=("endpoint", "status")
+        )
+
+    def clock(self):
+        return self.now
+
+    def tick(self, engine, seconds=1.0):
+        self.now += seconds
+        return engine.evaluate()
+
+    def test_no_traffic_no_burn(self):
+        engine = make_engine(self.registry, clock=self.clock)
+        status = self.tick(engine)
+        for block in status:
+            assert block["error_budget_remaining"] == 1.0
+            assert all(rate == 0.0 for rate in block["burn_rates"].values())
+            assert all(a["state"] == "ok" for a in block["alerts"])
+        engine.close()
+
+    def test_latency_burn_fires_and_resolves(self):
+        engine = make_engine(self.registry, clock=self.clock)
+        child = self.exec_ms.labels(band="1-9", algorithm="il")
+        # Sustained bad latency: p99 SLO at 5 ms, every execution 50 ms.
+        for _ in range(10):
+            child.observe(50.0)
+            self.tick(engine)
+        lat = [b for b in engine.evaluate() if b["name"] == "lat"][0]
+        assert lat["alerts"][0]["state"] == "firing"
+        # The gauge mirrors the state machine (firing = 2).
+        rendered = self.registry.render()
+        assert 'xks_alert_state{alert="lat:fast"} 2' in rendered
+        # Recovery: fast traffic until the bad events age out of both
+        # windows (long window is 20 s).
+        for _ in range(30):
+            for _ in range(20):
+                child.observe(0.5)
+            self.tick(engine)
+        lat = [b for b in engine.evaluate() if b["name"] == "lat"][0]
+        assert lat["alerts"][0]["state"] == "ok"
+        engine.close()
+
+    def test_availability_burn(self):
+        engine = make_engine(self.registry, clock=self.clock)
+        for _ in range(10):
+            self.http.labels(endpoint="/search", status="error").inc()
+            self.tick(engine)
+        avail = [b for b in engine.evaluate() if b["name"] == "avail"][0]
+        assert avail["alerts"][0]["state"] == "firing"
+        assert avail["error_budget_remaining"] < 0.0  # overdrawn, reported raw
+        engine.close()
+
+    def test_unknown_endpoints_do_not_count(self):
+        engine = make_engine(self.registry, clock=self.clock)
+        for _ in range(10):
+            self.http.labels(endpoint="/metrics", status="error").inc()
+            self.tick(engine)
+        avail = [b for b in engine.evaluate() if b["name"] == "avail"][0]
+        assert avail["total"] == 0.0
+        assert avail["alerts"][0]["state"] == "ok"
+        engine.close()
+
+    def test_band_filter_isolates_slo(self):
+        policy = WindowPolicy(
+            rules=(BurnRule(5.0, 20.0, 14.4, "fast", 0.0),), resolution_s=1.0
+        )
+        engine = SLOEngine(
+            slos=[parse_slo("latency:p99<=5ms:band=1000+:name=heavy")],
+            registry=self.registry, policy=policy, clock=self.clock,
+        )
+        # Slowness in another band must not trip the banded SLO.
+        self.exec_ms.labels(band="1-9", algorithm="il").observe(50.0)
+        self.tick(engine)
+        block = engine.evaluate()[0]
+        assert block["total"] == 0.0
+        assert block["alerts"][0]["state"] == "ok"
+        self.exec_ms.labels(band="1000+", algorithm="scan").observe(50.0)
+        self.tick(engine)
+        block = engine.evaluate()[0]
+        assert block["alerts"][0]["state"] == "firing"
+        engine.close()
+
+    def test_transitions_ship_alert_records(self):
+        sink = MemorySink()
+        shipper = SnapshotShipper(
+            registry=self.registry, sink=sink, interval=10_000,
+            flush_interval=0.02,
+        )
+        engine = make_engine(self.registry, exporter=shipper, clock=self.clock)
+        child = self.exec_ms.labels(band="0", algorithm="il")
+        for _ in range(10):
+            child.observe(50.0)
+            self.tick(engine)
+        assert shipper.flush(5.0)
+        records = [r for r in sink.records if r["kind"] == "alert"]
+        transitions = [(r["from"], r["to"]) for r in records]
+        assert ("ok", "pending") in transitions
+        assert ("pending", "firing") in transitions
+        firing = [r for r in records if r["to"] == "firing"][0]
+        assert firing["slo"] == "lat"
+        assert firing["burn_short"] > 14.4
+        json.dumps(records)  # every record is JSON-serializable
+        engine.close()
+        shipper.close()
+        stats = shipper.stats.as_dict()
+        assert stats["submitted"] == stats["sent"] + stats["dropped_total"]
+
+    def test_budget_gauge_clamped_and_exposed(self):
+        engine = make_engine(self.registry, clock=self.clock)
+        for _ in range(5):
+            self.http.labels(endpoint="/search", status="error").inc()
+            self.tick(engine)
+        rendered = self.registry.render()
+        assert 'xks_slo_error_budget_remaining{slo="avail"} 0' in rendered
+        engine.close()
+
+    def test_status_shape(self):
+        engine = make_engine(self.registry, clock=self.clock)
+        self.tick(engine)
+        status = engine.status()
+        assert status["enabled"] is True
+        assert {rule["severity"] for rule in status["policy"]["rules"]} == {"fast"}
+        assert {block["name"] for block in status["slos"]} == {"lat", "avail"}
+        summary = engine.summary()
+        assert set(summary["slos"]) == {"lat", "avail"}
+        assert summary["alerts"]["lat:fast"] == "ok"
+        engine.close()
+
+    def test_duplicate_slo_names_rejected(self):
+        with pytest.raises(ValueError):
+            SLOEngine(
+                slos=[parse_slo("availability:99:name=x"),
+                      parse_slo("availability:99.9:name=x")],
+                registry=self.registry, clock=self.clock,
+            )
+
+    def test_close_unregisters_windows(self):
+        engine = make_engine(self.registry, clock=self.clock)
+        assert len(self.registry._windows) > 0
+        engine.close()
+        assert len(self.registry._windows) == 0
+        engine.close()  # idempotent
+
+    def test_background_thread_evaluates(self):
+        import time as _time
+
+        engine = SLOEngine(
+            slos=[parse_slo("availability:99:name=bg")],
+            registry=self.registry,
+            policy=WindowPolicy(
+                rules=(BurnRule(1.0, 2.0, 14.4, "fast", 0.0),),
+                resolution_s=0.01,
+            ),
+            eval_interval=0.02,
+        ).start()
+        deadline = _time.monotonic() + 5.0
+        while _time.monotonic() < deadline:
+            if engine._eval_counter.value >= 2:
+                break
+            _time.sleep(0.01)
+        engine.close()
+        assert engine._eval_counter.value >= 2

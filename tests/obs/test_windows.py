@@ -1,0 +1,213 @@
+"""Ring-buffer trailing windows over cumulative metrics.
+
+The SLO engine's foundation: ``delta(window)`` must equal exactly what
+happened inside the window (cumulative snapshots diffed against a stored
+base), percentiles of a windowed histogram delta must land in the same
+bucket as an oracle over only the in-window observations, rollover must
+degrade to the oldest surviving snapshot, and an empty window must be a
+well-formed zero — not an error.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    CounterWindow,
+    Histogram,
+    HistogramSnapshot,
+    HistogramWindow,
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+BOUNDS = exponential_buckets(1.0, 2.0, 10)  # 1, 2, 4, … 512 ms
+
+
+def oracle_percentile(values, q):
+    """Rank-based oracle: the exact order statistic the estimate targets."""
+    ordered = sorted(values)
+    rank = q * (len(ordered) - 1)
+    return ordered[int(round(rank))]
+
+
+def bucket_of(bounds, value):
+    from bisect import bisect_left
+
+    return bisect_left(bounds, value)
+
+
+class TestHistogramSnapshot:
+    def test_snapshot_captures_cumulative_state(self):
+        histogram = Histogram(BOUNDS)
+        for value in (0.5, 3.0, 700.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap.count == 3
+        assert snap.sum == pytest.approx(703.5)
+        assert sum(snap.counts) == 3
+        assert snap.counts[-1] == 1  # 700 ms lands in the +Inf bucket
+
+    def test_delta_is_exact_per_bucket(self):
+        histogram = Histogram(BOUNDS)
+        histogram.observe(1.5)
+        earlier = histogram.snapshot()
+        histogram.observe(3.0)
+        histogram.observe(100.0)
+        delta = histogram.snapshot().delta(earlier)
+        assert delta.count == 2
+        assert delta.sum == pytest.approx(103.0)
+        assert delta.counts[bucket_of(BOUNDS, 1.5)] == 0  # diffed away
+
+    def test_delta_of_none_is_identity(self):
+        histogram = Histogram(BOUNDS)
+        histogram.observe(2.0)
+        snap = histogram.snapshot()
+        assert snap.delta(None) is snap
+
+    def test_mismatched_bounds_rejected(self):
+        a = HistogramSnapshot.zero((1.0, 2.0))
+        b = HistogramSnapshot.zero((1.0, 4.0))
+        with pytest.raises(ValueError):
+            a.delta(b)
+        with pytest.raises(ValueError):
+            a.add(b)
+
+    def test_count_le_is_bucket_quantized(self):
+        histogram = Histogram(BOUNDS)
+        for value in (0.5, 1.5, 3.0, 10.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        # Threshold 3.0 snaps up to bucket bound 4: counts 0.5, 1.5, 3.0.
+        assert snap.count_le(3.0) == 3
+        assert snap.count_le(4.0) == 3
+        # 0.1 snaps up to the first bound (1.0): the 0.5 observation counts.
+        assert snap.count_le(0.1) == 1
+        assert snap.count_le(1.0) == 1
+        assert snap.count_le(10_000.0) == 4  # above the top bound: everything
+
+    def test_empty_snapshot_percentile_is_zero(self):
+        assert HistogramSnapshot.zero(BOUNDS).percentile(0.99) == 0.0
+
+
+class TestWindowedPercentileVsOracle:
+    def test_windowed_percentile_matches_oracle_bucket(self):
+        """The windowed p50/p90/p99 must land in the same bucket as the
+        oracle computed over only the in-window values."""
+        rng = random.Random(42)
+        histogram = Histogram(BOUNDS)
+        window = HistogramWindow(histogram, horizon_s=100.0, resolution_s=1.0)
+
+        old = [rng.uniform(0.5, 400.0) for _ in range(300)]
+        for value in old:
+            histogram.observe(value)
+        window.record(now=0.0)  # boundary snapshot: everything before is "old"
+
+        recent = [rng.uniform(0.5, 400.0) for _ in range(500)]
+        for i, value in enumerate(recent):
+            histogram.observe(value)
+            window.record(now=1.0 + i * 0.01)
+
+        # cutoff = 0.5: the base is the t=0 boundary snapshot, so the
+        # delta holds exactly the `recent` observations.
+        delta = window.delta(window_s=10.0, now=10.5)
+        assert delta.count == len(recent)
+        for q in (0.5, 0.9, 0.99):
+            estimate = delta.percentile(q)
+            oracle = oracle_percentile(recent, q)
+            assert bucket_of(BOUNDS, estimate) == bucket_of(BOUNDS, oracle), (
+                f"q={q}: estimate {estimate} vs oracle {oracle}"
+            )
+
+    def test_window_boundary_excludes_older_observations(self):
+        histogram = Histogram(BOUNDS)
+        window = HistogramWindow(histogram, horizon_s=60.0, resolution_s=1.0)
+        histogram.observe(100.0)  # before the window
+        window.record(now=0.0)
+        histogram.observe(1.5)  # inside the window
+        delta = window.delta(window_s=5.0, now=5.0)
+        assert delta.count == 1
+        # Only the in-window 1.5 ms observation: p99 stays in its bucket.
+        assert delta.percentile(0.99) <= 2.0
+
+
+class TestRollover:
+    def test_rollover_uses_oldest_survivor(self):
+        counter = Counter()
+        # 10-second horizon at 1-second resolution: 12 slots.
+        window = CounterWindow(counter, horizon_s=10.0, resolution_s=1.0)
+        for t in range(40):
+            counter.inc(1)
+            window.record(now=float(t))
+        # A window far beyond the horizon cannot reach t=0; the ring
+        # rolled over, so the base is the oldest surviving snapshot.
+        span = window.span_s(now=39.0)
+        assert span <= 12.0
+        delta = window.delta(window_s=1000.0, now=39.0)
+        # Exact: current (40) minus the oldest survivor's value — which
+        # works out to the ring's span — never the full 40.
+        assert 0 < delta <= 13
+        assert delta == pytest.approx(span)
+
+    def test_young_process_uses_zero_base(self):
+        """History shorter than the window without rollover: the base is
+        metric birth (zero) — exact for cumulative metrics."""
+        counter = Counter()
+        window = CounterWindow(counter, horizon_s=3600.0, resolution_s=1.0)
+        counter.inc(5)
+        window.record(now=0.0)
+        counter.inc(2)
+        assert window.delta(window_s=3600.0, now=1.0) == pytest.approx(7.0)
+
+    def test_denser_records_than_resolution_are_coalesced(self):
+        counter = Counter()
+        window = CounterWindow(counter, horizon_s=10.0, resolution_s=1.0)
+        for i in range(100):
+            window.record(now=i * 0.01)  # all inside one resolution slot
+        assert len(window) == 1
+
+
+class TestEmptyWindows:
+    def test_empty_counter_window_delta(self):
+        counter = Counter()
+        window = CounterWindow(counter, horizon_s=10.0, resolution_s=1.0)
+        assert window.delta(window_s=5.0, now=100.0) == 0.0
+
+    def test_empty_histogram_window_delta(self):
+        histogram = Histogram(BOUNDS)
+        window = HistogramWindow(histogram, horizon_s=10.0, resolution_s=1.0)
+        delta = window.delta(window_s=5.0, now=100.0)
+        assert delta.count == 0
+        assert delta.percentile(0.99) == 0.0
+
+    def test_counter_reset_clamps_at_zero(self):
+        state = {"value": 10.0}
+        window = CounterWindow(lambda: state["value"], 10.0, 1.0)
+        window.record(now=0.0)
+        state["value"] = 3.0  # a reset (new process writing the same file)
+        # cutoff = 0.5 ≥ the stored snapshot: base is 10, current is 3 —
+        # the negative diff clamps to "no progress", never negative.
+        assert window.delta(window_s=0.5, now=1.0) == 0.0
+
+
+class TestRegistryIntegration:
+    def test_record_windows_ticks_registered_windows(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("xks_test_total")
+        window = CounterWindow(counter, horizon_s=10.0, resolution_s=0.0001)
+        registry.register_window(window)
+        counter.inc()
+        registry.record_windows(now=0.0)
+        assert len(window) == 1
+        registry.unregister_window(window)
+        registry.record_windows(now=5.0)
+        assert len(window) == 1  # unregistered: no further ticks
+
+    def test_reset_clears_windows(self):
+        registry = MetricsRegistry()
+        window = CounterWindow(Counter(), 10.0, 1.0)
+        registry.register_window(window)
+        registry.reset()
+        registry.record_windows(now=0.0)
+        assert len(window) == 0

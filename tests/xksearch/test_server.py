@@ -158,3 +158,81 @@ class TestStatzWithoutCache:
     def test_statz_cache_is_null(self, server_url):
         _, _, statz = fetch_json(f"{server_url}/statz")
         assert statz["cache"] is None
+
+
+class TestBuildInfo:
+    def test_metrics_exposes_build_info_and_uptime(self, server_url):
+        status, body = fetch(f"{server_url}/metrics")
+        assert status == 200
+        build_lines = [
+            line for line in body.splitlines()
+            if line.startswith("xks_build_info{")
+        ]
+        assert len(build_lines) == 1  # repeated make_server calls dedup
+        assert 'version="' in build_lines[0]
+        assert 'python="' in build_lines[0]
+        assert 'pid="' in build_lines[0]
+        assert build_lines[0].endswith(" 1")
+        assert "xks_uptime_seconds " in body
+
+    def test_statz_build_section(self, server_url):
+        import os
+
+        status, _, payload = fetch_json(f"{server_url}/statz")
+        assert status == 200
+        build = payload["build"]
+        assert build["pid"] == os.getpid()
+        assert build["uptime_s"] >= 0
+        assert build["version"] and build["python"]
+
+
+class TestAlertz:
+    @pytest.fixture(scope="class")
+    def slo_server_url(self):
+        from repro.obs.slo import BurnRule, SLOEngine, WindowPolicy, parse_slo
+
+        system = XKSearch.from_tree(school_tree())
+        # Pinned to /healthz: other tests in this module drive 4xx traffic
+        # through the process-global registry, and a /search availability
+        # SLO would (correctly) fire on it.
+        engine = SLOEngine(
+            slos=[parse_slo("availability:99:endpoint=/healthz:name=srv-avail")],
+            policy=WindowPolicy(
+                rules=(BurnRule(1.0, 2.0, 14.4, "fast", 0.0),),
+                resolution_s=0.05,
+            ),
+        )
+        server = make_server(system, port=0, slo_engine=engine)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def test_alertz_disabled_without_engine(self, server_url):
+        status, _, payload = fetch_json(f"{server_url}/alertz")
+        assert status == 200
+        assert payload == {"enabled": False, "slos": [], "transitions": 0}
+
+    def test_alertz_serves_slo_status(self, slo_server_url):
+        status, _, payload = fetch_json(f"{slo_server_url}/alertz")
+        assert status == 200
+        assert payload["enabled"] is True
+        (block,) = payload["slos"]
+        assert block["name"] == "srv-avail"
+        assert block["alerts"][0]["state"] == "ok"
+        assert payload["policy"]["rules"][0]["severity"] == "fast"
+
+    def test_statz_slo_section(self, slo_server_url):
+        fetch_json(f"{slo_server_url}/alertz")  # ensure one evaluation ran
+        _, _, payload = fetch_json(f"{slo_server_url}/statz")
+        assert "srv-avail" in payload["slo"]["slos"]
+        assert payload["slo"]["alerts"]["srv-avail:fast"] == "ok"
+
+    def test_alert_state_gauge_on_metrics(self, slo_server_url):
+        fetch_json(f"{slo_server_url}/alertz")
+        _, body = fetch(f"{slo_server_url}/metrics")
+        assert 'xks_alert_state{alert="srv-avail:fast"} 0' in body
+        assert 'xks_slo_error_budget_remaining{slo="srv-avail"} 1' in body
