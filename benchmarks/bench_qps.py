@@ -23,7 +23,13 @@ cache exploits.  This benchmark measures that end to end:
    with and without a live :class:`SLOEngine` (burn-rate evaluation
    thread) plus a timed :class:`SnapshotShipper`, paired per round
    (``slo_overhead`` section of the report),
-7. report QPS, p50/p99 latency and the cache hit rate, and write
+7. measure the cross-process observability stack: the cache-miss replay
+   over a dedicated worker pool, with and without a heartbeating
+   :class:`FleetCollector` (snapshot round-trips steal idle workers)
+   plus the parent's continuous :class:`SamplingProfiler`, paired per
+   round (``fleet_obs`` section; the full run fails above
+   ``--max-fleet-overhead``, default 3%),
+8. report QPS, p50/p99 latency and the cache hit rate, and write
    ``BENCH_qps.json`` so later PRs can track the trajectory.
 
 Run::
@@ -53,7 +59,9 @@ import urllib.request
 from repro.errors import PoolError
 from repro.index.builder import build_index
 from repro.obs.export import JsonlFileSink, SnapshotShipper, TraceExporter
+from repro.obs.fleet import FleetCollector
 from repro.obs.metrics import set_instrumentation_enabled
+from repro.obs.profiling import SamplingProfiler
 from repro.obs.slo import SLOEngine
 from repro.obs.tracing import Tracer
 from repro.workloads.datasets import PlantedCorpus, keyword_name
@@ -291,6 +299,13 @@ def main(argv=None) -> int:
         default=None,
         help="fail below this cache-on/off QPS ratio (default: 2.0 full, off for --smoke)",
     )
+    parser.add_argument(
+        "--max-fleet-overhead",
+        type=float,
+        default=None,
+        help="fail above this fleet-observability overhead %% "
+        "(default: 3.0 full, off for --smoke)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -303,6 +318,9 @@ def main(argv=None) -> int:
     min_speedup = args.min_speedup
     if min_speedup is None:
         min_speedup = 0.0 if args.smoke else 2.0
+    max_fleet_overhead = args.max_fleet_overhead
+    if max_fleet_overhead is None:
+        max_fleet_overhead = float("inf") if args.smoke else 3.0
     if args.scale_procs is None:
         args.scale_procs = "1,2" if args.smoke else "1,2,4,8"
     proc_counts = [int(n) for n in args.scale_procs.split(",") if n.strip()]
@@ -335,6 +353,15 @@ def main(argv=None) -> int:
                     scaling_note = f"process pool unavailable: {exc}"
                     proc_pools = {}
                     break
+            # A dedicated pool for the fleet-observability phase, with the
+            # worker-side continuous profiler on — also forked before the
+            # server thread exists.
+            fleet_note = None
+            fleet_pool = None
+            try:
+                fleet_pool = WorkerPool(index_dir, workers=2, profile_hz=100.0)
+            except PoolError as exc:
+                fleet_note = f"process pool unavailable: {exc}"
             metrics = ServerMetrics()
             server = make_server(
                 system, port=0, max_workers=args.workers, metrics=metrics
@@ -508,11 +535,71 @@ def main(argv=None) -> int:
                     if base
                 ]
 
+                # Cross-process observability overhead: the cache-miss
+                # replay dispatched to a dedicated 2-worker pool, once
+                # bare and once with the whole fleet stack live — a
+                # heartbeating FleetCollector (each heartbeat's snapshot
+                # round-trip briefly steals idle workers from dispatch)
+                # plus the parent's thread-sampling profiler.  Worker-side
+                # samplers (profile_hz=100) run in BOTH phases — they
+                # start with the fork and cannot be toggled from here —
+                # so the pair isolates the parent-side collection cost.
+                fleet_rounds = {"off": [], "on": []}
+                fleet_meta = {}
+                fleet_round_count = 1 if args.smoke else 3
+                if fleet_pool is not None:
+                    system.engine.cache = None  # force pooled execution
+                    system.engine.attach_pool(fleet_pool)
+                    try:
+                        replay(base_url, pool, args.threads)  # warm, unmeasured
+                        for _ in range(fleet_round_count):
+                            wall_b, lat_b = replay(base_url, sequence, args.threads)
+                            fleet_rounds["off"].append((wall_b, len(lat_b)))
+                            fleet = FleetCollector(
+                                fleet_pool, heartbeat_s=0.5
+                            ).start()
+                            profiler = SamplingProfiler(hz=100.0).start()
+                            try:
+                                wall_f, lat_f = replay(
+                                    base_url, sequence, args.threads
+                                )
+                            finally:
+                                fleet.close()  # stop the heartbeat thread
+                                fleet.poll()  # one last, un-raced snapshot
+                                fleet_meta = {
+                                    "heartbeats": fleet.heartbeats,
+                                    "parent_profile_samples": profiler.totals()[
+                                        "samples"
+                                    ],
+                                    "worker_profile_samples": sum(
+                                        entry["profile"].get("samples", 0)
+                                        for entry in fleet.statz_dict()[
+                                            "workers"
+                                        ].values()
+                                    ),
+                                }
+                                profiler.close()
+                            fleet_rounds["on"].append((wall_f, len(lat_f)))
+                    finally:
+                        system.engine.detach_pool()
+                        system.engine.cache = cache
+                fleet_qps = {
+                    key: [n / wall for wall, n in fleet_rounds[key]]
+                    for key in fleet_rounds
+                }
+                fleet_overhead_rounds = [
+                    round((base - live) / base * 100, 2)
+                    for base, live in zip(fleet_qps["off"], fleet_qps["on"])
+                    if base
+                ]
+
                 with urllib.request.urlopen(f"{base_url}/statz", timeout=10) as resp:
                     statz = json.loads(resp.read())
             finally:
                 for worker_pool in proc_pools.values():
                     worker_pool.close()  # idempotent; normally closed above
+                if fleet_pool is not None:
+                    fleet_pool.close()
                 server.shutdown()
                 server.server_close()
                 thread.join(timeout=5)
@@ -575,6 +662,29 @@ def main(argv=None) -> int:
         f"{slo_qps_off:.1f} qps bare -> {slo_qps_on:.1f} qps with evaluation "
         f"+ shipping by medians)"
     )
+    fleet_overhead_pct = (
+        round(statistics.median(fleet_overhead_rounds), 2)
+        if fleet_overhead_rounds
+        else 0.0
+    )
+    fleet_qps_off = (
+        round(statistics.median(fleet_qps["off"]), 1) if fleet_qps["off"] else 0.0
+    )
+    fleet_qps_on = (
+        round(statistics.median(fleet_qps["on"]), 1) if fleet_qps["on"] else 0.0
+    )
+    if fleet_overhead_rounds:
+        print(
+            f"  fleet obs overhead: {fleet_overhead_pct:+.2f}% QPS "
+            f"(paired rounds {fleet_overhead_rounds}; "
+            f"{fleet_qps_off:.1f} qps bare -> {fleet_qps_on:.1f} qps with "
+            f"heartbeat collection + profiler by medians; "
+            f"{fleet_meta.get('heartbeats', 0)} heartbeats, "
+            f"{fleet_meta.get('parent_profile_samples', 0)} parent / "
+            f"{fleet_meta.get('worker_profile_samples', 0)} worker samples)"
+        )
+    elif fleet_note:
+        print(f"  fleet obs phase skipped: {fleet_note}")
 
     report = {
         "benchmark": "bench_qps",
@@ -624,6 +734,19 @@ def main(argv=None) -> int:
             "overhead_pct": slo_overhead_pct,
             "overhead_pct_rounds": slo_overhead_rounds,
         },
+        "fleet_obs": {
+            "enabled": bool(fleet_overhead_rounds),
+            "rounds": len(fleet_overhead_rounds),
+            "workers": 2,
+            "heartbeat_s": 0.5,
+            "profile_hz": 100.0,
+            "qps_obs_off": fleet_qps_off,
+            "qps_obs_on": fleet_qps_on,
+            "total_overhead_pct": fleet_overhead_pct,
+            "overhead_pct_rounds": fleet_overhead_rounds,
+            **fleet_meta,
+            "note": fleet_note,
+        },
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
@@ -632,6 +755,12 @@ def main(argv=None) -> int:
 
     if speedup < min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x below required {min_speedup:.2f}x")
+        return 1
+    if fleet_overhead_rounds and fleet_overhead_pct > max_fleet_overhead:
+        print(
+            f"FAIL: fleet observability overhead {fleet_overhead_pct:+.2f}% "
+            f"above allowed {max_fleet_overhead:.2f}%"
+        )
         return 1
     return 0
 

@@ -24,7 +24,14 @@ This package connects them:
 * :mod:`repro.obs.slo` — declarative SLOs evaluated over ring-buffer
   trailing windows, Google-SRE multi-window burn-rate alerting, and the
   ``ok → pending → firing → resolved`` alert state machine surfaced at
-  ``GET /alertz``.
+  ``GET /alertz``, with window-ring persistence across restarts
+  (``serve --slo-state``);
+* :mod:`repro.obs.profiling` — a thread-sampling continuous profiler
+  (folded flamegraph stacks at ``GET /debug/pprof``) plus tracemalloc
+  heap snapshots (``GET /debug/heap``);
+* :mod:`repro.obs.fleet` — scrape-time aggregation over the process
+  pool's workers (``xks_worker_up{worker}`` and per-worker rollups),
+  fed by heartbeat telemetry snapshots over the task pipes.
 
 See docs/OBSERVABILITY.md for the metric catalog and schemas.
 """
@@ -32,6 +39,7 @@ See docs/OBSERVABILITY.md for the metric catalog and schemas.
 from repro.obs.export import (
     BackgroundExporter,
     ExportSink,
+    FanoutExporter,
     HttpCollectorSink,
     JsonlFileSink,
     MemorySink,
@@ -40,6 +48,7 @@ from repro.obs.export import (
     TraceExporter,
     otlp_metrics_record,
 )
+from repro.obs.fleet import FleetCollector
 from repro.obs.logging import (
     LogSampler,
     configure_logging,
@@ -63,8 +72,19 @@ from repro.obs.metrics import (
     get_registry,
     instrumentation_enabled,
     set_instrumentation_enabled,
+    start_capture,
+    stop_capture,
 )
 from repro.obs.profile import Phase, QueryProfile
+from repro.obs.profiling import (
+    SamplingProfiler,
+    heap_snapshot,
+    heap_tracking_active,
+    merge_folded,
+    render_folded,
+    start_heap_tracking,
+    stop_heap_tracking,
+)
 from repro.obs.slo import (
     Alert,
     AlertManager,
@@ -75,11 +95,20 @@ from repro.obs.slo import (
     default_slos,
     parse_slo,
 )
-from repro.obs.tracing import Span, Trace, Tracer, new_trace_id, valid_trace_id
+from repro.obs.tracing import (
+    Span,
+    Trace,
+    Tracer,
+    new_trace_id,
+    span_from_dict,
+    valid_trace_id,
+)
 
 __all__ = [
     "BackgroundExporter",
     "ExportSink",
+    "FanoutExporter",
+    "FleetCollector",
     "HttpCollectorSink",
     "JsonlFileSink",
     "MemorySink",
@@ -107,8 +136,17 @@ __all__ = [
     "get_registry",
     "instrumentation_enabled",
     "set_instrumentation_enabled",
+    "start_capture",
+    "stop_capture",
     "Phase",
     "QueryProfile",
+    "SamplingProfiler",
+    "heap_snapshot",
+    "heap_tracking_active",
+    "merge_folded",
+    "render_folded",
+    "start_heap_tracking",
+    "stop_heap_tracking",
     "Alert",
     "AlertManager",
     "BurnRule",
@@ -121,5 +159,6 @@ __all__ = [
     "Trace",
     "Tracer",
     "new_trace_id",
+    "span_from_dict",
     "valid_trace_id",
 ]

@@ -36,7 +36,7 @@ import time
 import urllib.error
 import urllib.request
 from collections import deque
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -655,3 +655,40 @@ class SnapshotShipper(MetricsExporter):
         — the :class:`~repro.obs.slo.AlertManager` calls ``submit`` via
         its attached exporter; this alias just names the intent."""
         return self.submit(record)
+
+
+class FanoutExporter:
+    """Submit each record to several exporters; succeed if any accepted it.
+
+    ``serve --alert-webhook URL`` uses this to route SLO alert transition
+    records to *both* the regular export pipeline and a dedicated webhook
+    :class:`BackgroundExporter` — each target keeps its own queue, retry
+    policy and drop accounting, so a dead webhook never steals records
+    from the main pipeline (and vice versa).  Only ``submit``/``flush``/
+    ``close`` are fanned out; targets may be shared with other owners
+    (``owns`` marks which ones this fanout should close).
+    """
+
+    def __init__(self, targets: Sequence[Any], owns: Optional[Sequence[Any]] = None):
+        self.targets = [t for t in targets if t is not None]
+        if not self.targets:
+            raise ValueError("FanoutExporter needs at least one target")
+        self._owns = list(owns) if owns is not None else list(self.targets)
+
+    def submit(self, record: dict) -> bool:
+        accepted = False
+        for target in self.targets:
+            if target.submit(record):
+                accepted = True
+        return accepted
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        ok = True
+        for target in self.targets:
+            if not target.flush(timeout):
+                ok = False
+        return ok
+
+    def close(self, flush_timeout: float = 5.0) -> None:
+        for target in self._owns:
+            target.close(flush_timeout)

@@ -1,0 +1,213 @@
+"""Fleet aggregation: one scrape-time view over every pool worker.
+
+The task return-path (``TaskResult.events``) already makes the parent's
+counters fleet-accurate; what it cannot answer is *liveness* and
+*attribution* — which workers are up right now, how much work each one
+has done, what each one's profiler sees.  :class:`FleetCollector` fills
+that gap:
+
+* a daemon heartbeat thread calls
+  :meth:`~repro.xksearch.parallel.WorkerPool.collect_snapshots` every
+  ``heartbeat_s`` seconds and keeps the latest snapshot per worker;
+* a scrape-time collector registered on the parent registry exposes
+  ``xks_worker_up{worker}``, ``xks_worker_snapshot_age_seconds{worker}``
+  and per-worker rollups (``xks_worker_queries_total{worker}``,
+  ``xks_worker_profile_samples_total{worker}``) — **distinct names** from
+  the replayed families, so the fleet view never double-counts the
+  parent's ``/metrics`` totals;
+* :meth:`statz_dict` feeds the ``/statz`` ``fleet`` section and
+  :meth:`merged_profile` sums the workers' folded flamegraph stacks for
+  ``GET /debug/pprof?fleet=1``.
+
+A worker whose newest snapshot is older than ``stale_after_s`` (it
+crashed, or it has been busy across several heartbeats) reports
+``xks_worker_up 0``; a respawned worker gets a fresh worker id and simply
+appears as a new series, while the dead id ages out.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, Sample, get_registry
+from repro.obs.profiling import merge_folded
+
+_log = get_logger("fleet")
+
+#: Default heartbeat interval (seconds).
+DEFAULT_HEARTBEAT_S = 5.0
+#: Snapshots older than this many heartbeats mark the worker down.
+DEFAULT_STALE_HEARTBEATS = 3.0
+#: Dead worker ids are forgotten entirely after this many heartbeats.
+DEFAULT_FORGET_HEARTBEATS = 24.0
+
+
+def _sum_samples(samples: Iterable[tuple], name: str) -> float:
+    """Sum every sample value with *name* in a worker snapshot payload."""
+    total = 0.0
+    for sample_name, _labels, value in samples:
+        if sample_name == name:
+            total += value
+    return total
+
+
+class FleetCollector:
+    """Heartbeat-driven merge of live per-worker telemetry snapshots."""
+
+    def __init__(
+        self,
+        pool,
+        registry: Optional[MetricsRegistry] = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        stale_after_s: Optional[float] = None,
+    ):
+        if heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        self.pool = pool
+        self.heartbeat_s = float(heartbeat_s)
+        self.stale_after_s = (
+            float(stale_after_s)
+            if stale_after_s is not None
+            else self.heartbeat_s * DEFAULT_STALE_HEARTBEATS
+        )
+        self._forget_after_s = self.heartbeat_s * DEFAULT_FORGET_HEARTBEATS
+        self._registry = registry if registry is not None else get_registry()
+        self._lock = threading.Lock()
+        self._snapshots: Dict[int, dict] = {}  # worker id → latest payload
+        self._received_at: Dict[int, float] = {}  # worker id → monotonic ts
+        self.heartbeats = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._registry.register_collector(self._collect)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "FleetCollector":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="xks-fleet-heartbeat", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._registry.unregister_collector(self._collect)
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=max(2.0, self.heartbeat_s + 1.0))
+        self._thread = None
+
+    # -- heartbeat -----------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.heartbeat_s):
+            try:
+                self.poll()
+            except Exception as exc:  # heartbeat must outlive any one failure
+                _log.warning("fleet_heartbeat_failed", error=repr(exc))
+
+    def poll(self) -> int:
+        """One heartbeat: snapshot every idle worker, fold the results in.
+        Returns how many workers answered."""
+        snapshots = self.pool.collect_snapshots()
+        now = time.monotonic()
+        with self._lock:
+            self.heartbeats += 1
+            for payload in snapshots:
+                worker = int(payload.get("worker", -1))
+                self._snapshots[worker] = payload
+                self._received_at[worker] = now
+            # Forget ids that have been dark for a long time (retired
+            # workers whose respawn took a fresh id).
+            for worker in list(self._received_at):
+                if now - self._received_at[worker] > self._forget_after_s:
+                    del self._received_at[worker]
+                    self._snapshots.pop(worker, None)
+        return len(snapshots)
+
+    # -- read side -----------------------------------------------------------
+
+    def _entries(self) -> List[tuple]:
+        """``(worker, payload, age_s, up)`` per known worker."""
+        now = time.monotonic()
+        with self._lock:
+            items = [
+                (worker, payload, now - self._received_at[worker])
+                for worker, payload in sorted(self._snapshots.items())
+            ]
+        return [
+            (worker, payload, age, age <= self.stale_after_s)
+            for worker, payload, age in items
+        ]
+
+    def _collect(self) -> Iterable[Sample]:
+        for worker, payload, age, up in self._entries():
+            labels = {"worker": str(worker)}
+            yield Sample(
+                "xks_worker_up",
+                1.0 if up else 0.0,
+                dict(labels),
+                kind="gauge",
+                help="Whether each pool worker answered a recent heartbeat.",
+            )
+            yield Sample(
+                "xks_worker_snapshot_age_seconds",
+                round(age, 3),
+                dict(labels),
+                kind="gauge",
+                help="Age of each worker's newest telemetry snapshot.",
+            )
+            samples = payload.get("samples", ())
+            yield Sample(
+                "xks_worker_queries_total",
+                _sum_samples(samples, "xks_queries_total"),
+                dict(labels),
+                kind="counter",
+                help="Queries executed inside each worker process.",
+            )
+            yield Sample(
+                "xks_worker_profile_samples_total",
+                _sum_samples(samples, "xks_profile_samples_total"),
+                dict(labels),
+                kind="counter",
+                help="Profiler stack samples taken inside each worker.",
+            )
+
+    def statz_dict(self) -> dict:
+        workers = {}
+        for worker, payload, age, up in self._entries():
+            workers[str(worker)] = {
+                "pid": payload.get("pid"),
+                "up": up,
+                "snapshot_age_s": round(age, 3),
+                "queries_total": _sum_samples(
+                    payload.get("samples", ()), "xks_queries_total"
+                ),
+                "profile": payload.get("profile_totals", {}),
+                "heap": {
+                    key: value
+                    for key, value in (payload.get("heap") or {}).items()
+                    if key != "top"
+                },
+            }
+        return {
+            "heartbeat_s": self.heartbeat_s,
+            "stale_after_s": self.stale_after_s,
+            "heartbeats": self.heartbeats,
+            "workers": workers,
+        }
+
+    def merged_profile(self) -> Dict[str, int]:
+        """The fleet flamegraph: every worker's folded stacks summed."""
+        with self._lock:
+            profiles = [
+                payload.get("profile") or {}
+                for payload in self._snapshots.values()
+            ]
+        return merge_folded(profiles)

@@ -46,6 +46,34 @@ _LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
 # offers; writes are rare (benchmarks, tests).
 _enabled = True
 
+#: Update-event tap (cross-process telemetry return-path).  When a capture
+#: is active every ``Counter.inc`` / ``Histogram.observe`` on a registry-
+#: stamped metric appends a self-describing event tuple here; a pool worker
+#: wraps each task in ``start_capture()``/``stop_capture()`` and ships the
+#: events back with the result so the parent can replay them into its own
+#: registry (:meth:`MetricsRegistry.replay_events`).  ``None`` (the steady
+#: state) keeps the hot path at a single global load + identity check.
+_tap: Optional[List[tuple]] = None
+
+
+def start_capture() -> None:
+    """Begin capturing metric update events in this process.
+
+    Intended for single-task worker processes (one capture at a time); a
+    second ``start_capture`` simply restarts the buffer.
+    """
+    global _tap
+    _tap = []
+
+
+def stop_capture() -> List[tuple]:
+    """Stop capturing and return the events recorded since
+    :func:`start_capture` (empty when no capture was active)."""
+    global _tap
+    events = _tap if _tap is not None else []
+    _tap = None
+    return events
+
 
 def set_instrumentation_enabled(flag: bool) -> None:
     """Globally enable/disable counter and histogram updates."""
@@ -132,11 +160,12 @@ def _format_exemplar(exemplar: Tuple[str, float, float]) -> str:
 class Counter:
     """Monotonically increasing value (one lock, one addition per update)."""
 
-    __slots__ = ("_lock", "_value")
+    __slots__ = ("_lock", "_value", "_ident")
 
     def __init__(self):
         self._lock = threading.Lock()
         self._value = 0.0
+        self._ident = None  # (name, labelnames, labelvalues, help) once registered
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -145,6 +174,10 @@ class Counter:
             return
         with self._lock:
             self._value += amount
+        tap = _tap
+        if tap is not None and self._ident is not None:
+            name, labelnames, labelvalues, help = self._ident
+            tap.append(("c", name, labelnames, labelvalues, help, amount))
 
     @property
     def value(self) -> float:
@@ -158,12 +191,13 @@ class Counter:
 class Gauge:
     """Point-in-time value: set directly, or computed by a callback."""
 
-    __slots__ = ("_lock", "_value", "_callback")
+    __slots__ = ("_lock", "_value", "_callback", "_ident")
 
     def __init__(self, callback: Optional[Callable[[], float]] = None):
         self._lock = threading.Lock()
         self._value = 0.0
         self._callback = callback
+        self._ident = None  # gauges are point-in-time: stamped but never tapped
 
     def set(self, value: float) -> None:
         if self._callback is not None:
@@ -210,7 +244,7 @@ class Histogram:
 
     __slots__ = (
         "_lock", "bounds", "_counts", "_sum", "_count", "_min", "_max",
-        "_le_strings", "_exemplars",
+        "_le_strings", "_exemplars", "_ident",
     )
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS):
@@ -228,6 +262,7 @@ class Histogram:
         self._max = -math.inf
         self._le_strings = tuple(_format_value(b) for b in bounds) + ("+Inf",)
         self._exemplars: Dict[str, Tuple[str, float, float]] = {}
+        self._ident = None  # (name, labelnames, labelvalues, help) once registered
 
     def observe(self, value: float, trace_id: Optional[str] = None) -> None:
         if not _enabled:
@@ -247,6 +282,16 @@ class Histogram:
                 self._exemplars[self._le_strings[i]] = (
                     trace_id, value, time.time()
                 )
+        tap = _tap
+        if tap is not None and self._ident is not None:
+            name, labelnames, labelvalues, help = self._ident
+            # Bounds ride along so a replaying registry that has never seen
+            # this histogram creates it with identical buckets (windowed
+            # snapshot diffs raise on mismatched bounds).
+            tap.append(
+                ("h", name, labelnames, labelvalues, help,
+                 self.bounds, value, trace_id)
+            )
 
     def exemplars(self) -> Dict[str, Tuple[str, float, float]]:
         """``le-string → (trace_id, value, unix_ts)``, latest per bucket."""
@@ -482,6 +527,21 @@ class _RingWindow:
                 return 0.0
             return now - self._snaps[0][0]
 
+    def dump(self) -> List[Tuple[float, object]]:
+        """Every stored ``(monotonic_ts, payload)`` pair, oldest first —
+        the raw material SLO-state persistence serializes."""
+        with self._lock:
+            return list(self._snaps)
+
+    def restore(self, items: Iterable[Tuple[float, object]]) -> None:
+        """Replace the ring contents with ``(monotonic_ts, payload)`` pairs
+        (already re-anchored to this process's monotonic clock, oldest
+        first).  Used when loading persisted SLO window state."""
+        with self._lock:
+            self._snaps.clear()
+            for ts, payload in items:
+                self._snaps.append((float(ts), payload))
+
     def _base_at(self, cutoff: float):
         """The newest stored payload with ``ts <= cutoff`` (None when the
         ring holds no snapshot that old — history shorter than the
@@ -588,6 +648,8 @@ class _Family:
             child = self._children.get(key)
             if child is None:
                 child = self._factory()
+                if hasattr(child, "_ident"):
+                    child._ident = (self.name, self.labelnames, key, self.help)
                 self._children[key] = child
             return child
 
@@ -659,6 +721,8 @@ class MetricsRegistry:
                 metric = _Family(name, help, kind, labelnames, factory)
             else:
                 metric = factory()
+                if hasattr(metric, "_ident"):
+                    metric._ident = (name, (), (), help)
             self._metrics[name] = (kind, metric)
             self._help[name] = help
             return metric
@@ -726,6 +790,47 @@ class MetricsRegistry:
             windows = list(self._windows)
         for window in windows:
             window.record(now)
+
+    # -- cross-process replay ------------------------------------------------
+
+    def replay_events(self, events: Iterable[tuple]) -> int:
+        """Re-apply captured update events from another process's registry.
+
+        Each event is self-describing (name, labelnames, labelvalues, help —
+        histograms additionally carry their bucket bounds and the exemplar
+        trace id), so replay is get-or-create: families the parent never
+        registered are created with the worker's exact shape, families that
+        already exist are simply incremented.  Malformed or conflicting
+        events are skipped, never raised — the serving path must not fail
+        on telemetry.  Returns the number of events applied.
+        """
+        applied = 0
+        for event in events:
+            try:
+                kind = event[0]
+                if kind == "c":
+                    _, name, labelnames, labelvalues, help, amount = event
+                    labelnames = tuple(labelnames)
+                    metric = self.counter(name, help, labelnames=labelnames)
+                    if labelnames:
+                        metric = metric.labels(**dict(zip(labelnames, labelvalues)))
+                    metric.inc(amount)
+                elif kind == "h":
+                    (_, name, labelnames, labelvalues, help,
+                     bounds, value, trace_id) = event
+                    labelnames = tuple(labelnames)
+                    metric = self.histogram(
+                        name, help, labelnames=labelnames, buckets=tuple(bounds)
+                    )
+                    if labelnames:
+                        metric = metric.labels(**dict(zip(labelnames, labelvalues)))
+                    metric.observe(value, trace_id=trace_id)
+                else:
+                    continue
+                applied += 1
+            except (ValueError, TypeError):
+                continue
+        return applied
 
     def reset(self) -> None:
         """Drop every metric and collector (tests and benchmarks only)."""

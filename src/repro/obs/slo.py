@@ -39,10 +39,22 @@ window: the rings hold up to the slow rule's long window (6 h by
 default), so a "30 d" objective's remaining budget is computed over the
 process lifetime — honest for a serving process that restarts on deploy,
 and documented in docs/OBSERVABILITY.md.
+
+**Persistence** (``serve --slo-state PATH``): :meth:`SLOEngine.save_state`
+serializes each SLO's cumulative totals plus its window ring (timestamps
+re-anchored to wall clock, since monotonic time does not survive a
+restart) and :meth:`SLOEngine.load_state` restores them — the restored
+cumulative totals become a *baseline* injected under every later
+snapshot, so burn rates and error budgets resume mid-window instead of
+resetting on deploy.  Entries older than the ring horizon are clamped
+out on load; a state file older than the longest SLO window is ignored
+entirely.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import re
 import threading
 import time
@@ -474,13 +486,40 @@ class _PairWindow(_RingWindow):
         )
 
 
+def _snap_to_json(snap: HistogramSnapshot) -> dict:
+    return {
+        "bounds": list(snap.bounds),
+        "counts": list(snap.counts),
+        "sum": snap.sum,
+        "count": snap.count,
+    }
+
+
+def _snap_from_json(data: dict) -> HistogramSnapshot:
+    return HistogramSnapshot(
+        tuple(float(b) for b in data["bounds"]),
+        tuple(int(c) for c in data["counts"]),
+        float(data["sum"]),
+        int(data["count"]),
+    )
+
+
 class _SloSource:
-    """Good/total event accounting for one SLO, with trailing windows."""
+    """Good/total event accounting for one SLO, with trailing windows.
+
+    A restored *baseline* (the previous process's cumulative totals) is
+    injected inside the snapshot functions themselves — the single point
+    both the ring windows and ``bad_total(None)`` read through — so one
+    restore makes every downstream consumer (burn rates, error budget)
+    continuous across the restart, and a later save chains the baseline
+    forward.
+    """
 
     def __init__(self, slo: SLODefinition, registry: MetricsRegistry,
                  horizon_s: float, resolution_s: float):
         self.slo = slo
         self._registry = registry
+        self._baseline = None  # HistogramSnapshot | (bad, total) | None
         if slo.kind == "latency":
             self._window = HistogramWindow(
                 self._latency_snapshot, horizon_s, resolution_s
@@ -525,6 +564,16 @@ class _SloSource:
             from repro.xksearch.engine import _EXEC_BUCKETS_MS
 
             merged = HistogramSnapshot.zero(tuple(_EXEC_BUCKETS_MS))
+        baseline = self._baseline
+        if baseline is not None:
+            try:
+                merged = merged.add(baseline)
+            except ValueError:
+                # The bucket layout changed across the restart: the
+                # carry-over cannot merge, so drop it rather than poison
+                # every later window diff.
+                _log.warning("slo_baseline_bounds_mismatch", slo=self.slo.name)
+                self._baseline = None
         return merged
 
     def _availability_snapshot(self) -> Tuple[float, float]:
@@ -541,7 +590,59 @@ class _SloSource:
                 total += value
                 if labels.get("status") != "ok":
                     bad += value
+        baseline = self._baseline
+        if baseline is not None:
+            bad += baseline[0]
+            total += baseline[1]
         return (bad, total)
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self, now_mono: float, now_wall: float) -> dict:
+        """Serializable state: cumulative totals (baseline included, so
+        restarts chain) plus the ring, timestamps re-anchored to wall
+        clock (``wall_ts = now_wall - (now_mono - mono_ts)``)."""
+        latency = self.slo.kind == "latency"
+        if latency:
+            cumulative: object = _snap_to_json(self._latency_snapshot())
+        else:
+            bad, total = self._availability_snapshot()
+            cumulative = [bad, total]
+        ring = []
+        for mono_ts, payload in self._window.dump():
+            wall_ts = now_wall - (now_mono - mono_ts)
+            ring.append(
+                [wall_ts, _snap_to_json(payload) if latency else list(payload)]
+            )
+        return {"kind": self.slo.kind, "cumulative": cumulative, "ring": ring}
+
+    def restore(
+        self, data: dict, now_mono: float, now_wall: float, horizon_s: float
+    ) -> None:
+        """Install *data* (from :meth:`dump`) as this source's baseline +
+        ring.  Ring entries older than *horizon_s* are clamped out;
+        malformed payloads raise (the caller skips that one SLO)."""
+        if data.get("kind") != self.slo.kind:
+            raise ValueError(
+                f"saved kind {data.get('kind')!r} != {self.slo.kind!r}"
+            )
+        latency = self.slo.kind == "latency"
+        if latency:
+            self._baseline = _snap_from_json(data["cumulative"])
+        else:
+            bad, total = data["cumulative"]
+            self._baseline = (float(bad), float(total))
+        items = []
+        for wall_ts, payload in data.get("ring", ()):
+            age = now_wall - float(wall_ts)
+            if age < 0 or age > horizon_s:
+                continue
+            mono_ts = now_mono - age
+            if latency:
+                items.append((mono_ts, _snap_from_json(payload)))
+            else:
+                items.append((mono_ts, (float(payload[0]), float(payload[1]))))
+        self._window.restore(items)
 
     # -- windowed + cumulative good/bad --------------------------------------
 
@@ -665,6 +766,89 @@ class SLOEngine:
         """Route alert transition records through *exporter* (a
         :class:`~repro.obs.export.BackgroundExporter`)."""
         self.alerts.attach_exporter(exporter)
+
+    # -- persistence ---------------------------------------------------------
+
+    #: State-file schema version; bumped on incompatible layout changes.
+    STATE_VERSION = 1
+
+    def save_state(self, path: str) -> None:
+        """Write every SLO's cumulative totals + window rings to *path*
+        (atomic rename), wall-clock anchored so a restarted process can
+        resume its burn-rate windows."""
+        now_mono = self._clock()
+        now_wall = time.time()
+        payload = {
+            "version": self.STATE_VERSION,
+            "saved_at": now_wall,
+            "horizon_s": self.policy.horizon_s,
+            "slos": {
+                slo.name: source.dump(now_mono, now_wall)
+                for slo, source in zip(self.slos, self._sources)
+            },
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        _log.info("slo_state_saved", path=path, slos=len(payload["slos"]))
+
+    def load_state(self, path: str, max_age_s: Optional[float] = None) -> int:
+        """Restore state saved by :meth:`save_state`; returns how many
+        SLOs were restored.  Missing/corrupt files and version mismatches
+        are non-fatal (0); a file older than *max_age_s* (default: the
+        longest SLO window) is ignored — every windowed event it carries
+        would be outside any objective's horizon anyway.  Individual SLOs
+        whose saved shape no longer matches (renamed, kind changed,
+        bucket layout changed) are skipped, the rest restore."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return 0
+        except (OSError, ValueError) as exc:
+            _log.warning("slo_state_unreadable", path=path, error=repr(exc))
+            return 0
+        if not isinstance(data, dict) or data.get("version") != self.STATE_VERSION:
+            _log.warning(
+                "slo_state_version_mismatch",
+                path=path,
+                found=data.get("version") if isinstance(data, dict) else None,
+            )
+            return 0
+        now_wall = time.time()
+        age = now_wall - float(data.get("saved_at", 0.0))
+        limit = (
+            max_age_s
+            if max_age_s is not None
+            else max(slo.window_s for slo in self.slos)
+        )
+        if age < 0 or age > limit:
+            _log.warning(
+                "slo_state_stale", path=path,
+                age_s=round(age, 1), limit_s=round(limit, 1),
+            )
+            return 0
+        now_mono = self._clock()
+        horizon_s = self.policy.horizon_s
+        saved = data.get("slos") or {}
+        restored = 0
+        for slo, source in zip(self.slos, self._sources):
+            entry = saved.get(slo.name)
+            if entry is None:
+                continue
+            try:
+                source.restore(entry, now_mono, now_wall, horizon_s)
+                restored += 1
+            except (KeyError, TypeError, ValueError) as exc:
+                _log.warning(
+                    "slo_state_restore_failed", slo=slo.name, error=repr(exc)
+                )
+        _log.info(
+            "slo_state_loaded", path=path, restored=restored,
+            age_s=round(age, 1),
+        )
+        return restored
 
     # -- evaluation ----------------------------------------------------------
 

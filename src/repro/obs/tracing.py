@@ -76,6 +76,22 @@ class Span:
         }
 
 
+def span_from_dict(data: Dict[str, Any]) -> Span:
+    """Rebuild a finished :class:`Span` tree from its ``to_dict`` form.
+
+    The cross-process return-path ships worker-side spans as plain dicts
+    over the task pipe; the parent reconstitutes them with this and grafts
+    them under the serving request's trace so EXPLAIN / ``/debug/slow`` /
+    exported traces show where the work actually ran.
+    """
+    span = Span(str(data.get("name", "span")), data.get("attrs") or {})
+    duration = data.get("duration_ms")
+    span.duration_ms = float(duration) if duration is not None else 0.0
+    for child in data.get("children") or []:
+        span.children.append(span_from_dict(child))
+    return span
+
+
 class Trace:
     """A span tree under one trace id.
 

@@ -172,6 +172,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo_enabled=not args.no_slo,
         slo_window_scale=args.slo_window_scale,
         debug_latency_ms=args.debug_latency_ms,
+        profile_hz=args.profile_hz,
+        alert_webhook=args.alert_webhook,
+        slo_state=args.slo_state,
     )
     return 0
 
@@ -415,6 +418,27 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="inject MS of artificial latency into every query execution "
         "(debug/drill only; shows up in xks_query_exec_ms)",
+    )
+    p_serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="sample thread stacks HZ times per second in the parent and "
+        "every pool worker; folded flamegraph stacks at GET /debug/pprof "
+        "(0 = off)",
+    )
+    p_serve.add_argument(
+        "--alert-webhook",
+        metavar="URL",
+        help="POST every SLO alert transition record to URL through its "
+        "own background pipeline (on top of any --export-* pipeline)",
+    )
+    p_serve.add_argument(
+        "--slo-state",
+        metavar="PATH",
+        help="persist SLO burn-rate windows to PATH on shutdown and "
+        "restore them (staleness-clamped) on startup",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

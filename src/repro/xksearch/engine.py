@@ -193,6 +193,10 @@ class ExecutionStats:
     shared_admission: Optional[str] = None
     #: EXPLAIN breakdown, set by ``execute(..., profile=True)``.
     profile: Optional[QueryProfile] = None
+    #: Worker-side span trees (plain dicts) returned by pooled executions —
+    #: the serving layer grafts them under the request's trace so traces
+    #: show where the work actually ran.
+    worker_spans: List[dict] = field(default_factory=list)
 
     @property
     def cache_hit(self) -> bool:
@@ -516,7 +520,7 @@ class QueryEngine:
 
     # -- cross-process layers ------------------------------------------------
 
-    def _pool_execute(self, semantics, plan, algorithm, generation):
+    def _pool_execute(self, semantics, plan, algorithm, generation, stats=None):
         """Try to run one planned query in a pool worker.
 
         Returns ``(ids, delta, exec_ms, shared_hit)`` on success, or
@@ -525,24 +529,89 @@ class QueryEngine:
         worker re-plans from the same atom displays and the *requested*
         algorithm, so its planning (and its shared-cache key) matches this
         process exactly.
+
+        The task envelope carries this request's trace id
+        (:func:`current_trace_id`), and the worker's reply carries its
+        captured metric updates and span tree: the events are replayed
+        into this process's registry here (so ``/metrics`` stays
+        fleet-accurate — the worker already counted the query, the ops
+        and the latency, exemplar trace id included), and the spans land
+        on ``stats.worker_spans`` for the serving layer to graft.  The
+        caller must therefore NOT call :meth:`_note_query` for a pooled
+        execution; :meth:`_merge_totals` keeps the engine-local totals
+        honest instead.
         """
         pool = self.pool
         if pool is None or plan.empty:
             return None
         tokens = [a.display for a in plan.atoms]
         try:
-            ids, counters_dict, exec_ms, shared_hit, admission = pool.execute(
-                semantics, tokens, algorithm, generation
+            task = pool.execute(
+                semantics,
+                tokens,
+                algorithm,
+                generation,
+                trace_id=current_trace_id(),
+                want_spans=True,
             )
         except PoolError as exc:
             self._note_fallback(exc)
             return None
-        delta = OpCounters(**counters_dict)
-        if admission is not None:
-            # The worker stored the result; mirror its admission decision
-            # into this process's registry (worker registries are private).
-            self._count_admission(admission)
-        return tuple(ids), delta, exec_ms, bool(shared_hit)
+        delta = OpCounters(**task.counters)
+        self._replay_worker_events(task)
+        if stats is not None and task.spans is not None:
+            stats.worker_spans.append(task.spans)
+        return tuple(task.ids), delta, task.exec_ms, bool(task.shared_hit)
+
+    def _replay_worker_events(self, task) -> None:
+        """Replay one worker's captured metric updates into this registry.
+
+        The worker counted everything in its own (private) registry —
+        ``xks_queries_total``, ``xks_algo_ops_total``, the
+        ``xks_query_exec_ms`` observation with the request's exemplar
+        trace id, shared-cache admissions, segment/pager counters.  The
+        only label that lies from the parent's perspective is
+        ``xks_queries_total{cache=...}``: the worker has no local result
+        cache, so it says ``off`` where this process experienced a local
+        ``miss`` — rewritten before replay.
+        """
+        if not task.events or not instrumentation_enabled():
+            return
+        events = task.events
+        if self.cache is not None:
+            events = [self._rewrite_cache_label(event) for event in events]
+        applied = get_registry().replay_events(events)
+        if applied:
+            get_registry().counter(
+                "xks_worker_events_replayed_total",
+                "Worker-side metric updates replayed into this registry.",
+                labelnames=("worker",),
+            ).labels(worker=str(task.worker)).inc(applied)
+
+    @staticmethod
+    def _rewrite_cache_label(event: tuple) -> tuple:
+        if event[0] != "c" or event[1] != "xks_queries_total":
+            return event
+        labelnames, labelvalues = event[2], event[3]
+        try:
+            index = tuple(labelnames).index("cache")
+        except ValueError:
+            return event
+        values = list(labelvalues)
+        if values[index] != "off":
+            return event
+        values[index] = "miss"
+        return (event[0], event[1], event[2], tuple(values)) + tuple(event[4:])
+
+    def _merge_totals(self, algorithm: str, delta: OpCounters) -> None:
+        """Fold a pooled execution's op counters into the engine totals
+        (the ``/statz`` counters section) — the registry side already
+        arrived via event replay."""
+        with self._totals_lock:
+            totals = self._totals.get(algorithm)
+            if totals is None:
+                totals = self._totals[algorithm] = OpCounters()
+            totals.add(delta)
 
     def _note_fallback(self, exc: PoolError) -> None:
         _log.warning("pool_fallback", error=repr(exc))
@@ -552,14 +621,6 @@ class QueryEngine:
                 "Queries executed in-thread after a pool dispatch failure.",
                 labelnames=("reason",),
             ).labels(reason=type(exc).__name__).inc()
-
-    def _count_admission(self, decision: str) -> None:
-        if instrumentation_enabled():
-            get_registry().counter(
-                "xks_cache_admission_total",
-                "Shared-cache admission decisions (cost-aware policy).",
-                labelnames=("decision",),
-            ).labels(decision=decision).inc()
 
     def _shared_lookup(self, key, generation, semantics, algorithm, stats):
         """Consult the shared cache; on a hit, stamp stats, warm the local
@@ -610,20 +671,19 @@ class QueryEngine:
             if prof is None:
                 if pooled_ok:
                     pooled = self._pool_execute(
-                        semantics, plan, algorithm, self.generation()
+                        semantics, plan, algorithm, self.generation(), stats=stats
                     )
                     if pooled is not None:
+                        # The worker already counted this query (event
+                        # replay in _pool_execute) — only the engine-local
+                        # totals need merging here.
                         ids, delta, exec_ms, shared_hit = pooled
                         stats.counters.add(delta)
                         if shared_hit:
                             stats.shared_hits += 1
                             stats.result_from_cache = True
-                            self._note_query(semantics, "shared", algorithm, None, None)
                         else:
-                            self._note_query(
-                                semantics, "off", plan.algorithm, delta, exec_ms,
-                                band=plan.band,
-                            )
+                            self._merge_totals(plan.algorithm, delta)
                         return iter(ids)
                 return self._accounted(
                     runner(plan, stats), stats, semantics, plan.algorithm,
@@ -669,16 +729,20 @@ class QueryEngine:
             if phase is not None:
                 phase.detail["algorithm"] = plan.algorithm
         pooled = (
-            self._pool_execute(semantics, plan, algorithm, generation)
+            self._pool_execute(semantics, plan, algorithm, generation, stats=stats)
             if pooled_ok
             else None
         )
         if pooled is not None:
+            # Pooled executions are fully counted worker-side and replayed
+            # (_pool_execute); only the engine-local totals merge here.
             value, delta, exec_ms, shared_hit = pooled
             stats.counters.add(delta)
             if shared_hit:
                 stats.shared_hits += 1
                 stats.result_from_cache = True
+            else:
+                self._merge_totals(plan.algorithm, delta)
         else:
             before = stats.counters.snapshot()
             exec_started = time.perf_counter()
@@ -692,9 +756,6 @@ class QueryEngine:
                 stats.shared_admission = shared.store(
                     key, generation, (value, delta.as_dict()), exec_ms
                 )
-        if shared_hit:
-            self._note_query(semantics, "shared", algorithm, None, None)
-        else:
             self._note_query(
                 semantics,
                 "miss" if self.cache is not None else "off",
@@ -808,12 +869,14 @@ class QueryEngine:
         def run_one(key: tuple):
             plan = pending_plans[key]
             pooled = (
-                self._pool_execute("slca", plan, algorithm, generation)
+                self._pool_execute("slca", plan, algorithm, generation, stats=stats)
                 if self.pool is not None
                 else None
             )
             if pooled is not None:
-                return key, pooled
+                # Counted worker-side and replayed; flag so the merge loop
+                # below does not note it a second time.
+                return key, pooled + (True,)
             local = ExecutionStats()
             exec_started = time.perf_counter()
             self._debug_sleep()
@@ -822,7 +885,7 @@ class QueryEngine:
             delta = local.counters
             if self.shared is not None:
                 self.shared.store(key, generation, (value, delta.as_dict()), exec_ms)
-            return key, (value, delta, exec_ms, False)
+            return key, (value, delta, exec_ms, False, False)
 
         if self.pool is not None and len(pending) > 1:
             from concurrent.futures import ThreadPoolExecutor
@@ -833,12 +896,15 @@ class QueryEngine:
                 outcomes = list(dispatchers.map(run_one, pending))
         else:
             outcomes = [run_one(key) for key in pending]
-        for key, (value, delta, exec_ms, shared_hit) in outcomes:
+        for key, (value, delta, exec_ms, shared_hit, was_pooled) in outcomes:
             plan = pending_plans[key]
             stats.counters.add(delta)
             if shared_hit:
                 stats.shared_hits += 1
-                self._note_query("slca", "shared", algorithm, None, None)
+                if not was_pooled:
+                    self._note_query("slca", "shared", algorithm, None, None)
+            elif was_pooled:
+                self._merge_totals(plan.algorithm, delta)
             else:
                 self._note_query(
                     "slca",

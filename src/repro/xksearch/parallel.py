@@ -20,7 +20,18 @@ execution into a pool of **forked worker processes**:
 * failure degrades, never fails: a dead worker is retired (and respawned,
   up to a budget), and any dispatch error raises
   :class:`~repro.errors.PoolError`, which the engine answers by executing
-  the query in-thread and counting ``xks_pool_fallback_total``.
+  the query in-thread and counting ``xks_pool_fallback_total``;
+* telemetry crosses the fork boundary both ways: each task envelope
+  carries the serving request's trace id, the worker binds it (so
+  worker-side exemplars and log lines carry the request's id), runs the
+  query inside a ``worker`` span tree, captures every metric update it
+  makes (:func:`repro.obs.metrics.start_capture`), and ships
+  ``(events, spans)`` back in the reply (:class:`TaskResult`) for the
+  parent to replay/graft — ``/metrics`` and traces stay fleet-accurate;
+* :meth:`WorkerPool.collect_snapshots` additionally pulls a full registry
+  snapshot (plus profiler state) from each idle worker over the same
+  pipe — the heartbeat behind the scrape-time
+  :class:`~repro.obs.fleet.FleetCollector`.
 
 Fork discipline: create the pool (and the shared cache) **before**
 starting server threads.  ``fork()`` from a multi-threaded parent can
@@ -37,11 +48,19 @@ import os
 import queue
 import threading
 import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PoolError, PoolUnavailableError
-from repro.obs.logging import get_logger
-from repro.obs.metrics import get_registry, instrumentation_enabled
+from repro.obs.logging import get_logger, reset_current_trace_id, set_current_trace_id
+from repro.obs.metrics import (
+    get_registry,
+    instrumentation_enabled,
+    start_capture,
+    stop_capture,
+)
+from repro.obs.profiling import SamplingProfiler, heap_snapshot
+from repro.obs.tracing import Span
 
 #: Semantics a worker knows how to execute (engine entry point per value).
 SEMANTICS = ("slca", "lca", "elca")
@@ -52,6 +71,50 @@ DEFAULT_TASK_TIMEOUT_S = 120.0
 _log = get_logger("parallel")
 
 
+@dataclass
+class TaskResult:
+    """Everything one pooled execution returns to the parent.
+
+    ``events`` is the worker's captured metric-update stream (see
+    :meth:`~repro.obs.metrics.MetricsRegistry.replay_events`); ``spans``
+    is the worker-side span tree as a plain dict (``None`` when the
+    caller did not ask for spans); ``worker`` identifies which pool
+    worker ran the task.
+    """
+
+    ids: tuple
+    counters: dict
+    exec_ms: float
+    shared_hit: bool
+    admission: Optional[str]
+    events: List[tuple] = field(default_factory=list)
+    spans: Optional[dict] = None
+    worker: int = -1
+
+
+def _worker_snapshot(worker_id, profiler) -> dict:
+    """One worker's live telemetry state (heartbeat payload)."""
+    samples = []
+    try:
+        for sample in get_registry().collect():
+            samples.append((sample.name, dict(sample.labels), float(sample.value)))
+    except Exception:  # never let a scrape kill the worker loop
+        pass
+    payload = {
+        "worker": worker_id,
+        "pid": os.getpid(),
+        "ts": time.time(),
+        "samples": samples,
+        "profile": profiler.snapshot() if profiler is not None else {},
+        "profile_totals": profiler.totals() if profiler is not None else {},
+    }
+    try:
+        payload["heap"] = heap_snapshot(top=10)
+    except Exception:
+        payload["heap"] = {"tracing": False, "top": []}
+    return payload
+
+
 def _worker_main(
     worker_id,
     index_dir,
@@ -60,6 +123,7 @@ def _worker_main(
     shared_cache,
     use_segments=True,
     posting_cache=None,
+    profile_hz=0.0,
 ):
     """Worker process body: open the index in mmap mode, serve tasks.
 
@@ -83,6 +147,9 @@ def _worker_main(
         engine = QueryEngine(
             index, skew_threshold=skew_threshold, shared_cache=shared_cache
         )
+        profiler = None
+        if profile_hz and profile_hz > 0:
+            profiler = SamplingProfiler(hz=profile_hz).start()
         conn.send(("ready", os.getpid()))
     except Exception as exc:  # surfaced to the parent as a failed spawn
         try:
@@ -102,7 +169,28 @@ def _worker_main(
             break
         if message is None:
             break
-        task_id, semantics, tokens, algorithm, generation = message
+        if message[0] == "snapshot":
+            snap_id = message[1]
+            try:
+                conn.send((snap_id, "snap", _worker_snapshot(worker_id, profiler)))
+            except (OSError, BrokenPipeError):
+                break
+            continue
+        (_, task_id, semantics, tokens, algorithm, generation,
+         trace_id, want_spans) = message
+        trace_token = set_current_trace_id(trace_id) if trace_id else None
+        root_span = None
+        if want_spans:
+            root_span = Span(
+                "worker",
+                {
+                    "worker": worker_id,
+                    "pid": os.getpid(),
+                    "semantics": semantics,
+                    "algorithm": algorithm,
+                },
+            )
+        start_capture()
         started = time.perf_counter()
         try:
             # Adopt the parent's view of the index generation before
@@ -110,8 +198,13 @@ def _worker_main(
             # never missed here; generation() both stats the manifest for
             # updates neither process has seen and reloads this handle's
             # on-disk state (remapping the grown file) when it is behind.
+            gen_span = Span("worker.generation") if want_spans else None
             seed_generation(index.index_dir, generation)
             index.generation()
+            if gen_span is not None:
+                gen_span.finish()
+                root_span.children.append(gen_span)
+            exec_span = Span("worker.execute") if want_spans else None
             stats = ExecutionStats()
             if semantics == "slca":
                 ids = tuple(engine.execute(tokens, algorithm=algorithm, stats=stats))
@@ -122,6 +215,18 @@ def _worker_main(
             else:
                 raise ValueError(f"unknown semantics {semantics!r}")
             exec_ms = (time.perf_counter() - started) * 1000
+            events = stop_capture()
+            spans = None
+            if root_span is not None:
+                if exec_span is not None:
+                    exec_span.finish()
+                    exec_span.annotate(
+                        shared_hit=bool(stats.result_from_cache),
+                        answers=len(ids),
+                    )
+                    root_span.children.append(exec_span)
+                root_span.finish()
+                spans = root_span.to_dict()
             conn.send(
                 (
                     task_id,
@@ -131,13 +236,19 @@ def _worker_main(
                     exec_ms,
                     stats.result_from_cache,
                     stats.shared_admission,
+                    events,
+                    spans,
                 )
             )
         except Exception as exc:
+            stop_capture()
             try:
                 conn.send((task_id, "error", repr(exc)))
             except (OSError, BrokenPipeError):
                 break
+        finally:
+            if trace_token is not None:
+                reset_current_trace_id(trace_token)
     conn.close()
 
 
@@ -175,6 +286,7 @@ class WorkerPool:
         max_respawns: Optional[int] = None,
         use_segments: bool = True,
         posting_cache=None,
+        profile_hz: float = 0.0,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -189,6 +301,7 @@ class WorkerPool:
         self.shared_cache = shared_cache
         self.use_segments = use_segments
         self.posting_cache = posting_cache
+        self.profile_hz = float(profile_hz)
         self.task_timeout_s = task_timeout_s
         self.spawn_timeout_s = spawn_timeout_s
         self.max_respawns = max_respawns if max_respawns is not None else workers * 2
@@ -228,6 +341,7 @@ class WorkerPool:
                 self.shared_cache,
                 self.use_segments,
                 self.posting_cache,
+                self.profile_hz,
             ),
             daemon=True,
             name=f"xks-worker-{worker_id}",
@@ -325,10 +439,15 @@ class WorkerPool:
         tokens: Sequence[str],
         algorithm: str,
         generation: int,
-    ) -> Tuple[tuple, dict, float, bool, Optional[str]]:
+        trace_id: Optional[str] = None,
+        want_spans: bool = False,
+    ) -> TaskResult:
         """Run one query in a worker.
 
-        Returns ``(ids, counters_dict, exec_ms, shared_hit, admission)``.
+        ``trace_id`` is the serving request's trace context — the worker
+        binds it for the duration of the task so worker-side exemplars and
+        log lines carry it; ``want_spans`` asks the worker to wrap the
+        execution in a span tree and return it (``TaskResult.spans``).
         Raises :class:`~repro.errors.PoolError` on any dispatch failure —
         closed pool, no live workers, timeout, dead worker, or an error
         raised inside the worker — and the caller is expected to fall
@@ -351,7 +470,10 @@ class WorkerPool:
             self._retire(handle, "dead_at_checkout")
             raise PoolError(f"worker {handle.worker_id} died")
         try:
-            handle.conn.send((task_id, semantics, list(tokens), algorithm, generation))
+            handle.conn.send(
+                ("task", task_id, semantics, list(tokens), algorithm,
+                 generation, trace_id, bool(want_spans))
+            )
             if not handle.conn.poll(self.task_timeout_s):
                 raise PoolError(f"worker {handle.worker_id} timed out")
             reply = handle.conn.recv()
@@ -372,8 +494,61 @@ class WorkerPool:
             raise PoolError(f"worker {handle.worker_id} returned a stale reply")
         if reply[1] != "ok":
             raise PoolError(f"worker {handle.worker_id} error: {reply[2]}")
-        _task_id, _status, ids, counters, exec_ms, shared_hit, admission = reply
-        return ids, counters, exec_ms, shared_hit, admission
+        (_task_id, _status, ids, counters, exec_ms, shared_hit, admission,
+         events, spans) = reply
+        return TaskResult(
+            ids=ids,
+            counters=counters,
+            exec_ms=exec_ms,
+            shared_hit=shared_hit,
+            admission=admission,
+            events=list(events or ()),
+            spans=spans,
+            worker=handle.worker_id,
+        )
+
+    # -- heartbeat snapshots -------------------------------------------------
+
+    def collect_snapshots(self, timeout_s: float = 2.0) -> List[dict]:
+        """Pull one telemetry snapshot from every currently idle worker.
+
+        Busy workers are skipped (they answer the next heartbeat); a
+        worker that fails to answer is retired exactly like a failed
+        dispatch.  Returns the snapshot payloads
+        (see :func:`_worker_snapshot`).
+        """
+        if self._closed:
+            return []
+        held: List[_WorkerHandle] = []
+        while True:
+            try:
+                held.append(self._idle.get_nowait())
+            except queue.Empty:
+                break
+        snapshots: List[dict] = []
+        for handle in held:
+            if not handle.process.is_alive():
+                self._retire(handle, "dead_at_snapshot")
+                continue
+            with self._lock:
+                snap_id = self._next_task_id
+                self._next_task_id += 1
+            try:
+                handle.conn.send(("snapshot", snap_id))
+                if not handle.conn.poll(timeout_s):
+                    raise PoolError(f"worker {handle.worker_id} snapshot timed out")
+                reply = handle.conn.recv()
+                if reply[0] != snap_id or reply[1] != "snap":
+                    raise PoolError(f"worker {handle.worker_id} snapshot framing broke")
+            except PoolError:
+                self._retire(handle, "snapshot_timeout")
+                continue
+            except (OSError, EOFError, BrokenPipeError):
+                self._retire(handle, "snapshot_pipe_broken")
+                continue
+            snapshots.append(reply[2])
+            self._idle.put(handle)
+        return snapshots
 
     def _observe_task(self, worker_id: int) -> None:
         if not instrumentation_enabled():

@@ -48,6 +48,13 @@ Endpoints:
   error budget, burn rates over the paired alerting windows, and every
   alert's ``ok/pending/firing/resolved`` state (see
   :mod:`repro.obs.slo` and docs/OBSERVABILITY.md, "SLOs and alerting");
+* ``GET /debug/pprof[?seconds=N][&fleet=1][&format=folded]`` — sampling-
+  profiler flamegraph stacks (``serve --profile-hz``): cumulative, or
+  only the next N seconds; ``fleet=1`` merges the pool workers' stacks
+  in; ``format=folded`` returns collapsed text for ``flamegraph.pl``;
+* ``GET /debug/heap[?start=1|stop=1][&top=N][&fleet=1]`` — tracemalloc
+  heap snapshot (top allocation sites by live size) with explicit
+  start/stop of tracking, plus the workers' heap summaries;
 * ``GET /healthz`` — liveness (plain text).
 
 With an exporter attached (``serve --export-jsonl FILE`` or
@@ -86,13 +93,30 @@ from repro.obs.logging import (
     set_log_sampling,
 )
 from repro.obs.slo import SLOEngine, WindowPolicy, default_slos, parse_slo
+from repro.obs.fleet import FleetCollector
 from repro.obs.metrics import (
     MetricsRegistry,
     Sample,
     exponential_buckets,
     get_registry,
 )
-from repro.obs.tracing import Span, Trace, Tracer, new_trace_id, valid_trace_id
+from repro.obs.profiling import (
+    SamplingProfiler,
+    heap_snapshot,
+    heap_tracking_active,
+    merge_folded,
+    render_folded,
+    start_heap_tracking,
+    stop_heap_tracking,
+)
+from repro.obs.tracing import (
+    Span,
+    Trace,
+    Tracer,
+    new_trace_id,
+    span_from_dict,
+    valid_trace_id,
+)
 from repro.xksearch.cache import QueryCache
 from repro.xksearch.engine import ExecutionStats
 from repro.xksearch.html import render_page
@@ -116,6 +140,8 @@ _KNOWN_ENDPOINTS = (
     "/statz",
     "/metrics",
     "/debug/slow",
+    "/debug/pprof",
+    "/debug/heap",
     "/healthz",
     "/alertz",
 )
@@ -385,6 +411,21 @@ def _attach_profile_spans(trace: Trace, profile) -> None:
     )
 
 
+def _attach_worker_spans(trace: Trace, worker_spans: Sequence[dict]) -> None:
+    """Graft the pool workers' span trees under the request trace.
+
+    The worker serialized its spans (``Span.to_dict``) into the task
+    reply; reconstituting them here makes the exported trace show the
+    cross-process execution under the *serving* request's trace id.
+    """
+    for data in worker_spans:
+        try:
+            trace.root.children.append(span_from_dict(data))
+        except (TypeError, ValueError):
+            continue
+    trace.annotate(pooled=True)
+
+
 class _Handler(BaseHTTPRequestHandler):
     # Injected by make_server onto a per-server subclass:
     system: XKSearch = None
@@ -393,6 +434,8 @@ class _Handler(BaseHTTPRequestHandler):
     registry: MetricsRegistry = None
     exporter: Optional[TraceExporter] = None
     slo_engine: Optional[SLOEngine] = None
+    fleet: Optional[FleetCollector] = None
+    profiler: Optional[SamplingProfiler] = None
     quiet: bool = True
     protocol_version = "HTTP/1.1"
 
@@ -444,6 +487,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self._alertz())
             elif url.path == "/debug/slow":
                 error = self._handle_debug_slow(url)
+            elif url.path == "/debug/pprof":
+                error = self._handle_debug_pprof(url)
+            elif url.path == "/debug/heap":
+                error = self._handle_debug_heap(url)
             elif url.path == "/":
                 self._send(200, render_page("", []))
             elif url.path == "/search":
@@ -540,7 +587,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": f"bad limit {limit_raw!r}"})
             return True
         stats = ExecutionStats()
-        profiled = explain or self._trace is not None
+        # Traced requests get span detail from one of two sources: with a
+        # worker pool the execution is dispatched cross-process and the
+        # worker ships its span tree back (profiling in-thread would
+        # bypass the pool — the EXPLAIN contract); without a pool the
+        # EXPLAIN profile phases are grafted instead.  Explicit explain=1
+        # always profiles in-thread.
+        profiled = explain or (
+            self._trace is not None and self.system.engine.pool is None
+        )
         try:
             started = time.perf_counter()
             ids = list(
@@ -576,6 +631,8 @@ class _Handler(BaseHTTPRequestHandler):
         }
         if self._trace is not None and stats.profile is not None:
             _attach_profile_spans(self._trace, stats.profile)
+        if self._trace is not None and stats.worker_spans:
+            _attach_worker_spans(self._trace, stats.worker_spans)
         self._send_json(200, payload, elapsed_ms=elapsed_ms)
         return False
 
@@ -607,6 +664,10 @@ class _Handler(BaseHTTPRequestHandler):
             }
         if self.slo_engine is not None:
             payload["slo"] = self.slo_engine.summary()
+        if self.fleet is not None:
+            payload["fleet"] = self.fleet.statz_dict()
+        if self.profiler is not None:
+            payload["profiler"] = self.profiler.totals()
         return payload
 
     def _handle_debug_slow(self, url) -> bool:
@@ -670,6 +731,95 @@ class _Handler(BaseHTTPRequestHandler):
                 )
         return out
 
+    def _handle_debug_pprof(self, url) -> bool:
+        """Folded flamegraph stacks from the sampling profiler.
+
+        ``?seconds=N`` profiles only the *next* N seconds (the handler
+        thread sleeps while the sampler runs — the request budget is the
+        profile window); without it the cumulative stacks since startup
+        are returned.  ``&fleet=1`` merges the pool workers' latest
+        shipped stacks in; ``&format=folded`` renders collapsed text
+        (``stack;stack;leaf count`` lines) for flamegraph tooling.
+        """
+        params = parse_qs(url.query)
+        seconds_raw = (params.get("seconds") or [""])[0]
+        want_fleet = (params.get("fleet") or [""])[0].lower() in ("1", "true", "yes")
+        folded = (params.get("format") or [""])[0].lower() == "folded"
+        seconds = 0.0
+        if seconds_raw:
+            try:
+                seconds = float(seconds_raw)
+                if seconds < 0 or seconds > 60:
+                    raise ValueError
+            except ValueError:
+                self._send_json(
+                    400, {"error": f"bad seconds {seconds_raw!r} (0..60)"}
+                )
+                return True
+        if self.profiler is None or not self.profiler.running:
+            self._send_json(
+                200,
+                {"enabled": False, "hint": "start with: serve --profile-hz HZ"},
+            )
+            return False
+        if seconds > 0:
+            stacks = self.profiler.collect_window(seconds)
+        else:
+            stacks = self.profiler.snapshot()
+        if want_fleet and self.fleet is not None:
+            stacks = merge_folded([stacks, self.fleet.merged_profile()])
+        if folded:
+            self._send(
+                200,
+                render_folded(stacks),
+                content_type="text/plain; charset=utf-8",
+            )
+            return False
+        self._send_json(
+            200,
+            {
+                "enabled": True,
+                "seconds": seconds or None,
+                "fleet": want_fleet,
+                "totals": self.profiler.totals(),
+                "stacks": stacks,
+            },
+        )
+        return False
+
+    def _handle_debug_heap(self, url) -> bool:
+        """tracemalloc heap snapshot; ``?start=1`` / ``?stop=1`` toggle
+        tracking (it costs memory and time, so it is explicit), ``?top=N``
+        bounds the allocation-site list, ``&fleet=1`` adds the workers'
+        shipped heap summaries."""
+        params = parse_qs(url.query)
+        top_raw = (params.get("top") or [""])[0]
+        want_fleet = (params.get("fleet") or [""])[0].lower() in ("1", "true", "yes")
+        top = 30
+        if top_raw:
+            try:
+                top = int(top_raw)
+                if top < 1:
+                    raise ValueError
+            except ValueError:
+                self._send_json(400, {"error": f"bad top {top_raw!r}"})
+                return True
+        if (params.get("start") or [""])[0].lower() in ("1", "true", "yes"):
+            start_heap_tracking()
+        elif (params.get("stop") or [""])[0].lower() in ("1", "true", "yes"):
+            stop_heap_tracking()
+        payload = {
+            "tracking": heap_tracking_active(),
+            "parent": heap_snapshot(top=top),
+        }
+        if want_fleet and self.fleet is not None:
+            payload["workers"] = {
+                worker: entry.get("heap", {})
+                for worker, entry in self.fleet.statz_dict()["workers"].items()
+            }
+        self._send_json(200, payload)
+        return False
+
     # -- plumbing ------------------------------------------------------------
 
     def _send(
@@ -721,15 +871,33 @@ class XKSearchServer(ThreadingHTTPServer):
         self._obs_exporter: Optional[TraceExporter] = None
         self._obs_slo: Optional[SLOEngine] = None
         self._obs_shipper: Optional[SnapshotShipper] = None
+        self._obs_fleet: Optional[FleetCollector] = None
+        self._obs_profiler: Optional[SamplingProfiler] = None
+        self._obs_slo_state: Optional[str] = None
 
     def process_request_thread(self, request, client_address):
         with self._slots:
             super().process_request_thread(request, client_address)
 
     def server_close(self):
+        if self._obs_fleet is not None:
+            # Stop the heartbeat before the pool goes away, and before
+            # the SLO engine's final evaluation scrapes the registry.
+            self._obs_fleet.close()
+            self._obs_fleet = None
+        if self._obs_profiler is not None:
+            self._obs_profiler.close()
+            self._obs_profiler = None
         if self._obs_registry is not None and self._obs_collector is not None:
             self._obs_registry.unregister_collector(self._obs_collector)
             self._obs_collector = None
+        if self._obs_slo is not None and self._obs_slo_state is not None:
+            # Persist the burn-rate window rings before the engine stops
+            # evaluating, so a restart resumes mid-window.
+            try:
+                self._obs_slo.save_state(self._obs_slo_state)
+            except OSError as exc:
+                _log.warning("slo_state_save_failed", error=repr(exc))
         if self._obs_slo is not None:
             # Stop evaluating before the export pipelines close, so no
             # transition record races a closing exporter.
@@ -758,6 +926,9 @@ def make_server(
     exporter: Optional[TraceExporter] = None,
     slo_engine: Optional[SLOEngine] = None,
     shipper: Optional[SnapshotShipper] = None,
+    fleet: Optional[FleetCollector] = None,
+    profiler: Optional[SamplingProfiler] = None,
+    slo_state: Optional[str] = None,
 ) -> XKSearchServer:
     """A threaded HTTP server bound to *host:port* (port 0 = ephemeral),
     serving queries against *system*.  Caller owns the lifecycle
@@ -783,6 +954,8 @@ def make_server(
             "registry": registry,
             "exporter": exporter,
             "slo_engine": slo_engine,
+            "fleet": fleet,
+            "profiler": profiler,
         },
     )
     server = XKSearchServer((host, port), handler, max_workers=max_workers)
@@ -794,6 +967,9 @@ def make_server(
     server._obs_exporter = exporter
     server._obs_slo = slo_engine
     server._obs_shipper = shipper
+    server._obs_fleet = fleet
+    server._obs_profiler = profiler
+    server._obs_slo_state = slo_state
     return server
 
 
@@ -819,6 +995,9 @@ def serve(
     slo_enabled: bool = True,
     slo_window_scale: float = 1.0,
     debug_latency_ms: float = 0.0,
+    profile_hz: float = 0.0,
+    alert_webhook: Optional[str] = None,
+    slo_state: Optional[str] = None,
 ) -> None:
     """Blocking entry point used by ``xksearch serve``.
 
@@ -850,6 +1029,19 @@ def serve(
     platform without ``fork`` simply serves in-thread (logged, never
     fatal).  ``use_segments=False`` pins every process to the B+tree
     posting tier (byte-identical answers; for A/B comparison).
+
+    **Cross-process observability** (docs/OBSERVABILITY.md,
+    "Cross-process telemetry and profiling"): with a pool, a
+    :class:`~repro.obs.fleet.FleetCollector` heartbeat snapshots every
+    worker's registry and surfaces ``xks_worker_up{worker}`` + per-worker
+    rollups on ``/metrics`` and a ``fleet`` section on ``/statz``.
+    ``profile_hz > 0`` starts the sampling profiler (parent *and* each
+    worker) feeding ``GET /debug/pprof``; heap snapshots live at
+    ``GET /debug/heap``.  ``alert_webhook`` POSTs every SLO alert
+    transition record to that URL through its own background exporter
+    (in addition to the regular export pipeline).  ``slo_state`` persists
+    the SLO burn-rate windows across restarts: loaded (with a staleness
+    clamp) before serving, saved on shutdown.
     """
     if export_jsonl and export_url:
         raise ValueError("choose one of export_jsonl / export_url, not both")
@@ -880,6 +1072,15 @@ def serve(
         shipper = SnapshotShipper(
             sink=sink, interval=snapshot_every, otlp=snapshot_otlp
         )
+    webhook_exporter = None
+    if alert_webhook:
+        from repro.obs.export import BackgroundExporter
+
+        webhook_exporter = BackgroundExporter(
+            HttpCollectorSink(alert_webhook, timeout=export_timeout),
+            name="alert-webhook",
+        )
+        webhook_exporter.kind = "alert"
     slo_engine: Optional[SLOEngine] = None
     if slo_enabled:
         slos = (
@@ -890,13 +1091,26 @@ def serve(
             policy = policy.scaled(slo_window_scale)
         # Alert records ride the snapshot pipeline when one exists, else
         # the trace pipeline; with no sink they stay in-process (gauges,
-        # /alertz and logs still work).
+        # /alertz and logs still work).  An --alert-webhook fans them out
+        # to its own background POST pipeline on top of that.
+        alert_exporter = shipper if shipper is not None else exporter
+        if webhook_exporter is not None:
+            from repro.obs.export import FanoutExporter
+
+            # The webhook pipeline is closed separately below; the main
+            # pipeline is owned by the server shutdown path.
+            alert_exporter = FanoutExporter(
+                [alert_exporter, webhook_exporter], owns=()
+            )
         slo_engine = SLOEngine(
             slos=slos,
             policy=policy,
             eval_interval=min(5.0, max(0.2, policy.resolution_s)),
-            exporter=shipper if shipper is not None else exporter,
-        ).start()
+            exporter=alert_exporter,
+        )
+        if slo_state:
+            slo_engine.load_state(slo_state)
+        slo_engine.start()
     shared_cache = None
     posting_cache = None
     pool = None
@@ -915,10 +1129,17 @@ def serve(
                 shared_cache=shared_cache,
                 use_segments=use_segments,
                 posting_cache=posting_cache,
+                profile_hz=profile_hz,
             )
         except PoolError as exc:
             _log.warning("pool_unavailable", error=repr(exc))
             print(f"process pool unavailable ({exc}); serving in-thread")
+    profiler: Optional[SamplingProfiler] = None
+    if profile_hz > 0:
+        profiler = SamplingProfiler(hz=profile_hz).start()
+    fleet: Optional[FleetCollector] = None
+    if pool is not None:
+        fleet = FleetCollector(pool).start()
     try:
         with XKSearch.open(
             index_dir,
@@ -943,6 +1164,9 @@ def serve(
                 exporter=exporter,
                 slo_engine=slo_engine,
                 shipper=shipper,
+                fleet=fleet,
+                profiler=profiler,
+                slo_state=slo_state,
             )
             actual_port = server.server_address[1]
             export_note = ""
@@ -956,9 +1180,14 @@ def serve(
                 else ""
             )
             pool_note = f", {pool.size} proc workers" if pool is not None else ""
+            profile_note = (
+                f", profiler at /debug/pprof ({profile_hz:g} Hz)"
+                if profiler is not None
+                else ""
+            )
             print(
                 f"XKSearch demo at http://{host}:{actual_port}/  "
-                f"({max_workers} workers{pool_note}, "
+                f"({max_workers} workers{pool_note}{profile_note}, "
                 f"cache={'off' if cache is None else cache_size}, "
                 f"segments={'on' if use_segments else 'off'}, "
                 f"slow log at /debug/slow >= {slow_ms:.0f} ms"
@@ -974,8 +1203,14 @@ def serve(
     finally:
         # Idempotent: server_close() already closed these on the normal
         # path; this covers a failed open before the server existed.
+        if fleet is not None:
+            fleet.close()
+        if profiler is not None:
+            profiler.close()
         if slo_engine is not None:
             slo_engine.close()
+        if webhook_exporter is not None:
+            webhook_exporter.close()
         if shipper is not None:
             shipper.close()
         if exporter is not None:

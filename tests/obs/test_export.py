@@ -433,3 +433,54 @@ class TestHttpSinkHardening:
             server.server_close()
         assert seen["content_type"] == "application/json"
         assert json.loads(seen["body"])["records"][0]["to"] == "firing"
+
+
+class TestFanoutExporter:
+    def test_fans_out_to_every_target(self):
+        from repro.obs.export import FanoutExporter
+
+        sink_a, sink_b = MemorySink(), MemorySink()
+        fanout = FanoutExporter([fast_exporter(sink_a), fast_exporter(sink_b)])
+        assert fanout.submit({"kind": "alert", "to": "firing"})
+        assert fanout.flush(5.0)
+        fanout.close()
+        assert len(sink_a) == 1 and len(sink_b) == 1
+
+    def test_dead_target_does_not_steal_from_live_one(self):
+        from repro.obs.export import FanoutExporter
+
+        live = MemorySink()
+        fanout = FanoutExporter(
+            [
+                fast_exporter(DeadSink(), max_retries=0),
+                fast_exporter(live),
+            ]
+        )
+        assert fanout.submit({"i": 1})  # accepted by at least one queue
+        fanout.flush(5.0)
+        fanout.close(flush_timeout=0.5)
+        assert len(live) == 1
+
+    def test_none_targets_filtered_empty_rejected(self):
+        from repro.obs.export import FanoutExporter
+
+        sink = MemorySink()
+        fanout = FanoutExporter([None, fast_exporter(sink)])
+        assert len(fanout.targets) == 1
+        fanout.close()
+        with pytest.raises(ValueError):
+            FanoutExporter([None])
+
+    def test_owns_controls_which_targets_close(self):
+        from repro.obs.export import FanoutExporter
+
+        shared_sink, owned_sink = MemorySink(), MemorySink()
+        shared = fast_exporter(shared_sink)
+        owned = fast_exporter(owned_sink)
+        fanout = FanoutExporter([shared, owned], owns=[owned])
+        fanout.submit({"i": 1})
+        fanout.close()  # closes only the owned exporter
+        assert shared.submit({"i": 2})  # the shared one still runs
+        shared.close()
+        assert len(shared_sink) == 2
+        assert len(owned_sink) == 1

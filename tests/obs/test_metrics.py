@@ -387,3 +387,62 @@ class TestRegistry:
 
     def test_global_registry_is_singleton(self):
         assert get_registry() is get_registry()
+
+
+class TestCaptureReplay:
+    """The worker telemetry tap: capture events, replay them elsewhere."""
+
+    def test_counter_and_histogram_events_round_trip(self):
+        from repro.obs.metrics import start_capture, stop_capture
+
+        source = MetricsRegistry()
+        start_capture()
+        try:
+            source.counter(
+                "jobs_total", "Jobs.", labelnames=("kind",)
+            ).labels(kind="fast").inc(3)
+            source.histogram(
+                "job_ms", "Latency.", buckets=(1.0, 10.0)
+            ).observe(5.0, trace_id="ab" * 16)
+        finally:
+            events = stop_capture()
+        assert len(events) == 2
+        kinds = [event[0] for event in events]
+        assert kinds == ["c", "h"]
+        # Histogram events carry their bucket bounds, so the replay side
+        # creates an identically-shaped family.
+        h_event = events[1]
+        assert h_event[5] == (1.0, 10.0)
+        assert h_event[7] == "ab" * 16
+        target = MetricsRegistry()
+        assert target.replay_events(events) == 2
+        text = target.render()
+        assert 'jobs_total{kind="fast"} 3' in text
+        assert 'job_ms_bucket{le="10"} 1' in text
+        assert "ab" * 16 in text  # the exemplar survived the replay
+
+    def test_capture_off_costs_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("quiet_total")
+        counter.inc()  # no capture active: no event buffered anywhere
+        from repro.obs.metrics import start_capture, stop_capture
+
+        start_capture()
+        events = stop_capture()
+        assert events == []
+        assert counter.value == 1
+
+    def test_replay_skips_malformed_events(self):
+        registry = MetricsRegistry()
+        good = ("c", "ok_total", (), (), "OK.", 2.0)
+        malformed = ("c", "bad total name!", (), (), "", 1.0)
+        truncated = ("h", "short")
+        assert registry.replay_events([good, malformed, truncated]) == 1
+        assert registry.get_metric("ok_total").value == 2.0
+
+    def test_replay_is_additive(self):
+        registry = MetricsRegistry()
+        events = [("c", "adds_total", (), (), "Adds.", 1.0)]
+        registry.replay_events(events)
+        registry.replay_events(events)
+        assert registry.get_metric("adds_total").value == 2.0

@@ -335,3 +335,156 @@ class TestSLOEngine:
             _time.sleep(0.01)
         engine.close()
         assert engine._eval_counter.value >= 2
+
+
+class TestPersistence:
+    """save_state/load_state: window rings survive a simulated restart."""
+
+    def setup_method(self):
+        self.now = 0.0
+
+    def clock(self):
+        return self.now
+
+    def make_registry(self):
+        registry = MetricsRegistry()
+        exec_ms = registry.histogram(
+            "xks_query_exec_ms", labelnames=("band", "algorithm"),
+            buckets=EXEC_BUCKETS,
+        )
+        http = registry.counter(
+            "xks_http_requests_total", labelnames=("endpoint", "status")
+        )
+        return registry, exec_ms, http
+
+    def run_traffic(self, engine, exec_ms, http):
+        child = exec_ms.labels(band="1-9", algorithm="il")
+        for _ in range(5):
+            child.observe(50.0)   # bad: over the 5 ms threshold
+            child.observe(0.5)    # good
+            http.labels(endpoint="/search", status="ok").inc(4)
+            http.labels(endpoint="/search", status="error").inc()
+            self.now += 1.0
+            engine.evaluate()
+
+    def test_round_trip_restores_totals_and_windows(self, tmp_path):
+        path = str(tmp_path / "slo_state.json")
+        registry, exec_ms, http = self.make_registry()
+        engine = make_engine(registry, clock=self.clock)
+        self.run_traffic(engine, exec_ms, http)
+        before = {b["name"]: b for b in engine.evaluate()}
+        engine.save_state(path)
+        engine.close()
+
+        # "Restart": fresh registry (all metrics zero), fresh engine.
+        registry2, _, _ = self.make_registry()
+        engine2 = make_engine(registry2, clock=self.clock)
+        assert engine2.load_state(path) == 2
+        after = {b["name"]: b for b in engine2.evaluate()}
+        for name in ("lat", "avail"):
+            assert after[name]["total"] == before[name]["total"]
+            assert after[name]["error_budget_remaining"] == pytest.approx(
+                before[name]["error_budget_remaining"]
+            )
+        # The restored ring gives windowed burn continuity: essentially
+        # no wall time passed across the "restart", so every trailing
+        # window sees the same traffic it saw before the save.
+        for window, rate in after["avail"]["burn_rates"].items():
+            assert rate == pytest.approx(
+                before["avail"]["burn_rates"][window]
+            ), window
+        engine2.close()
+
+    def test_save_chains_across_restarts(self, tmp_path):
+        path = str(tmp_path / "slo_state.json")
+        registry, exec_ms, http = self.make_registry()
+        engine = make_engine(registry, clock=self.clock)
+        self.run_traffic(engine, exec_ms, http)
+        engine.save_state(path)
+        engine.close()
+
+        registry2, exec2, http2 = self.make_registry()
+        engine2 = make_engine(registry2, clock=self.clock)
+        engine2.load_state(path)
+        self.run_traffic(engine2, exec2, http2)  # second life's traffic
+        engine2.save_state(path)  # baseline + new events, re-serialized
+        engine2.close()
+
+        registry3, _, _ = self.make_registry()
+        engine3 = make_engine(registry3, clock=self.clock)
+        assert engine3.load_state(path) == 2
+        blocks = {b["name"]: b for b in engine3.evaluate()}
+        assert blocks["avail"]["total"] == 50.0  # 25 per life, twice
+        engine3.close()
+
+    def test_stale_file_ignored(self, tmp_path):
+        path = tmp_path / "slo_state.json"
+        registry, exec_ms, http = self.make_registry()
+        engine = make_engine(registry, clock=self.clock)
+        self.run_traffic(engine, exec_ms, http)
+        engine.save_state(str(path))
+        engine.close()
+        # Age the file beyond every SLO window.
+        data = json.loads(path.read_text())
+        data["saved_at"] -= 365 * 86400.0
+        path.write_text(json.dumps(data))
+        registry2, _, _ = self.make_registry()
+        engine2 = make_engine(registry2, clock=self.clock)
+        assert engine2.load_state(str(path)) == 0
+        blocks = {b["name"]: b for b in engine2.evaluate()}
+        assert blocks["avail"]["total"] == 0.0
+        engine2.close()
+
+    def test_old_ring_entries_clamped_out(self, tmp_path):
+        path = tmp_path / "slo_state.json"
+        registry, exec_ms, http = self.make_registry()
+        engine = make_engine(registry, clock=self.clock)
+        self.run_traffic(engine, exec_ms, http)
+        engine.save_state(str(path))
+        engine.close()
+        data = json.loads(path.read_text())
+        # Push every ring entry far past the horizon; cumulative survives.
+        for entry in data["slos"].values():
+            for item in entry["ring"]:
+                item[0] -= 7 * 86400.0
+        path.write_text(json.dumps(data))
+        registry2, _, _ = self.make_registry()
+        engine2 = make_engine(registry2, clock=self.clock)
+        assert engine2.load_state(str(path)) == 2
+        blocks = {b["name"]: b for b in engine2.evaluate()}
+        assert blocks["avail"]["total"] == 25.0  # baseline kept
+        engine2.close()
+
+    def test_missing_corrupt_and_wrong_version(self, tmp_path):
+        registry, _, _ = self.make_registry()
+        engine = make_engine(registry, clock=self.clock)
+        assert engine.load_state(str(tmp_path / "nope.json")) == 0
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        assert engine.load_state(str(corrupt)) == 0
+        import time as _time
+
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps(
+            {"version": 99, "saved_at": _time.time(), "slos": {}}
+        ))
+        assert engine.load_state(str(wrong)) == 0
+        engine.close()
+
+    def test_mismatched_slo_skipped_rest_restore(self, tmp_path):
+        path = tmp_path / "slo_state.json"
+        registry, exec_ms, http = self.make_registry()
+        engine = make_engine(registry, clock=self.clock)
+        self.run_traffic(engine, exec_ms, http)
+        engine.save_state(str(path))
+        engine.close()
+        data = json.loads(path.read_text())
+        data["slos"]["lat"]["kind"] = "availability"  # shape change
+        path.write_text(json.dumps(data))
+        registry2, _, _ = self.make_registry()
+        engine2 = make_engine(registry2, clock=self.clock)
+        assert engine2.load_state(str(path)) == 1  # avail only
+        blocks = {b["name"]: b for b in engine2.evaluate()}
+        assert blocks["avail"]["total"] == 25.0
+        assert blocks["lat"]["total"] == 0.0
+        engine2.close()

@@ -1,0 +1,166 @@
+"""Fleet aggregation: heartbeat snapshots, liveness, crash/respawn."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.obs.fleet import FleetCollector
+from repro.obs.metrics import MetricsRegistry
+from repro.index.builder import build_index
+from repro.xksearch.parallel import WorkerPool
+from repro.xmltree.generate import dblp_like_tree, plant_keywords
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process pool requires the fork start method",
+)
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory):
+    tree = dblp_like_tree(7, venues=3, years_per_venue=3, papers_per_year=8)
+    plant_keywords(tree, {"xkmid": 12, "xkbig": 30}, seed=7)
+    target = tmp_path_factory.mktemp("fleet") / "idx"
+    build_index(tree, target, page_size=1024)
+    return target
+
+
+def sample_map(registry):
+    """{(name, worker-label): value} for every xks_worker_* sample."""
+    out = {}
+    for sample in registry.collect():
+        if sample.name.startswith("xks_worker_"):
+            out[(sample.name, sample.labels.get("worker"))] = sample.value
+    return out
+
+
+class TestFleetCollector:
+    def test_poll_merges_every_worker(self, index_dir):
+        registry = MetricsRegistry()
+        pool = WorkerPool(index_dir, workers=2)
+        fleet = FleetCollector(pool, registry=registry, heartbeat_s=0.1)
+
+        def fleet_total(samples):
+            return sum(
+                value
+                for (name, _), value in samples.items()
+                if name == "xks_worker_queries_total"
+            )
+
+        try:
+            # Forked workers inherit whatever this process's global
+            # registry already counted — measure the increase, not the
+            # absolute value.
+            assert fleet.poll() == 2
+            base = fleet_total(sample_map(registry))
+            for _ in range(3):
+                pool.execute("slca", ["xkmid", "xkbig"], "auto", 0)
+            answered = fleet.poll()
+            assert answered == 2
+            samples = sample_map(registry)
+            assert samples[("xks_worker_up", "0")] == 1.0
+            assert samples[("xks_worker_up", "1")] == 1.0
+            # Worker-side executions surface as per-worker rollups, and
+            # the fleet total matches what the pool dispatched.
+            assert fleet_total(samples) - base == 3.0
+            for worker in ("0", "1"):
+                assert samples[("xks_worker_snapshot_age_seconds", worker)] >= 0
+        finally:
+            fleet.close()
+            pool.close()
+
+    def test_crashed_worker_goes_down_respawn_appears(self, index_dir):
+        registry = MetricsRegistry()
+        pool = WorkerPool(index_dir, workers=1)
+        fleet = FleetCollector(
+            pool, registry=registry, heartbeat_s=5.0, stale_after_s=0.05
+        )
+        try:
+            assert fleet.poll() == 1
+            victim = pool._workers[0]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            # The dead worker is retired (and respawned) at the next
+            # heartbeat — that pass yields no snapshot; the respawn, on a
+            # fresh worker id, answers the one after.
+            assert fleet.poll() == 0
+            assert pool.respawns == 1
+            assert fleet.poll() == 1
+            samples = sample_map(registry)
+            assert samples[("xks_worker_up", "1")] == 1.0  # the respawn
+            time.sleep(0.06)
+            samples = sample_map(registry)
+            # Worker 0's last snapshot is now past stale_after_s.
+            assert samples[("xks_worker_up", "0")] == 0.0
+            assert samples[("xks_worker_up", "1")] in (0.0, 1.0)
+        finally:
+            fleet.close()
+            pool.close()
+
+    def test_statz_dict_shape(self, index_dir):
+        registry = MetricsRegistry()
+        pool = WorkerPool(index_dir, workers=1)
+        fleet = FleetCollector(pool, registry=registry, heartbeat_s=0.1)
+        try:
+            fleet.poll()
+            (entry,) = fleet.statz_dict()["workers"].values()
+            base = entry["queries_total"]  # fork-inherited parent counts
+            pool.execute("slca", ["xkmid"], "auto", 0)
+            fleet.poll()
+            payload = fleet.statz_dict()
+            assert payload["heartbeat_s"] == 0.1
+            assert payload["heartbeats"] == 2
+            (entry,) = payload["workers"].values()
+            assert entry["up"] is True
+            assert entry["pid"] > 0
+            assert entry["queries_total"] - base == 1.0
+            assert "tracing" in entry["heap"]
+            assert "top" not in entry["heap"]
+        finally:
+            fleet.close()
+            pool.close()
+
+    def test_heartbeat_thread_runs(self, index_dir):
+        registry = MetricsRegistry()
+        pool = WorkerPool(index_dir, workers=1)
+        fleet = FleetCollector(pool, registry=registry, heartbeat_s=0.05)
+        fleet.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while fleet.heartbeats < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert fleet.heartbeats >= 2
+            assert sample_map(registry)[("xks_worker_up", "0")] == 1.0
+        finally:
+            fleet.close()
+            pool.close()
+        # close() unregisters the collector: no more fleet samples.
+        assert sample_map(registry) == {}
+
+    def test_merged_profile_sums_worker_stacks(self, index_dir):
+        registry = MetricsRegistry()
+        pool = WorkerPool(index_dir, workers=2, profile_hz=200.0)
+        fleet = FleetCollector(pool, registry=registry, heartbeat_s=5.0)
+        try:
+            # Give the worker-side samplers time to take some stacks.
+            deadline = time.monotonic() + 5.0
+            merged = {}
+            while time.monotonic() < deadline:
+                fleet.poll()
+                merged = fleet.merged_profile()
+                if merged:
+                    break
+                time.sleep(0.05)
+            assert merged, "no worker profiler stacks arrived"
+            assert all(count > 0 for count in merged.values())
+            samples = sample_map(registry)
+            profile_total = sum(
+                value
+                for (name, _), value in samples.items()
+                if name == "xks_worker_profile_samples_total"
+            )
+            assert profile_total > 0
+        finally:
+            fleet.close()
+            pool.close()

@@ -186,12 +186,73 @@ class TestDegradation:
             assert pool.respawns == 1
             assert pool.alive == 1
             # The respawned worker serves the next request.
-            ids, counters, exec_ms, shared_hit, admission = pool.execute(
-                "slca", ["xkmid"], "auto", 0
-            )
-            assert isinstance(ids, tuple)
+            task = pool.execute("slca", ["xkmid"], "auto", 0)
+            assert isinstance(task.ids, tuple)
         finally:
             pool.close()
+
+    def test_telemetry_return_path(self, pooled):
+        """Workers ship metric events + spans stamped with the parent's
+        trace context; replaying them makes the parent registry exact."""
+        from repro.obs.metrics import MetricsRegistry
+
+        _, _, pool, _ = pooled
+        task = pool.execute(
+            "slca",
+            ["xkmid", "xkbig"],
+            "auto",
+            0,
+            trace_id="cafecafecafecafecafecafecafecafe",
+            want_spans=True,
+        )
+        assert task.events, "worker shipped no metric events"
+        names = {event[1] for event in task.events}
+        assert "xks_queries_total" in names
+        assert "xks_query_exec_ms" in names
+        # The worker-side exec histogram observation carries the parent's
+        # trace id — that's what restores exemplars for pooled queries.
+        exec_events = [
+            event for event in task.events
+            if event[0] == "h" and event[1] == "xks_query_exec_ms"
+        ]
+        assert exec_events
+        assert all(
+            event[7] == "cafecafecafecafecafecafecafecafe"
+            for event in exec_events
+        )
+        # Spans: a worker-attributed root wrapping the execution.
+        assert task.spans is not None
+        assert task.spans["name"] == "worker"
+        assert task.spans["attrs"]["worker"] == task.worker
+        child_names = {child["name"] for child in task.spans["children"]}
+        assert "worker.execute" in child_names
+        # Replaying the events into a fresh registry reproduces the
+        # worker's counters, exemplar included.
+        registry = MetricsRegistry()
+        applied = registry.replay_events(task.events)
+        assert applied == len(task.events)
+        rendered = registry.render()
+        assert "xks_queries_total" in rendered
+        assert "cafecafecafecafecafecafecafecafe" in rendered
+
+    def test_spans_off_by_default(self, pooled):
+        _, _, pool, _ = pooled
+        task = pool.execute("slca", ["xkmid"], "auto", 0)
+        assert task.spans is None
+        assert task.events  # telemetry events always ship
+
+    def test_collect_snapshots_round_trip(self, pooled):
+        _, _, pool, _ = pooled
+        pool.execute("slca", ["xkmid"], "auto", 0)
+        snapshots = pool.collect_snapshots()
+        assert len(snapshots) == pool.size
+        for payload in snapshots:
+            assert payload["pid"] > 0
+            assert isinstance(payload["samples"], list)
+            assert payload["heap"]["tracing"] is False
+        # Workers went back to the idle queue: the pool still serves.
+        task = pool.execute("slca", ["xkmid"], "auto", 0)
+        assert isinstance(task.ids, tuple)
 
     def test_worker_error_degrades_not_fails(self, pooled):
         system, reference, _, _ = pooled

@@ -236,3 +236,197 @@ class TestAlertz:
         _, body = fetch(f"{slo_server_url}/metrics")
         assert 'xks_alert_state{alert="srv-avail:fast"} 0' in body
         assert 'xks_slo_error_budget_remaining{slo="srv-avail"} 1' in body
+
+
+class TestProfilingEndpoints:
+    @pytest.fixture(scope="class")
+    def profiled_url(self):
+        from repro.obs.profiling import SamplingProfiler, stop_heap_tracking
+        from repro.xksearch.system import XKSearch
+
+        system = XKSearch.from_tree(school_tree())
+        profiler = SamplingProfiler(hz=200.0).start()
+        server = make_server(system, port=0, profiler=profiler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        stop_heap_tracking()
+
+    def test_pprof_cumulative_json(self, profiled_url):
+        status, _, payload = fetch_json(f"{profiled_url}/debug/pprof")
+        assert status == 200
+        assert payload["enabled"] is True
+        assert payload["totals"]["hz"] == 200.0
+        # stacks keys are folded frames: file:func;file:func;...
+        for stack in payload["stacks"]:
+            assert ":" in stack
+
+    def test_pprof_window_and_folded(self, profiled_url):
+        status, body = fetch(
+            f"{profiled_url}/debug/pprof?seconds=0.1&format=folded"
+        )
+        assert status == 200
+        for line in body.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert ";" in stack or ":" in stack
+
+    def test_pprof_bad_seconds(self, profiled_url):
+        for bad in ("abc", "-1", "61"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(f"{profiled_url}/debug/pprof?seconds={bad}")
+            assert err.value.code == 400
+
+    def test_heap_toggle_and_snapshot(self, profiled_url):
+        status, _, payload = fetch_json(f"{profiled_url}/debug/heap")
+        assert status == 200
+        assert payload["tracking"] is False
+        assert payload["parent"] == {"tracing": False, "top": []}
+        status, _, payload = fetch_json(
+            f"{profiled_url}/debug/heap?start=1&top=5"
+        )
+        assert payload["tracking"] is True
+        status, _, payload = fetch_json(f"{profiled_url}/debug/heap?top=5")
+        assert payload["parent"]["tracing"] is True
+        assert payload["parent"]["current_kb"] > 0
+        assert len(payload["parent"]["top"]) <= 5
+        status, _, payload = fetch_json(f"{profiled_url}/debug/heap?stop=1")
+        assert payload["tracking"] is False
+
+    def test_statz_has_profiler_section(self, profiled_url):
+        status, _, payload = fetch_json(f"{profiled_url}/statz")
+        assert status == 200
+        assert payload["profiler"]["hz"] == 200.0
+
+    def test_pprof_disabled_without_profiler(self, server_url):
+        status, _, payload = fetch_json(f"{server_url}/debug/pprof")
+        assert status == 200
+        assert payload["enabled"] is False
+
+
+class TestCrossProcessTelemetry:
+    """Pooled serving: worker spans under the request trace, fleet /statz,
+    and exact /metrics totals (no telemetry loss past the fork)."""
+
+    @pytest.fixture(scope="class")
+    def pooled_server(self, tmp_path_factory):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("process pool requires the fork start method")
+        from repro.index.builder import build_index
+        from repro.obs.export import MemorySink, TraceExporter
+        from repro.obs.fleet import FleetCollector
+        from repro.obs.metrics import get_registry
+        from repro.obs.tracing import Tracer
+        from repro.xksearch.parallel import WorkerPool
+        from repro.xmltree.generate import dblp_like_tree, plant_keywords
+
+        tree = dblp_like_tree(7, venues=3, years_per_venue=3, papers_per_year=8)
+        plant_keywords(tree, {"xkmid": 15, "xkbig": 40}, seed=5)
+        index_dir = tmp_path_factory.mktemp("pooled_server") / "idx"
+        build_index(tree, index_dir, page_size=1024)
+        pool = WorkerPool(index_dir, workers=2)
+        system = XKSearch.open(index_dir, load_document=False)
+        system.engine.attach_pool(pool)
+        fleet = FleetCollector(pool, heartbeat_s=60.0)  # poll manually
+        sink = MemorySink()
+        exporter = TraceExporter(sink)
+        server = make_server(
+            system,
+            port=0,
+            tracer=Tracer(sample_rate=1.0),
+            exporter=exporter,
+            fleet=fleet,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        yield f"http://{host}:{port}", sink, exporter, fleet, get_registry()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        pool.close()
+        system.close()
+
+    def test_worker_spans_land_under_request_trace(self, pooled_server):
+        url, sink, exporter, _, _ = pooled_server
+        trace_id = "feedbeef" * 2  # 16-hex trace id
+        request = urllib.request.Request(
+            f"{url}/api/search?q=xkmid+xkbig",
+            headers={"X-Trace-Id": trace_id},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.loads(response.read())
+            assert response.headers["X-Trace-Id"] == trace_id
+        assert payload["count"] > 0
+        # The handler submits the finished trace after the response is
+        # written, so wait for it rather than racing a single flush.
+        import time
+
+        deadline = time.monotonic() + 10.0
+        records = []
+        while not records and time.monotonic() < deadline:
+            exporter.flush(5.0)
+            records = [
+                r for r in sink.records
+                if r.get("kind") == "trace" and r.get("trace_id") == trace_id
+            ]
+            if not records:
+                time.sleep(0.02)
+        assert len(records) == 1
+        (record,) = records
+        assert record["attrs"].get("pooled") is True
+        worker_spans = [
+            child for child in record["children"] if child["name"] == "worker"
+        ]
+        assert len(worker_spans) == 1
+        (worker_span,) = worker_spans
+        assert worker_span["attrs"]["pid"] > 0
+        assert worker_span["attrs"]["semantics"] == "slca"
+        child_names = {c["name"] for c in worker_span["children"]}
+        assert child_names == {"worker.generation", "worker.execute"}
+
+    def test_metrics_totals_are_fleet_exact(self, pooled_server):
+        url, _, _, fleet, registry = pooled_server
+
+        def queries_total():
+            return sum(
+                sample.value
+                for sample in registry.collect()
+                if sample.name == "xks_queries_total"
+            )
+
+        before = queries_total()
+        for query in ("xkmid", "xkbig", "xkmid+xkbig"):
+            status, _, _ = fetch_json(f"{url}/api/search?q={query}")
+            assert status == 200
+        # Zero telemetry loss: every pool-executed query was replayed
+        # into the parent registry, none double-counted.
+        assert queries_total() == before + 3
+        # And the worker-side exec histogram events arrived too.
+        exec_count = sum(
+            sample.value
+            for sample in registry.collect()
+            if sample.name == "xks_query_exec_ms_count"
+        )
+        assert exec_count >= 3
+
+    def test_statz_fleet_section(self, pooled_server):
+        url, _, _, fleet, _ = pooled_server
+        fetch_json(f"{url}/api/search?q=xkmid")
+        fleet.poll()
+        status, _, payload = fetch_json(f"{url}/statz")
+        assert status == 200
+        assert len(payload["fleet"]["workers"]) == 2
+        for entry in payload["fleet"]["workers"].values():
+            assert entry["up"] is True
+        total = sum(
+            entry["queries_total"]
+            for entry in payload["fleet"]["workers"].values()
+        )
+        assert total >= 1.0
