@@ -29,7 +29,13 @@ cache exploits.  This benchmark measures that end to end:
    plus the parent's continuous :class:`SamplingProfiler`, paired per
    round (``fleet_obs`` section; the full run fails above
    ``--max-fleet-overhead``, default 3%),
-8. report QPS, p50/p99 latency and the cache hit rate, and write
+8. measure the robustness stack's request-path cost: the cache-miss
+   replay with and without end-to-end deadlines (a generous
+   server-default budget bound and checkpointed on every request), an
+   :class:`AdmissionGate` on the connection path, and checksum-verified
+   storage reads, paired per round (``robustness_overhead`` section;
+   the full run fails above ``--max-robustness-overhead``, default 3%),
+9. report QPS, p50/p99 latency and the cache hit rate, and write
    ``BENCH_qps.json`` so later PRs can track the trajectory.
 
 Run::
@@ -64,6 +70,7 @@ from repro.obs.metrics import set_instrumentation_enabled
 from repro.obs.profiling import SamplingProfiler
 from repro.obs.slo import SLOEngine
 from repro.obs.tracing import Tracer
+from repro.robustness.admission import AdmissionGate
 from repro.workloads.datasets import PlantedCorpus, keyword_name
 from repro.xksearch.cache import QueryCache
 from repro.xksearch.parallel import WorkerPool
@@ -306,6 +313,13 @@ def main(argv=None) -> int:
         help="fail above this fleet-observability overhead %% "
         "(default: 3.0 full, off for --smoke)",
     )
+    parser.add_argument(
+        "--max-robustness-overhead",
+        type=float,
+        default=None,
+        help="fail above this robustness-stack overhead %% "
+        "(default: 3.0 full, off for --smoke)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -321,6 +335,9 @@ def main(argv=None) -> int:
     max_fleet_overhead = args.max_fleet_overhead
     if max_fleet_overhead is None:
         max_fleet_overhead = float("inf") if args.smoke else 3.0
+    max_robustness_overhead = args.max_robustness_overhead
+    if max_robustness_overhead is None:
+        max_robustness_overhead = float("inf") if args.smoke else 3.0
     if args.scale_procs is None:
         args.scale_procs = "1,2" if args.smoke else "1,2,4,8"
     proc_counts = [int(n) for n in args.scale_procs.split(",") if n.strip()]
@@ -535,6 +552,61 @@ def main(argv=None) -> int:
                     if base
                 ]
 
+                # Robustness-stack overhead: the cache-miss replay with
+                # every request-path protection live at once — a generous
+                # server-default deadline (bound + admission-checked +
+                # stride-checkpointed inside the algorithm loops), the
+                # admission gate's enter/decide/note_latency accounting
+                # (limits set sky-high so nothing actually sheds), and
+                # checksum-verified storage reads (a second XKSearch over
+                # the same files with per-block CRC verification on).
+                # Paired per round like the phases above; cache off so
+                # every request actually executes against storage.
+                robust_round_count = 1 if args.smoke else 3
+                robust_rounds = {"off": [], "on": []}
+                robust_gate = AdmissionGate(
+                    soft_limit=1_000_000, hard_limit=2_000_000
+                )
+                system_verify = XKSearch.open(
+                    index_dir, load_document=False, verify_checksums=True
+                )
+                system.engine.cache = None
+                try:
+                    handler.system = system_verify
+                    replay(base_url, pool, args.threads)  # warm, unmeasured
+                    handler.system = system
+                    for _ in range(robust_round_count):
+                        wall_b, lat_b = replay(base_url, sequence, args.threads)
+                        robust_rounds["off"].append((wall_b, len(lat_b)))
+                        handler.system = system_verify
+                        handler.gate = robust_gate
+                        handler.default_timeout_ms = 30_000.0
+                        server.admission_gate = robust_gate
+                        try:
+                            wall_r, lat_r = replay(
+                                base_url, sequence, args.threads
+                            )
+                        finally:
+                            handler.system = system
+                            handler.gate = None
+                            handler.default_timeout_ms = None
+                            server.admission_gate = None
+                        robust_rounds["on"].append((wall_r, len(lat_r)))
+                finally:
+                    system_verify.close()
+                    system.engine.cache = cache
+                robust_gate_stats = robust_gate.stats_dict()
+                assert robust_gate_stats["shed"] == 0, robust_gate_stats
+                robust_qps = {
+                    key: [n / wall for wall, n in robust_rounds[key]]
+                    for key in robust_rounds
+                }
+                robustness_overhead_rounds = [
+                    round((base - live) / base * 100, 2)
+                    for base, live in zip(robust_qps["off"], robust_qps["on"])
+                    if base
+                ]
+
                 # Cross-process observability overhead: the cache-miss
                 # replay dispatched to a dedicated 2-worker pool, once
                 # bare and once with the whole fleet stack live — a
@@ -662,6 +734,24 @@ def main(argv=None) -> int:
         f"{slo_qps_off:.1f} qps bare -> {slo_qps_on:.1f} qps with evaluation "
         f"+ shipping by medians)"
     )
+    robustness_overhead_pct = (
+        round(statistics.median(robustness_overhead_rounds), 2)
+        if robustness_overhead_rounds
+        else 0.0
+    )
+    robust_qps_off = (
+        round(statistics.median(robust_qps["off"]), 1) if robust_qps["off"] else 0.0
+    )
+    robust_qps_on = (
+        round(statistics.median(robust_qps["on"]), 1) if robust_qps["on"] else 0.0
+    )
+    print(
+        f"  robustness overhead: {robustness_overhead_pct:+.2f}% QPS "
+        f"(paired rounds {robustness_overhead_rounds}; "
+        f"{robust_qps_off:.1f} qps bare -> {robust_qps_on:.1f} qps with "
+        f"deadlines + admission gate + checksum verification by medians; "
+        f"{robust_gate_stats['admitted']} admitted, 0 shed)"
+    )
     fleet_overhead_pct = (
         round(statistics.median(fleet_overhead_rounds), 2)
         if fleet_overhead_rounds
@@ -734,6 +824,15 @@ def main(argv=None) -> int:
             "overhead_pct": slo_overhead_pct,
             "overhead_pct_rounds": slo_overhead_rounds,
         },
+        "robustness_overhead": {
+            "rounds": len(robustness_overhead_rounds),
+            "qps_robust_off": robust_qps_off,
+            "qps_robust_on": robust_qps_on,
+            "overhead_pct": robustness_overhead_pct,
+            "overhead_pct_rounds": robustness_overhead_rounds,
+            "default_timeout_ms": 30_000.0,
+            "admitted": robust_gate_stats["admitted"],
+        },
         "fleet_obs": {
             "enabled": bool(fleet_overhead_rounds),
             "rounds": len(fleet_overhead_rounds),
@@ -760,6 +859,15 @@ def main(argv=None) -> int:
         print(
             f"FAIL: fleet observability overhead {fleet_overhead_pct:+.2f}% "
             f"above allowed {max_fleet_overhead:.2f}%"
+        )
+        return 1
+    if (
+        robustness_overhead_rounds
+        and robustness_overhead_pct > max_robustness_overhead
+    ):
+        print(
+            f"FAIL: robustness overhead {robustness_overhead_pct:+.2f}% "
+            f"above allowed {max_robustness_overhead:.2f}%"
         )
         return 1
     return 0

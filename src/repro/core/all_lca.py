@@ -31,6 +31,7 @@ from typing import Iterator, List, Optional, Sequence
 from repro.core.counters import OpCounters
 from repro.core.indexed_lookup import eager_slca
 from repro.core.sources import MatchSource, SortedListSource
+from repro.robustness.deadline import checkpoint
 from repro.xmltree.dewey import (
     DeweyTuple,
     ancestors,
@@ -87,6 +88,7 @@ def find_all_lcas(
     if current is None:
         return
     for nxt in slcas:
+        checkpoint("execute")
         yield current
         boundary = lca(current, nxt)
         for ancestor in ancestors(current, stop=boundary):

@@ -28,6 +28,7 @@ from typing import Iterator, List, Optional, Sequence, Set
 
 from repro.core.counters import OpCounters
 from repro.core.stack import _merge_with_masks
+from repro.robustness.deadline import checkpoint
 from repro.xmltree.dewey import DeweyTuple
 
 
@@ -82,6 +83,7 @@ def stack_elca(
                 excl_masks[-1] |= exclusive
 
     for dewey, mask in _merge_with_masks(lists):
+        checkpoint("execute")
         counters.nodes_merged += 1
         counters.lca_ops += 1
         keep = 0

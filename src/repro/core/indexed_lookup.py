@@ -32,6 +32,7 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.core.counters import OpCounters
 from repro.core.sources import MatchSource, SortedListSource
+from repro.robustness.deadline import checkpoint
 from repro.xmltree.dewey import DeweyTuple, lca
 
 
@@ -82,6 +83,7 @@ def eager_slca(
     others = sources[1:]
     held: Optional[DeweyTuple] = None
     for v in sources[0].scan():
+        checkpoint("execute")
         x = slca_candidate(v, others, counters)
         counters.candidates += 1
         if held is None:
@@ -145,6 +147,7 @@ def indexed_lookup_blocked(
     block: List[DeweyTuple] = []
     seen_any = False
     for v in sources[0].scan():
+        checkpoint("execute")
         seen_any = True
         x = slca_candidate(v, others, counters)
         counters.candidates += 1

@@ -25,6 +25,7 @@ import itertools
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.counters import OpCounters
+from repro.robustness.deadline import checkpoint
 from repro.xmltree.dewey import DeweyTuple
 
 
@@ -101,6 +102,7 @@ def stack_slca(
             masks[-1] |= mask
 
     for dewey, mask in _merge_with_masks(lists):
+        checkpoint("execute")
         counters.nodes_merged += 1
         # Longest common prefix with the current stack path: one Dewey
         # comparison per arriving node, as in XRANK.

@@ -43,6 +43,20 @@ class TreeCorruptError(StorageError):
     """A B+tree invariant was violated while reading an index file."""
 
 
+class CorruptionError(StorageError):
+    """A stored checksum did not match the bytes read back (bit rot,
+    torn write, or an injected fault).
+
+    ``tier`` names the storage layer that detected it (``"segment"`` or
+    ``"bptree"``); the serving path uses it to decide whether a
+    transparent re-answer from the redundant tier is possible.
+    """
+
+    def __init__(self, message: str, tier: str = "unknown"):
+        self.tier = tier
+        super().__init__(message)
+
+
 class IndexError_(ReproError):
     """Base class for inverted-index failures.
 
@@ -61,6 +75,21 @@ class IndexFormatError(IndexError_):
 
 class QueryError(ReproError):
     """The keyword query was malformed (e.g. empty keyword list)."""
+
+
+class DeadlineExceeded(ReproError):
+    """A request's end-to-end deadline expired before the answer was done.
+
+    Raised at cooperative checkpoints inside the algorithm loops and at
+    the worker-pool admission boundary; the serving layer turns it into a
+    structured 504.  ``phase`` says where the budget ran out (``"execute"``,
+    ``"admission"``, ``"worker"``, …) and labels
+    ``xks_deadline_exceeded_total``.
+    """
+
+    def __init__(self, message: str = "deadline exceeded", phase: str = "execute"):
+        self.phase = phase
+        super().__init__(message)
 
 
 class PoolError(ReproError):

@@ -154,6 +154,7 @@ class DiskKeywordIndex:
         pin_internal: bool = True,
         mmap_mode: bool = False,
         use_segments: bool = True,
+        verify_checksums: bool = False,
     ):
         # Imported lazily: repro.xksearch imports this module at package
         # init, so a top-level import here would be circular.
@@ -181,7 +182,10 @@ class DiskKeywordIndex:
             # The pager would silently create an empty file, turning a
             # damaged installation into silently-empty search results.
             raise IndexNotFoundError(f"missing index file at {index_file}")
-        self.pager = Pager(index_file, readonly=mmap_mode)
+        self.verify_checksums = verify_checksums
+        self.pager = Pager(
+            index_file, readonly=mmap_mode, verify_checksums=verify_checksums
+        )
         self.pool = BufferPool(self.pager, capacity=pool_capacity, direct=mmap_mode)
         self._open_trees()
         self.use_segments = use_segments
@@ -227,7 +231,11 @@ class DiskKeywordIndex:
         if not os.path.exists(path):
             return
         try:
-            self._segments = SegmentReader(path, posting_cache=self._posting_cache)
+            self._segments = SegmentReader(
+                path,
+                posting_cache=self._posting_cache,
+                verify_checksums=self.verify_checksums,
+            )
         except (OSError, IndexFormatError) as exc:
             _log.warning(
                 "segments_unavailable", index_dir=self.index_dir, error=repr(exc)
@@ -248,7 +256,7 @@ class DiskKeywordIndex:
         process observing the bump) until the segments are rebuilt.
         """
         segments = self._segments
-        if segments is None:
+        if segments is None or segments.quarantined:
             return False
         from repro.xksearch.cache import current_generation
 

@@ -28,12 +28,24 @@ File layout (all integers big-endian)::
     header   magic "XKSG" | version u16 | flags u16 | generation u64
              | dir_offset u64 | dir_count u32 | block_entries u32
     segment  block_count u32 | skip_bytes u32
-             | skip entries: (rel_off u32 | count u32 | first_len u16
-               | first id as varint tuple) x block_count
+             | skip entries: (rel_off u32 | count u32 | crc u32
+               | first_len u16 | first id as varint tuple) x block_count
              | block data (rel_off is relative to its start)
     ...      one segment per keyword, back to back
     dir      (klen u16 | keyword utf-8 | seg_off u64 | count u32)
              x dir_count, at dir_offset
+
+Version 2 added the per-block ``crc`` skip-table field — a 32-bit
+checksum of the block's encoded bytes, computed at write time; header
+flags bit 0 records the polynomial (:mod:`repro.robustness.checksum`).
+Version 1 files (no crc) are still readable, just unverifiable.  When a
+reader opened with ``verify_checksums`` sees a mismatch — or any reader
+hits a decode error — the whole file is **quarantined**: the reader
+raises :class:`~repro.errors.CorruptionError`, counts
+``xks_corruption_detected_total{tier="segment"}``, and flags itself so
+:meth:`~repro.index.inverted.DiskKeywordIndex.segments_active` routes
+every later query to the B+trees (the ground truth; answers are
+byte-identical).
 
 Decoded blocks are cached per process (a small LRU on the reader) and,
 when a :class:`~repro.xksearch.shared_cache.PostingBlockCache` is
@@ -57,7 +69,15 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.counters import OpCounters
 from repro.core.sources import gallop_leftmost_ge, gallop_rightmost_le
-from repro.errors import IndexFormatError
+from repro.errors import CorruptionError, IndexFormatError
+from repro.robustness import faultinject
+from repro.robustness.checksum import (
+    ALGORITHM,
+    algorithm_flag,
+    algorithm_from_flag,
+    checksum,
+    count_corruption,
+)
 from repro.storage.pager import open_readonly_mmap
 from repro.xmltree.dewey import DeweyTuple, common_prefix_len
 
@@ -68,9 +88,10 @@ SEGMENTS_NAME = "segments.dat"
 DEFAULT_BLOCK_ENTRIES = 128
 
 _MAGIC = b"XKSG"
-_VERSION = 1
+_VERSION = 2
 _HEADER = struct.Struct(">4sHHQQII")
-_SKIP_ENTRY = struct.Struct(">IIH")
+_SKIP_ENTRY_V1 = struct.Struct(">IIH")
+_SKIP_ENTRY = struct.Struct(">IIIH")
 _DIR_ENTRY_HEAD = struct.Struct(">H")
 _DIR_ENTRY_TAIL = struct.Struct(">QI")
 
@@ -204,7 +225,7 @@ def write_segments(
                 chunk = nodes[start:start + block_entries]
                 data = encode_block(chunk)
                 first = encode_tuple(chunk[0])
-                skip += _SKIP_ENTRY.pack(rel, len(chunk), len(first))
+                skip += _SKIP_ENTRY.pack(rel, len(chunk), checksum(data), len(first))
                 skip += first
                 data_parts.append(data)
                 rel += len(data)
@@ -221,7 +242,8 @@ def write_segments(
         fh.seek(0)
         fh.write(
             _HEADER.pack(
-                _MAGIC, _VERSION, 0, generation, offset, len(directory), block_entries
+                _MAGIC, _VERSION, algorithm_flag(ALGORITHM), generation,
+                offset, len(directory), block_entries,
             )
         )
         fh.flush()
@@ -234,9 +256,9 @@ def write_segments(
 
 
 class _SkipTable:
-    """One keyword's decoded skip table: block bounds and first ids."""
+    """One keyword's decoded skip table: block bounds, first ids, crcs."""
 
-    __slots__ = ("first_ids", "starts", "ends", "counts")
+    __slots__ = ("first_ids", "starts", "ends", "counts", "crcs")
 
     def __init__(
         self,
@@ -244,11 +266,13 @@ class _SkipTable:
         starts: List[int],
         ends: List[int],
         counts: List[int],
+        crcs: List[Optional[int]],
     ):
         self.first_ids = first_ids
         self.starts = starts
         self.ends = ends
         self.counts = counts
+        self.crcs = crcs
 
     def __len__(self) -> int:
         return len(self.first_ids)
@@ -287,11 +311,12 @@ class SegmentReader:
         path: str,
         posting_cache=None,
         local_cache_blocks: int = 256,
+        verify_checksums: bool = False,
     ):
         self.path = path
         self._map = open_readonly_mmap(path)
         try:
-            magic, version, _flags, generation, dir_offset, dir_count, block_entries = (
+            magic, version, flags, generation, dir_offset, dir_count, block_entries = (
                 _HEADER.unpack_from(self._map, 0)
             )
         except struct.error:
@@ -300,11 +325,18 @@ class SegmentReader:
         if magic != _MAGIC:
             self._map.close()
             raise IndexFormatError(f"segment file {path} has bad magic {magic!r}")
-        if version != _VERSION:
+        if version not in (1, _VERSION):
             self._map.close()
             raise IndexFormatError(
                 f"segment format version {version} is not supported"
             )
+        self.version = version
+        self.checksum_algorithm = (
+            algorithm_from_flag(flags & 1) if version >= 2 else None
+        )
+        # v1 files carry no checksums, so there is nothing to verify.
+        self.verify_checksums = verify_checksums and version >= 2
+        self.quarantined = False
         self.generation = generation
         self.block_entries = block_entries
         self.posting_cache = posting_cache
@@ -357,19 +389,30 @@ class SegmentReader:
         first_ids: List[DeweyTuple] = []
         starts: List[int] = []
         counts: List[int] = []
+        crcs: List[Optional[int]] = []
         for _ in range(block_count):
-            rel_off, count, first_len = _SKIP_ENTRY.unpack_from(self._map, pos)
-            pos += _SKIP_ENTRY.size
+            if self.version >= 2:
+                rel_off, count, crc, first_len = _SKIP_ENTRY.unpack_from(
+                    self._map, pos
+                )
+                pos += _SKIP_ENTRY.size
+            else:
+                rel_off, count, first_len = _SKIP_ENTRY_V1.unpack_from(
+                    self._map, pos
+                )
+                pos += _SKIP_ENTRY_V1.size
+                crc = None
             first, _ = decode_tuple(self._map, pos)
             pos += first_len
             first_ids.append(first)
             starts.append(data_base + rel_off)
             counts.append(count)
+            crcs.append(crc)
         # Blocks are laid out contiguously, so each block ends where the
         # next begins; the last ends where the next segment (or the
         # directory) starts.
         ends = starts[1:] + ([self._segment_end(seg_off)] if block_count else [])
-        table = _SkipTable(first_ids, starts, ends, counts)
+        table = _SkipTable(first_ids, starts, ends, counts, crcs)
         self._skip_tables[keyword] = table
         return table
 
@@ -400,10 +443,25 @@ class SegmentReader:
                 self._local_put(key, value)
                 return value
         table = self.skip_table(keyword)
+        start, end = table.starts[index], table.ends[index]
+        faultinject.maybe_delay("delay-io")
+        # The zero-copy path decodes straight from the mmap; a copy is
+        # made only when a corruption fault rewrites the bytes.
+        buf, pos, limit = self._map, start, end
+        if faultinject.fire("corrupt-block") is not None:
+            buf = faultinject.corrupt_bytes(bytes(self._map[start:end]))
+            pos, limit = 0, len(buf)
+        if self.verify_checksums:
+            expected = table.crcs[index]
+            if expected is not None and (
+                checksum(buf[pos:limit], self.checksum_algorithm) != expected
+            ):
+                raise self._quarantine(keyword, index, "checksum mismatch")
         started = time.perf_counter()
-        nodes = decode_block(
-            self._map, table.starts[index], table.ends[index], table.counts[index]
-        )
+        try:
+            nodes = decode_block(buf, pos, limit, table.counts[index])
+        except IndexFormatError as exc:
+            raise self._quarantine(keyword, index, str(exc)) from exc
         cost_ms = (time.perf_counter() - started) * 1000
         self.stats.decodes += 1
         self.stats.decode_ms += cost_ms
@@ -411,6 +469,21 @@ class SegmentReader:
             cache.store(("pblk",) + key, self.generation, nodes, cost_ms)
         self._local_put(key, nodes)
         return nodes
+
+    def _quarantine(self, keyword: str, index: int, reason: str) -> CorruptionError:
+        """Flag the whole file unusable and build the error to raise.
+
+        One bad block condemns the file: the writer produced it in a
+        single pass, so damage is evidence about the medium, not the
+        block.  ``segments_active`` routes all later queries to the
+        B+trees; the current query's engine retries against them too.
+        """
+        self.quarantined = True
+        count_corruption("segment")
+        return CorruptionError(
+            f"segment block {keyword!r}#{index} of {self.path}: {reason}",
+            tier="segment",
+        )
 
     def _local_put(self, key, nodes) -> None:
         local = self._local
@@ -434,6 +507,9 @@ class SegmentReader:
         out["block_entries"] = self.block_entries
         out["local_cached_blocks"] = len(self._local)
         out["shared_cache"] = self.posting_cache is not None
+        out["version"] = self.version
+        out["verify_checksums"] = self.verify_checksums
+        out["quarantined"] = self.quarantined
         return out
 
     # -- lifecycle -----------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Index integrity verification — ``xksearch verify``.
+"""Index integrity verification — ``xksearch verify`` / ``xksearch fsck``.
 
 Walks an index directory end to end and cross-checks every redundant
 structure against the others:
@@ -14,6 +14,12 @@ structure against the others:
 
 Returns a :class:`VerifyReport`; a non-empty ``errors`` list means the
 index should be rebuilt from the source document.
+
+``fsck_index`` (``xksearch fsck``) runs all of the above **plus** the
+stored-checksum sweeps from docs/ROBUSTNESS.md: every B+tree page is
+re-checksummed against the pager's ``.crc`` sidecar and every packed
+posting block against its per-block CRC in the v2 segment skip tables —
+the offline counterpart of ``serve --verify-checksums``.
 """
 
 from __future__ import annotations
@@ -75,6 +81,84 @@ def verify_index(index_dir: Union[str, os.PathLike]) -> VerifyReport:
         _check_scan_blocks(index, report, il_postings)
         _check_frequencies(index, report, il_postings)
     return report
+
+
+def fsck_index(index_dir: Union[str, os.PathLike]) -> VerifyReport:
+    """``verify_index`` plus the stored-checksum sweeps (``xksearch fsck``)."""
+    report = verify_index(index_dir)
+    _check_page_checksums(index_dir, report)
+    _check_segment_checksums(index_dir, report)
+    return report
+
+
+def _check_page_checksums(
+    index_dir: Union[str, os.PathLike], report: VerifyReport
+) -> None:
+    """Re-checksum every B+tree page against the ``.crc`` sidecar."""
+    from repro.errors import CorruptionError
+    from repro.index.builder import INDEX_FILE_NAME
+    from repro.storage.pager import Pager, crc_sidecar_path
+
+    index_file = os.path.join(os.fspath(index_dir), INDEX_FILE_NAME)
+    if not os.path.exists(crc_sidecar_path(index_file)):
+        report._fail(
+            f"no page-checksum sidecar at {crc_sidecar_path(index_file)} "
+            "(index predates checksummed storage; rebuild to create one)"
+        )
+        return
+    try:
+        pager = Pager(index_file, readonly=True, verify_checksums=True)
+    except ReproError as exc:
+        report._fail(f"pager open for checksum sweep: {exc}")
+        return
+    with pager:
+        covered = len(getattr(pager, "_page_crcs", {}))
+        if covered == 0:
+            report._fail("page-checksum sidecar holds no checksums")
+        # Page 0 is the header (parsed and validated at open); data pages
+        # start at 1.
+        for pid in range(1, pager.num_pages):
+            try:
+                pager.read_page(pid)
+            except CorruptionError as exc:
+                report._fail(f"page {pid}: {exc}")
+            except ReproError as exc:
+                report._fail(f"page {pid} unreadable: {exc}")
+    report.checks += 1
+
+
+def _check_segment_checksums(
+    index_dir: Union[str, os.PathLike], report: VerifyReport
+) -> None:
+    """Re-decode every packed posting block under checksum verification."""
+    from repro.errors import CorruptionError
+    from repro.index.segments import SegmentReader, segments_path
+
+    path = segments_path(index_dir)
+    if not os.path.exists(path):
+        return  # segments are optional; nothing to sweep
+    try:
+        reader = SegmentReader(path, verify_checksums=True)
+    except ReproError as exc:
+        report._fail(f"segments open for checksum sweep: {exc}")
+        return
+    with reader:
+        if reader.version < 2:
+            report._fail(
+                f"segments file is v{reader.version} (no per-block "
+                "checksums); rebuild to upgrade"
+            )
+            return
+        for keyword in reader.keywords():
+            try:
+                table = reader.skip_table(keyword)
+                for block_index in range(len(table)):
+                    reader.block(keyword, block_index)
+            except CorruptionError as exc:
+                report._fail(f"segment block for {keyword!r}: {exc}")
+            except ReproError as exc:
+                report._fail(f"segment list for {keyword!r} unreadable: {exc}")
+    report.checks += 1
 
 
 def _check_btree_structure(index: DiskKeywordIndex, report: VerifyReport) -> None:

@@ -439,6 +439,10 @@ class BackgroundExporter:
         attempts = 1 + max(0, self.max_retries)
         for attempt in range(attempts):
             try:
+                from repro.robustness import faultinject
+
+                if faultinject.fire("fail-export") is not None:
+                    raise RuntimeError("injected export failure")
                 self.sink.send(batch)
             except Exception as exc:
                 last_error = exc

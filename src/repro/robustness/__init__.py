@@ -1,0 +1,38 @@
+"""Cross-layer robustness: deadlines, overload control, fault injection.
+
+The failure-path half of the serving stack (docs/ROBUSTNESS.md):
+
+* :mod:`repro.robustness.deadline` — end-to-end request deadlines with
+  cooperative checkpoints inside the algorithm loops;
+* :mod:`repro.robustness.admission` — bounded admission gate shedding
+  load (429) by in-flight depth and recent-window p99, cheap |S1| bands
+  admitted preferentially;
+* :mod:`repro.robustness.breaker` — circuit breaker over the worker
+  pool (open after consecutive dispatch failures, half-open probe);
+* :mod:`repro.robustness.checksum` — the CRC implementation shared by
+  the packed posting segments and the pager sidecar;
+* :mod:`repro.robustness.faultinject` — deterministic, seeded fault
+  injection points driven by ``REPRO_FAULTS`` / ``serve --inject-fault``.
+"""
+
+from repro.robustness.admission import AdmissionGate
+from repro.robustness.breaker import CircuitBreaker
+from repro.robustness.deadline import (
+    Deadline,
+    bind_deadline,
+    checkpoint,
+    current_deadline,
+)
+from repro.robustness.faultinject import FaultPlan, fire, reset_plan
+
+__all__ = [
+    "AdmissionGate",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "bind_deadline",
+    "checkpoint",
+    "current_deadline",
+    "fire",
+    "reset_plan",
+]

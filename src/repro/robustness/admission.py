@@ -1,0 +1,176 @@
+"""Bounded admission gate: shed load before it queues unboundedly.
+
+The server's worker semaphore bounds *executing* requests, but threads
+blocked on it queue without limit — under sustained overload every
+request eventually times out instead of a few failing fast.  The gate
+sheds with **429 + Retry-After** at two watermarks over the in-flight
+depth (counted before the semaphore, so queued waiters are visible):
+
+* past the **hard** watermark every search request is shed;
+* past the **soft** watermark — or while the recent-window p99 exceeds
+  ``p99_watermark_ms`` — only *expensive* queries are shed.  Expense is
+  the paper's cost axis: every complexity bound is driven by ``|S1|``
+  (the smallest keyword-list frequency), so requests are classified by
+  their plan's frequency band and the cheap bands keep flowing.  This
+  keeps goodput high under overload: the queries shed are exactly the
+  ones that would have held a worker longest.
+
+Decisions count ``xks_admission_shed_total{reason}``; the live depth is
+the ``xks_inflight_requests`` gauge.  The p99 over the latency ring is
+cached and recomputed at most every ``p99_refresh_s`` so the per-request
+cost stays O(1).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry, instrumentation_enabled
+
+#: Bands shed first under soft overload (the expensive end of the
+#: paper's |S1| axis); cheaper bands are admitted preferentially.
+EXPENSIVE_BANDS = ("100-999", "1000+")
+
+#: Latency samples kept for the p99 watermark.
+_WINDOW = 512
+
+_log = get_logger("admission")
+
+
+class AdmissionGate:
+    """Watermark-based load shedding over an in-flight request counter."""
+
+    def __init__(
+        self,
+        soft_limit: int,
+        hard_limit: int,
+        p99_watermark_ms: Optional[float] = None,
+        p99_refresh_s: float = 0.5,
+        retry_after_s: int = 1,
+        window: int = _WINDOW,
+    ):
+        if soft_limit < 1:
+            raise ValueError("soft_limit must be at least 1")
+        if hard_limit < soft_limit:
+            raise ValueError("hard_limit must be >= soft_limit")
+        self.soft_limit = soft_limit
+        self.hard_limit = hard_limit
+        self.p99_watermark_ms = p99_watermark_ms
+        self.p99_refresh_s = p99_refresh_s
+        self.retry_after_s = retry_after_s
+        self._window = window
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._latencies: List[float] = []
+        self._cached_p99 = 0.0
+        self._p99_stamp = 0.0
+        self.shed = 0
+        self.admitted = 0
+
+    # -- in-flight accounting ------------------------------------------------
+
+    def enter(self) -> None:
+        """A request arrived (call before any queueing/semaphore wait)."""
+        with self._lock:
+            self._inflight += 1
+            depth = self._inflight
+        if instrumentation_enabled():
+            self._gauge().set(depth)
+
+    def exit(self) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            depth = self._inflight
+        if instrumentation_enabled():
+            self._gauge().set(depth)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def _gauge(self):
+        return get_registry().gauge(
+            "xks_inflight_requests",
+            "Requests currently in flight (queued or executing).",
+        )
+
+    # -- latency window ------------------------------------------------------
+
+    def note_latency(self, elapsed_ms: float) -> None:
+        """Feed one finished request's latency into the p99 window."""
+        with self._lock:
+            self._latencies.append(elapsed_ms)
+            if len(self._latencies) > self._window:
+                del self._latencies[: -self._window]
+
+    def window_p99(self) -> float:
+        """The recent-window p99, cached for ``p99_refresh_s``."""
+        now = time.monotonic()
+        with self._lock:
+            if now - self._p99_stamp >= self.p99_refresh_s:
+                if self._latencies:
+                    ordered = sorted(self._latencies)
+                    index = min(
+                        len(ordered) - 1, int(0.99 * (len(ordered) - 1) + 0.5)
+                    )
+                    self._cached_p99 = ordered[index]
+                else:
+                    self._cached_p99 = 0.0
+                self._p99_stamp = now
+            return self._cached_p99
+
+    # -- the decision --------------------------------------------------------
+
+    def decide(self, band: Optional[str] = None) -> Optional[str]:
+        """Admit (None) or shed (the reason string) one search request.
+
+        *band* is the query plan's |S1| frequency band when known;
+        ``None`` (unplannable/unknown) is treated as expensive — an
+        unknown cost must not slip past a saturation watermark.
+        """
+        with self._lock:
+            depth = self._inflight
+        if depth > self.hard_limit:
+            return self._shed("hard_limit", band)
+        expensive = band is None or band in EXPENSIVE_BANDS
+        if depth > self.soft_limit and expensive:
+            return self._shed("soft_limit", band)
+        if (
+            self.p99_watermark_ms is not None
+            and expensive
+            and self.window_p99() > self.p99_watermark_ms
+        ):
+            return self._shed("p99_watermark", band)
+        with self._lock:
+            self.admitted += 1
+        return None
+
+    def _shed(self, reason: str, band: Optional[str]) -> str:
+        with self._lock:
+            self.shed += 1
+        _log.warning("request_shed", reason=reason, band=band or "unknown")
+        if instrumentation_enabled():
+            get_registry().counter(
+                "xks_admission_shed_total",
+                "Search requests shed by the admission gate, by watermark.",
+                labelnames=("reason",),
+            ).labels(reason=reason).inc()
+        return reason
+
+    # -- observability -------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "soft_limit": self.soft_limit,
+                "hard_limit": self.hard_limit,
+                "p99_watermark_ms": self.p99_watermark_ms,
+                "window_p99_ms": round(self._cached_p99, 3),
+                "admitted": self.admitted,
+                "shed": self.shed,
+            }

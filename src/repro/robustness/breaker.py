@@ -1,0 +1,154 @@
+"""Circuit breaker over the worker pool.
+
+Before this existed, pool failure handling was purely reactive: every
+dispatch paid the full discovery cost (checkout, possibly a task
+timeout) before falling back in-thread, and once the respawn budget was
+exhausted the pool silently degraded to a permanent per-request failure
+loop.  The breaker makes the degraded state explicit and cheap:
+
+* **closed** — dispatches flow; consecutive failures are counted
+  (any success resets the streak);
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker opens for ``cooldown_s``: dispatches are refused up front
+  (the engine executes in-thread immediately, reason
+  ``breaker_open``), so a dead pool costs nothing per request;
+* **half-open** — after the cooldown, exactly one probe dispatch is
+  allowed through; success closes the breaker, failure re-opens it for
+  another cooldown.
+
+State is exported as ``xks_breaker_state`` (0=closed, 1=half-open,
+2=open) and every transition counts ``xks_breaker_transitions_total{to}``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_registry, instrumentation_enabled
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Consecutive failures that open the breaker.
+DEFAULT_FAILURE_THRESHOLD = 5
+
+#: Seconds the breaker stays open before allowing a probe.
+DEFAULT_COOLDOWN_S = 10.0
+
+_log = get_logger("breaker")
+
+
+class CircuitBreaker:
+    """Three-state breaker; thread-safe, monotonic-clock based."""
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+        name: str = "pool",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.name = name
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.transitions = 0
+        self._publish(CLOSED)
+
+    # -- decisions -----------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a dispatch go to the pool right now?
+
+        In the open state this flips to half-open (and admits the single
+        probe) once the cooldown has elapsed.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if time.monotonic() - self._opened_at < self.cooldown_s:
+                    return False
+                self._transition(HALF_OPEN)
+                self._probe_in_flight = True
+                return True
+            # half-open: exactly one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_in_flight = False
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN:
+                # The probe failed: back to a full cooldown.
+                self._opened_at = time.monotonic()
+                self._transition(OPEN)
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._opened_at = time.monotonic()
+                self._transition(OPEN)
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+                "transitions": self.transitions,
+            }
+
+    def _transition(self, to: str) -> None:
+        """Move to *to* (caller holds the lock)."""
+        if to == self._state:
+            return
+        _log.warning(
+            "breaker_transition", name=self.name, from_=self._state, to=to,
+            failures=self._failures,
+        )
+        self._state = to
+        self.transitions += 1
+        self._publish(to)
+        if instrumentation_enabled():
+            get_registry().counter(
+                "xks_breaker_transitions_total",
+                "Circuit-breaker state transitions, by target state.",
+                labelnames=("breaker", "to"),
+            ).labels(breaker=self.name, to=to).inc()
+
+    def _publish(self, state: str) -> None:
+        if instrumentation_enabled():
+            get_registry().gauge(
+                "xks_breaker_state",
+                "Circuit-breaker state (0=closed, 1=half-open, 2=open).",
+                labelnames=("breaker",),
+            ).labels(breaker=self.name).set(_STATE_VALUES[state])

@@ -1,0 +1,86 @@
+"""Checksum support for the storage layer.
+
+One function pair used by both checksummed formats (the packed posting
+segments and the pager's page-checksum sidecar): :func:`checksum` over a
+bytes-like, and :data:`ALGORITHM` naming which polynomial produced it.
+
+CRC32C (Castagnoli) is the preferred algorithm — it is what real storage
+engines use and hardware-accelerated implementations exist — but it is
+not in the Python standard library and this codebase adds no
+dependencies, so when the optional ``crc32c`` module is absent we fall
+back to ``zlib.crc32`` (C speed, different polynomial, same 32-bit
+error-detection role).  The algorithm actually used is recorded in each
+file's header flags, so a reader always verifies with the writer's
+polynomial; a file written under one algorithm and read on a machine
+with the other available is still verified correctly (the reader picks
+the implementation the flags name, or reports it unavailable).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Optional
+
+try:  # pragma: no cover - exercised only where the wheel is installed
+    import crc32c as _crc32c_mod
+
+    _crc32c: Optional[Callable[[bytes], int]] = _crc32c_mod.crc32c
+except ImportError:  # pragma: no cover - the stdlib path is the tested one
+    _crc32c = None
+
+#: Algorithm names, stable across releases (stored in file flags).
+CRC32C = "crc32c"
+ZLIB_CRC32 = "crc32"
+
+#: The algorithm this process writes with.
+ALGORITHM = CRC32C if _crc32c is not None else ZLIB_CRC32
+
+
+def checksum(data, algorithm: str = ALGORITHM) -> int:
+    """32-bit checksum of *data* under *algorithm*.
+
+    Raises :class:`ValueError` for an unknown algorithm name and
+    :class:`RuntimeError` when the named algorithm is not available in
+    this process (a crc32c-stamped file read where only zlib exists).
+    """
+    if algorithm == ZLIB_CRC32:
+        return zlib.crc32(bytes(data)) & 0xFFFFFFFF
+    if algorithm == CRC32C:
+        if _crc32c is None:
+            raise RuntimeError(
+                "file is checksummed with crc32c but no crc32c "
+                "implementation is available in this process"
+            )
+        return _crc32c(bytes(data)) & 0xFFFFFFFF
+    raise ValueError(f"unknown checksum algorithm {algorithm!r}")
+
+
+def count_corruption(tier: str) -> None:
+    """Count one detected corruption under ``xks_corruption_detected_total``.
+
+    Shared by every tier's detection site so the label set stays uniform;
+    the metrics import is deferred so the storage layer never touches the
+    registry at import time.
+    """
+    from repro.obs.metrics import get_registry, instrumentation_enabled
+
+    if instrumentation_enabled():
+        get_registry().counter(
+            "xks_corruption_detected_total",
+            "Checksum mismatches or decode failures detected, by storage tier.",
+            labelnames=("tier",),
+        ).labels(tier=tier).inc()
+
+
+def algorithm_flag(algorithm: str = ALGORITHM) -> int:
+    """The header-flag bit value recording *algorithm* (0=crc32, 1=crc32c)."""
+    if algorithm == ZLIB_CRC32:
+        return 0
+    if algorithm == CRC32C:
+        return 1
+    raise ValueError(f"unknown checksum algorithm {algorithm!r}")
+
+
+def algorithm_from_flag(flag: int) -> str:
+    """Inverse of :func:`algorithm_flag`."""
+    return CRC32C if flag else ZLIB_CRC32

@@ -23,6 +23,19 @@ one buffer pool's worth of physical memory, not N.  All mutating
 operations raise :class:`~repro.errors.StorageError` in this mode, and
 ``stats.reads`` counts page *touches* rather than physical I/O (the page
 cache makes true disk reads unobservable through a mapping).
+
+**Page checksums.**  Every writable pager records a 32-bit checksum of
+each page it writes into a JSON sidecar (``<path>.crc``, written
+atomically on ``sync``/``close``), so write-time checksumming is always
+on and costs nothing on the read path.  A pager opened with
+``verify_checksums=True`` re-checksums every page it reads and raises
+:class:`~repro.errors.CorruptionError` (counting
+``xks_corruption_detected_total{tier="bptree"}``) on a mismatch.  Unlike
+the posting segments there is no quarantine-and-retry here: the B+trees
+*are* the ground truth, so a bad tree page is an unrecoverable error,
+surfaced loudly rather than served silently.  Pages absent from the
+sidecar (pre-sidecar files, or pages written by a crashed process) are
+served unverified.
 """
 
 from __future__ import annotations
@@ -33,11 +46,18 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
-from repro.errors import PageError, StorageError
+from repro.errors import CorruptionError, PageError, StorageError
+from repro.robustness import faultinject
+from repro.robustness.checksum import ALGORITHM, checksum, count_corruption
 
 DEFAULT_PAGE_SIZE = 4096
 _MAGIC = b"XKPG"
 _FORMAT_VERSION = 1
+
+
+def crc_sidecar_path(path: Union[str, os.PathLike]) -> str:
+    """The page-checksum sidecar next to a pager file."""
+    return os.fspath(path) + ".crc"
 
 
 def open_readonly_mmap(path: Union[str, os.PathLike]) -> mmap.mmap:
@@ -127,14 +147,20 @@ class Pager:
         page_size: int = DEFAULT_PAGE_SIZE,
         create: bool = False,
         readonly: bool = False,
+        verify_checksums: bool = False,
     ):
         self.path = os.fspath(path)
         self.page_size = page_size
         self.readonly = readonly
+        self.verify_checksums = verify_checksums
         self.stats = IOStats()
         self._meta: Dict[str, object] = {}
         self._last_read_pid: Optional[int] = None
         self._map: Optional[mmap.mmap] = None
+        self._page_crcs: Dict[int, int] = {}
+        self._crc_algorithm = ALGORITHM
+        self._crc_dirty = False
+        self._load_crc_sidecar()
         if readonly:
             if create:
                 raise StorageError("cannot create a pager file in readonly mode")
@@ -151,6 +177,9 @@ class Pager:
         if create or not os.path.exists(self.path):
             self._file = open(self.path, "w+b")
             self._num_pages = 1
+            # A fresh file invalidates any sidecar left by a previous one.
+            self._page_crcs = {}
+            self._crc_dirty = True
             self._write_header()
         else:
             self._file = open(self.path, "r+b")
@@ -166,6 +195,54 @@ class Pager:
             self._map.close()
         self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
 
+    # -- checksum sidecar ----------------------------------------------------
+
+    def _load_crc_sidecar(self) -> None:
+        sidecar = crc_sidecar_path(self.path)
+        if not os.path.exists(sidecar):
+            return
+        try:
+            with open(sidecar, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            self._crc_algorithm = payload.get("algorithm", ALGORITHM)
+            self._page_crcs = {
+                int(pid): int(crc) for pid, crc in payload.get("crcs", {}).items()
+            }
+        except (ValueError, OSError):
+            # An unreadable sidecar only loses verification, never data;
+            # a writable pager rewrites it wholesale on the next sync.
+            self._page_crcs = {}
+
+    def _save_crc_sidecar(self) -> None:
+        if not self._crc_dirty:
+            return
+        sidecar = crc_sidecar_path(self.path)
+        tmp = sidecar + ".tmp"
+        payload = {
+            "algorithm": self._crc_algorithm,
+            "page_size": self.page_size,
+            "crcs": {str(pid): crc for pid, crc in sorted(self._page_crcs.items())},
+        }
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+        os.replace(tmp, sidecar)
+        self._crc_dirty = False
+
+    def _note_write(self, pid: int, padded: bytes) -> None:
+        self._page_crcs[pid] = checksum(padded, self._crc_algorithm)
+        self._crc_dirty = True
+
+    def _verify_page(self, pid: int, data: bytes) -> None:
+        expected = self._page_crcs.get(pid)
+        if expected is None:
+            return
+        if checksum(data, self._crc_algorithm) != expected:
+            count_corruption("bptree")
+            raise CorruptionError(
+                f"{self.path}: page {pid} failed checksum verification",
+                tier="bptree",
+            )
+
     # -- header ------------------------------------------------------------
 
     def _write_header(self) -> None:
@@ -180,9 +257,11 @@ class Pager:
         )
         if len(header) > self.page_size:
             raise StorageError("pager metadata does not fit in the header page")
+        padded = header.ljust(self.page_size, b"\x00")
         self._file.seek(0)
-        self._file.write(header.ljust(self.page_size, b"\x00"))
+        self._file.write(padded)
         self.stats.writes += 1
+        self._note_write(0, padded)
 
     def _read_header(self) -> None:
         # os.pread carries no file-offset state, so re-reading the header
@@ -211,6 +290,8 @@ class Pager:
         size = os.fstat(self._file.fileno()).st_size
         self._num_pages = max(1, size // self.page_size)
         self._last_read_pid = None
+        # The writer that changed the file also rewrote the sidecar.
+        self._load_crc_sidecar()
         if self.readonly:
             self._remap()
 
@@ -251,6 +332,9 @@ class Pager:
             data = self._file.read(self.page_size)
         if len(data) < self.page_size:
             data = data.ljust(self.page_size, b"\x00")
+        faultinject.maybe_delay("delay-io")
+        if self.verify_checksums:
+            self._verify_page(pid, data)
         self.stats.reads += 1
         if self._last_read_pid is not None and pid == self._last_read_pid + 1:
             self.stats.sequential_reads += 1
@@ -267,9 +351,11 @@ class Pager:
             raise PageError(
                 f"page image of {len(data)} bytes exceeds page size {self.page_size}"
             )
+        padded = data.ljust(self.page_size, b"\x00")
         self._file.seek(pid * self.page_size)
-        self._file.write(data.ljust(self.page_size, b"\x00"))
+        self._file.write(padded)
         self.stats.writes += 1
+        self._note_write(pid, padded)
 
     def _check_pid(self, pid: int) -> None:
         if pid < 1 or pid >= self._num_pages:
@@ -289,6 +375,7 @@ class Pager:
         self._check_writable()
         self._file.flush()
         os.fsync(self._file.fileno())
+        self._save_crc_sidecar()
 
     def close(self) -> None:
         if self._map is not None:
@@ -297,6 +384,7 @@ class Pager:
         if not self._file.closed:
             if not self.readonly:
                 self._file.flush()
+                self._save_crc_sidecar()
             self._file.close()
 
     def __enter__(self) -> "Pager":

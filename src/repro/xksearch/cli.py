@@ -6,6 +6,7 @@ Examples::
     xksearch search school.index "John Ben"
     xksearch search school.index --algorithm stack --lca "John Ben"
     xksearch stats school.index
+    xksearch fsck school.index
 """
 
 from __future__ import annotations
@@ -175,8 +176,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         profile_hz=args.profile_hz,
         alert_webhook=args.alert_webhook,
         slo_state=args.slo_state,
+        default_timeout_ms=args.default_timeout_ms,
+        verify_checksums=args.verify_checksums,
+        admission_soft=args.admission_soft,
+        admission_hard=args.admission_hard,
+        p99_watermark_ms=args.p99_watermark_ms,
+        inject_faults=args.inject_fault or None,
+        drain_timeout_s=args.drain_timeout_s,
     )
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Deep integrity check: structure + every stored checksum."""
+    from repro.index.verify import fsck_index
+
+    report = fsck_index(args.index_dir)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_slo_status(args: argparse.Namespace) -> int:
@@ -440,7 +457,71 @@ def make_parser() -> argparse.ArgumentParser:
         help="persist SLO burn-rate windows to PATH on shutdown and "
         "restore them (staleness-clamped) on startup",
     )
+    p_serve.add_argument(
+        "--default-timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="deadline every search request that does not carry its own "
+        "X-Deadline-Ms / ?timeout_ms= budget; expiry answers 504",
+    )
+    p_serve.add_argument(
+        "--verify-checksums",
+        action="store_true",
+        help="re-checksum every B+tree page and posting block read (in "
+        "this process and every pool worker); a corrupt segment block "
+        "quarantines the segment and re-answers from the B+tree tier",
+    )
+    p_serve.add_argument(
+        "--admission-soft",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-flight depth past which expensive-|S1|-band queries are "
+        "shed with 429 (default 2*workers)",
+    )
+    p_serve.add_argument(
+        "--admission-hard",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-flight depth past which every search request is shed "
+        "(default 4*workers)",
+    )
+    p_serve.add_argument(
+        "--p99-watermark-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="shed expensive-band queries while the recent-window p99 "
+        "exceeds MS (default: off)",
+    )
+    p_serve.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="arm a fault-injection spec (repeatable), e.g. "
+        "'kill-worker:after=2:times=1' or 'delay-io:every=10:ms=50'; "
+        "armed before the pool forks so workers inherit it "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=5.0,
+        metavar="SECS",
+        help="on SIGTERM, wait up to SECS for in-flight requests before "
+        "closing exporters and the pool (default 5)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="deep integrity check: structure plus every stored checksum",
+    )
+    p_fsck.add_argument("index_dir")
+    p_fsck.set_defaults(func=_cmd_fsck)
 
     p_slo = sub.add_parser(
         "slo-status", help="show a running server's SLO/alert state"

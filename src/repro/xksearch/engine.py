@@ -26,12 +26,14 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core import eager_slca, find_all_lcas, stack_elca, stack_slca
 from repro.core.counters import OpCounters
-from repro.errors import PoolError, QueryError
+from repro.errors import CorruptionError, PoolError, QueryError
 from repro.index.inverted import DiskKeywordIndex
 from repro.index.memory import MemoryKeywordIndex
 from repro.obs.logging import current_trace_id, get_logger
 from repro.obs.metrics import exponential_buckets, get_registry, instrumentation_enabled
 from repro.obs.profile import QueryProfile, maybe_phase
+from repro.robustness.breaker import CircuitBreaker
+from repro.robustness.deadline import current_deadline
 from repro.xksearch.cache import QueryCache, normalize_key
 from repro.xksearch.shared_cache import SharedResultCache
 from repro.xmltree.dewey import DeweyTuple
@@ -247,6 +249,10 @@ class QueryEngine:
         self.cache = cache
         self.shared = shared_cache
         self.pool = None
+        # Trips after consecutive dispatch failures so a dead pool costs
+        # one up-front check per request instead of a discovery timeout;
+        # recovery is probed automatically (docs/ROBUSTNESS.md).
+        self.breaker = CircuitBreaker()
         # Debug-only latency injection (ms), added to every in-thread
         # execution *inside* the timed window so it shows up in
         # xks_query_exec_ms — how the SLO alerting path is exercised
@@ -366,6 +372,59 @@ class QueryEngine:
         delay = self.debug_latency_ms
         if delay > 0:
             time.sleep(delay / 1000.0)
+
+    # -- corruption recovery -------------------------------------------------
+
+    def _run_with_retry(
+        self,
+        plan: QueryPlan,
+        stats: ExecutionStats,
+        runner: Callable[[QueryPlan, ExecutionStats], Iterator[DeweyTuple]],
+    ) -> tuple:
+        """Materialize one execution, re-running once on segment corruption.
+
+        A :class:`~repro.errors.CorruptionError` from the segment tier has
+        already quarantined the reader (``segments_active`` is now False),
+        so the retry rebuilds its sources from the B+trees — the ground
+        truth — and the answer is byte-identical to what the segments
+        would have produced.  B+tree corruption is not retried: there is
+        nothing more authoritative to fall back to.
+        """
+        try:
+            return tuple(runner(plan, stats))
+        except CorruptionError as exc:
+            if exc.tier != "segment":
+                raise
+            _log.warning("segment_corruption_retry", error=str(exc))
+            return tuple(runner(plan, stats))
+
+    def _retryable(
+        self,
+        plan: QueryPlan,
+        stats: ExecutionStats,
+        runner: Callable[[QueryPlan, ExecutionStats], Iterator[DeweyTuple]],
+    ) -> Iterator[DeweyTuple]:
+        """Streaming variant of :meth:`_run_with_retry`.
+
+        Answers are in document order and byte-identical across tiers, so
+        after a mid-stream corruption the re-execution skips the prefix
+        already handed to the consumer and resumes exactly where the
+        stream broke.
+        """
+        yielded = 0
+        try:
+            for item in runner(plan, stats):
+                yielded += 1
+                yield item
+            return
+        except CorruptionError as exc:
+            if exc.tier != "segment":
+                raise
+            _log.warning("segment_corruption_retry", error=str(exc))
+        for index, item in enumerate(runner(plan, stats)):
+            if index < yielded:
+                continue
+            yield item
 
     def generation(self) -> int:
         """The index's current mutation generation (0 for static indexes)."""
@@ -544,6 +603,10 @@ class QueryEngine:
         pool = self.pool
         if pool is None or plan.empty:
             return None
+        if not self.breaker.allow():
+            self._note_fallback(None, reason="breaker_open")
+            return None
+        deadline = current_deadline()
         tokens = [a.display for a in plan.atoms]
         try:
             task = pool.execute(
@@ -553,10 +616,17 @@ class QueryEngine:
                 generation,
                 trace_id=current_trace_id(),
                 want_spans=True,
+                deadline_epoch=(
+                    deadline.wall_expiry() if deadline is not None else None
+                ),
             )
         except PoolError as exc:
+            # DeadlineExceeded deliberately propagates instead: an expired
+            # request must 504, never re-execute in-thread.
+            self.breaker.record_failure()
             self._note_fallback(exc)
             return None
+        self.breaker.record_success()
         delta = OpCounters(**task.counters)
         self._replay_worker_events(task)
         if stats is not None and task.spans is not None:
@@ -613,14 +683,18 @@ class QueryEngine:
                 totals = self._totals[algorithm] = OpCounters()
             totals.add(delta)
 
-    def _note_fallback(self, exc: PoolError) -> None:
-        _log.warning("pool_fallback", error=repr(exc))
+    def _note_fallback(
+        self, exc: Optional[PoolError], reason: Optional[str] = None
+    ) -> None:
+        reason = reason or (type(exc).__name__ if exc is not None else "unknown")
+        _log.warning("pool_fallback", error=repr(exc), reason=reason)
         if instrumentation_enabled():
             get_registry().counter(
                 "xks_pool_fallback_total",
-                "Queries executed in-thread after a pool dispatch failure.",
+                "Queries executed in-thread after a pool dispatch failure "
+                "or while the pool breaker is open.",
                 labelnames=("reason",),
-            ).labels(reason=type(exc).__name__).inc()
+            ).labels(reason=reason).inc()
 
     def _shared_lookup(self, key, generation, semantics, algorithm, stats):
         """Consult the shared cache; on a hit, stamp stats, warm the local
@@ -686,8 +760,8 @@ class QueryEngine:
                             self._merge_totals(plan.algorithm, delta)
                         return iter(ids)
                 return self._accounted(
-                    runner(plan, stats), stats, semantics, plan.algorithm,
-                    band=plan.band,
+                    self._retryable(plan, stats, runner), stats, semantics,
+                    plan.algorithm, band=plan.band,
                 )
             prof.algorithm = plan.algorithm
             prof.plan = self._plan_summary(plan)
@@ -748,7 +822,7 @@ class QueryEngine:
             exec_started = time.perf_counter()
             self._debug_sleep()
             with maybe_phase(prof, "execute", algorithm=plan.algorithm):
-                value = tuple(runner(plan, stats))
+                value = self._run_with_retry(plan, stats, runner)
             exec_ms = (time.perf_counter() - exec_started) * 1000
             delta = stats.counters.delta(before)
             shared_hit = False
@@ -789,7 +863,7 @@ class QueryEngine:
         exec_started = time.perf_counter()
         self._debug_sleep()
         with maybe_phase(prof, "execute", algorithm=plan.algorithm):
-            value = tuple(runner(plan, stats))
+            value = self._run_with_retry(plan, stats, runner)
         exec_ms = (time.perf_counter() - exec_started) * 1000
         self._note_query(
             semantics, cache_state, plan.algorithm, stats.counters.delta(before),
@@ -880,7 +954,7 @@ class QueryEngine:
             local = ExecutionStats()
             exec_started = time.perf_counter()
             self._debug_sleep()
-            value = tuple(self.execute_plan(plan, local))
+            value = self._run_with_retry(plan, local, self.execute_plan)
             exec_ms = (time.perf_counter() - exec_started) * 1000
             delta = local.counters
             if self.shared is not None:

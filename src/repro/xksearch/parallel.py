@@ -51,7 +51,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import PoolError, PoolUnavailableError
+from repro.errors import DeadlineExceeded, PoolError, PoolUnavailableError
 from repro.obs.logging import get_logger, reset_current_trace_id, set_current_trace_id
 from repro.obs.metrics import (
     get_registry,
@@ -124,6 +124,7 @@ def _worker_main(
     use_segments=True,
     posting_cache=None,
     profile_hz=0.0,
+    verify_checksums=False,
 ):
     """Worker process body: open the index in mmap mode, serve tasks.
 
@@ -137,11 +138,18 @@ def _worker_main(
     # this module depend on the engine at import time (the engine is what
     # imports the pool's error types).
     from repro.index.inverted import DiskKeywordIndex
+    from repro.robustness import faultinject
+    from repro.robustness.deadline import Deadline, bind_deadline
     from repro.xksearch.cache import seed_generation
     from repro.xksearch.engine import ExecutionStats, QueryEngine
 
     try:
-        index = DiskKeywordIndex(index_dir, mmap_mode=True, use_segments=use_segments)
+        index = DiskKeywordIndex(
+            index_dir,
+            mmap_mode=True,
+            use_segments=use_segments,
+            verify_checksums=verify_checksums,
+        )
         if posting_cache is not None:
             index.attach_posting_cache(posting_cache)
         engine = QueryEngine(
@@ -177,7 +185,13 @@ def _worker_main(
                 break
             continue
         (_, task_id, semantics, tokens, algorithm, generation,
-         trace_id, want_spans) = message
+         trace_id, want_spans, deadline_epoch) = message
+        if faultinject.fire("kill-worker") is not None:
+            # Simulate a hard worker crash mid-task: no reply, no cleanup.
+            os._exit(1)
+        deadline = (
+            Deadline.from_wall_expiry(deadline_epoch) if deadline_epoch else None
+        )
         trace_token = set_current_trace_id(trace_id) if trace_id else None
         root_span = None
         if want_spans:
@@ -193,6 +207,10 @@ def _worker_main(
         start_capture()
         started = time.perf_counter()
         try:
+            # An already-expired task is aborted before any work: the
+            # parent's caller needs a 504, not a late answer.
+            if deadline is not None:
+                deadline.check("dispatch")
             # Adopt the parent's view of the index generation before
             # executing, so an update the parent has already observed is
             # never missed here; generation() both stats the manifest for
@@ -206,14 +224,17 @@ def _worker_main(
                 root_span.children.append(gen_span)
             exec_span = Span("worker.execute") if want_spans else None
             stats = ExecutionStats()
-            if semantics == "slca":
-                ids = tuple(engine.execute(tokens, algorithm=algorithm, stats=stats))
-            elif semantics == "lca":
-                ids = tuple(engine.execute_all_lca(tokens, stats=stats))
-            elif semantics == "elca":
-                ids = tuple(engine.execute_elca(tokens, stats=stats))
-            else:
-                raise ValueError(f"unknown semantics {semantics!r}")
+            with bind_deadline(deadline):
+                if semantics == "slca":
+                    ids = tuple(
+                        engine.execute(tokens, algorithm=algorithm, stats=stats)
+                    )
+                elif semantics == "lca":
+                    ids = tuple(engine.execute_all_lca(tokens, stats=stats))
+                elif semantics == "elca":
+                    ids = tuple(engine.execute_elca(tokens, stats=stats))
+                else:
+                    raise ValueError(f"unknown semantics {semantics!r}")
             exec_ms = (time.perf_counter() - started) * 1000
             events = stop_capture()
             spans = None
@@ -240,6 +261,14 @@ def _worker_main(
                     spans,
                 )
             )
+        except DeadlineExceeded as exc:
+            # A distinct reply status: the parent must surface a 504 to
+            # its caller, never re-execute in-thread.
+            stop_capture()
+            try:
+                conn.send((task_id, "deadline", exc.phase))
+            except (OSError, BrokenPipeError):
+                break
         except Exception as exc:
             stop_capture()
             try:
@@ -284,9 +313,11 @@ class WorkerPool:
         task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S,
         spawn_timeout_s: float = 30.0,
         max_respawns: Optional[int] = None,
+        respawn_reset_s: float = 60.0,
         use_segments: bool = True,
         posting_cache=None,
         profile_hz: float = 0.0,
+        verify_checksums: bool = False,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -302,9 +333,11 @@ class WorkerPool:
         self.use_segments = use_segments
         self.posting_cache = posting_cache
         self.profile_hz = float(profile_hz)
+        self.verify_checksums = verify_checksums
         self.task_timeout_s = task_timeout_s
         self.spawn_timeout_s = spawn_timeout_s
         self.max_respawns = max_respawns if max_respawns is not None else workers * 2
+        self.respawn_reset_s = respawn_reset_s
         self._ctx = multiprocessing.get_context("fork")
         self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
         self._lock = threading.Lock()
@@ -315,6 +348,8 @@ class WorkerPool:
         self._next_worker_id = 0
         self.respawns = 0
         self.dispatch_errors = 0
+        self._budget_used = 0
+        self._last_death_ts: Optional[float] = None
         for _ in range(workers):
             self._spawn()
         _log.info(
@@ -342,6 +377,7 @@ class WorkerPool:
                 self.use_segments,
                 self.posting_cache,
                 self.profile_hz,
+                self.verify_checksums,
             ),
             daemon=True,
             name=f"xks-worker-{worker_id}",
@@ -363,14 +399,29 @@ class WorkerPool:
         return handle
 
     def _retire(self, handle: _WorkerHandle, reason: str) -> None:
-        """Drop a failed worker and try to keep the pool at size."""
+        """Drop a failed worker and try to keep the pool at size.
+
+        The respawn budget bounds *burst* deaths, not lifetime deaths: a
+        sustained healthy window (``respawn_reset_s`` with no retirement)
+        refills it, so an isolated crash a day never eats into tomorrow's
+        headroom.  ``respawns`` stays a monotonic lifetime counter for
+        observability.
+        """
         with self._lock:
             if handle in self._workers:
                 self._workers.remove(handle)
                 self._alive -= 1
             closed = self._closed
-            can_respawn = not closed and self.respawns < self.max_respawns
+            now = time.monotonic()
+            if (
+                self._last_death_ts is not None
+                and now - self._last_death_ts >= self.respawn_reset_s
+            ):
+                self._budget_used = 0
+            self._last_death_ts = now
+            can_respawn = not closed and self._budget_used < self.max_respawns
             if can_respawn:
+                self._budget_used += 1
                 self.respawns += 1
         try:
             handle.conn.close()
@@ -441,6 +492,7 @@ class WorkerPool:
         generation: int,
         trace_id: Optional[str] = None,
         want_spans: bool = False,
+        deadline_epoch: Optional[float] = None,
     ) -> TaskResult:
         """Run one query in a worker.
 
@@ -448,6 +500,11 @@ class WorkerPool:
         binds it for the duration of the task so worker-side exemplars and
         log lines carry it; ``want_spans`` asks the worker to wrap the
         execution in a span tree and return it (``TaskResult.spans``).
+        ``deadline_epoch`` is the request deadline as wall-clock epoch
+        seconds: the worker aborts an already-expired task up front and
+        checkpoints the deadline inside its algorithm loops; an expiry
+        raises :class:`~repro.errors.DeadlineExceeded` here, which the
+        caller must surface as a timeout — NOT retry in-thread.
         Raises :class:`~repro.errors.PoolError` on any dispatch failure —
         closed pool, no live workers, timeout, dead worker, or an error
         raised inside the worker — and the caller is expected to fall
@@ -469,14 +526,30 @@ class WorkerPool:
             self.dispatch_errors += 1
             self._retire(handle, "dead_at_checkout")
             raise PoolError(f"worker {handle.worker_id} died")
+        # Wait at most a second past the request deadline: by then the
+        # worker has either answered "deadline" from its own checkpoint
+        # or is stuck somewhere uncheckpointable and must be abandoned.
+        poll_timeout = self.task_timeout_s
+        if deadline_epoch is not None:
+            poll_timeout = min(
+                poll_timeout, max(0.1, deadline_epoch - time.time() + 1.0)
+            )
         try:
             handle.conn.send(
                 ("task", task_id, semantics, list(tokens), algorithm,
-                 generation, trace_id, bool(want_spans))
+                 generation, trace_id, bool(want_spans), deadline_epoch)
             )
-            if not handle.conn.poll(self.task_timeout_s):
+            if not handle.conn.poll(poll_timeout):
+                if deadline_epoch is not None and time.time() >= deadline_epoch:
+                    # The task is still in flight inside the worker, so the
+                    # handle cannot be reused without breaking framing.
+                    self.dispatch_errors += 1
+                    self._retire(handle, "deadline_abandoned")
+                    raise DeadlineExceeded(phase="execute")
                 raise PoolError(f"worker {handle.worker_id} timed out")
             reply = handle.conn.recv()
+        except DeadlineExceeded:
+            raise
         except PoolError:
             self.dispatch_errors += 1
             self._retire(handle, "timeout")
@@ -492,6 +565,10 @@ class WorkerPool:
             # A stale reply means request/response framing broke; the
             # worker was already handed back, but its answer is unusable.
             raise PoolError(f"worker {handle.worker_id} returned a stale reply")
+        if reply[1] == "deadline":
+            # The worker aborted cleanly at a checkpoint; it is healthy
+            # and already back in the idle queue.
+            raise DeadlineExceeded(phase=reply[2])
         if reply[1] != "ok":
             raise PoolError(f"worker {handle.worker_id} error: {reply[2]}")
         (_task_id, _status, ids, counters, exec_ms, shared_hit, admission,
@@ -576,6 +653,8 @@ class WorkerPool:
                 "size": self.size,
                 "alive": self._alive,
                 "respawns": self.respawns,
+                "respawn_budget_used": self._budget_used,
+                "max_respawns": self.max_respawns,
                 "dispatch_errors": self.dispatch_errors,
                 "workers": workers,
             }

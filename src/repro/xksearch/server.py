@@ -30,7 +30,16 @@ Serving-layer features (beyond the paper's demo):
   ``/api/search?explain=1`` returns the per-phase EXPLAIN breakdown;
 * **a JSON API** — ``GET /api/search?q=…`` returns bare Dewey ids plus
   plan/timing metadata, the endpoint load generators and programmatic
-  clients (``benchmarks/bench_qps.py``) use.
+  clients (``benchmarks/bench_qps.py``) use;
+* **robustness** (see docs/ROBUSTNESS.md) — requests can carry an
+  end-to-end deadline (``X-Deadline-Ms`` header, ``?timeout_ms=``, or
+  ``serve --default-timeout-ms``) that is checked cooperatively through
+  the algorithm loops and across the worker pool; expiry produces a
+  structured 504 and counts ``xks_deadline_exceeded_total{phase}``.
+  An :class:`~repro.robustness.admission.AdmissionGate` sheds work with
+  429 + ``Retry-After`` at in-flight/latency watermarks (cheap |S1|
+  bands are admitted preferentially), and SIGTERM drains in-flight
+  requests before the exporters flush and the pool closes.
 
 Endpoints:
 
@@ -70,14 +79,18 @@ from __future__ import annotations
 import json
 import os
 import platform
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, ReproError
+from repro.robustness import faultinject
+from repro.robustness.admission import AdmissionGate
+from repro.robustness.deadline import Deadline, bind_deadline
 from repro.obs.export import (
     DEFAULT_HTTP_TIMEOUT,
     HttpCollectorSink,
@@ -436,6 +449,8 @@ class _Handler(BaseHTTPRequestHandler):
     slo_engine: Optional[SLOEngine] = None
     fleet: Optional[FleetCollector] = None
     profiler: Optional[SamplingProfiler] = None
+    gate: Optional[AdmissionGate] = None
+    default_timeout_ms: Optional[float] = None
     quiet: bool = True
     protocol_version = "HTTP/1.1"
 
@@ -472,41 +487,145 @@ class _Handler(BaseHTTPRequestHandler):
             # Everything downstream (engine histograms/exemplars, cache and
             # engine log lines) correlates through this binding.
             context_token = set_current_trace_id(self._trace_id)
+        self._shed = False
         try:
-            if url.path == "/healthz":
-                self._send(200, "ok", content_type="text/plain; charset=utf-8")
-            elif url.path == "/statz":
-                self._send_json(200, self._statz())
-            elif url.path == "/metrics":
-                self._send(
-                    200,
-                    (self.registry or get_registry()).render(),
-                    content_type="text/plain; version=0.0.4; charset=utf-8",
-                )
-            elif url.path == "/alertz":
-                self._send_json(200, self._alertz())
-            elif url.path == "/debug/slow":
-                error = self._handle_debug_slow(url)
-            elif url.path == "/debug/pprof":
-                error = self._handle_debug_pprof(url)
-            elif url.path == "/debug/heap":
-                error = self._handle_debug_heap(url)
-            elif url.path == "/":
-                self._send(200, render_page("", []))
-            elif url.path == "/search":
-                error = self._handle_search(url)
-            elif url.path == "/api/search":
-                error = self._handle_api_search(url)
-            else:
+            deadline = (
+                self._parse_deadline(url)
+                if url.path in ("/search", "/api/search")
+                else None
+            )
+            try:
+                if deadline is not None:
+                    with bind_deadline(deadline):
+                        # Upfront check: a request that arrives already
+                        # expired (client budget spent queueing, or the
+                        # expired-deadline fault) must not start work the
+                        # checkpoints may be too coarse to stop.
+                        deadline.check("admission")
+                        error = self._dispatch(url)
+                else:
+                    error = self._dispatch(url)
+            except DeadlineExceeded as exc:
+                # The ONLY place a deadline expiry is counted — workers
+                # and engine fallbacks propagate, they never count — so
+                # one expired request is one increment.
                 error = True
-                self._send(404, render_page("", []), status_only_body="not found")
+                phase = exc.phase or "unknown"
+                (self.registry or get_registry()).counter(
+                    "xks_deadline_exceeded_total",
+                    "Requests that ran out of deadline budget, by the "
+                    "phase that noticed.",
+                    labelnames=("phase",),
+                ).labels(phase=phase).inc()
+                _log.warning("deadline_exceeded", path=url.path, phase=phase)
+                self._send_json(
+                    504,
+                    {
+                        "error": "deadline exceeded",
+                        "phase": phase,
+                        "trace_id": self._trace_id,
+                    },
+                )
         finally:
             elapsed_ms = (time.perf_counter() - started) * 1000
             if self.metrics is not None:
                 self.metrics.record(elapsed_ms, error=error)
+            if (
+                self.gate is not None
+                and not self._shed
+                and url.path in ("/search", "/api/search")
+            ):
+                # Shed requests are cheap by construction; feeding them
+                # into the p99 window would talk the gate back open.
+                self.gate.note_latency(elapsed_ms)
             self._record_request(url.path, elapsed_ms, error)
             if context_token is not None:
                 reset_current_trace_id(context_token)
+
+    def _dispatch(self, url) -> bool:
+        """Route one request; returns True when it errored."""
+        if url.path == "/healthz":
+            self._send(200, "ok", content_type="text/plain; charset=utf-8")
+        elif url.path == "/statz":
+            self._send_json(200, self._statz())
+        elif url.path == "/metrics":
+            self._send(
+                200,
+                (self.registry or get_registry()).render(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif url.path == "/alertz":
+            self._send_json(200, self._alertz())
+        elif url.path == "/debug/slow":
+            return self._handle_debug_slow(url)
+        elif url.path == "/debug/pprof":
+            return self._handle_debug_pprof(url)
+        elif url.path == "/debug/heap":
+            return self._handle_debug_heap(url)
+        elif url.path == "/":
+            self._send(200, render_page("", []))
+        elif url.path == "/search":
+            return self._handle_search(url)
+        elif url.path == "/api/search":
+            return self._handle_api_search(url)
+        else:
+            self._send(404, render_page("", []), status_only_body="not found")
+            return True
+        return False
+
+    def _parse_deadline(self, url) -> Optional[Deadline]:
+        """The request's deadline: header > query param > server default.
+
+        A malformed budget is ignored (logged) rather than rejected —
+        deadlines are advisory protection, not part of the query
+        contract.  The ``expired-deadline`` fault point substitutes an
+        already-expired deadline to drill the whole 504 path.
+        """
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            raw = (parse_qs(url.query).get("timeout_ms") or [None])[0]
+        budget: Optional[float] = None
+        if raw is not None:
+            try:
+                budget = float(raw)
+                if budget <= 0:
+                    raise ValueError
+            except ValueError:
+                _log.warning("bad_deadline_ms", value=str(raw)[:64])
+                budget = None
+        if budget is None and self.default_timeout_ms:
+            budget = self.default_timeout_ms
+        if faultinject.fire("expired-deadline") is not None:
+            return Deadline.after_ms(0.0)
+        return Deadline.after_ms(budget) if budget is not None else None
+
+    def _admission_check(self, query: str, algorithm: str) -> Optional[str]:
+        """Ask the gate whether to shed; returns the shed reason or None.
+
+        The |S1| frequency band comes from the (cached) query plan — the
+        cheap cost signal the paper's analysis is built on.  A query the
+        planner rejects is banded cheapest: it will fail fast with a 400
+        downstream, which is not worth shedding.
+        """
+        if self.gate is None:
+            return None
+        try:
+            band = self.system.explain(query, algorithm=algorithm).band
+        except ReproError:
+            band = "0"
+        return self.gate.decide(band)
+
+    def _send_shed(self, reason: str) -> None:
+        self._shed = True
+        self._send_json(
+            429,
+            {
+                "error": "overloaded",
+                "reason": reason,
+                "trace_id": self._trace_id,
+            },
+            extra_headers={"Retry-After": str(self.gate.retry_after_s)},
+        )
 
     def _record_request(self, path: str, elapsed_ms: float, error: bool) -> None:
         registry = self.registry or get_registry()
@@ -553,11 +672,17 @@ class _Handler(BaseHTTPRequestHandler):
         if not query:
             self._send(200, render_page("", []))
             return False
+        shed = self._admission_check(query, algorithm)
+        if shed is not None:
+            self._send_shed(shed)
+            return True
         try:
             plan = self.system.explain(query, algorithm=algorithm)
             started = time.perf_counter()
             results = self.system.search(query, algorithm=algorithm, limit=50)
             elapsed_ms = (time.perf_counter() - started) * 1000
+        except DeadlineExceeded:
+            raise  # 504, handled (and counted) centrally in do_GET
         except ReproError as exc:
             self._send(400, render_page(query, [], title=f"error: {exc}"))
             return True
@@ -586,6 +711,10 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             self._send_json(400, {"error": f"bad limit {limit_raw!r}"})
             return True
+        shed = self._admission_check(query, algorithm)
+        if shed is not None:
+            self._send_shed(shed)
+            return True
         stats = ExecutionStats()
         # Traced requests get span detail from one of two sources: with a
         # worker pool the execution is dispatched cross-process and the
@@ -604,8 +733,27 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             )
             elapsed_ms = (time.perf_counter() - started) * 1000
+        except DeadlineExceeded:
+            raise  # 504, handled (and counted) centrally in do_GET
         except ReproError as exc:
             self._send_json(400, {"error": str(exc)})
+            return True
+        except Exception as exc:  # noqa: BLE001 — the API's error contract
+            # Anything unexpected still answers the JSON contract: a 500
+            # envelope carrying the trace id, counted exactly once as
+            # status="error" by the shared accounting in do_GET.
+            _log.error(
+                "internal_error",
+                path="/api/search",
+                error=f"{exc.__class__.__name__}: {exc}",
+            )
+            self._send_json(
+                500,
+                {
+                    "error": f"internal error ({exc.__class__.__name__})",
+                    "trace_id": self._trace_id,
+                },
+            )
             return True
         if limit is not None:
             ids = ids[:limit]
@@ -662,6 +810,11 @@ class _Handler(BaseHTTPRequestHandler):
                 "slow_threshold_ms": self.tracer.slow_threshold_ms,
                 "slow_log_entries": len(self.tracer.slow_queries()),
             }
+        if self.gate is not None:
+            payload["admission"] = self.gate.stats_dict()
+        engine_breaker = getattr(engine, "breaker", None)
+        if engine_breaker is not None:
+            payload["breaker"] = engine_breaker.stats_dict()
         if self.slo_engine is not None:
             payload["slo"] = self.slo_engine.summary()
         if self.fleet is not None:
@@ -829,6 +982,7 @@ class _Handler(BaseHTTPRequestHandler):
         content_type: str = "text/html; charset=utf-8",
         status_only_body: Optional[str] = None,
         elapsed_ms: Optional[float] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ):
         payload = (status_only_body or body).encode("utf-8")
         self.send_response(status)
@@ -838,15 +992,25 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("X-Response-Time-Ms", f"{elapsed_ms:.3f}")
         if self._trace_id is not None:
             self.send_header("X-Trace-Id", self._trace_id)
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, status: int, payload: dict, elapsed_ms: Optional[float] = None):
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        elapsed_ms: Optional[float] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ):
         self._send(
             status,
             json.dumps(payload),
             content_type="application/json; charset=utf-8",
             elapsed_ms=elapsed_ms,
+            extra_headers=extra_headers,
         )
 
 
@@ -859,6 +1023,11 @@ class XKSearchServer(ThreadingHTTPServer):
     """
 
     daemon_threads = True
+
+    #: Optional AdmissionGate, attached by make_server before serving
+    #: starts; tracked around the semaphore so its in-flight count sees
+    #: queued connections — exactly the load the watermarks must shed on.
+    admission_gate: Optional[AdmissionGate] = None
 
     def __init__(self, address, handler, max_workers: int = DEFAULT_MAX_WORKERS):
         if max_workers < 1:
@@ -876,8 +1045,32 @@ class XKSearchServer(ThreadingHTTPServer):
         self._obs_slo_state: Optional[str] = None
 
     def process_request_thread(self, request, client_address):
-        with self._slots:
-            super().process_request_thread(request, client_address)
+        gate = self.admission_gate
+        if gate is not None:
+            gate.enter()
+        try:
+            with self._slots:
+                super().process_request_thread(request, client_address)
+        finally:
+            if gate is not None:
+                gate.exit()
+
+    def drain(self, timeout_s: float = 5.0) -> int:
+        """Wait (bounded) for in-flight connections to finish.
+
+        Called after ``shutdown()`` has stopped the accept loop; returns
+        the number of connections still in flight when the timeout hit
+        (0 = clean drain).  Without a gate there is no in-flight count
+        to watch, so the wait degrades to a short grace sleep.
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        gate = self.admission_gate
+        if gate is None:
+            time.sleep(min(0.5, max(0.0, timeout_s)))
+            return 0
+        while gate.inflight > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        return gate.inflight
 
     def server_close(self):
         if self._obs_fleet is not None:
@@ -929,6 +1122,8 @@ def make_server(
     fleet: Optional[FleetCollector] = None,
     profiler: Optional[SamplingProfiler] = None,
     slo_state: Optional[str] = None,
+    gate: Optional[AdmissionGate] = None,
+    default_timeout_ms: Optional[float] = None,
 ) -> XKSearchServer:
     """A threaded HTTP server bound to *host:port* (port 0 = ephemeral),
     serving queries against *system*.  Caller owns the lifecycle
@@ -941,6 +1136,10 @@ def make_server(
     the request path only enqueues) and is closed with the server.  A
     *slo_engine* is surfaced on ``/alertz`` + ``/statz`` and closed first
     on shutdown; a *shipper* (timed metrics snapshots) is closed last.
+    A *gate* sheds search requests at its watermarks (429 + Retry-After)
+    and tracks the in-flight count ``drain`` waits on;
+    *default_timeout_ms* deadlines every search request that does not
+    carry its own budget.
     """
     registry = registry if registry is not None else get_registry()
     handler = type(
@@ -956,9 +1155,12 @@ def make_server(
             "slo_engine": slo_engine,
             "fleet": fleet,
             "profiler": profiler,
+            "gate": gate,
+            "default_timeout_ms": default_timeout_ms,
         },
     )
     server = XKSearchServer((host, port), handler, max_workers=max_workers)
+    server.admission_gate = gate
     collector = system_collector(system)
     registry.register_collector(collector)
     registry.register_collector(build_info_collector)
@@ -998,6 +1200,13 @@ def serve(
     profile_hz: float = 0.0,
     alert_webhook: Optional[str] = None,
     slo_state: Optional[str] = None,
+    default_timeout_ms: Optional[float] = None,
+    verify_checksums: bool = False,
+    admission_soft: Optional[int] = None,
+    admission_hard: Optional[int] = None,
+    p99_watermark_ms: Optional[float] = None,
+    inject_faults: Optional[Sequence[str]] = None,
+    drain_timeout_s: float = 5.0,
 ) -> None:
     """Blocking entry point used by ``xksearch serve``.
 
@@ -1042,9 +1251,24 @@ def serve(
     (in addition to the regular export pipeline).  ``slo_state`` persists
     the SLO burn-rate windows across restarts: loaded (with a staleness
     clamp) before serving, saved on shutdown.
+
+    **Robustness** (docs/ROBUSTNESS.md): ``default_timeout_ms`` deadlines
+    every search request that does not carry ``X-Deadline-Ms`` /
+    ``?timeout_ms=``; ``verify_checksums`` re-checksums every page and
+    posting block read, in this process *and* every pool worker;
+    ``admission_soft``/``admission_hard`` (defaults ``2*max_workers`` /
+    ``4*max_workers``) and ``p99_watermark_ms`` set the shedding
+    watermarks; ``inject_faults`` arms fault-injection specs (exported to
+    the environment *before* the pool forks, so workers inherit them);
+    SIGTERM triggers a graceful drain bounded by ``drain_timeout_s``.
     """
     if export_jsonl and export_url:
         raise ValueError("choose one of export_jsonl / export_url, not both")
+    if inject_faults:
+        # Must precede pool creation: workers inherit the spec via the
+        # environment across fork.
+        plan = faultinject.arm(",".join(inject_faults))
+        _log.warning("faults_armed", spec=plan.describe())
     if log_json or log_level is not None:
         configure_logging(level=log_level, json_mode=log_json)
     if log_sample is not None:
@@ -1130,6 +1354,7 @@ def serve(
                 use_segments=use_segments,
                 posting_cache=posting_cache,
                 profile_hz=profile_hz,
+                verify_checksums=verify_checksums,
             )
         except PoolError as exc:
             _log.warning("pool_unavailable", error=repr(exc))
@@ -1146,6 +1371,7 @@ def serve(
             cache=cache,
             shared_cache=shared_cache,
             use_segments=use_segments,
+            verify_checksums=verify_checksums,
         ) as system:
             if posting_cache is not None:
                 system.index.attach_posting_cache(posting_cache)
@@ -1154,6 +1380,17 @@ def serve(
             if debug_latency_ms > 0:
                 system.engine.debug_latency_ms = debug_latency_ms
                 _log.warning("debug_latency_enabled", ms=debug_latency_ms)
+            gate = AdmissionGate(
+                soft_limit=(
+                    admission_soft if admission_soft is not None
+                    else max_workers * 2
+                ),
+                hard_limit=(
+                    admission_hard if admission_hard is not None
+                    else max_workers * 4
+                ),
+                p99_watermark_ms=p99_watermark_ms,
+            )
             server = make_server(
                 system,
                 host=host,
@@ -1167,7 +1404,26 @@ def serve(
                 fleet=fleet,
                 profiler=profiler,
                 slo_state=slo_state,
+                gate=gate,
+                default_timeout_ms=default_timeout_ms,
             )
+            # Graceful drain: SIGTERM stops the accept loop (from a helper
+            # thread — shutdown() deadlocks when called from serve_forever's
+            # own thread, and a signal handler runs on the main thread),
+            # then the normal shutdown path below drains in-flight work
+            # before the exporters flush and the pool closes.
+            def _on_sigterm(signum, frame):  # noqa: ARG001 (signal ABI)
+                _log.warning("sigterm_draining")
+                threading.Thread(
+                    target=server.shutdown, name="xks-drain", daemon=True
+                ).start()
+
+            try:
+                signal.signal(signal.SIGTERM, _on_sigterm)
+            except ValueError:
+                # Not the main thread (embedded/test use) — drain stays
+                # available via server.shutdown() + server.drain().
+                pass
             actual_port = server.server_address[1]
             export_note = ""
             if exporter is not None:
@@ -1199,6 +1455,11 @@ def serve(
             except KeyboardInterrupt:
                 pass
             finally:
+                leftover = server.drain(drain_timeout_s)
+                if leftover:
+                    _log.warning("drain_timeout", inflight=leftover)
+                # server_close flushes exporters and the SLO engine; the
+                # outer finally closes the pool and shared caches after.
                 server.server_close()
     finally:
         # Idempotent: server_close() already closed these on the normal

@@ -88,6 +88,7 @@ class XKSearch:
         mmap_mode: bool = False,
         shared_cache=None,
         use_segments: bool = True,
+        verify_checksums: bool = False,
     ) -> "XKSearch":
         """Open an existing index directory.
 
@@ -99,13 +100,16 @@ class XKSearch:
         ``shared_cache`` attaches a cross-process
         :class:`~repro.xksearch.shared_cache.SharedResultCache`;
         ``use_segments=False`` forces every read onto the B+tree tier
-        (byte-identical answers, used by A/B checks and benchmarks).
+        (byte-identical answers, used by A/B checks and benchmarks);
+        ``verify_checksums`` re-checksums every page and posting block
+        read (see docs/ROBUSTNESS.md).
         """
         index = DiskKeywordIndex(
             index_dir,
             pool_capacity=pool_capacity,
             mmap_mode=mmap_mode,
             use_segments=use_segments,
+            verify_checksums=verify_checksums,
         )
         tree = None
         if load_document:

@@ -1,0 +1,94 @@
+"""Admission-gate shedding: watermarks, band preference, p99 trigger."""
+
+import pytest
+
+from repro.robustness.admission import EXPENSIVE_BANDS, AdmissionGate
+
+
+def push_inflight(gate, depth):
+    for _ in range(depth):
+        gate.enter()
+
+
+class TestInflightAccounting:
+    def test_enter_exit(self):
+        gate = AdmissionGate(soft_limit=2, hard_limit=4)
+        assert gate.inflight == 0
+        gate.enter()
+        gate.enter()
+        assert gate.inflight == 2
+        gate.exit()
+        assert gate.inflight == 1
+
+    def test_exit_never_goes_negative(self):
+        gate = AdmissionGate(soft_limit=2, hard_limit=4)
+        gate.exit()
+        assert gate.inflight == 0
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(soft_limit=0, hard_limit=4)
+        with pytest.raises(ValueError):
+            AdmissionGate(soft_limit=4, hard_limit=2)
+
+
+class TestDecide:
+    def test_admits_everything_under_soft(self):
+        gate = AdmissionGate(soft_limit=4, hard_limit=8)
+        push_inflight(gate, 4)
+        for band in ("0", "1-9", "100-999", "1000+", None):
+            assert gate.decide(band) is None
+        assert gate.stats_dict()["admitted"] == 5
+
+    def test_soft_sheds_only_expensive_bands(self):
+        gate = AdmissionGate(soft_limit=4, hard_limit=100)
+        push_inflight(gate, 5)
+        for band in ("0", "1-9", "10-99"):
+            assert gate.decide(band) is None, band
+        for band in EXPENSIVE_BANDS:
+            assert gate.decide(band) == "soft_limit", band
+
+    def test_unknown_band_is_expensive(self):
+        gate = AdmissionGate(soft_limit=4, hard_limit=100)
+        push_inflight(gate, 5)
+        assert gate.decide(None) == "soft_limit"
+
+    def test_hard_sheds_everything(self):
+        gate = AdmissionGate(soft_limit=2, hard_limit=4)
+        push_inflight(gate, 5)
+        for band in ("0", "1-9", "10-99", "1000+", None):
+            assert gate.decide(band) == "hard_limit", band
+        assert gate.stats_dict()["shed"] == 5
+
+    def test_p99_watermark_sheds_expensive_when_idle(self):
+        gate = AdmissionGate(
+            soft_limit=100, hard_limit=200, p99_watermark_ms=10.0, p99_refresh_s=0.0
+        )
+        for _ in range(20):
+            gate.note_latency(50.0)
+        # Depth is zero, but the window p99 is way past the watermark:
+        # expensive queries shed, cheap ones keep flowing.
+        assert gate.decide("1000+") == "p99_watermark"
+        assert gate.decide("0") is None
+
+    def test_p99_recovers(self):
+        gate = AdmissionGate(
+            soft_limit=100, hard_limit=200, p99_watermark_ms=10.0,
+            p99_refresh_s=0.0, window=8,
+        )
+        for _ in range(8):
+            gate.note_latency(50.0)
+        assert gate.decide("1000+") == "p99_watermark"
+        for _ in range(8):  # fast requests push the slow ones out of the ring
+            gate.note_latency(1.0)
+        assert gate.decide("1000+") is None
+
+    def test_window_p99_cached_between_refreshes(self):
+        gate = AdmissionGate(
+            soft_limit=1, hard_limit=2, p99_watermark_ms=10.0, p99_refresh_s=3600.0
+        )
+        assert gate.window_p99() == 0.0
+        for _ in range(10):
+            gate.note_latency(99.0)
+        # Still inside the refresh interval: the cached (stale) value.
+        assert gate.window_p99() == 0.0

@@ -1,0 +1,81 @@
+"""Circuit breaker: closed -> open -> half-open -> closed transitions."""
+
+import time
+
+import pytest
+
+from repro.robustness.breaker import CircuitBreaker
+
+#: Short enough that tests never sleep noticeably, long enough that a
+#: slow machine cannot race past it between two statements.
+COOLDOWN = 0.01
+
+
+def cooled(breaker):
+    time.sleep(COOLDOWN * 2)
+    return breaker
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # the streak never reached 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=0.0)
+
+
+class TestOpen:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_after_cooldown_admits_single_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=COOLDOWN)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # Cooldown elapsed: exactly one probe gets through.
+        assert cooled(breaker).allow()
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # second caller blocked while probing
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=COOLDOWN)
+        breaker.record_failure()
+        assert cooled(breaker).allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=COOLDOWN)
+        breaker.record_failure()
+        assert cooled(breaker).allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # a fresh cooldown started
+
+    def test_stats_dict(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=60.0)
+        breaker.record_failure()
+        stats = breaker.stats_dict()
+        assert stats["state"] == "open"
+        assert stats["transitions"] == 1
+        assert stats["consecutive_failures"] == 1

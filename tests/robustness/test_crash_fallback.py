@@ -1,0 +1,175 @@
+"""Worker crashes under deadline: one answer, one fallback, no replay.
+
+The satellite scenario from docs/ROBUSTNESS.md: a pool worker is killed
+mid-query (fault injection) while the request carries an active
+deadline.  The request must produce **exactly one** answer via in-thread
+fallback, exactly one ``xks_pool_fallback_total`` increment, and no
+duplicated telemetry (the dead worker shipped no events, so the parent's
+op counters must match a clean single-threaded run exactly).
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import PoolError
+from repro.index.builder import build_index
+from repro.obs.metrics import get_registry
+from repro.robustness import faultinject
+from repro.robustness.deadline import Deadline, bind_deadline
+from repro.xksearch.parallel import WorkerPool
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import dblp_like_tree, plant_keywords
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process pool requires the fork start method",
+)
+
+QUERY = "xkrare xkbig"
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory):
+    tree = dblp_like_tree(7, venues=3, years_per_venue=3, papers_per_year=8)
+    plant_keywords(tree, {"xkrare": 4, "xkmid": 18, "xkbig": 50}, seed=11)
+    target = tmp_path_factory.mktemp("crash") / "idx"
+    build_index(tree, target, page_size=1024)
+    return target
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faultinject.reset_plan()
+    yield
+    faultinject.reset_plan()
+
+
+def fallback_total():
+    metric = get_registry().get_metric("xks_pool_fallback_total")
+    if metric is None:
+        return 0
+    return sum(child.value for _, child in metric.items())
+
+
+class TestKillWorkerMidQuery:
+    def test_one_answer_one_fallback_no_replay(self, index_dir):
+        with XKSearch.open(index_dir, load_document=False) as reference:
+            want = list(reference.search_ids(QUERY))
+            reference_ops = _run_and_count(reference, QUERY)
+        # The armed plan is inherited by the worker at fork: its first
+        # task os._exit(1)s without a reply.
+        faultinject.arm("kill-worker:times=1")
+        pool = WorkerPool(index_dir, workers=1)
+        faultinject.reset_plan()  # a respawned worker must be healthy
+        system = XKSearch.open(index_dir, load_document=False)
+        system.engine.attach_pool(pool)
+        try:
+            before_fallback = fallback_total()
+            before_ops = _engine_ops(system)
+            with bind_deadline(Deadline.after_ms(30_000)):
+                got = list(system.search_ids(QUERY))
+            # Exactly one answer, byte-identical to the clean run.
+            assert got == want
+            # Exactly one fallback increment.
+            assert fallback_total() == before_fallback + 1
+            # No duplicate telemetry: the dead worker shipped no events,
+            # so the parent's op counters grew by exactly one in-thread
+            # execution of this query.
+            assert _engine_ops(system) - before_ops == reference_ops
+            # The pool noticed the death and respawned within budget.
+            stats = pool.stats_dict()
+            assert stats["respawns"] == 1
+            assert stats["alive"] == 1
+        finally:
+            system.close()
+            pool.close()
+
+    def test_pool_recovers_after_crash(self, index_dir):
+        faultinject.arm("kill-worker:times=1")
+        pool = WorkerPool(index_dir, workers=1)
+        faultinject.reset_plan()
+        system = XKSearch.open(index_dir, load_document=False)
+        system.engine.attach_pool(pool)
+        reference = XKSearch.open(index_dir, load_document=False)
+        try:
+            want = list(reference.search_ids(QUERY))
+            assert list(system.search_ids(QUERY)) == want  # fallback run
+            _wait_alive(pool)
+            # The respawned worker serves the next query through the pool.
+            assert list(system.search_ids("xkmid xkbig")) == list(
+                reference.search_ids("xkmid xkbig")
+            )
+            assert sum(w["tasks"] for w in pool.stats_dict()["workers"]) > 0
+        finally:
+            reference.close()
+            system.close()
+            pool.close()
+
+
+class TestRespawnBudgetDecay:
+    def test_budget_decays_after_healthy_window(self, index_dir):
+        # With instant decay, a burst budget of 1 still survives three
+        # separate crashes: each death is outside the previous one's
+        # window, so the budget resets before it is charged.
+        pool = WorkerPool(
+            index_dir, workers=1, max_respawns=1, respawn_reset_s=0.01
+        )
+        try:
+            for round_no in range(3):
+                _kill_current_worker(pool)
+                with pytest.raises(PoolError):
+                    pool.execute("slca", ["xkrare", "xkbig"], "auto", 0)
+                _wait_alive(pool)
+                assert pool.alive == 1, f"no respawn on round {round_no}"
+                time.sleep(0.03)  # let the healthy window elapse
+            assert pool.stats_dict()["respawns"] == 3
+        finally:
+            pool.close()
+
+    def test_budget_still_bounds_crash_bursts(self, index_dir):
+        # Without the healthy window elapsing, the budget is a hard burst
+        # bound: the second rapid death is not respawned.
+        pool = WorkerPool(
+            index_dir, workers=1, max_respawns=1, respawn_reset_s=3600.0
+        )
+        try:
+            _kill_current_worker(pool)
+            with pytest.raises(PoolError):
+                pool.execute("slca", ["xkrare", "xkbig"], "auto", 0)
+            _wait_alive(pool)
+            assert pool.alive == 1
+            _kill_current_worker(pool)
+            with pytest.raises(PoolError):
+                pool.execute("slca", ["xkrare", "xkbig"], "auto", 0)
+            assert pool.alive == 0
+            assert pool.stats_dict()["respawn_budget_used"] == 1
+        finally:
+            pool.close()
+
+
+def _engine_ops(system) -> float:
+    return sum(system.engine.counter_totals()["_total"].values())
+
+
+def _run_and_count(system, query) -> float:
+    from repro.xksearch.engine import ExecutionStats
+
+    stats = ExecutionStats()
+    list(system.search_ids(query, stats=stats))
+    return sum(stats.counters.as_dict().values())
+
+
+def _kill_current_worker(pool):
+    handle = pool._workers[-1]
+    os.kill(handle.pid, signal.SIGKILL)
+    handle.process.join(timeout=5)
+
+
+def _wait_alive(pool, timeout_s: float = 5.0):
+    deadline = time.monotonic() + timeout_s
+    while pool.alive < 1 and time.monotonic() < deadline:
+        time.sleep(0.01)

@@ -1,0 +1,106 @@
+"""Deadline mechanics: budgets, binding, checkpoints, cross-process form."""
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded, ReproError
+from repro.robustness.deadline import (
+    CHECK_STRIDE,
+    Deadline,
+    bind_deadline,
+    checkpoint,
+    current_deadline,
+)
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import dblp_like_tree, plant_keywords
+
+
+class TestDeadline:
+    def test_fresh_deadline_not_expired(self):
+        deadline = Deadline.after_ms(60_000)
+        assert not deadline.expired()
+        assert 59_000 < deadline.remaining_ms() <= 60_000
+        deadline.check("execute")  # does not raise
+
+    def test_zero_budget_expires_immediately(self):
+        deadline = Deadline.after_ms(0.0)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("admission")
+        assert excinfo.value.phase == "admission"
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_tick_amortizes_clock_reads(self):
+        deadline = Deadline.after_ms(0.0)
+        # The first CHECK_STRIDE - 1 ticks never consult the clock, so an
+        # expired deadline raises exactly at the stride boundary.
+        for _ in range(CHECK_STRIDE - 1):
+            deadline.tick("execute")
+        with pytest.raises(DeadlineExceeded):
+            deadline.tick("execute")
+
+    def test_wall_expiry_round_trip(self):
+        deadline = Deadline.after_ms(5_000)
+        rebuilt = Deadline.from_wall_expiry(deadline.wall_expiry())
+        # The round trip crosses monotonic -> wall -> monotonic; allow a
+        # generous scheduling slop.
+        assert abs(rebuilt.remaining_ms() - deadline.remaining_ms()) < 500
+        assert not rebuilt.expired()
+
+    def test_expired_wall_expiry_stays_expired(self):
+        rebuilt = Deadline.from_wall_expiry(time.time() - 1.0)
+        assert rebuilt.expired()
+
+
+class TestBinding:
+    def test_unbound_by_default(self):
+        assert current_deadline() is None
+        checkpoint("execute")  # no deadline bound: a no-op
+
+    def test_bind_and_restore(self):
+        deadline = Deadline.after_ms(1_000)
+        with bind_deadline(deadline):
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_nested_binding_restores_outer(self):
+        outer, inner = Deadline.after_ms(1_000), Deadline.after_ms(500)
+        with bind_deadline(outer):
+            with bind_deadline(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_checkpoint_raises_through_binding(self):
+        with bind_deadline(Deadline.after_ms(0.0)):
+            with pytest.raises(DeadlineExceeded):
+                for _ in range(CHECK_STRIDE):
+                    checkpoint("execute")
+
+
+class TestEngineCancellation:
+    """The algorithm loops actually stop at an expired deadline."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        # Lists must be longer than CHECK_STRIDE so the per-entry
+        # checkpoint actually consults the clock during one query.
+        tree = dblp_like_tree(7, venues=6, years_per_venue=5, papers_per_year=12)
+        plant_keywords(tree, {"xkmid": 300, "xkbig": 350}, seed=3)
+        with XKSearch.from_tree(tree) as system:
+            yield system
+
+    @pytest.mark.parametrize("algorithm", ["il", "scan", "stack"])
+    def test_expired_deadline_aborts_execution(self, system, algorithm):
+        # The planted lists are big enough that the per-entry checkpoint
+        # passes the CHECK_STRIDE boundary and notices the expiry.
+        with bind_deadline(Deadline.after_ms(0.0)):
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                list(system.search_ids("xkmid xkbig", algorithm=algorithm))
+        assert excinfo.value.phase == "execute"
+
+    def test_generous_deadline_leaves_answer_identical(self, system):
+        want = list(system.search_ids("xkmid xkbig"))
+        with bind_deadline(Deadline.after_ms(60_000)):
+            got = list(system.search_ids("xkmid xkbig"))
+        assert got == want

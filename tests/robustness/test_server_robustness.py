@@ -1,0 +1,229 @@
+"""Server-level robustness over real HTTP: 504s, shedding, 500 envelope."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.robustness import faultinject
+from repro.robustness.admission import AdmissionGate
+from repro.xksearch.server import make_server
+from repro.xksearch.system import XKSearch
+from repro.xmltree.generate import school_tree
+
+
+@pytest.fixture()
+def live_server():
+    """(base url, server, system) with a small admission gate attached."""
+    system = XKSearch.from_tree(school_tree())
+    gate = AdmissionGate(soft_limit=2, hard_limit=4)
+    server = make_server(system, port=0, gate=gate)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    yield f"http://{host}:{port}", server, system
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faultinject.reset_plan()
+    yield
+    faultinject.reset_plan()
+
+
+def fetch_json(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), json.loads(
+                response.read()
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+def counter_value(name, **labels):
+    metric = get_registry().get_metric(name)
+    if metric is None:
+        return 0
+    return metric.labels(**labels).value
+
+
+def wait_for_counter(name, target, timeout_s=2.0, **labels):
+    """Counters in do_GET's finally land *after* the response bytes do;
+    poll briefly instead of racing the server thread."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = counter_value(name, **labels)
+        if value >= target:
+            return value
+        time.sleep(0.01)
+    return counter_value(name, **labels)
+
+
+class TestDeadline504:
+    def test_expired_deadline_fault_times_out(self, live_server):
+        url, _, _ = live_server
+        faultinject.arm("expired-deadline:times=1")
+        before = counter_value("xks_deadline_exceeded_total", phase="admission")
+        status, _, payload = fetch_json(
+            f"{url}/api/search?q=John+Ben&timeout_ms=5000"
+        )
+        assert status == 504
+        assert payload["error"] == "deadline exceeded"
+        assert payload["phase"] == "admission"
+        assert payload["trace_id"]
+        assert (
+            counter_value("xks_deadline_exceeded_total", phase="admission")
+            == before + 1
+        )
+
+    def test_header_beats_query_param(self, live_server):
+        # A 1µs header budget expires before the admission check runs,
+        # regardless of the generous ?timeout_ms=.
+        url, _, _ = live_server
+        status, _, payload = fetch_json(
+            f"{url}/api/search?q=John+Ben&timeout_ms=60000",
+            headers={"X-Deadline-Ms": "0.001"},
+        )
+        assert status == 504
+        assert payload["phase"] == "admission"
+
+    def test_generous_deadline_answers_normally(self, live_server):
+        url, _, _ = live_server
+        status, _, payload = fetch_json(
+            f"{url}/api/search?q=John+Ben&timeout_ms=30000"
+        )
+        assert status == 200
+        assert payload["count"] == 3
+
+    def test_malformed_timeout_is_ignored(self, live_server):
+        url, _, _ = live_server
+        status, _, payload = fetch_json(f"{url}/api/search?q=John+Ben&timeout_ms=pony")
+        assert status == 200
+        assert payload["count"] == 3
+
+
+class TestOverloadShedding:
+    def test_hard_limit_sheds_with_retry_after(self, live_server):
+        url, server, _ = live_server
+        gate = server.admission_gate
+        # Fake a saturated server: push accounting past the hard limit.
+        for _ in range(5):
+            gate.enter()
+        try:
+            status, headers, payload = fetch_json(f"{url}/api/search?q=John+Ben")
+            assert status == 429
+            assert payload["error"] == "overloaded"
+            assert payload["reason"] == "hard_limit"
+            assert payload["trace_id"]
+            assert headers["Retry-After"] == str(gate.retry_after_s)
+        finally:
+            for _ in range(5):
+                gate.exit()
+
+    def test_soft_limit_keeps_cheap_queries_flowing(self, live_server):
+        url, server, _ = live_server
+        gate = server.admission_gate
+        for _ in range(3):  # past soft (2), under hard (4)
+            gate.enter()
+        try:
+            # school_tree keyword queries sit in cheap |S1| bands.
+            status, _, payload = fetch_json(f"{url}/api/search?q=John+Ben")
+            assert status == 200
+            assert payload["count"] == 3
+        finally:
+            for _ in range(3):
+                gate.exit()
+
+    def test_shed_requests_skip_the_latency_window(self, live_server):
+        url, server, _ = live_server
+        gate = server.admission_gate
+        noted_before = gate.stats_dict()["shed"]
+        p99_before = gate.window_p99()
+        for _ in range(5):
+            gate.enter()
+        try:
+            fetch_json(f"{url}/api/search?q=John+Ben")
+        finally:
+            for _ in range(5):
+                gate.exit()
+        assert gate.stats_dict()["shed"] == noted_before + 1
+        # A shed (near-instant) response must not be fed into the latency
+        # ring, where it would drag the p99 back under the watermark.
+        assert gate.window_p99() == p99_before
+
+    def test_statz_exposes_admission_stats(self, live_server):
+        url, _, _ = live_server
+        status, _, payload = fetch_json(f"{url}/statz")
+        assert status == 200
+        assert payload["admission"]["hard_limit"] == 4
+        assert "inflight" in payload["admission"]
+
+
+class TestInternalErrorEnvelope:
+    def test_unexpected_exception_returns_500_envelope(self, live_server):
+        url, _, system = live_server
+        original = system.search_ids
+        before = counter_value(
+            "xks_http_requests_total", endpoint="/api/search", status="error"
+        )
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("synthetic storage wedge")
+
+        system.search_ids = explode
+        try:
+            status, _, payload = fetch_json(f"{url}/api/search?q=John+Ben")
+        finally:
+            system.search_ids = original
+        assert status == 500
+        assert "internal error" in payload["error"]
+        assert "RuntimeError" in payload["error"]
+        assert payload["trace_id"]
+        # Counted as an error exactly once.
+        assert (
+            wait_for_counter(
+                "xks_http_requests_total",
+                before + 1,
+                endpoint="/api/search",
+                status="error",
+            )
+            == before + 1
+        )
+
+    def test_error_envelope_never_leaks_a_traceback(self, live_server):
+        url, _, system = live_server
+        original = system.search_ids
+
+        def explode(*args, **kwargs):
+            raise ValueError("secret internal path /etc/xks")
+
+        system.search_ids = explode
+        try:
+            _, _, payload = fetch_json(f"{url}/api/search?q=John+Ben")
+        finally:
+            system.search_ids = original
+        assert "secret internal path" not in json.dumps(payload)
+
+
+class TestDrain:
+    def test_drain_idle_server_returns_zero(self, live_server):
+        _, server, _ = live_server
+        assert server.drain(timeout_s=0.2) == 0
+
+    def test_drain_reports_stuck_inflight(self, live_server):
+        _, server, _ = live_server
+        gate = server.admission_gate
+        gate.enter()  # a request that never finishes
+        try:
+            assert server.drain(timeout_s=0.1) == 1
+        finally:
+            gate.exit()
